@@ -1,0 +1,91 @@
+// Microbenchmark of the FFT substrate itself (supporting Table 1): radix-2
+// complex transform, Bluestein arbitrary-size transform, the packed real
+// transform, and the per-tuple sliding-DFT update.
+#include <benchmark/benchmark.h>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/dsp/fft.hpp"
+#include "dsjoin/dsp/sliding_dft.hpp"
+
+namespace {
+
+using namespace dsjoin;
+
+std::vector<dsp::Complex> complex_signal(std::size_t n) {
+  common::Xoshiro256 rng(1);
+  std::vector<dsp::Complex> out(n);
+  for (auto& v : out) {
+    v = dsp::Complex(rng.next_double_in(-1, 1), rng.next_double_in(-1, 1));
+  }
+  return out;
+}
+
+void BM_Radix2Complex(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::Fft fft(n);
+  auto signal = complex_signal(n);
+  std::vector<dsp::Complex> scratch(n);
+  for (auto _ : state) {
+    std::copy(signal.begin(), signal.end(), scratch.begin());
+    fft.forward(scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BluesteinArbitrary(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::Fft fft(n);
+  auto signal = complex_signal(n);
+  std::vector<dsp::Complex> scratch(n);
+  for (auto _ : state) {
+    std::copy(signal.begin(), signal.end(), scratch.begin());
+    fft.forward(scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_PackedReal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::Fft fft(n);
+  common::Xoshiro256 rng(2);
+  std::vector<double> signal(n);
+  for (auto& v : signal) v = rng.next_double_in(-1000, 1000);
+  for (auto _ : state) {
+    auto spectrum = fft.forward_real(signal);
+    benchmark::DoNotOptimize(spectrum.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SlidingDftPush(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  dsp::SlidingDft dft(1 << 16, k);
+  common::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    dft.push(rng.next_double_in(-1000, 1000));
+    benchmark::DoNotOptimize(dft.coefficients().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("FFT substrate microbenchmark (supports Table 1's cost model).");
+  for (std::int64_t n : {1 << 10, 1 << 14, 1 << 18}) {
+    benchmark::RegisterBenchmark("fft/radix2_complex", BM_Radix2Complex)->Arg(n);
+    benchmark::RegisterBenchmark("fft/packed_real", BM_PackedReal)->Arg(n);
+  }
+  for (std::int64_t n : {1000, 10007, 100003}) {  // non-powers (prime sizes)
+    benchmark::RegisterBenchmark("fft/bluestein", BM_BluesteinArbitrary)->Arg(n);
+  }
+  for (std::int64_t k : {4, 64, 1024}) {
+    benchmark::RegisterBenchmark("fft/sliding_dft_push", BM_SlidingDftPush)->Arg(k);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

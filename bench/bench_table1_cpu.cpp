@@ -1,0 +1,109 @@
+// Table 1: CPU time to maintain DFTs, incremental DFTs and AGMS sketches.
+//
+// The paper reports seconds on a 400 MHz UltraSPARC for windows of
+// 80k..1M tuples with updates applied per tuple over a long stream. We
+// measure the same three maintenance strategies on this machine:
+//   DFT  — recompute the full transform on every arriving tuple (the
+//          non-incremental strawman; measured per-op via FFT cost),
+//   iDFT — the sliding DFT's per-tuple incremental update,
+//   AGMS — per-tuple sketch update at the matched summary budget.
+// The reproduction target is the *ratio structure* (iDFT ~ AGMS << DFT,
+// all growing roughly linearly in W), not 2007-era absolute seconds.
+#include <benchmark/benchmark.h>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/dsp/fft.hpp"
+#include "dsjoin/dsp/sliding_dft.hpp"
+#include "dsjoin/sketch/agms.hpp"
+
+namespace {
+
+using namespace dsjoin;
+
+constexpr double kKappa = 256.0;
+
+std::vector<double> values(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.next_double_in(1.0, 1 << 19);
+  return out;
+}
+
+// Full recompute per tuple: one FFT of the window per arriving value.
+void BM_FullDftPerTuple(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  dsp::Fft fft(w);
+  auto signal = values(w, 1);
+  std::vector<dsp::Complex> scratch(w);
+  for (auto _ : state) {
+    std::copy(signal.begin(), signal.end(), scratch.begin());
+    fft.forward(scratch);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Incremental update per tuple (K = W / kappa retained coefficients).
+void BM_IncrementalDftPerTuple(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const auto k = std::max<std::size_t>(static_cast<std::size_t>(w / kKappa), 1);
+  dsp::SlidingDft dft(w, k);
+  const auto feed = values(w + 4096, 2);
+  std::size_t i = 0;
+  for (double v : feed) dft.push(v);  // warm the window
+  for (auto _ : state) {
+    dft.push(feed[i++ % feed.size()]);
+    benchmark::DoNotOptimize(dft.coefficients().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// AGMS update per tuple at the byte-equal budget (W/kappa complex coeffs ->
+// 4x as many i32 counters).
+void BM_AgmsPerTuple(benchmark::State& state) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  const auto budget_bytes = std::max<std::size_t>(
+      static_cast<std::size_t>(w / kKappa) * 16, 16);
+  sketch::AgmsSketch sketch(sketch::AgmsShape::for_budget(budget_bytes / 4), 3);
+  common::Xoshiro256 rng(4);
+  for (auto _ : state) {
+    sketch.update(rng.next() % (1 << 19));
+    benchmark::DoNotOptimize(sketch.counters().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+constexpr std::int64_t kWindows[] = {80'000, 250'000, 500'000, 1'000'000};
+
+void register_all() {
+  for (std::int64_t w : kWindows) {
+    benchmark::RegisterBenchmark("Table1/DFT_recompute", BM_FullDftPerTuple)
+        ->Arg(w)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("Table1/iDFT_update", BM_IncrementalDftPerTuple)
+        ->Arg(w)
+        ->Unit(benchmark::kNanosecond);
+    benchmark::RegisterBenchmark("Table1/AGMS_update", BM_AgmsPerTuple)
+        ->Arg(w)
+        ->Unit(benchmark::kNanosecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("Table 1 reproduction: per-tuple maintenance cost of DFT (full");
+  std::puts("recompute), incremental DFT, and AGMS sketches, kappa = 256.");
+  std::puts("Paper (400 MHz UltraSPARC, seconds per 100M-tuple stream):");
+  std::puts("  W=80k:  DFT 9    iDFT <1    AGMS <1");
+  std::puts("  W=250k: DFT 34   iDFT 3.2   AGMS 2.1");
+  std::puts("  W=500k: DFT 70   iDFT 7.4   AGMS 5.6");
+  std::puts("  W=1M:   DFT 149  iDFT 18.1  AGMS 12.7");
+  std::puts("Expected shape here: iDFT and AGMS within ~2x of each other,");
+  std::puts("both orders of magnitude cheaper than full DFT recompute.\n");
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench prints (a) an aligned table mirroring the paper's figure and
+// (b) a CSV block for plotting, then exits 0. Scales are laptop-sized; the
+// reproduction target is the *shape* of each figure (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dsjoin/common/cli.hpp"
+#include "dsjoin/common/table.hpp"
+#include "dsjoin/core/calibration.hpp"
+#include "dsjoin/core/system.hpp"
+
+namespace dsjoin::bench {
+
+/// The algorithm set of Section 6, in the paper's presentation order.
+inline const std::vector<core::PolicyKind>& evaluated_policies() {
+  static const std::vector<core::PolicyKind> kPolicies{
+      core::PolicyKind::kDftt, core::PolicyKind::kDft,
+      core::PolicyKind::kBloom, core::PolicyKind::kSketch,
+      core::PolicyKind::kBase};
+  return kPolicies;
+}
+
+/// Baseline experiment configuration shared by the system-level figures.
+inline core::SystemConfig figure_config(const std::string& workload,
+                                        std::uint32_t nodes,
+                                        std::uint64_t tuples_per_node,
+                                        std::uint64_t seed = 42) {
+  core::SystemConfig config;
+  config.workload = workload;
+  config.nodes = nodes;
+  config.regions = nodes <= 4 ? 2 : nodes / 3 + 1;
+  config.tuples_per_node = tuples_per_node;
+  config.seed = seed;
+  if (workload == "UNI") {
+    // The uniform worst case needs a denser key domain at laptop scale or
+    // the exact join is too small to measure epsilon against.
+    config.domain = 1 << 13;
+  }
+  return config;
+}
+
+/// Prints both renderings of a finished table.
+inline void emit(common::TablePrinter& table) {
+  table.print();
+  table.print_csv();
+  std::puts("");
+}
+
+}  // namespace dsjoin::bench

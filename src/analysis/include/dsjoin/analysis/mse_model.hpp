@@ -1,0 +1,38 @@
+// Analytic MSE-vs-compression model (Eq. 11-12).
+//
+// Eq. 12 expresses the reconstruction MSE through the energy of the
+// discarded DFT coefficients: by Parseval, truncating a real signal's
+// spectrum to its K lowest frequencies leaves a per-sample mean squared
+// error of (residual spectral energy) / W^2... scaled for the two-sided
+// spectrum. Given a signal (or just its spectrum), the model predicts the
+// MSE for every compression factor without running the inverse transform,
+// and inverts the relation to find the kappa meeting the paper's lossless
+// criterion E[MSE] < 0.25.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsjoin/dsp/fft.hpp"
+
+namespace dsjoin::analysis {
+
+/// Predicted per-sample MSE when a real length-W signal with full spectrum
+/// `spectrum` is reconstructed from its K lowest-frequency coefficients
+/// (conjugate-symmetric truncation). Exact by Parseval.
+double predicted_mse(std::span<const dsp::Complex> spectrum, std::size_t retained);
+
+/// Predicted MSE for each power-of-two kappa from 2 up to W / 2 (pairs of
+/// {kappa, mse}), from one forward transform of the signal.
+struct KappaMse {
+  double kappa;
+  double mse;
+};
+std::vector<KappaMse> mse_profile(std::span<const double> signal);
+
+/// Largest power-of-two kappa with predicted MSE below `bound` (the paper's
+/// 0.25 lossless-after-rounding criterion); 1 if none qualifies.
+double max_lossless_kappa(std::span<const double> signal, double bound = 0.25);
+
+}  // namespace dsjoin::analysis

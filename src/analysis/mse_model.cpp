@@ -1,0 +1,50 @@
+#include "dsjoin/analysis/mse_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsjoin/dsp/compression.hpp"
+
+namespace dsjoin::analysis {
+
+double predicted_mse(std::span<const dsp::Complex> spectrum, std::size_t retained) {
+  const std::size_t w = spectrum.size();
+  assert(w >= 2);
+  if (retained >= w / 2 + 1) return 0.0;
+  if (retained == 0) retained = 1;
+  // Retained indices: {0..K-1} plus conjugate mirrors {W-K+1..W-1};
+  // discarded: {K..W-K}. Parseval: MSE = sum_discarded |X_k|^2 / W^2.
+  double residual = 0.0;
+  for (std::size_t k = retained; k + retained <= w; ++k) {
+    residual += std::norm(spectrum[k]);
+  }
+  return residual / (static_cast<double>(w) * static_cast<double>(w));
+}
+
+std::vector<KappaMse> mse_profile(std::span<const double> signal) {
+  const std::size_t w = signal.size();
+  dsp::Fft fft(w);
+  const auto spectrum = fft.forward_real(signal);
+  std::vector<KappaMse> out;
+  for (double kappa = 2.0; ; kappa *= 2.0) {
+    const std::size_t k = dsp::retained_for_kappa(w, kappa);
+    out.push_back(KappaMse{kappa, predicted_mse(spectrum, k)});
+    if (k <= 1) break;
+    if (kappa >= static_cast<double>(w)) break;
+  }
+  return out;
+}
+
+double max_lossless_kappa(std::span<const double> signal, double bound) {
+  double best = 1.0;
+  for (const auto& [kappa, mse] : mse_profile(signal)) {
+    if (mse < bound) {
+      best = kappa;
+    } else {
+      break;  // residual energy grows monotonically with kappa
+    }
+  }
+  return best;
+}
+
+}  // namespace dsjoin::analysis

@@ -1,0 +1,32 @@
+// Minimal leveled logging.
+//
+// The library itself is quiet by default; the examples and benches raise the
+// level when narrating runs. Logging is printf-style (with compile-time
+// format checking) and thread-safe at the line level, which is all the TCP
+// transport needs.
+#pragma once
+
+#include <string_view>
+
+namespace dsjoin::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one formatted line to stderr with a level tag and a monotonic
+/// timestamp, if `level` passes the global threshold.
+[[gnu::format(printf, 2, 3)]] void log(LogLevel level, const char* fmt, ...);
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+}  // namespace detail
+
+#define DSJOIN_LOG_DEBUG(...) ::dsjoin::common::log(::dsjoin::common::LogLevel::kDebug, __VA_ARGS__)
+#define DSJOIN_LOG_INFO(...) ::dsjoin::common::log(::dsjoin::common::LogLevel::kInfo, __VA_ARGS__)
+#define DSJOIN_LOG_WARN(...) ::dsjoin::common::log(::dsjoin::common::LogLevel::kWarn, __VA_ARGS__)
+#define DSJOIN_LOG_ERROR(...) ::dsjoin::common::log(::dsjoin::common::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace dsjoin::common

@@ -1,0 +1,44 @@
+// P-square (P2) streaming quantile estimation (Jain & Chlamtac, 1985).
+//
+// SampleSet retains every observation for exact quantiles; fine at bench
+// scale, wasteful inside long-running nodes. P2 tracks one quantile with
+// five markers in O(1) memory and O(1) per observation — used by the
+// long-run diagnostics and available to downstream users of the library.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace dsjoin::common {
+
+/// Streaming estimator of a single quantile q in (0, 1).
+class P2Quantile {
+ public:
+  /// @param q the quantile to track, strictly between 0 and 1.
+  explicit P2Quantile(double q);
+
+  /// Incorporates one observation.
+  void add(double x) noexcept;
+
+  /// Current estimate. Exact while fewer than five observations have been
+  /// seen (falls back to the sorted buffer).
+  double value() const noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double quantile() const noexcept { return q_; }
+
+ private:
+  void initialize() noexcept;
+  /// Piecewise-parabolic (P2) marker height adjustment.
+  static double parabolic(double d, double q_prev, double q_cur, double q_next,
+                          double n_prev, double n_cur, double n_next) noexcept;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace dsjoin::common

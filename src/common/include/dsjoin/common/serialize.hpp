@@ -1,0 +1,114 @@
+// Binary serialization for wire messages.
+//
+// Frames exchanged between nodes (tuples, DFT coefficient deltas, Bloom and
+// sketch snapshots, result shipments) are encoded with the little-endian
+// fixed-width writer/reader below. The format is deliberately simple: the
+// experiments need accurate *byte accounting* (Figure 8 reports coefficient
+// bytes as a share of net data) and a robust reader that rejects truncated
+// frames, not a general-purpose RPC layer.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsjoin/common/status.hpp"
+
+namespace dsjoin::common {
+
+static_assert(std::endian::native == std::endian::little,
+              "dsjoin's wire format assumes a little-endian host");
+
+/// Appends fixed-width little-endian values to a growable byte buffer.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  void write_u8(std::uint8_t v) { append(&v, 1); }
+  void write_u16(std::uint16_t v) { append(&v, 2); }
+  void write_u32(std::uint32_t v) { append(&v, 4); }
+  void write_u64(std::uint64_t v) { append(&v, 8); }
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    write_u64(bits);
+  }
+
+  /// Length-prefixed (u32) byte string.
+  void write_bytes(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed (u32) UTF-8 string.
+  void write_string(std::string_view s);
+  /// Raw bytes with no length prefix (caller knows the framing).
+  void write_raw(std::span<const std::uint8_t> bytes) {
+    append(bytes.data(), bytes.size());
+  }
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  std::span<const std::uint8_t> bytes() const noexcept { return buffer_; }
+  std::vector<std::uint8_t> take() && { return std::move(buffer_); }
+
+ private:
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reads fixed-width little-endian values from a byte span, returning
+/// kDataLoss on truncation rather than reading past the end.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::uint8_t> bytes) noexcept
+      : data_(bytes) {}
+
+  Result<std::uint8_t> read_u8() { return read_fixed<std::uint8_t>(); }
+  Result<std::uint16_t> read_u16() { return read_fixed<std::uint16_t>(); }
+  Result<std::uint32_t> read_u32() { return read_fixed<std::uint32_t>(); }
+  Result<std::uint64_t> read_u64() { return read_fixed<std::uint64_t>(); }
+  Result<std::int64_t> read_i64() {
+    auto r = read_u64();
+    if (!r) return r.status();
+    return static_cast<std::int64_t>(r.value());
+  }
+  Result<double> read_f64() {
+    auto r = read_u64();
+    if (!r) return r.status();
+    double v;
+    const std::uint64_t bits = r.value();
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  /// Length-prefixed byte string (u32 length).
+  Result<std::vector<std::uint8_t>> read_bytes();
+  /// Length-prefixed UTF-8 string (u32 length).
+  Result<std::string> read_string();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  Result<T> read_fixed() {
+    if (remaining() < sizeof(T)) {
+      return Status(ErrorCode::kDataLoss, "truncated frame");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dsjoin::common

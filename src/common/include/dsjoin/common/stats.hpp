@@ -1,0 +1,92 @@
+// Streaming statistics used throughout the experiments: Welford running
+// moments, fixed-bucket histograms, and exact quantiles over retained
+// samples. Figure 6 reports mean +/- one standard deviation of the DFT
+// reconstruction MSE; these types back that and every other measured series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsjoin::common {
+
+/// Numerically stable running mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  /// Incorporates one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel Welford combination).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const noexcept;
+  /// Population variance (n denominator); 0 for zero observations.
+  double population_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range observations are
+/// clamped into the first / last bucket and counted separately.
+class Histogram {
+ public:
+  /// @param lo,hi   value range; hi must exceed lo.
+  /// @param buckets number of equal-width buckets, >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(std::size_t i) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Value below which the given fraction q in [0,1] of observations fall
+  /// (linear interpolation inside the bucket).
+  double quantile(double q) const noexcept;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Retains every sample for exact quantiles; suitable for the experiment
+/// scales in this repository (<= a few million observations).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Exact q-quantile with linear interpolation; q in [0,1].
+  double quantile(double q) const;
+  double mean() const noexcept;
+  double stddev() const noexcept;
+  /// Fraction of samples strictly below the threshold.
+  double fraction_below(double threshold) const noexcept;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace dsjoin::common

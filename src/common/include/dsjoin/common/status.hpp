@@ -1,0 +1,107 @@
+// Lightweight error handling: Status and Result<T>.
+//
+// The hot paths of the system (per-tuple processing in nodes and transports)
+// must not throw; fallible operations return Status / Result<T> instead.
+// Exceptions remain in use for programming errors and unrecoverable setup
+// failures, following the C++ Core Guidelines (E.*) split between expected
+// and unexpected failures.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dsjoin::common {
+
+/// Error categories used across the project.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kUnavailable,      // transient transport failures
+  kDataLoss,         // truncated / corrupt frames
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode.
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// A success-or-error value without a payload.
+class [[nodiscard]] Status {
+ public:
+  /// Success.
+  Status() noexcept : code_(ErrorCode::kOk) {}
+
+  /// Failure with a category and message. kOk must not be paired with a
+  /// message; use the default constructor for success.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code_ != ErrorCode::kOk);
+  }
+
+  static Status ok() noexcept { return Status(); }
+
+  bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// A value of type T or a Status explaining why it is absent.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value: `return computed_value;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit from an error status: `return Status(...);`. The status must
+  /// not be OK (an OK status carries no value).
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).is_ok());
+  }
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// The contained value. Precondition: is_ok().
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// The error. Precondition: !is_ok().
+  const Status& status() const {
+    assert(!is_ok());
+    return std::get<Status>(data_);
+  }
+
+  /// Value if present, otherwise `fallback`.
+  T value_or(T fallback) const& { return is_ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace dsjoin::common

@@ -1,0 +1,16 @@
+// printf-style std::string formatting.
+//
+// The toolchain in use (libstdc++ 12) does not ship <format>, so the project
+// formats through vsnprintf with compile-time format-string checking via the
+// GNU `format` attribute.
+#pragma once
+
+#include <string>
+
+namespace dsjoin::common {
+
+/// Returns the printf-formatted string. Format errors are compile-time
+/// diagnostics thanks to the format attribute.
+[[gnu::format(printf, 1, 2)]] std::string str_format(const char* fmt, ...);
+
+}  // namespace dsjoin::common

@@ -1,0 +1,62 @@
+// Aligned-text table and CSV emission for the bench harnesses.
+//
+// Every figure/table reproduction prints two artifacts: a human-readable
+// aligned table (what you eyeball against the paper) and a machine-readable
+// CSV block (what a plotting script consumes). TablePrinter produces both
+// from one row stream.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "dsjoin/common/strformat.hpp"
+
+namespace dsjoin::common {
+
+/// Collects rows of stringified cells and renders them aligned and/or as CSV.
+class TablePrinter {
+ public:
+  /// @param title   printed above the table (e.g. "Figure 9 (Zipf)").
+  /// @param columns header cells.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; the number of cells must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each argument with "{}"/"{:.4g}"-style defaults.
+  template <typename... Args>
+  void add(Args&&... args) {
+    add_row({cell(std::forward<Args>(args))...});
+  }
+
+  /// Renders the aligned table to the given stream (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Renders an RFC-4180-ish CSV block, prefixed with "# csv <title>".
+  void print_csv(std::FILE* out = stdout) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(double v) { return str_format("%.6g", v); }
+  static std::string cell(float v) { return str_format("%.6g", v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string cell(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      return str_format("%lld", static_cast<long long>(v));
+    } else {
+      return str_format("%llu", static_cast<unsigned long long>(v));
+    }
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsjoin::common

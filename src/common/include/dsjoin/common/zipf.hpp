@@ -1,0 +1,52 @@
+// Zipfian random variates.
+//
+// The paper's synthetic skewed workload draws joining attributes from a
+// Zipf distribution with parameter alpha = 0.4 over the domain [1, 2^19]
+// (Section 6). This sampler supports any exponent >= 0 and large domains;
+// it uses rejection-inversion (Hormann & Derflinger, 1996) so sampling is
+// O(1) per draw with no O(domain) table.
+#pragma once
+
+#include <cstdint>
+
+#include "dsjoin/common/rng.hpp"
+
+namespace dsjoin::common {
+
+/// Samples ranks in [1, n] with P(k) proportional to 1 / k^alpha.
+///
+/// alpha == 0 degenerates to the uniform distribution over [1, n];
+/// alpha == 1 is handled via the logarithmic branch of the integral.
+class ZipfDistribution {
+ public:
+  /// @param n      domain size (number of distinct ranks), n >= 1.
+  /// @param alpha  skew exponent, alpha >= 0.
+  ZipfDistribution(std::uint64_t n, double alpha);
+
+  /// Draws one rank in [1, n].
+  std::uint64_t operator()(Xoshiro256& rng) const;
+
+  /// Probability mass of rank k (exact, normalized).
+  double pmf(std::uint64_t k) const;
+
+  std::uint64_t domain() const noexcept { return n_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  // H(x) is the antiderivative of the density envelope x^-alpha.
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_x1_;              // H(1.5) - 1
+  double h_n_;               // H(n + 0.5)
+  double s_;                 // shift making the envelope tight at k = 1, 2
+  double harmonic_;          // generalized harmonic number H_{n,alpha} (for pmf)
+};
+
+/// Generalized harmonic number sum_{k=1..n} k^-alpha, computed directly for
+/// small n and via the Euler-Maclaurin expansion for large n.
+double generalized_harmonic(std::uint64_t n, double alpha);
+
+}  // namespace dsjoin::common

@@ -1,0 +1,64 @@
+#include "dsjoin/common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace dsjoin::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string message;
+  if (needed > 0) {
+    message.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(message.data(), message.size() + 1, fmt, copy);
+  }
+  va_end(copy);
+  detail::emit(level, message);
+}
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view message) {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double secs =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "[%10.4f] %s %.*s\n", secs, tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+}  // namespace dsjoin::common

@@ -1,0 +1,90 @@
+#include "dsjoin/common/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dsjoin::common {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::initialize() noexcept {
+  std::sort(heights_.begin(), heights_.end());
+  positions_ = {1, 2, 3, 4, 5};
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+}
+
+double P2Quantile::parabolic(double d, double q_prev, double q_cur,
+                             double q_next, double n_prev, double n_cur,
+                             double n_next) noexcept {
+  return q_cur + d / (n_next - n_prev) *
+                     ((n_cur - n_prev + d) * (q_next - q_cur) / (n_next - n_cur) +
+                      (n_next - n_cur - d) * (q_cur - q_prev) / (n_cur - n_prev));
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) initialize();
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing x and clamp the extreme markers.
+  std::size_t cell;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= heights_[cell + 1]) ++cell;
+  }
+
+  for (std::size_t i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust the three interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool step_up = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool step_down = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!step_up && !step_down) continue;
+    const double direction = d >= 0 ? 1.0 : -1.0;
+    double candidate =
+        parabolic(direction, heights_[i - 1], heights_[i], heights_[i + 1],
+                  positions_[i - 1], positions_[i], positions_[i + 1]);
+    if (candidate <= heights_[i - 1] || candidate >= heights_[i + 1]) {
+      // Parabolic prediction left the bracket: fall back to linear.
+      const std::size_t j = direction > 0 ? i + 1 : i - 1;
+      candidate = heights_[i] + direction * (heights_[j] - heights_[i]) /
+                                    (positions_[j] - positions_[i]);
+    }
+    heights_[i] = candidate;
+    positions_[i] += direction;
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile over the partial buffer.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(count_));
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace dsjoin::common

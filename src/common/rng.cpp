@@ -1,0 +1,24 @@
+#include "dsjoin/common/rng.hpp"
+
+#include <cmath>
+
+namespace dsjoin::common {
+
+double Xoshiro256::next_gaussian() noexcept {
+  // Marsaglia polar method; rejection loop terminates with probability 1.
+  for (;;) {
+    const double u = 2.0 * next_double() - 1.0;
+    const double v = 2.0 * next_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Xoshiro256::next_exponential(double rate) noexcept {
+  // Inverse-CDF; 1 - U avoids log(0).
+  return -std::log(1.0 - next_double()) / rate;
+}
+
+}  // namespace dsjoin::common

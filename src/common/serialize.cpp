@@ -1,0 +1,38 @@
+#include "dsjoin/common/serialize.hpp"
+
+namespace dsjoin::common {
+
+void BufferWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  write_u32(static_cast<std::uint32_t>(bytes.size()));
+  write_raw(bytes);
+}
+
+void BufferWriter::write_string(std::string_view s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  append(s.data(), s.size());
+}
+
+Result<std::vector<std::uint8_t>> BufferReader::read_bytes() {
+  auto len = read_u32();
+  if (!len) return len.status();
+  if (remaining() < len.value()) {
+    return Status(ErrorCode::kDataLoss, "truncated byte string");
+  }
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+  pos_ += len.value();
+  return out;
+}
+
+Result<std::string> BufferReader::read_string() {
+  auto len = read_u32();
+  if (!len) return len.status();
+  if (remaining() < len.value()) {
+    return Status(ErrorCode::kDataLoss, "truncated string");
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len.value());
+  pos_ += len.value();
+  return out;
+}
+
+}  // namespace dsjoin::common

@@ -1,0 +1,31 @@
+#include "dsjoin/common/status.hpp"
+
+namespace dsjoin::common {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kDataLoss: return "DATA_LOSS";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out{dsjoin::common::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dsjoin::common

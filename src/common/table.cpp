@@ -1,0 +1,61 @@
+#include "dsjoin/common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsjoin::common {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::fprintf(out, "\n=== %s ===\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "  " : "  | ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_row(columns_);
+  std::size_t total = columns_.size() * 4;
+  for (std::size_t w : widths) total += w;
+  std::fprintf(out, "  %s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::print_csv(std::FILE* out) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::fprintf(out, "# csv %s\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", c == 0 ? "" : ",", escape(row[c]).c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace dsjoin::common

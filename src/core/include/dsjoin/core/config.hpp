@@ -1,0 +1,116 @@
+// Experiment configuration.
+//
+// One SystemConfig describes a complete distributed-join experiment: the
+// cluster, the WAN profile, the workload, the window semantics, the routing
+// policy under test and its summary budget. Every bench builds these and
+// hands them to DspSystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dsjoin/net/sim_transport.hpp"
+
+namespace dsjoin::core {
+
+/// The routing policies of Section 6 (plus round-robin, the paper's
+/// fallback for the detected worst case).
+enum class PolicyKind {
+  kBase,        ///< BASE: broadcast every tuple to all N-1 peers (exact)
+  kRoundRobin,  ///< RR: one peer per tuple, cycled (the fallback heuristic)
+  kDft,         ///< DFT: flow filtering on DFT cross-correlation coefficients
+  kDftt,        ///< DFTT: DFT + membership tests on reconstructed tuples
+  kBloom,       ///< BLOOM: membership tests on counting-Bloom snapshots
+  kSketch,      ///< SKCH: flow weights from AGMS join-size estimates
+  kSpectrum,    ///< SPEC (ours): flow weights from histogram-DFT join-size
+                ///< estimates — deterministic counterpart of SKCH (ablation A3)
+};
+
+const char* to_string(PolicyKind kind) noexcept;
+PolicyKind policy_from_string(const std::string& name);
+
+/// Full experiment description. Defaults give a small, fast, paper-shaped
+/// run; benches override what each figure sweeps.
+struct SystemConfig {
+  // Cluster.
+  std::uint32_t nodes = 4;
+  std::uint64_t seed = 42;
+  net::WanProfile wan{};
+
+  // Workload.
+  std::string workload = "ZIPF";  ///< UNI | ZIPF | FIN | NWRK
+  std::uint32_t regions = 2;
+  double locality = 0.85;
+  double noise = 0.20;  ///< background (cold-key) tuple fraction
+  std::int64_t domain = 1 << 19;
+  double arrivals_per_second = 25.0;  ///< per node per stream side
+  std::uint64_t tuples_per_node = 4000;  ///< arrivals per node per side
+
+  // Join semantics: pair (r, s) joins iff keys match and
+  // |r.timestamp - s.timestamp| <= join_half_width_s.
+  double join_half_width_s = 10.0;
+  /// Extra retention beyond the window so delayed arrivals still match.
+  double retention_margin_s = 120.0;
+
+  // Summaries.
+  std::uint32_t dft_window = 2048;    ///< W: values per per-side sliding DFT
+  double kappa = 256.0;               ///< compression factor W/K
+  std::uint32_t summary_epoch_tuples = 256;  ///< tuples between summary flushes
+  /// Peers that received no tuple (hence no piggybacked update) for this
+  /// many epochs get a standalone summary frame. Kept lazy: coefficient
+  /// updates ride almost entirely on tuple traffic (Figure 7 line 5), so
+  /// summary bytes track — rather than outgrow — the net data (Figure 8).
+  std::uint32_t stale_flush_epochs = 8;
+  /// At most this many coefficient deltas (per stream side) ride on one
+  /// tuple frame; the largest-magnitude changes go first. Keeps piggyback
+  /// overhead a bounded fraction of tuple traffic; standalone flushes are
+  /// uncapped. 0 disables the cap.
+  std::uint32_t piggyback_max_coeffs = 4;
+  std::int64_t membership_tolerance = 32;  ///< +/- slack for reconstructed keys
+  /// Coefficient-change threshold for piggybacked deltas, as a fraction of
+  /// sqrt(spectral energy / W) (adaptive to signal scale).
+  double coeff_delta_threshold = 0.05;
+
+  // Policy under test.
+  PolicyKind policy = PolicyKind::kDftt;
+  /// Forwarding aggressiveness in [0, 1]; the epsilon calibrator bisects
+  /// this. Maps to a per-node budget T in [1, N-1] (policy-specific).
+  double throttle = 0.5;
+  /// Coefficient-of-variation threshold under which the flow filter
+  /// declares the uniform worst case and falls back to round-robin
+  /// (Section 5.2.2: "a very small variance in the filter probabilities
+  /// indicates equal correlation with all neighbors"). Relative spread is
+  /// used so the detector is scale-free in the score magnitudes.
+  double uniform_detection_cv = 0.25;
+
+  // Flow control.
+  /// Ingestion stalls while the node's worst outgoing-link backlog exceeds
+  /// this (models a bounded send queue); 0 disables backpressure.
+  double max_backlog_s = 10.0;
+
+  // Online epsilon controller (extension; the paper calibrates offline).
+  // Each node broadcasts a small audit sample of its tuples to all peers;
+  // comparing the remote-match rate of audited vs policy-routed tuples
+  // yields an unbiased online estimate of the missed-result fraction, which
+  // a proportional controller drives to the target by adjusting the
+  // throttle. Disabled when online_target_eps < 0.
+  double online_target_eps = -1.0;
+  double audit_probability = 0.05;   ///< P(tuple is broadcast as an audit)
+  double controller_gain = 0.3;      ///< throttle step per unit of error
+  std::uint32_t controller_interval_tuples = 512;  ///< adjustment cadence
+
+  /// Summary budget per epoch in bytes (all policies are granted the same
+  /// budget, Section 6). Derived from the DFT geometry: K complex coeffs.
+  std::size_t summary_budget_bytes() const noexcept {
+    const auto k = static_cast<std::size_t>(
+        static_cast<double>(dft_window) / kappa < 1.0
+            ? 1.0
+            : static_cast<double>(dft_window) / kappa);
+    return k * 16;
+  }
+
+  /// Retained coefficient count K for the DFT policies.
+  std::size_t dft_retained() const noexcept { return summary_budget_bytes() / 16; }
+};
+
+}  // namespace dsjoin::core

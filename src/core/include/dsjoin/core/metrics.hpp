@@ -1,0 +1,49 @@
+// Experiment metrics.
+//
+// MetricsCollector gathers the result pairs the distributed system reports
+// (deduplicated globally — a pair may be discovered at both owners), so that
+// epsilon (Eq. 1), messages per result tuple and throughput can be computed
+// against the exact-join oracle.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dsjoin/net/frame.hpp"
+#include "dsjoin/stream/tuple.hpp"
+
+namespace dsjoin::core {
+
+/// Global (cross-node) result accounting.
+class MetricsCollector {
+ public:
+  /// Records a discovered pair; duplicates (same r_id/s_id) count once.
+  void record_pair(const stream::ResultPair& pair, net::NodeId discoverer,
+                   double now);
+
+  /// Distinct pairs reported by the system — |Psi-hat| of Eq. 1.
+  std::uint64_t distinct_pairs() const noexcept { return reported_.size(); }
+
+  /// Total (non-deduplicated) pair reports, for double-discovery diagnostics.
+  std::uint64_t total_reports() const noexcept { return total_reports_; }
+
+  /// Virtual time of the most recent report.
+  double last_report_time() const noexcept { return last_report_time_; }
+
+  /// Pairs first discovered by each node.
+  const std::vector<std::uint64_t>& per_node_discoveries() const noexcept {
+    return per_node_;
+  }
+
+  /// Sizes the per-node vector; call before the run starts.
+  void set_node_count(std::size_t nodes) { per_node_.assign(nodes, 0); }
+
+ private:
+  std::unordered_set<stream::ResultPair, stream::ResultPairHash> reported_;
+  std::vector<std::uint64_t> per_node_;
+  std::uint64_t total_reports_ = 0;
+  double last_report_time_ = 0.0;
+};
+
+}  // namespace dsjoin::core

@@ -1,0 +1,103 @@
+// Processing node (Figure 1's N_i).
+//
+// A node holds its segments of both stream windows, runs the local join on
+// every arriving tuple (local and forwarded), executes its routing policy,
+// piggybacks/flushes summaries, and ships discovered result pairs back to
+// the forwarded tuple's origin ("matching tuples must still be transmitted
+// over the network in order to provide the complete result", Section 5.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dsjoin/core/config.hpp"
+#include "dsjoin/core/metrics.hpp"
+#include "dsjoin/core/policy.hpp"
+#include "dsjoin/net/transport.hpp"
+#include "dsjoin/stream/tuple.hpp"
+#include "dsjoin/stream/window.hpp"
+
+namespace dsjoin::core {
+
+class Node {
+ public:
+  /// The transport and metrics collector must outlive the node. The node
+  /// registers no handler itself; the owner wires on_frame to the transport.
+  Node(const SystemConfig& config, net::NodeId self, net::Transport& transport,
+       MetricsCollector& metrics);
+
+  net::NodeId id() const noexcept { return self_; }
+
+  /// A tuple arrives from this node's own source at virtual time `now`
+  /// (== tuple.timestamp).
+  void on_local_tuple(const stream::Tuple& tuple, double now);
+
+  /// A frame arrives from the network at virtual time `now`.
+  void on_frame(net::Frame&& frame, double now);
+
+  RoutingPolicy& policy() noexcept { return *policy_; }
+  const RoutingPolicy& policy() const noexcept { return *policy_; }
+
+  /// Tuples this node ingested from its own source.
+  std::uint64_t local_tuples() const noexcept { return local_tuples_; }
+  /// Forwarded tuples received from peers.
+  std::uint64_t received_tuples() const noexcept { return received_tuples_; }
+  /// Frames that failed to decode (should stay 0 in healthy runs).
+  std::uint64_t decode_failures() const noexcept { return decode_failures_; }
+
+  /// Online controller diagnostics (meaningful when online_target_eps >= 0).
+  double current_throttle() const noexcept { return throttle_; }
+  /// Smoothed online estimate of the missed remote-match fraction; negative
+  /// until the first audit window completes.
+  double epsilon_estimate() const noexcept { return eps_estimate_; }
+
+ private:
+  /// Joins `tuple` against the given opposite-side store; reports pairs and
+  /// returns the matches grouped for shipping.
+  void join_and_report(
+      const stream::Tuple& tuple, const stream::TupleStore& store, double now,
+      std::vector<stream::ResultPair>* shipped,
+      std::map<net::NodeId, std::vector<stream::ResultPair>>* by_origin);
+  void evict(double now);
+  void send_summary(net::NodeId peer, SummaryBlock block);
+  /// Records a locally originated tuple's controller class (audit/regular).
+  void track_sent(std::uint64_t id, bool audited);
+  /// Attributes shipped result pairs to the controller classes.
+  void absorb_result_feedback(const std::vector<stream::ResultPair>& pairs);
+  /// Periodic proportional throttle adjustment from the audit estimate.
+  void run_controller();
+
+  SystemConfig config_;
+  net::NodeId self_;
+  net::Transport& transport_;
+  MetricsCollector& metrics_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  std::array<stream::TupleStore, 2> local_;     // own tuples, by side
+  std::array<stream::TupleStore, 2> received_;  // forwarded tuples, by side
+  std::uint64_t local_tuples_ = 0;
+  std::uint64_t received_tuples_ = 0;
+  std::uint64_t decode_failures_ = 0;
+
+  // Online controller state.
+  common::Xoshiro256 audit_rng_;
+  double throttle_ = 0.0;
+  double eps_estimate_ = -1.0;
+  std::unordered_map<std::uint64_t, bool> sent_class_;  // id -> audited?
+  std::deque<std::uint64_t> sent_order_;                // FIFO cap
+  std::uint64_t audit_sent_ = 0;
+  std::uint64_t regular_sent_ = 0;
+  double audit_matches_ = 0.0;
+  double regular_matches_ = 0.0;
+  /// Pairs already credited once — a pair covered via both directions
+  /// (our forward and the partner's) must not count twice, or the
+  /// estimate's numerator and denominator inflate asymmetrically.
+  std::unordered_set<std::uint64_t> credited_pairs_;
+  std::deque<std::uint64_t> credited_order_;
+};
+
+}  // namespace dsjoin::core

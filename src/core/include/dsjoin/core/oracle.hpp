@@ -1,0 +1,36 @@
+// Exact-join oracle.
+//
+// Computes |Psi| of Eq. 1: the exact number of (r, s) pairs with equal keys
+// and coexisting timestamps, over all tuples of all nodes, by streaming the
+// arrivals in global timestamp order. The distributed system's deduplicated
+// reports are measured against this total.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsjoin/stream/tuple.hpp"
+#include "dsjoin/stream/window.hpp"
+
+namespace dsjoin::core {
+
+class ExactJoinOracle {
+ public:
+  /// @param half_width  join window: |r.ts - s.ts| <= half_width.
+  explicit ExactJoinOracle(double half_width);
+
+  /// Feeds one arrival. Calls must be in nondecreasing timestamp order
+  /// (the simulation's arrival events provide this for free).
+  void observe(const stream::Tuple& tuple);
+
+  /// Exact |Psi| over everything observed so far.
+  std::uint64_t total_pairs() const noexcept { return pairs_; }
+
+ private:
+  double half_width_;
+  std::array<stream::TupleStore, 2> store_;  // by side
+  std::uint64_t pairs_ = 0;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace dsjoin::core

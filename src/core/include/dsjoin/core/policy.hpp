@@ -1,0 +1,100 @@
+// Routing policies (Section 5 and the Section 6 competitors).
+//
+// A policy decides, per locally arriving tuple, which peers receive a copy —
+// the flow filtering of Figure 2 — and maintains the summaries that inform
+// that decision. All approximate policies share one probabilistic scheme:
+//
+//   1. score every peer j for the tuple (policy-specific signal:
+//      DFT   -> cross-correlation coefficient rho_{i,j} (Eq. 4),
+//      DFTT  -> membership count of the key in the reconstructed remote
+//               window (Section 5.3's JoinEstimate),
+//      BLOOM -> membership in the remote Bloom snapshot,
+//      SKCH  -> AGMS join-size estimate between the local and remote
+//               windows);
+//   2. water-fill forwarding probabilities p_{i,j} = min(1, w_i * score_j)
+//      so that sum_j p_{i,j} equals the per-node budget T_i (Eq. 9), where
+//      T_i = (N-1)^throttle spans O(1) (throttle 0) .. N-1 (throttle 1,
+//      degenerating to BASE). The epsilon calibrator bisects the throttle.
+//
+// The DFT family additionally detects the uniform worst case (vanishing
+// variance of the scores; Theorem 1 discussion) and falls back to
+// round-robin.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/core/config.hpp"
+#include "dsjoin/core/wire.hpp"
+#include "dsjoin/net/frame.hpp"
+#include "dsjoin/stream/tuple.hpp"
+
+namespace dsjoin::core {
+
+/// A standalone summary destined for one peer.
+struct OutboundSummary {
+  net::NodeId peer;
+  SummaryBlock block;
+};
+
+/// Per-node routing policy instance.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  RoutingPolicy(const RoutingPolicy&) = delete;
+  RoutingPolicy& operator=(const RoutingPolicy&) = delete;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Feeds a locally arriving tuple into the policy's summaries (sliding
+  /// DFTs / Bloom / sketch windows). Called before route().
+  virtual void observe_local(const stream::Tuple& tuple) = 0;
+
+  /// Destinations for the tuple (excluding self; possibly empty).
+  virtual std::vector<net::NodeId> route(const stream::Tuple& tuple) = 0;
+
+  /// Summary bytes to piggyback on a tuple frame to `peer` (may be empty).
+  /// Marks the drained state as synced to that peer.
+  virtual SummaryBlock piggyback_for(net::NodeId peer) = 0;
+
+  /// Ingests a summary block received from `peer`.
+  virtual void on_summary(net::NodeId peer, const SummaryBlock& block) = 0;
+
+  /// Called once per local arrival after routing: standalone summaries for
+  /// peers that have not heard from this node for a summary epoch
+  /// (Figure 7: "if a tuple message was not sent to some site for a long
+  /// period, the batch of updates are transmitted on their own").
+  virtual std::vector<OutboundSummary> maintenance(double now) = 0;
+
+  /// Sets forwarding aggressiveness in [0, 1] (see header comment).
+  virtual void set_throttle(double throttle) = 0;
+
+  /// True while the uniform-worst-case fallback (round-robin) is engaged.
+  virtual bool fallback_active() const noexcept { return false; }
+
+  /// Current p_{i,j} estimates indexed by peer id (self entry = 0), for
+  /// diagnostics and tests. Empty if the policy has no such notion.
+  virtual std::vector<double> flow_probabilities() const { return {}; }
+
+  /// Factory. `self` is this node's id.
+  static std::unique_ptr<RoutingPolicy> create(const SystemConfig& config,
+                                               net::NodeId self);
+
+ protected:
+  RoutingPolicy() = default;
+};
+
+/// Water-fills probabilities p_j = min(1, floor + w * score_j) with
+/// sum_j p_j == min(budget, n) (n = scores.size()). Zero-score vectors get
+/// the uniform allocation budget/n. Exposed for tests.
+std::vector<double> allocate_flow_probabilities(std::span<const double> scores,
+                                                double budget, double floor);
+
+/// The per-node message budget T_i for a throttle in [0,1]:
+/// T = (N-1)^throttle, clamped to [1, N-1].
+double throttle_to_budget(double throttle, std::uint32_t nodes) noexcept;
+
+}  // namespace dsjoin::core

@@ -1,0 +1,134 @@
+// Summary wire codecs and per-peer summary stores.
+//
+// Each policy describes its window to peers with a different summary type:
+// DFT coefficient deltas (DFT/DFTT), counting-Bloom snapshots (BLOOM), or
+// AGMS sketches (SKCH). One SummaryBlock may carry several sub-blocks (e.g.
+// both stream sides). The codecs here are shared by the policies and the
+// tests; the stores hold the most recent remote state per (peer, side) and,
+// for DFTT, the reconstruction cache that turns coefficients back into an
+// approximate attribute multiset (Section 5.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dsjoin/common/serialize.hpp"
+#include "dsjoin/dsp/compression.hpp"
+#include "dsjoin/dsp/histogram_spectrum.hpp"
+#include "dsjoin/dsp/sliding_dft.hpp"
+#include "dsjoin/sketch/agms.hpp"
+#include "dsjoin/sketch/bloom.hpp"
+#include "dsjoin/core/wire.hpp"
+#include "dsjoin/stream/tuple.hpp"
+
+namespace dsjoin::core {
+
+/// Sub-block codecs. A sub-block starts with a one-byte tag; decode_blocks
+/// dispatches until the block is exhausted.
+namespace summary_codec {
+
+inline constexpr std::uint8_t kTagDft = 'D';
+inline constexpr std::uint8_t kTagBloom = 'B';
+inline constexpr std::uint8_t kTagSketch = 'K';
+inline constexpr std::uint8_t kTagHistSpectrum = 'H';
+
+/// Appends a DFT coefficient-delta sub-block for one stream side.
+void encode_dft(common::BufferWriter& out, stream::StreamSide side,
+                std::uint32_t window, std::uint32_t retained,
+                std::span<const dsp::CoeffDelta> deltas);
+
+/// Appends a Bloom snapshot sub-block for one stream side.
+void encode_bloom(common::BufferWriter& out, stream::StreamSide side,
+                  const sketch::BloomFilter& snapshot);
+
+/// Appends an AGMS sketch sub-block (counters as i32 on the wire, matching
+/// the prototype-era budget arithmetic).
+void encode_sketch(common::BufferWriter& out, stream::StreamSide side,
+                   const sketch::AgmsSketch& sketch);
+
+/// Appends a histogram-spectrum sub-block (ablation A3's summary).
+void encode_hist_spectrum(common::BufferWriter& out, stream::StreamSide side,
+                          std::uint32_t buckets,
+                          std::span<const dsp::Complex> coeffs);
+
+/// Callbacks invoked per decoded sub-block.
+struct Visitor {
+  std::function<void(stream::StreamSide, std::uint32_t window,
+                     std::uint32_t retained,
+                     const std::vector<dsp::CoeffDelta>&)>
+      on_dft;
+  std::function<void(stream::StreamSide, sketch::BloomFilter)> on_bloom;
+  std::function<void(stream::StreamSide, sketch::AgmsSketch)> on_sketch;
+  std::function<void(stream::StreamSide, std::uint32_t buckets,
+                     std::vector<dsp::Complex>)>
+      on_hist_spectrum;
+};
+
+/// Decodes every sub-block in `block`; unknown tags abort with kDataLoss.
+common::Status decode_blocks(const SummaryBlock& block, const Visitor& visitor);
+
+}  // namespace summary_codec
+
+/// Remote DFT coefficients for one (peer, side), with a lazily rebuilt
+/// reconstruction cache: the rounded inverse DFT as a key -> count multiset.
+class CoeffStore {
+ public:
+  CoeffStore(std::uint32_t window, std::uint32_t retained);
+
+  /// Applies one batch of coefficient updates and invalidates the cache.
+  void apply(const std::vector<dsp::CoeffDelta>& deltas);
+
+  std::span<const dsp::Complex> coefficients() const noexcept {
+    return spectrum_.coeffs;
+  }
+  std::uint32_t window() const noexcept { return spectrum_.window; }
+  /// Total updates applied (freshness diagnostic).
+  std::uint64_t updates_applied() const noexcept { return updates_; }
+
+  /// Estimated number of window values within [key - tolerance,
+  /// key + tolerance] in the reconstructed remote window. Rebuilds the
+  /// reconstruction cache if coefficients changed since the last call.
+  std::uint64_t estimate_count(std::int64_t key, std::int64_t tolerance);
+
+  /// True if any summary has ever been applied.
+  bool seeded() const noexcept { return updates_ > 0; }
+
+ private:
+  void rebuild();
+
+  dsp::CompressedSpectrum spectrum_;
+  std::unordered_map<std::int64_t, std::uint32_t> counts_;
+  bool dirty_ = true;
+  std::uint64_t updates_ = 0;
+};
+
+/// Latest remote Bloom snapshot per (peer, side).
+class BloomStore {
+ public:
+  void update(sketch::BloomFilter snapshot) { snapshot_ = std::move(snapshot); }
+  bool seeded() const noexcept { return snapshot_.has_value(); }
+  /// Membership with integer tolerance: true if any key in
+  /// [key - tolerance, key + tolerance] hits the filter.
+  bool contains(std::int64_t key, std::int64_t tolerance) const;
+
+ private:
+  std::optional<sketch::BloomFilter> snapshot_;
+};
+
+/// Latest remote AGMS sketch per (peer, side).
+class SketchStore {
+ public:
+  void update(sketch::AgmsSketch sketch) { sketch_ = std::move(sketch); }
+  bool seeded() const noexcept { return sketch_.has_value(); }
+  const sketch::AgmsSketch* sketch() const noexcept {
+    return sketch_ ? &*sketch_ : nullptr;
+  }
+
+ private:
+  std::optional<sketch::AgmsSketch> sketch_;
+};
+
+}  // namespace dsjoin::core

@@ -1,0 +1,89 @@
+// The distributed stream-processing system driver (Figure 1).
+//
+// DspSystem wires N nodes to the WAN emulator, drives per-node tuple
+// arrivals from a workload, feeds the exact-join oracle in parallel, and
+// produces the metrics the paper's figures report: epsilon, messages per
+// result tuple, throughput, and the summary-byte overhead share.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsjoin/core/config.hpp"
+#include "dsjoin/core/metrics.hpp"
+#include "dsjoin/core/node.hpp"
+#include "dsjoin/core/oracle.hpp"
+#include "dsjoin/net/event_queue.hpp"
+#include "dsjoin/net/sim_transport.hpp"
+#include "dsjoin/stream/generator.hpp"
+
+namespace dsjoin::core {
+
+/// Everything a figure needs from one run.
+struct ExperimentResult {
+  double epsilon = 0.0;                 ///< Eq. 1: missed-result fraction
+  double messages_per_result = 0.0;     ///< total frames / |Psi-hat|
+  double results_per_second = 0.0;      ///< |Psi-hat| / makespan
+  double ingest_per_second = 0.0;       ///< arrivals / makespan
+  double makespan_s = 0.0;              ///< virtual time to full drain
+  std::uint64_t exact_pairs = 0;        ///< |Psi| (oracle)
+  std::uint64_t reported_pairs = 0;     ///< |Psi-hat| (deduplicated)
+  std::uint64_t total_arrivals = 0;
+  net::TrafficCounters traffic;         ///< frames/bytes by kind
+  double summary_byte_fraction = 0.0;   ///< Figure 8's ratio
+  bool fallback_engaged = false;        ///< any node in round-robin fallback
+  std::uint64_t decode_failures = 0;    ///< should be 0
+};
+
+/// One experiment instance. Construct, run once, read the result.
+class DspSystem {
+ public:
+  explicit DspSystem(const SystemConfig& config);
+  ~DspSystem();
+
+  DspSystem(const DspSystem&) = delete;
+  DspSystem& operator=(const DspSystem&) = delete;
+
+  /// Drives `config.tuples_per_node` arrivals per node per stream side,
+  /// drains the network, and computes the metrics.
+  ExperimentResult run();
+
+  /// Schedules a crash-and-restart of `node` at virtual time `at` (call
+  /// before run()): the node object is replaced wholesale, losing its
+  /// windows and summary state — peers' summaries re-seed it afterwards.
+  void schedule_restart(net::NodeId node, double at);
+
+  /// Number of restarts executed during the run.
+  std::uint64_t restarts_executed() const noexcept { return restarts_executed_; }
+
+  /// Access for tests.
+  Node& node(net::NodeId id) { return *nodes_[id]; }
+  const net::SimTransport& transport() const { return *transport_; }
+  const MetricsCollector& metrics() const { return metrics_; }
+  const ExactJoinOracle& oracle() const { return oracle_; }
+
+ private:
+  void schedule_arrival(net::NodeId node, stream::StreamSide side, double at);
+  void install_node(net::NodeId id);
+
+  SystemConfig config_;
+  net::EventQueue queue_;
+  std::unique_ptr<net::SimTransport> transport_;
+  MetricsCollector metrics_;
+  ExactJoinOracle oracle_;
+  std::unique_ptr<stream::Workload> workload_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<common::Xoshiro256> arrival_rngs_;  // per (node, side)
+  std::vector<std::uint64_t> emitted_;            // per (node, side)
+  std::uint64_t next_tuple_id_ = 1;
+  std::uint64_t total_arrivals_ = 0;
+  std::vector<std::pair<net::NodeId, double>> pending_restarts_;
+  std::uint64_t restarts_executed_ = 0;
+  bool ran_ = false;
+};
+
+/// Runs a full experiment for a config (convenience for benches).
+ExperimentResult run_experiment(const SystemConfig& config);
+
+}  // namespace dsjoin::core

@@ -1,0 +1,68 @@
+// Payload encodings for the core protocol.
+//
+// Three frame bodies ride on net::Frame:
+//  * TuplePayload   — a forwarded tuple, optionally with a piggybacked
+//                     summary block (Figure 7, line 5: coefficient updates
+//                     ride on tuple messages);
+//  * SummaryPayload — a standalone summary block (sent when a peer has not
+//                     received a tuple for a while, or for policies whose
+//                     summaries are periodic snapshots);
+//  * ResultPayload  — join-result pairs shipped to the owning node
+//                     ("matching tuples must still be transmitted").
+//
+// A summary block is opaque to the node: only the emitting policy reads it.
+//
+// Every payload carries a trailing 32-bit checksum; decoders verify it, so
+// in-flight corruption is always detected (kDataLoss) rather than
+// interpreted as a different tuple or coefficient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsjoin/common/serialize.hpp"
+#include "dsjoin/common/status.hpp"
+#include "dsjoin/stream/tuple.hpp"
+
+namespace dsjoin::core {
+
+/// An opaque, policy-defined summary block.
+struct SummaryBlock {
+  std::vector<std::uint8_t> bytes;
+
+  bool empty() const noexcept { return bytes.empty(); }
+  std::size_t size() const noexcept { return bytes.size(); }
+};
+
+/// Tuple frame body.
+struct TuplePayload {
+  stream::Tuple tuple;
+  SummaryBlock piggyback;  ///< may be empty
+
+  std::vector<std::uint8_t> encode() const;
+  static common::Result<TuplePayload> decode(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Standalone summary frame body.
+struct SummaryPayload {
+  SummaryBlock block;
+
+  std::vector<std::uint8_t> encode() const;
+  static common::Result<SummaryPayload> decode(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Result-shipment frame body.
+struct ResultPayload {
+  std::vector<stream::ResultPair> pairs;
+
+  std::vector<std::uint8_t> encode() const;
+  static common::Result<ResultPayload> decode(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// 32-bit content checksum used by the payload codecs (exposed for tests).
+std::uint32_t payload_checksum(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace dsjoin::core

@@ -1,0 +1,14 @@
+#include "dsjoin/core/metrics.hpp"
+
+namespace dsjoin::core {
+
+void MetricsCollector::record_pair(const stream::ResultPair& pair,
+                                   net::NodeId discoverer, double now) {
+  ++total_reports_;
+  if (now > last_report_time_) last_report_time_ = now;
+  if (reported_.insert(pair).second && discoverer < per_node_.size()) {
+    ++per_node_[discoverer];
+  }
+}
+
+}  // namespace dsjoin::core

@@ -1,0 +1,257 @@
+#include "dsjoin/core/node.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "dsjoin/core/wire.hpp"
+
+namespace dsjoin::core {
+
+namespace {
+stream::ResultPair make_pair(const stream::Tuple& tuple,
+                             const stream::StoredTuple& match) {
+  // ResultPair is (R id, S id) regardless of which member was processed.
+  return tuple.side == stream::StreamSide::kR
+             ? stream::ResultPair{tuple.id, match.id}
+             : stream::ResultPair{match.id, tuple.id};
+}
+}  // namespace
+
+Node::Node(const SystemConfig& config, net::NodeId self, net::Transport& transport,
+           MetricsCollector& metrics)
+    : config_(config), self_(self), transport_(transport), metrics_(metrics),
+      policy_(RoutingPolicy::create(config, self)),
+      audit_rng_(config.seed ^ (0xadd17000ULL + self)),
+      throttle_(config.throttle) {}
+
+void Node::join_and_report(const stream::Tuple& tuple,
+                           const stream::TupleStore& store, double now,
+                           std::vector<stream::ResultPair>* shipped,
+                           std::map<net::NodeId, std::vector<stream::ResultPair>>*
+                               by_origin) {
+  store.for_each_match(
+      tuple.key, tuple.timestamp, config_.join_half_width_s,
+      [&](const stream::StoredTuple& match) {
+        const auto pair = make_pair(tuple, match);
+        metrics_.record_pair(pair, self_, now);
+        if (shipped != nullptr) shipped->push_back(pair);
+        if (by_origin != nullptr && match.origin != self_) {
+          (*by_origin)[match.origin].push_back(pair);
+        }
+      });
+}
+
+void Node::on_local_tuple(const stream::Tuple& tuple, double now) {
+  ++local_tuples_;
+  const auto side = static_cast<std::size_t>(tuple.side);
+  const auto opposite = 1 - side;
+
+  // Local-local pairs need no network at all. Local-received pairs were
+  // made possible by a peer's earlier forward; the complete result is
+  // shipped back to that peer (it owns the matched tuple), which also
+  // closes the feedback loop the online controller relies on.
+  join_and_report(tuple, local_[opposite], now, nullptr, nullptr);
+  std::map<net::NodeId, std::vector<stream::ResultPair>> by_origin;
+  join_and_report(tuple, received_[opposite], now, nullptr, &by_origin);
+  local_[side].insert(tuple);
+  for (auto& [origin, pairs] : by_origin) {
+    ResultPayload results;
+    results.pairs = std::move(pairs);
+    net::Frame out;
+    out.from = self_;
+    out.to = origin;
+    out.kind = net::FrameKind::kResult;
+    out.payload = results.encode();
+    (void)transport_.send(std::move(out));
+  }
+
+  policy_->observe_local(tuple);
+
+  // Online controller: a small audit sample is broadcast to every peer; the
+  // remote-match rate of audited tuples estimates the true match rate, and
+  // comparing it with the policy-routed tuples' rate yields epsilon online.
+  const bool controller_on = config_.online_target_eps >= 0.0;
+  const bool audited =
+      controller_on && audit_rng_.next_bool(config_.audit_probability);
+  std::vector<net::NodeId> destinations;
+  if (audited) {
+    destinations.reserve(config_.nodes - 1);
+    for (net::NodeId j = 0; j < config_.nodes; ++j) {
+      if (j != self_) destinations.push_back(j);
+    }
+  } else {
+    destinations = policy_->route(tuple);
+  }
+  if (controller_on) track_sent(tuple.id, audited);
+
+  for (const net::NodeId dest : destinations) {
+    TuplePayload payload;
+    payload.tuple = tuple;
+    payload.piggyback = policy_->piggyback_for(dest);
+    net::Frame frame;
+    frame.from = self_;
+    frame.to = dest;
+    frame.kind = net::FrameKind::kTuple;
+    frame.piggyback_bytes = static_cast<std::uint32_t>(payload.piggyback.size());
+    frame.payload = payload.encode();
+    (void)transport_.send(std::move(frame));
+  }
+
+  for (auto& summary : policy_->maintenance(now)) {
+    send_summary(summary.peer, std::move(summary.block));
+  }
+
+  if (controller_on && local_tuples_ % config_.controller_interval_tuples == 0) {
+    run_controller();
+  }
+  if (local_tuples_ % 128 == 0) evict(now);
+}
+
+void Node::on_frame(net::Frame&& frame, double now) {
+  switch (frame.kind) {
+    case net::FrameKind::kTuple: {
+      auto payload = TuplePayload::decode(frame.payload);
+      if (!payload) {
+        ++decode_failures_;
+        return;
+      }
+      const stream::Tuple& tuple = payload.value().tuple;
+      if (!payload.value().piggyback.empty()) {
+        policy_->on_summary(frame.from, payload.value().piggyback);
+      }
+      ++received_tuples_;
+      const auto side = static_cast<std::size_t>(tuple.side);
+      const auto opposite = 1 - side;
+
+      // Forwarded tuples join against this node's *local* segment only
+      // (the R_i x S_j decomposition of Section 2); discovered pairs are
+      // shipped back to the tuple's origin.
+      std::vector<stream::ResultPair> shipped;
+      join_and_report(tuple, local_[opposite], now, &shipped, nullptr);
+      received_[side].insert(tuple);
+
+      // Controller feedback, reverse path: our local tuples covered because
+      // the *partner* was forwarded here. Without this credit the online
+      // epsilon estimate would ignore half of the coverage and overshoot.
+      if (config_.online_target_eps >= 0.0 && !shipped.empty()) {
+        absorb_result_feedback(shipped);
+      }
+
+      if (!shipped.empty() && tuple.origin != self_) {
+        ResultPayload results;
+        results.pairs = std::move(shipped);
+        net::Frame out;
+        out.from = self_;
+        out.to = tuple.origin;
+        out.kind = net::FrameKind::kResult;
+        out.payload = results.encode();
+        (void)transport_.send(std::move(out));
+      }
+      break;
+    }
+    case net::FrameKind::kSummary: {
+      auto payload = SummaryPayload::decode(frame.payload);
+      if (!payload) {
+        ++decode_failures_;
+        return;
+      }
+      policy_->on_summary(frame.from, payload.value().block);
+      break;
+    }
+    case net::FrameKind::kResult: {
+      // Pairs were recorded by the discovering node; the shipment feeds the
+      // online controller's match-rate estimates.
+      if (config_.online_target_eps >= 0.0) {
+        auto payload = ResultPayload::decode(frame.payload);
+        if (!payload) {
+          ++decode_failures_;
+          return;
+        }
+        absorb_result_feedback(payload.value().pairs);
+      }
+      break;
+    }
+    case net::FrameKind::kControl:
+      break;
+  }
+}
+
+void Node::evict(double now) {
+  const double horizon =
+      now - 2.0 * config_.join_half_width_s - config_.retention_margin_s;
+  for (auto& store : local_) store.evict_before(horizon);
+  for (auto& store : received_) store.evict_before(horizon);
+}
+
+void Node::track_sent(std::uint64_t id, bool audited) {
+  sent_class_.emplace(id, audited);
+  sent_order_.push_back(id);
+  (audited ? audit_sent_ : regular_sent_) += 1;
+  // Bound the attribution window; feedback for evicted ids is ignored.
+  constexpr std::size_t kCap = 8192;
+  while (sent_order_.size() > kCap) {
+    sent_class_.erase(sent_order_.front());
+    sent_order_.pop_front();
+  }
+}
+
+void Node::absorb_result_feedback(const std::vector<stream::ResultPair>& pairs) {
+  for (const auto& pair : pairs) {
+    // One of the two ids is ours; the discovering node keyed the shipment
+    // to the tuple it processed, and the reverse-path credit passes pairs
+    // whose local member is ours.
+    auto it = sent_class_.find(pair.r_id);
+    if (it == sent_class_.end()) it = sent_class_.find(pair.s_id);
+    if (it == sent_class_.end()) continue;
+    const std::uint64_t pair_hash = stream::ResultPairHash{}(pair);
+    if (!credited_pairs_.insert(pair_hash).second) continue;  // already seen
+    credited_order_.push_back(pair_hash);
+    constexpr std::size_t kCap = 1 << 15;
+    while (credited_order_.size() > kCap) {
+      credited_pairs_.erase(credited_order_.front());
+      credited_order_.pop_front();
+    }
+    (it->second ? audit_matches_ : regular_matches_) += 1.0;
+  }
+}
+
+void Node::run_controller() {
+  if (audit_sent_ < 8 || audit_matches_ <= 0.0 || regular_sent_ == 0) {
+    return;  // not enough audit evidence yet
+  }
+  const double audit_rate =
+      audit_matches_ / static_cast<double>(audit_sent_);
+  const double regular_rate =
+      regular_matches_ / static_cast<double>(regular_sent_);
+  const double sample = std::clamp(1.0 - regular_rate / audit_rate, 0.0, 1.0);
+  eps_estimate_ = eps_estimate_ < 0.0
+                      ? sample
+                      : 0.7 * eps_estimate_ + 0.3 * sample;
+  // Proportional control on the forwarding budget knob: too many misses ->
+  // open the throttle; overshooting the accuracy target -> save messages.
+  throttle_ = std::clamp(
+      throttle_ + config_.controller_gain * (eps_estimate_ - config_.online_target_eps),
+      0.0, 1.0);
+  policy_->set_throttle(throttle_);
+  // Decay the window so the estimate tracks the current operating point
+  // without discarding too much evidence at once.
+  audit_sent_ = static_cast<std::uint64_t>(0.7 * static_cast<double>(audit_sent_));
+  regular_sent_ =
+      static_cast<std::uint64_t>(0.7 * static_cast<double>(regular_sent_));
+  audit_matches_ *= 0.7;
+  regular_matches_ *= 0.7;
+}
+
+void Node::send_summary(net::NodeId peer, SummaryBlock block) {
+  SummaryPayload payload;
+  payload.block = std::move(block);
+  net::Frame frame;
+  frame.from = self_;
+  frame.to = peer;
+  frame.kind = net::FrameKind::kSummary;
+  frame.payload = payload.encode();
+  (void)transport_.send(std::move(frame));
+}
+
+}  // namespace dsjoin::core

@@ -1,0 +1,21 @@
+#include "dsjoin/core/oracle.hpp"
+
+namespace dsjoin::core {
+
+ExactJoinOracle::ExactJoinOracle(double half_width) : half_width_(half_width) {}
+
+void ExactJoinOracle::observe(const stream::Tuple& tuple) {
+  const auto opposite = static_cast<std::size_t>(stream::opposite(tuple.side));
+  const auto side = static_cast<std::size_t>(tuple.side);
+  // Arrivals come in timestamp order: every counted partner is earlier, so
+  // each unordered pair is counted exactly once (when its later member
+  // arrives).
+  pairs_ += store_[opposite].count_matches(tuple.key, tuple.timestamp, half_width_);
+  store_[side].insert(tuple);
+  if (++observed_ % 512 == 0) {
+    store_[0].evict_before(tuple.timestamp - half_width_ - 1.0);
+    store_[1].evict_before(tuple.timestamp - half_width_ - 1.0);
+  }
+}
+
+}  // namespace dsjoin::core

@@ -1,0 +1,149 @@
+#include "dsjoin/core/policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "policy_impl.hpp"
+
+namespace dsjoin::core {
+
+double throttle_to_budget(double throttle, std::uint32_t nodes) noexcept {
+  if (nodes < 2) return 0.0;
+  const double peers = static_cast<double>(nodes - 1);
+  const double t = std::clamp(throttle, 0.0, 1.0);
+  return std::clamp(std::pow(peers, t), 1.0, peers);
+}
+
+std::vector<double> allocate_flow_probabilities(std::span<const double> scores,
+                                                double budget, double floor) {
+  const std::size_t n = scores.size();
+  std::vector<double> probs(n, 0.0);
+  if (n == 0) return probs;
+  floor = std::clamp(floor, 0.0, 1.0);
+  budget = std::clamp(budget, 0.0, static_cast<double>(n));
+
+  double score_sum = 0.0;
+  for (double s : scores) score_sum += std::max(s, 0.0);
+  if (score_sum <= 0.0) {
+    // No signal at all: only the exploration floor flows.
+    std::fill(probs.begin(), probs.end(), floor);
+    return probs;
+  }
+
+  // Water-fill p_j = min(1, floor + w * s_j) with sum p_j = budget.
+  // Iteratively saturate: peers that hit 1 are fixed, the rest share the
+  // remaining budget proportionally to score. Terminates in <= n rounds.
+  std::vector<bool> saturated(n, false);
+  double fixed = 0.0;        // mass already assigned to saturated peers
+  std::size_t sat_count = 0;
+  for (std::size_t round = 0; round < n; ++round) {
+    const double active = static_cast<double>(n - sat_count);
+    double remaining = budget - fixed - floor * active;
+    if (remaining < 0.0) remaining = 0.0;
+    double active_score = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!saturated[j]) active_score += std::max(scores[j], 0.0);
+    }
+    if (active_score <= 0.0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!saturated[j]) probs[j] = floor;
+      }
+      break;
+    }
+    const double w = remaining / active_score;
+    bool newly_saturated = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (saturated[j]) continue;
+      const double p = floor + w * std::max(scores[j], 0.0);
+      if (p >= 1.0) {
+        probs[j] = 1.0;
+        saturated[j] = true;
+        fixed += 1.0;
+        ++sat_count;
+        newly_saturated = true;
+      } else {
+        probs[j] = p;
+      }
+    }
+    if (!newly_saturated) break;
+  }
+  return probs;
+}
+
+std::unique_ptr<RoutingPolicy> RoutingPolicy::create(const SystemConfig& config,
+                                                     net::NodeId self) {
+  switch (config.policy) {
+    case PolicyKind::kBase:
+      return std::make_unique<BasePolicy>(config, self);
+    case PolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>(config, self);
+    case PolicyKind::kDft:
+      return std::make_unique<DftFamilyPolicy>(config, self, /*reconstruct=*/false);
+    case PolicyKind::kDftt:
+      return std::make_unique<DftFamilyPolicy>(config, self, /*reconstruct=*/true);
+    case PolicyKind::kBloom:
+      return std::make_unique<BloomPolicy>(config, self);
+    case PolicyKind::kSketch:
+      return std::make_unique<SketchPolicy>(config, self);
+    case PolicyKind::kSpectrum:
+      return std::make_unique<SpectrumPolicy>(config, self);
+  }
+  assert(false && "unknown policy kind");
+  return nullptr;
+}
+
+const char* to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kBase: return "BASE";
+    case PolicyKind::kRoundRobin: return "RR";
+    case PolicyKind::kDft: return "DFT";
+    case PolicyKind::kDftt: return "DFTT";
+    case PolicyKind::kBloom: return "BLOOM";
+    case PolicyKind::kSketch: return "SKCH";
+    case PolicyKind::kSpectrum: return "SPEC";
+  }
+  return "?";
+}
+
+PolicyKind policy_from_string(const std::string& name) {
+  if (name == "BASE") return PolicyKind::kBase;
+  if (name == "RR") return PolicyKind::kRoundRobin;
+  if (name == "DFT") return PolicyKind::kDft;
+  if (name == "DFTT") return PolicyKind::kDftt;
+  if (name == "BLOOM") return PolicyKind::kBloom;
+  if (name == "SKCH") return PolicyKind::kSketch;
+  if (name == "SPEC") return PolicyKind::kSpectrum;
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+BasePolicy::BasePolicy(const SystemConfig& config, net::NodeId self)
+    : self_(self), nodes_(config.nodes) {}
+
+std::vector<net::NodeId> BasePolicy::route(const stream::Tuple&) {
+  std::vector<net::NodeId> out;
+  out.reserve(nodes_ - 1);
+  for (net::NodeId j = 0; j < nodes_; ++j) {
+    if (j != self_) out.push_back(j);
+  }
+  return out;
+}
+
+RoundRobinPolicy::RoundRobinPolicy(const SystemConfig& config, net::NodeId self)
+    : self_(self), nodes_(config.nodes), throttle_(config.throttle) {}
+
+std::vector<net::NodeId> RoundRobinPolicy::route(const stream::Tuple&) {
+  const auto budget = throttle_to_budget(throttle_, nodes_);
+  const auto k = static_cast<std::uint32_t>(std::lround(budget));
+  std::vector<net::NodeId> out;
+  out.reserve(k);
+  for (std::uint32_t step = 0; step < k && step + 1 < nodes_; ++step) {
+    cursor_ = (cursor_ + 1) % nodes_;
+    if (cursor_ == self_) cursor_ = (cursor_ + 1) % nodes_;
+    out.push_back(cursor_);
+  }
+  return out;
+}
+
+}  // namespace dsjoin::core

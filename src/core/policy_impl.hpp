@@ -1,0 +1,226 @@
+// Concrete routing-policy classes (private to the core library; the public
+// surface is RoutingPolicy::create in policy.hpp).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "dsjoin/core/policy.hpp"
+#include "dsjoin/core/summary_state.hpp"
+#include "dsjoin/dsp/histogram_spectrum.hpp"
+#include "dsjoin/dsp/sliding_dft.hpp"
+#include "dsjoin/sketch/agms.hpp"
+#include "dsjoin/sketch/bloom.hpp"
+#include "dsjoin/stream/window.hpp"
+
+namespace dsjoin::core {
+
+/// BASE: exact join, broadcast everything (Section 5.1).
+class BasePolicy final : public RoutingPolicy {
+ public:
+  BasePolicy(const SystemConfig& config, net::NodeId self);
+
+  const char* name() const noexcept override { return "BASE"; }
+  void observe_local(const stream::Tuple&) override {}
+  std::vector<net::NodeId> route(const stream::Tuple&) override;
+  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
+  void on_summary(net::NodeId, const SummaryBlock&) override {}
+  std::vector<OutboundSummary> maintenance(double) override { return {}; }
+  void set_throttle(double) override {}
+
+ private:
+  net::NodeId self_;
+  std::uint32_t nodes_;
+};
+
+/// RR: round-robin to ~T_i peers per tuple — the paper's fallback heuristic
+/// for the detected uniform worst case, also usable standalone.
+class RoundRobinPolicy final : public RoutingPolicy {
+ public:
+  RoundRobinPolicy(const SystemConfig& config, net::NodeId self);
+
+  const char* name() const noexcept override { return "RR"; }
+  void observe_local(const stream::Tuple&) override {}
+  std::vector<net::NodeId> route(const stream::Tuple&) override;
+  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
+  void on_summary(net::NodeId, const SummaryBlock&) override {}
+  std::vector<OutboundSummary> maintenance(double) override { return {}; }
+  void set_throttle(double throttle) override { throttle_ = throttle; }
+
+ private:
+  net::NodeId self_;
+  std::uint32_t nodes_;
+  double throttle_;
+  net::NodeId cursor_ = 0;
+};
+
+/// Shared implementation of DFT and DFTT (Sections 5.2-5.3). Maintains a
+/// per-side sliding DFT of the local joining attributes, ships coefficient
+/// deltas (piggybacked or standalone), tracks peers' coefficients, and
+/// derives the flow filter from them.
+class DftFamilyPolicy : public RoutingPolicy {
+ public:
+  DftFamilyPolicy(const SystemConfig& config, net::NodeId self, bool reconstruct);
+
+  const char* name() const noexcept override { return reconstruct_ ? "DFTT" : "DFT"; }
+  void observe_local(const stream::Tuple& tuple) override;
+  std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
+  SummaryBlock piggyback_for(net::NodeId peer) override;
+  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
+  std::vector<OutboundSummary> maintenance(double now) override;
+  void set_throttle(double throttle) override { throttle_ = throttle; }
+  bool fallback_active() const noexcept override { return fallback_; }
+  std::vector<double> flow_probabilities() const override { return last_probs_; }
+
+ private:
+  struct PeerState {
+    std::array<CoeffStore, 2> remote;           // by remote side
+    std::array<std::vector<dsp::Complex>, 2> synced;  // last coeffs sent, by local side
+    std::array<double, 2> rho{0.0, 0.0};        // corr(local side s, remote opp(s))
+    std::array<bool, 2> rho_dirty{true, true};
+    std::uint64_t tuples_since_contact = 0;
+  };
+
+  /// Deltas (vs what `peer` has been sent) for one local side; at most
+  /// `max_entries` (0 = unlimited), largest changes first.
+  std::vector<dsp::CoeffDelta> deltas_for(net::NodeId peer, std::size_t side,
+                                          std::size_t max_entries);
+  /// Encodes both sides' pending deltas for a peer into one block.
+  SummaryBlock block_for(net::NodeId peer, std::size_t max_entries_per_side);
+  double refreshed_rho(net::NodeId peer, std::size_t tuple_side);
+  double delta_threshold(std::size_t side) const;
+
+  /// Robust value band for outlier clipping (median +/- 10 MAD, refreshed
+  /// each epoch from a sample of recent raw keys).
+  struct ClipBand {
+    double lo = -1e300;
+    double hi = 1e300;
+  };
+  void refresh_clip_band(std::size_t side);
+
+  SystemConfig config_;
+  net::NodeId self_;
+  bool reconstruct_;
+  double throttle_;
+  std::array<dsp::SlidingDft, 2> local_;
+  std::array<ClipBand, 2> clip_;
+  std::array<std::vector<double>, 2> recent_raw_;  // bounded sample buffer
+  /// Epoch snapshot of the local coefficients — what peers are synced to.
+  std::array<std::vector<dsp::Complex>, 2> published_;
+  std::vector<PeerState> peers_;  // indexed by node id (self entry unused)
+  common::Xoshiro256 rng_;
+  std::uint64_t local_tuples_ = 0;
+  bool fallback_ = false;
+  net::NodeId rr_cursor_ = 0;
+  std::vector<double> last_probs_;
+};
+
+/// BLOOM: counting Bloom filters over the per-side summary windows;
+/// periodic bit-vector snapshots broadcast to peers; routing on membership.
+class BloomPolicy final : public RoutingPolicy {
+ public:
+  BloomPolicy(const SystemConfig& config, net::NodeId self);
+
+  const char* name() const noexcept override { return "BLOOM"; }
+  void observe_local(const stream::Tuple& tuple) override;
+  std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
+  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
+  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
+  std::vector<OutboundSummary> maintenance(double now) override;
+  void set_throttle(double throttle) override { throttle_ = throttle; }
+  std::vector<double> flow_probabilities() const override { return last_probs_; }
+
+ private:
+  struct PeerState {
+    std::array<BloomStore, 2> remote;  // by remote side
+  };
+
+  SystemConfig config_;
+  net::NodeId self_;
+  double throttle_;
+  std::array<sketch::CountingBloomFilter, 2> counting_;
+  std::array<stream::CountWindow, 2> window_;
+  std::vector<PeerState> peers_;
+  common::Xoshiro256 rng_;
+  std::uint64_t local_tuples_ = 0;
+  std::uint64_t last_broadcast_tuple_ = 0;
+  std::vector<double> last_probs_;
+};
+
+/// SKCH: AGMS sketches over the per-side summary windows; periodic sketch
+/// broadcasts; flow weights from pairwise join-size estimates.
+class SketchPolicy final : public RoutingPolicy {
+ public:
+  SketchPolicy(const SystemConfig& config, net::NodeId self);
+
+  const char* name() const noexcept override { return "SKCH"; }
+  void observe_local(const stream::Tuple& tuple) override;
+  std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
+  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
+  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
+  std::vector<OutboundSummary> maintenance(double now) override;
+  void set_throttle(double throttle) override { throttle_ = throttle; }
+  std::vector<double> flow_probabilities() const override { return last_probs_; }
+
+ private:
+  struct PeerState {
+    std::array<SketchStore, 2> remote;
+    std::array<double, 2> est{0.0, 0.0};  // join-size estimate by tuple side
+    std::array<bool, 2> est_dirty{true, true};
+  };
+
+  double refreshed_estimate(net::NodeId peer, std::size_t tuple_side);
+
+  SystemConfig config_;
+  net::NodeId self_;
+  double throttle_;
+  std::array<sketch::AgmsSketch, 2> local_;
+  std::array<stream::CountWindow, 2> window_;
+  std::vector<PeerState> peers_;
+  common::Xoshiro256 rng_;
+  std::uint64_t local_tuples_ = 0;
+  std::uint64_t last_broadcast_tuple_ = 0;
+  std::vector<double> last_probs_;
+};
+
+/// SPEC (ablation A3, ours): histogram-DFT spectra over the per-side
+/// summary windows; periodic broadcasts; flow weights from the truncated
+/// Parseval join-size estimate. The deterministic counterpart of SKCH.
+class SpectrumPolicy final : public RoutingPolicy {
+ public:
+  SpectrumPolicy(const SystemConfig& config, net::NodeId self);
+
+  const char* name() const noexcept override { return "SPEC"; }
+  void observe_local(const stream::Tuple& tuple) override;
+  std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
+  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
+  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
+  std::vector<OutboundSummary> maintenance(double now) override;
+  void set_throttle(double throttle) override { throttle_ = throttle; }
+  std::vector<double> flow_probabilities() const override { return last_probs_; }
+
+ private:
+  struct PeerState {
+    std::array<std::vector<dsp::Complex>, 2> remote;  // by remote side
+    std::array<bool, 2> seeded{false, false};
+    std::array<double, 2> est{0.0, 0.0};
+    std::array<bool, 2> est_dirty{true, true};
+  };
+
+  double refreshed_estimate(net::NodeId peer, std::size_t tuple_side);
+
+  SystemConfig config_;
+  net::NodeId self_;
+  double throttle_;
+  std::uint32_t buckets_;
+  std::array<dsp::HistogramSpectrum, 2> local_;
+  std::array<stream::CountWindow, 2> window_;
+  std::vector<PeerState> peers_;
+  common::Xoshiro256 rng_;
+  std::uint64_t local_tuples_ = 0;
+  std::uint64_t last_broadcast_tuple_ = 0;
+  std::vector<double> last_probs_;
+};
+
+}  // namespace dsjoin::core

@@ -1,0 +1,134 @@
+// SKCH routing: AGMS join-size estimates as flow weights (the second
+// competitor of Section 6).
+#include <algorithm>
+#include <cmath>
+
+#include "policy_impl.hpp"
+
+namespace dsjoin::core {
+
+namespace {
+
+// All nodes must build sketches from the same hash functions for the
+// cross-node inner product to be meaningful.
+std::uint64_t shared_sketch_seed(const SystemConfig& config) {
+  return config.seed ^ 0x5ce7'c4f0ULL;
+}
+
+sketch::AgmsShape sketch_shape(const SystemConfig& config) {
+  // i32 counters on the wire: budget/4 counters, s0:s1 = 5:1 (Section 6).
+  return sketch::AgmsShape::for_budget(
+      std::max<std::size_t>(config.summary_budget_bytes() / 4, 5));
+}
+
+}  // namespace
+
+SketchPolicy::SketchPolicy(const SystemConfig& config, net::NodeId self)
+    : config_(config), self_(self), throttle_(config.throttle),
+      local_{sketch::AgmsSketch(sketch_shape(config), shared_sketch_seed(config)),
+             sketch::AgmsSketch(sketch_shape(config), shared_sketch_seed(config))},
+      window_{stream::CountWindow(config.dft_window),
+              stream::CountWindow(config.dft_window)},
+      peers_(config.nodes),
+      rng_(config.seed ^ (0x5ce7'beefULL + self)) {}
+
+void SketchPolicy::observe_local(const stream::Tuple& tuple) {
+  const auto side = static_cast<std::size_t>(tuple.side);
+  const auto evicted = window_[side].insert(tuple);
+  local_[side].update(static_cast<std::uint64_t>(tuple.key), +1);
+  if (evicted.valid) {
+    local_[side].update(static_cast<std::uint64_t>(evicted.tuple.key), -1);
+  }
+  ++local_tuples_;
+}
+
+void SketchPolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
+  summary_codec::Visitor visitor;
+  visitor.on_sketch = [&](stream::StreamSide side, sketch::AgmsSketch sketch) {
+    auto& state = peers_[peer];
+    state.remote[static_cast<std::size_t>(side)].update(std::move(sketch));
+    state.est_dirty = {true, true};
+  };
+  (void)summary_codec::decode_blocks(block, visitor);
+}
+
+std::vector<OutboundSummary> SketchPolicy::maintenance(double /*now*/) {
+  // Local windows drift every tuple; refresh the cached pairwise estimates
+  // once per epoch even without new remote snapshots.
+  if (local_tuples_ % config_.summary_epoch_tuples == 0) {
+    for (auto& peer : peers_) peer.est_dirty = {true, true};
+  }
+  if (local_tuples_ - last_broadcast_tuple_ < config_.summary_epoch_tuples) {
+    return {};
+  }
+  last_broadcast_tuple_ = local_tuples_;
+  common::BufferWriter writer;
+  for (std::size_t side = 0; side < 2; ++side) {
+    summary_codec::encode_sketch(writer, static_cast<stream::StreamSide>(side),
+                                 local_[side]);
+  }
+  SummaryBlock block{std::move(writer).take()};
+  std::vector<OutboundSummary> out;
+  for (net::NodeId j = 0; j < config_.nodes; ++j) {
+    if (j != self_) out.push_back(OutboundSummary{j, block});
+  }
+  return out;
+}
+
+double SketchPolicy::refreshed_estimate(net::NodeId peer, std::size_t tuple_side) {
+  auto& state = peers_[peer];
+  if (state.est_dirty[tuple_side]) {
+    const std::size_t opposite = 1 - tuple_side;
+    const auto* remote = state.remote[opposite].sketch();
+    state.est[tuple_side] =
+        remote == nullptr
+            ? 0.0
+            : std::max(sketch::AgmsSketch::estimate_join(local_[tuple_side], *remote),
+                       0.0);
+    state.est_dirty[tuple_side] = false;
+  }
+  return state.est[tuple_side];
+}
+
+std::vector<net::NodeId> SketchPolicy::route(const stream::Tuple& tuple) {
+  const std::uint32_t n = config_.nodes;
+  const double budget = throttle_to_budget(throttle_, n);
+  const auto side = static_cast<std::size_t>(tuple.side);
+  const std::size_t opposite = 1 - side;
+
+  std::vector<net::NodeId> peer_ids;
+  std::vector<double> scores;
+  peer_ids.reserve(n - 1);
+  for (net::NodeId j = 0; j < n; ++j) {
+    if (j == self_) continue;
+    peer_ids.push_back(j);
+    if (!peers_[j].remote[opposite].seeded()) {
+      scores.push_back(1.0);  // bootstrap exploration
+    } else {
+      scores.push_back(refreshed_estimate(j, side));
+    }
+  }
+
+  // Join-size estimates are key-independent, so the full budget is always
+  // spent — the structural reason SKCH trails the membership-testing
+  // policies in messages per result tuple (Figure 9's ordering). When every
+  // estimate is zero (noisy sketches on weakly-joining streams) the budget
+  // is spread uniformly: SKCH has no notion of "send nothing".
+  double score_sum = 0.0;
+  for (double v : scores) score_sum += v;
+  if (score_sum <= 0.0) {
+    std::fill(scores.begin(), scores.end(), 1.0);
+  }
+  const double floor = 0.05 * budget / static_cast<double>(n - 1);
+  const auto probs = allocate_flow_probabilities(scores, budget, floor);
+
+  std::vector<net::NodeId> out;
+  last_probs_.assign(n, 0.0);
+  for (std::size_t idx = 0; idx < peer_ids.size(); ++idx) {
+    last_probs_[peer_ids[idx]] = probs[idx];
+    if (rng_.next_bool(probs[idx])) out.push_back(peer_ids[idx]);
+  }
+  return out;
+}
+
+}  // namespace dsjoin::core

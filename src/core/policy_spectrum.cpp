@@ -1,0 +1,142 @@
+// SPEC routing (ablation A3, ours): histogram-DFT join-size estimates as
+// flow weights — what SKCH becomes when its randomized sketches are
+// replaced by the deterministic truncated histogram spectrum.
+#include <algorithm>
+#include <cmath>
+
+#include "policy_impl.hpp"
+
+namespace dsjoin::core {
+
+namespace {
+
+// Summary geometry: same wire budget as the other policies — K complex
+// coefficients. Histogram resolution scales with the budget so the
+// Parseval estimate keeps useful resolution.
+std::uint32_t spectrum_buckets(const SystemConfig& config) {
+  const auto k = static_cast<std::uint32_t>(config.dft_retained());
+  return std::max<std::uint32_t>(64, k * 64);
+}
+
+std::size_t spectrum_retained(const SystemConfig& config) {
+  const auto k = static_cast<std::size_t>(config.dft_retained());
+  return std::min<std::size_t>(std::max<std::size_t>(k, 1),
+                               spectrum_buckets(config) / 2 + 1);
+}
+
+}  // namespace
+
+SpectrumPolicy::SpectrumPolicy(const SystemConfig& config, net::NodeId self)
+    : config_(config), self_(self), throttle_(config.throttle),
+      buckets_(spectrum_buckets(config)),
+      local_{dsp::HistogramSpectrum(config.domain, spectrum_buckets(config),
+                                    spectrum_retained(config)),
+             dsp::HistogramSpectrum(config.domain, spectrum_buckets(config),
+                                    spectrum_retained(config))},
+      window_{stream::CountWindow(config.dft_window),
+              stream::CountWindow(config.dft_window)},
+      peers_(config.nodes),
+      rng_(config.seed ^ (0x4e57'beefULL + self)) {}
+
+void SpectrumPolicy::observe_local(const stream::Tuple& tuple) {
+  const auto side = static_cast<std::size_t>(tuple.side);
+  const auto evicted = window_[side].insert(tuple);
+  local_[side].add(tuple.key, +1);
+  if (evicted.valid) {
+    local_[side].add(evicted.tuple.key, -1);
+  }
+  ++local_tuples_;
+}
+
+void SpectrumPolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
+  summary_codec::Visitor visitor;
+  visitor.on_hist_spectrum = [&](stream::StreamSide side, std::uint32_t buckets,
+                                 std::vector<dsp::Complex> coeffs) {
+    if (buckets != buckets_) return;  // geometry must match the experiment
+    auto& state = peers_[peer];
+    const auto s = static_cast<std::size_t>(side);
+    state.remote[s] = std::move(coeffs);
+    state.seeded[s] = true;
+    state.est_dirty = {true, true};
+  };
+  (void)summary_codec::decode_blocks(block, visitor);
+}
+
+std::vector<OutboundSummary> SpectrumPolicy::maintenance(double /*now*/) {
+  if (local_tuples_ % config_.summary_epoch_tuples == 0) {
+    for (auto& peer : peers_) peer.est_dirty = {true, true};
+  }
+  if (local_tuples_ - last_broadcast_tuple_ < config_.summary_epoch_tuples) {
+    return {};
+  }
+  last_broadcast_tuple_ = local_tuples_;
+  common::BufferWriter writer;
+  for (std::size_t side = 0; side < 2; ++side) {
+    summary_codec::encode_hist_spectrum(writer,
+                                        static_cast<stream::StreamSide>(side),
+                                        buckets_, local_[side].coefficients());
+  }
+  SummaryBlock block{std::move(writer).take()};
+  std::vector<OutboundSummary> out;
+  for (net::NodeId j = 0; j < config_.nodes; ++j) {
+    if (j != self_) out.push_back(OutboundSummary{j, block});
+  }
+  return out;
+}
+
+double SpectrumPolicy::refreshed_estimate(net::NodeId peer,
+                                          std::size_t tuple_side) {
+  auto& state = peers_[peer];
+  if (state.est_dirty[tuple_side]) {
+    const std::size_t opposite = 1 - tuple_side;
+    state.est[tuple_side] =
+        state.seeded[opposite]
+            ? std::max(dsp::HistogramSpectrum::estimate_join(
+                           local_[tuple_side].coefficients(),
+                           state.remote[opposite], buckets_),
+                       0.0)
+            : 0.0;
+    state.est_dirty[tuple_side] = false;
+  }
+  return state.est[tuple_side];
+}
+
+std::vector<net::NodeId> SpectrumPolicy::route(const stream::Tuple& tuple) {
+  const std::uint32_t n = config_.nodes;
+  const double budget = throttle_to_budget(throttle_, n);
+  const auto side = static_cast<std::size_t>(tuple.side);
+  const std::size_t opposite = 1 - side;
+
+  std::vector<net::NodeId> peer_ids;
+  std::vector<double> scores;
+  peer_ids.reserve(n - 1);
+  for (net::NodeId j = 0; j < n; ++j) {
+    if (j == self_) continue;
+    peer_ids.push_back(j);
+    if (!peers_[j].seeded[opposite]) {
+      scores.push_back(1.0);  // bootstrap exploration
+    } else {
+      scores.push_back(refreshed_estimate(j, side));
+    }
+  }
+
+  // Key-independent weights, like SKCH; uniform spread when the estimates
+  // carry no signal at all.
+  double score_sum = 0.0;
+  for (double v : scores) score_sum += v;
+  if (score_sum <= 0.0) {
+    std::fill(scores.begin(), scores.end(), 1.0);
+  }
+  const double floor = 0.05 * budget / static_cast<double>(n - 1);
+  const auto probs = allocate_flow_probabilities(scores, budget, floor);
+
+  std::vector<net::NodeId> out;
+  last_probs_.assign(n, 0.0);
+  for (std::size_t idx = 0; idx < peer_ids.size(); ++idx) {
+    last_probs_[peer_ids[idx]] = probs[idx];
+    if (rng_.next_bool(probs[idx])) out.push_back(peer_ids[idx]);
+  }
+  return out;
+}
+
+}  // namespace dsjoin::core

@@ -1,0 +1,195 @@
+#include "dsjoin/core/summary_state.hpp"
+
+#include <cassert>
+
+namespace dsjoin::core {
+
+namespace summary_codec {
+
+void encode_dft(common::BufferWriter& out, stream::StreamSide side,
+                std::uint32_t window, std::uint32_t retained,
+                std::span<const dsp::CoeffDelta> deltas) {
+  out.write_u8(kTagDft);
+  out.write_u8(static_cast<std::uint8_t>(side));
+  out.write_u32(window);
+  out.write_u32(retained);
+  out.write_u16(static_cast<std::uint16_t>(deltas.size()));
+  for (const auto& d : deltas) {
+    out.write_u32(d.index);
+    out.write_f64(d.value.real());
+    out.write_f64(d.value.imag());
+  }
+}
+
+void encode_bloom(common::BufferWriter& out, stream::StreamSide side,
+                  const sketch::BloomFilter& snapshot) {
+  out.write_u8(kTagBloom);
+  out.write_u8(static_cast<std::uint8_t>(side));
+  snapshot.serialize(out);
+}
+
+void encode_sketch(common::BufferWriter& out, stream::StreamSide side,
+                   const sketch::AgmsSketch& sketch) {
+  out.write_u8(kTagSketch);
+  out.write_u8(static_cast<std::uint8_t>(side));
+  out.write_u32(sketch.shape().s0);
+  out.write_u32(sketch.shape().s1);
+  out.write_u64(sketch.seed());
+  for (std::int64_t c : sketch.counters()) {
+    out.write_u32(static_cast<std::uint32_t>(static_cast<std::int32_t>(c)));
+  }
+}
+
+void encode_hist_spectrum(common::BufferWriter& out, stream::StreamSide side,
+                          std::uint32_t buckets,
+                          std::span<const dsp::Complex> coeffs) {
+  out.write_u8(kTagHistSpectrum);
+  out.write_u8(static_cast<std::uint8_t>(side));
+  out.write_u32(buckets);
+  out.write_u16(static_cast<std::uint16_t>(coeffs.size()));
+  for (const auto& c : coeffs) {
+    out.write_f64(c.real());
+    out.write_f64(c.imag());
+  }
+}
+
+common::Status decode_blocks(const SummaryBlock& block, const Visitor& visitor) {
+  common::BufferReader in(block.bytes);
+  while (!in.exhausted()) {
+    auto tag = in.read_u8();
+    if (!tag) return tag.status();
+    auto side_raw = in.read_u8();
+    if (!side_raw) return side_raw.status();
+    if (side_raw.value() > 1) {
+      return common::Status(common::ErrorCode::kDataLoss, "bad summary side");
+    }
+    const auto side = static_cast<stream::StreamSide>(side_raw.value());
+
+    switch (tag.value()) {
+      case kTagDft: {
+        auto window = in.read_u32();
+        if (!window) return window.status();
+        auto retained = in.read_u32();
+        if (!retained) return retained.status();
+        auto count = in.read_u16();
+        if (!count) return count.status();
+        std::vector<dsp::CoeffDelta> deltas;
+        deltas.reserve(count.value());
+        for (std::uint16_t i = 0; i < count.value(); ++i) {
+          auto idx = in.read_u32();
+          if (!idx) return idx.status();
+          auto re = in.read_f64();
+          if (!re) return re.status();
+          auto im = in.read_f64();
+          if (!im) return im.status();
+          deltas.push_back(dsp::CoeffDelta{
+              idx.value(), dsp::Complex(re.value(), im.value())});
+        }
+        if (visitor.on_dft) {
+          visitor.on_dft(side, window.value(), retained.value(), deltas);
+        }
+        break;
+      }
+      case kTagBloom: {
+        auto filter = sketch::BloomFilter::deserialize(in);
+        if (!filter) return filter.status();
+        if (visitor.on_bloom) visitor.on_bloom(side, std::move(filter).value());
+        break;
+      }
+      case kTagSketch: {
+        auto s0 = in.read_u32();
+        if (!s0) return s0.status();
+        auto s1 = in.read_u32();
+        if (!s1) return s1.status();
+        auto seed = in.read_u64();
+        if (!seed) return seed.status();
+        if (s0.value() == 0 || s1.value() == 0 ||
+            static_cast<std::size_t>(s0.value()) * s1.value() > (1u << 22)) {
+          return common::Status(common::ErrorCode::kDataLoss,
+                                "implausible sketch shape");
+        }
+        sketch::AgmsSketch decoded(sketch::AgmsShape{s0.value(), s1.value()},
+                                   seed.value());
+        // Counters travel as i32 (sign-extended on read).
+        std::vector<std::int64_t> counters(
+            static_cast<std::size_t>(s0.value()) * s1.value());
+        for (auto& c : counters) {
+          auto v = in.read_u32();
+          if (!v) return v.status();
+          c = static_cast<std::int32_t>(v.value());
+        }
+        decoded.set_counters(std::move(counters));
+        if (visitor.on_sketch) visitor.on_sketch(side, std::move(decoded));
+        break;
+      }
+      case kTagHistSpectrum: {
+        auto buckets = in.read_u32();
+        if (!buckets) return buckets.status();
+        auto count = in.read_u16();
+        if (!count) return count.status();
+        std::vector<dsp::Complex> coeffs;
+        coeffs.reserve(count.value());
+        for (std::uint16_t i = 0; i < count.value(); ++i) {
+          auto re = in.read_f64();
+          if (!re) return re.status();
+          auto im = in.read_f64();
+          if (!im) return im.status();
+          coeffs.emplace_back(re.value(), im.value());
+        }
+        if (visitor.on_hist_spectrum) {
+          visitor.on_hist_spectrum(side, buckets.value(), std::move(coeffs));
+        }
+        break;
+      }
+      default:
+        return common::Status(common::ErrorCode::kDataLoss,
+                              "unknown summary sub-block tag");
+    }
+  }
+  return common::Status::ok();
+}
+
+}  // namespace summary_codec
+
+CoeffStore::CoeffStore(std::uint32_t window, std::uint32_t retained) {
+  spectrum_.window = window;
+  spectrum_.coeffs.assign(retained, dsp::Complex{});
+}
+
+void CoeffStore::apply(const std::vector<dsp::CoeffDelta>& deltas) {
+  for (const auto& d : deltas) {
+    if (d.index < spectrum_.coeffs.size()) {
+      spectrum_.coeffs[d.index] = d.value;
+      ++updates_;
+      dirty_ = true;
+    }
+  }
+}
+
+void CoeffStore::rebuild() {
+  counts_.clear();
+  for (std::int64_t v : dsp::reconstruct_rounded(spectrum_)) {
+    ++counts_[v];
+  }
+  dirty_ = false;
+}
+
+std::uint64_t CoeffStore::estimate_count(std::int64_t key, std::int64_t tolerance) {
+  if (dirty_) rebuild();
+  std::uint64_t total = 0;
+  for (std::int64_t k = key - tolerance; k <= key + tolerance; ++k) {
+    const auto it = counts_.find(k);
+    if (it != counts_.end()) total += it->second;
+  }
+  return total;
+}
+
+bool BloomStore::contains(std::int64_t key, std::int64_t tolerance) const {
+  if (!snapshot_) return false;
+  for (std::int64_t k = key - tolerance; k <= key + tolerance; ++k) {
+    if (snapshot_->contains(static_cast<std::uint64_t>(k))) return true;
+  }
+  return false;
+}
+
+}  // namespace dsjoin::core

@@ -1,0 +1,156 @@
+#include "dsjoin/core/system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dsjoin::core {
+
+namespace {
+std::size_t slot(net::NodeId node, stream::StreamSide side) {
+  return static_cast<std::size_t>(node) * 2 + static_cast<std::size_t>(side);
+}
+}  // namespace
+
+DspSystem::DspSystem(const SystemConfig& config)
+    : config_(config), oracle_(config.join_half_width_s) {
+  if (config.nodes < 2) {
+    throw std::invalid_argument("a distributed join needs at least 2 nodes");
+  }
+  transport_ = std::make_unique<net::SimTransport>(queue_, config.nodes,
+                                                   config.wan, config.seed ^ 0x77);
+
+  stream::WorkloadParams params;
+  params.nodes = config.nodes;
+  params.regions = config.regions;
+  params.domain = config.domain;
+  params.locality = config.locality;
+  params.noise = config.noise;
+  params.seed = config.seed;
+  workload_ = stream::make_workload(config.workload, params);
+
+  metrics_.set_node_count(config.nodes);
+  nodes_.resize(config.nodes);
+  for (net::NodeId id = 0; id < config.nodes; ++id) {
+    install_node(id);
+  }
+
+  common::Xoshiro256 root(config.seed ^ 0xa771'7a1eULL);
+  arrival_rngs_.reserve(static_cast<std::size_t>(config.nodes) * 2);
+  for (std::uint32_t i = 0; i < config.nodes * 2; ++i) {
+    arrival_rngs_.push_back(root.fork());
+  }
+  emitted_.assign(static_cast<std::size_t>(config.nodes) * 2, 0);
+}
+
+DspSystem::~DspSystem() = default;
+
+void DspSystem::install_node(net::NodeId id) {
+  nodes_[id] = std::make_unique<Node>(config_, id, *transport_, metrics_);
+  Node* node = nodes_[id].get();
+  transport_->register_handler(id, [this, node](net::Frame&& frame) {
+    node->on_frame(std::move(frame), queue_.now());
+  });
+}
+
+void DspSystem::schedule_restart(net::NodeId node, double at) {
+  assert(!ran_ && "schedule restarts before run()");
+  assert(node < config_.nodes);
+  pending_restarts_.emplace_back(node, at);
+}
+
+void DspSystem::schedule_arrival(net::NodeId node, stream::StreamSide side,
+                                 double at) {
+  queue_.schedule_at(at, [this, node, side] {
+    const std::size_t s = slot(node, side);
+    if (emitted_[s] >= config_.tuples_per_node) return;
+
+    // Backpressure: a node whose outgoing links are saturated stalls its
+    // source (bounded send queue). This is what lets BASE's O(N^2) traffic
+    // collapse its throughput in Figure 11 instead of queueing unboundedly.
+    const double now = queue_.now();
+    if (config_.max_backlog_s > 0.0) {
+      const double backlog = transport_->send_backlog_seconds(node);
+      if (backlog > config_.max_backlog_s) {
+        schedule_arrival(node, side, now + (backlog - config_.max_backlog_s));
+        return;
+      }
+    }
+
+    stream::Tuple tuple;
+    tuple.id = next_tuple_id_++;
+    tuple.key = workload_->next_key(node, side, now);
+    tuple.timestamp = now;
+    tuple.origin = node;
+    tuple.side = side;
+    ++emitted_[s];
+    ++total_arrivals_;
+
+    // Arrival events fire in global time order, so the oracle sees tuples
+    // in nondecreasing timestamp order.
+    oracle_.observe(tuple);
+    nodes_[node]->on_local_tuple(tuple, now);
+
+    auto& rng = arrival_rngs_[s];
+    schedule_arrival(node, side,
+                     now + rng.next_exponential(config_.arrivals_per_second));
+  });
+}
+
+ExperimentResult DspSystem::run() {
+  assert(!ran_ && "DspSystem instances are single-run");
+  ran_ = true;
+
+  for (const auto& [node, at] : pending_restarts_) {
+    queue_.schedule_at(at, [this, node = node] {
+      // Crash-and-restart: every window, summary and policy state of the
+      // node is lost; the fresh instance bootstraps from peers' summaries.
+      install_node(node);
+      ++restarts_executed_;
+    });
+  }
+  for (net::NodeId id = 0; id < config_.nodes; ++id) {
+    auto& rng_r = arrival_rngs_[slot(id, stream::StreamSide::kR)];
+    auto& rng_s = arrival_rngs_[slot(id, stream::StreamSide::kS)];
+    schedule_arrival(id, stream::StreamSide::kR,
+                     rng_r.next_exponential(config_.arrivals_per_second));
+    schedule_arrival(id, stream::StreamSide::kS,
+                     rng_s.next_exponential(config_.arrivals_per_second));
+  }
+  queue_.run_all();
+
+  ExperimentResult result;
+  result.exact_pairs = oracle_.total_pairs();
+  result.reported_pairs = metrics_.distinct_pairs();
+  result.total_arrivals = total_arrivals_;
+  result.makespan_s = queue_.now();
+  result.traffic = transport_->stats();
+  result.summary_byte_fraction = result.traffic.summary_byte_fraction();
+  result.epsilon =
+      result.exact_pairs == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(result.reported_pairs) /
+                      static_cast<double>(result.exact_pairs);
+  result.messages_per_result =
+      result.reported_pairs == 0
+          ? static_cast<double>(result.traffic.total_frames())
+          : static_cast<double>(result.traffic.total_frames()) /
+                static_cast<double>(result.reported_pairs);
+  if (result.makespan_s > 0.0) {
+    result.results_per_second =
+        static_cast<double>(result.reported_pairs) / result.makespan_s;
+    result.ingest_per_second =
+        static_cast<double>(result.total_arrivals) / result.makespan_s;
+  }
+  for (const auto& node : nodes_) {
+    result.fallback_engaged |= node->policy().fallback_active();
+    result.decode_failures += node->decode_failures();
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(const SystemConfig& config) {
+  DspSystem system(config);
+  return system.run();
+}
+
+}  // namespace dsjoin::core

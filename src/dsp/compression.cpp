@@ -1,0 +1,109 @@
+#include "dsjoin/dsp/compression.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dsjoin::dsp {
+
+std::size_t retained_for_kappa(std::size_t window, double kappa) noexcept {
+  if (kappa <= 1.0) return window / 2 + 1;
+  auto k = static_cast<std::size_t>(static_cast<double>(window) / kappa);
+  k = std::max<std::size_t>(k, 1);
+  return std::min(k, window / 2 + 1);
+}
+
+CompressedSpectrum compress(std::span<const double> signal, double kappa,
+                            const Fft& fft) {
+  assert(fft.size() == signal.size());
+  const std::size_t keep = retained_for_kappa(signal.size(), kappa);
+  std::vector<Complex> full = fft.forward_real(signal);
+  CompressedSpectrum out;
+  out.window = static_cast<std::uint32_t>(signal.size());
+  out.coeffs.assign(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(keep));
+  return out;
+}
+
+std::vector<double> reconstruct(const CompressedSpectrum& spectrum) {
+  const std::size_t w = spectrum.window;
+  assert(w >= 2);
+  assert(spectrum.coeffs.size() <= w / 2 + 1);
+  std::vector<Complex> full(w, Complex{});
+  full[0] = spectrum.coeffs.empty() ? Complex{} : spectrum.coeffs[0];
+  for (std::size_t k = 1; k < spectrum.coeffs.size(); ++k) {
+    full[k] = spectrum.coeffs[k];
+    // Mirror; at k == w/2 (Nyquist, even w) the mirror is the same slot and
+    // the coefficient of a real signal is already real.
+    if (w - k != k) full[w - k] = std::conj(spectrum.coeffs[k]);
+  }
+  Fft fft(w);
+  fft.inverse(full);
+  std::vector<double> out(w);
+  for (std::size_t n = 0; n < w; ++n) out[n] = full[n].real();
+  return out;
+}
+
+std::vector<std::int64_t> reconstruct_rounded(const CompressedSpectrum& spectrum) {
+  const std::vector<double> values = reconstruct(spectrum);
+  std::vector<std::int64_t> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<std::int64_t>(std::llround(values[i]));
+  }
+  return out;
+}
+
+std::vector<double> squared_errors(std::span<const double> original,
+                                   std::span<const double> approx) {
+  assert(original.size() == approx.size());
+  std::vector<double> out(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double d = original[i] - approx[i];
+    out[i] = d * d;
+  }
+  return out;
+}
+
+double mean_squared_error(std::span<const double> original,
+                          std::span<const double> approx) {
+  assert(original.size() == approx.size());
+  if (original.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double d = original[i] - approx[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(original.size());
+}
+
+double lossless_fraction(std::span<const double> original,
+                         std::span<const double> approx) {
+  assert(original.size() == approx.size());
+  if (original.empty()) return 1.0;
+  std::size_t exact = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (std::llround(original[i]) == std::llround(approx[i])) ++exact;
+  }
+  return static_cast<double>(exact) / static_cast<double>(original.size());
+}
+
+double recommend_kappa(std::span<const double> signal, double mse_bound,
+                       const Fft& fft) {
+  double best = 1.0;
+  for (double kappa = 2.0; retained_for_kappa(signal.size(), kappa) >= 1;
+       kappa *= 2.0) {
+    const CompressedSpectrum cs = compress(signal, kappa, fft);
+    const std::vector<double> approx = reconstruct(cs);
+    if (mean_squared_error(signal, approx) < mse_bound) {
+      best = kappa;
+    } else {
+      break;  // MSE grows monotonically with kappa for low-pass truncation
+    }
+    if (retained_for_kappa(signal.size(), kappa * 2.0) ==
+        retained_for_kappa(signal.size(), kappa)) {
+      break;  // reached the single-coefficient floor
+    }
+  }
+  return best;
+}
+
+}  // namespace dsjoin::dsp

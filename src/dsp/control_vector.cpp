@@ -1,0 +1,67 @@
+#include "dsjoin/dsp/control_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace dsjoin::dsp {
+
+namespace {
+
+double log2d(std::size_t n) noexcept {
+  return std::log2(static_cast<double>(std::max<std::size_t>(n, 2)));
+}
+
+// Standard normal CDF.
+double phi(double z) noexcept { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+}  // namespace
+
+double incremental_cost_per_tuple(std::size_t window, std::size_t retained,
+                                  std::uint64_t interval) noexcept {
+  const double recompute =
+      interval == 0 ? 0.0
+                    : static_cast<double>(window) * log2d(window) /
+                          static_cast<double>(interval);
+  return static_cast<double>(retained) + recompute;
+}
+
+double exact_cost_per_tuple(std::size_t window) noexcept {
+  return static_cast<double>(window) * log2d(window);
+}
+
+double completion_probability(std::size_t retained, std::uint64_t interval,
+                              const ControlVectorModel& model) noexcept {
+  if (interval == 0) return 0.0;
+  // Drift of one coefficient after `interval` updates ~ N(0, eta^2*interval).
+  const double sigma = model.eta * std::sqrt(static_cast<double>(interval));
+  if (sigma <= 0.0) return 1.0;
+  const double p_one = 2.0 * phi(model.tolerance / sigma) - 1.0;
+  // Independence across coefficients (conservative: errors are weakly
+  // correlated through the shared input values).
+  return std::pow(std::max(p_one, 0.0), static_cast<double>(retained));
+}
+
+ControlVector design_control_vector(std::size_t window, std::size_t retained,
+                                    double min_reduction, double min_completion,
+                                    const ControlVectorModel& model) {
+  const double baseline = exact_cost_per_tuple(window);
+  ControlVector best;
+  // Grow the interval geometrically; cost falls and completion probability
+  // falls with the interval, so take the largest interval still meeting the
+  // completion constraint, provided the reduction constraint is met.
+  for (std::uint64_t interval = 1; interval <= (1ull << 40); interval *= 2) {
+    const double cost = incremental_cost_per_tuple(window, retained, interval);
+    const double reduction = baseline / cost;
+    const double completion = completion_probability(retained, interval, model);
+    if (completion < min_completion) break;
+    if (reduction >= min_reduction) {
+      best = ControlVector{retained, interval, completion, reduction};
+      return best;  // smallest interval already satisfying both: cheapest drift
+    }
+    best = ControlVector{retained, interval, completion, reduction};
+  }
+  return best;  // best effort when the reduction target is unreachable
+}
+
+}  // namespace dsjoin::dsp

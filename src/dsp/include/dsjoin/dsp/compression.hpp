@@ -1,0 +1,78 @@
+// DFT coefficient compression and tuple-value reconstruction (Section 5.3).
+//
+// A node ships W/kappa low-frequency DFT coefficients; the receiver inverts
+// them (Eq. 10) to an estimate x_hat of the remote window's attribute
+// sequence, rounds to the integer attribute domain, and uses the rounded
+// multiset for local membership tests (the DFTT algorithm). The paper's
+// lossless-after-rounding criterion is E[MSE] < 0.25 (deviation < 0.5 per
+// value, Eq. 11-12 and Figures 5-6).
+//
+// Faithfulness note (see DESIGN.md §4): Eq. 10 as printed multiplies by
+// kappa and keeps k < W/kappa one-sidedly; for real signals we instead keep
+// the lowest frequencies *with* their implied conjugate mirrors and scale by
+// 1/W — the textbook-lossless truncation the paper's Figures 5/6 behaviour
+// requires.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsjoin/dsp/fft.hpp"
+
+namespace dsjoin::dsp {
+
+/// A truncated spectrum: the K lowest-frequency coefficients of a length-W
+/// real signal. The conjugate-symmetric upper half is implied.
+struct CompressedSpectrum {
+  std::uint32_t window = 0;       ///< W
+  std::vector<Complex> coeffs;    ///< X[0..K-1], K <= W/2 + 1
+
+  /// W / K, the paper's compression factor.
+  double kappa() const noexcept {
+    return coeffs.empty() ? 0.0
+                          : static_cast<double>(window) /
+                                static_cast<double>(coeffs.size());
+  }
+  /// Bytes this summary occupies on the wire (two f64 per coefficient).
+  std::size_t wire_bytes() const noexcept { return coeffs.size() * 16; }
+};
+
+/// Number of retained coefficients for a window W and compression factor
+/// kappa, clamped into [1, W/2 + 1].
+std::size_t retained_for_kappa(std::size_t window, double kappa) noexcept;
+
+/// Compresses a real signal: forward FFT, keep the W/kappa lowest
+/// frequencies. `fft` must have size signal.size().
+CompressedSpectrum compress(std::span<const double> signal, double kappa,
+                            const Fft& fft);
+
+/// Reconstructs all W samples from a truncated spectrum (conjugate-symmetric
+/// zero-filled inverse FFT; real parts returned).
+std::vector<double> reconstruct(const CompressedSpectrum& spectrum);
+
+/// Reconstructs and rounds each sample to the nearest integer — the final
+/// approximated attribute multiset of Section 5.3.
+std::vector<std::int64_t> reconstruct_rounded(const CompressedSpectrum& spectrum);
+
+/// Per-sample squared reconstruction errors (Figure 5's series).
+std::vector<double> squared_errors(std::span<const double> original,
+                                   std::span<const double> approx);
+
+/// Mean squared error between a signal and its reconstruction (Eq. 11 with
+/// the empirical distribution of the window as P).
+double mean_squared_error(std::span<const double> original,
+                          std::span<const double> approx);
+
+/// Fraction of samples reproduced exactly after rounding (deviation < 0.5).
+double lossless_fraction(std::span<const double> original,
+                         std::span<const double> approx);
+
+/// Largest power-of-two kappa whose reconstruction of `signal` keeps the
+/// empirical MSE below `mse_bound` (the paper's threshold is 0.25). Returns
+/// 1 if even kappa = 2 violates the bound. `fft` must match signal.size().
+double recommend_kappa(std::span<const double> signal, double mse_bound,
+                       const Fft& fft);
+
+}  // namespace dsjoin::dsp

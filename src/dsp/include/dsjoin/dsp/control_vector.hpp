@@ -1,0 +1,65 @@
+// Control vector for approximate incremental DFT maintenance.
+//
+// Section 4 of the paper cites Winograd & Nawab [28] for an analytic method
+// that picks an application-specific "control vector" trading arithmetic
+// cost against DFT approximation quality; the paper sets it so arithmetic
+// drops by a factor of 10 with completion probability > 0.95.
+//
+// Our control vector has two knobs, matching how the incremental DFT is
+// maintained here:
+//   * retained_coefficients  K — per-tuple update touches K coefficients;
+//   * recompute_interval     I — every I tuples the retained coefficients
+//                                are recomputed exactly (O(W log W)).
+// Cost model (per tuple, in complex multiply-adds):
+//   exact baseline:  W * log2(W)          (full FFT on every tuple)
+//   incremental:     K + W * log2(W) / I  (update plus amortized recompute)
+// Quality model: the incremental update accrues floating-point error with
+// standard deviation ~ eta * sqrt(u) per coefficient after u updates
+// (random-walk model, eta ~ 1e-15 relative to coefficient scale). The
+// completion probability is the probability that the drift of every
+// retained coefficient stays below the reconstruction tolerance between
+// recomputes, evaluated under a Gaussian drift model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsjoin::dsp {
+
+/// A chosen operating point for approximate DFT maintenance.
+struct ControlVector {
+  std::size_t retained_coefficients = 0;  ///< K
+  std::uint64_t recompute_interval = 0;   ///< I (tuples between exact passes)
+  double completion_probability = 0.0;    ///< P(all drifts within tolerance)
+  double arithmetic_reduction = 0.0;      ///< baseline cost / achieved cost
+};
+
+/// Parameters of the analytic model.
+struct ControlVectorModel {
+  double eta = 1e-15;        ///< per-update relative FP error scale
+  double tolerance = 1e-6;   ///< allowed relative coefficient drift
+};
+
+/// Per-tuple cost (complex multiply-adds) of maintaining K coefficients of a
+/// window-W DFT with exact recomputation every `interval` tuples.
+double incremental_cost_per_tuple(std::size_t window, std::size_t retained,
+                                  std::uint64_t interval) noexcept;
+
+/// Per-tuple cost of the exact baseline (full FFT each tuple).
+double exact_cost_per_tuple(std::size_t window) noexcept;
+
+/// Probability that every retained coefficient's accumulated drift stays
+/// within tolerance over one recompute interval, under the Gaussian
+/// random-walk drift model.
+double completion_probability(std::size_t retained, std::uint64_t interval,
+                              const ControlVectorModel& model) noexcept;
+
+/// Designs a control vector: the largest recompute interval (and the given
+/// retained budget) such that the arithmetic reduction factor is at least
+/// `min_reduction` and the completion probability is at least `min_completion`.
+/// Mirrors the paper's choice of reduction 10 at completion > 0.95.
+ControlVector design_control_vector(std::size_t window, std::size_t retained,
+                                    double min_reduction, double min_completion,
+                                    const ControlVectorModel& model = {});
+
+}  // namespace dsjoin::dsp

@@ -1,0 +1,68 @@
+// DFT of the key-frequency histogram: a deterministic join-size summary.
+//
+// Extension beyond the paper (DESIGN.md experiment A3). The paper computes
+// its DFT over the *time sequence* of joining attributes; an alternative
+// frequency-domain object is the DFT of the key *histogram* h (domain
+// binned into D buckets). Its appeal: the equi-join size is exactly a
+// histogram inner product,
+//     |R join S| = sum_v f(v) * g(v),
+// and by Parseval that inner product equals (1/D) * sum_k F(k) * conj(G(k))
+// — computable from DFT coefficients alone, with truncation yielding a
+// principled smooth approximation (it is AGMS's estimand, without AGMS's
+// randomness). Updates are O(K) per tuple, the same cost as the paper's
+// sliding DFT.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsjoin/dsp/fft.hpp"
+
+namespace dsjoin::dsp {
+
+/// Incrementally maintained truncated DFT of a bucketized key histogram.
+class HistogramSpectrum {
+ public:
+  /// @param domain   keys lie in [1, domain].
+  /// @param buckets  D, histogram resolution (keys map to key*D/domain).
+  /// @param retained K, low-frequency coefficients maintained (k = 0..K-1);
+  ///                 K <= D/2 + 1 (the conjugate half is implied).
+  HistogramSpectrum(std::int64_t domain, std::uint32_t buckets,
+                    std::size_t retained);
+
+  /// Adds `weight` occurrences of `key` (negative weight = sliding-window
+  /// eviction). O(retained).
+  void add(std::int64_t key, std::int64_t weight = 1);
+
+  std::span<const Complex> coefficients() const noexcept { return coeffs_; }
+  std::uint32_t buckets() const noexcept { return buckets_; }
+  std::int64_t domain() const noexcept { return domain_; }
+  /// Total weight currently summarized (read off the DC coefficient).
+  double total_weight() const noexcept { return coeffs_[0].real(); }
+  /// Wire size: 16 bytes per retained coefficient.
+  std::size_t wire_bytes() const noexcept { return coeffs_.size() * 16; }
+
+  /// Join-size estimate between two histograms over the same geometry:
+  /// (1/D) * sum over retained k (and implied conjugates) of F * conj(G).
+  /// Exact when both spectra are untruncated.
+  static double estimate_join(const HistogramSpectrum& f,
+                              const HistogramSpectrum& g);
+
+  /// Same estimate from raw coefficient spans (e.g. received summaries).
+  static double estimate_join(std::span<const Complex> f,
+                              std::span<const Complex> g,
+                              std::uint32_t buckets);
+
+  double estimate_self_join() const { return estimate_join(*this, *this); }
+
+ private:
+  std::uint32_t bucket_of(std::int64_t key) const noexcept;
+
+  std::int64_t domain_;
+  std::uint32_t buckets_;
+  std::vector<Complex> coeffs_;
+  std::vector<Complex> unit_;  // e^{-2*pi*i*k/D} for retained k
+};
+
+}  // namespace dsjoin::dsp

@@ -1,0 +1,108 @@
+// Incrementally maintained DFT over a sliding window (the paper's "iDFT").
+//
+// The paper (Section 4, citing Bailey-Swarztrauber [4]) maintains the DFT
+// coefficients of the last W joining-attribute values incrementally, at
+// constant cost per retained coefficient per tuple, with a periodic full
+// recomputation ("control vector", [28]) to flush accumulated floating-point
+// drift.
+//
+// Formulation. We maintain the DFT of the window in *ring-buffer order*:
+// when the arriving value x_new replaces the value x_old stored at buffer
+// slot p,
+//     X[k] += (x_new - x_old) * e^{-2*pi*i*k*p/W}        for each retained k.
+// The maintained spectrum equals the true (arrival-ordered) window spectrum
+// up to a circular time shift. A circular shift changes neither coefficient
+// magnitudes (what the correlation filter consumes) nor the multiset of
+// values produced by inverse reconstruction (what DFTT's membership test
+// consumes), and avoids the per-step phase rotation of the classic sliding
+// DFT — so no rotation error accumulates on top of the update error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsjoin/dsp/fft.hpp"
+
+namespace dsjoin::dsp {
+
+/// One coefficient update, as shipped to remote nodes (piggybacked on tuple
+/// messages; see Figure 7 lines 1-2 and 5 of the paper).
+struct CoeffDelta {
+  std::uint32_t index;  ///< coefficient index k
+  Complex value;        ///< new absolute value of X[k]
+};
+
+/// Sliding-window DFT with a retained low-frequency coefficient subset.
+class SlidingDft {
+ public:
+  /// @param window    W, the number of values the window holds (>= 2).
+  /// @param retained  K, how many low-frequency coefficients (k = 0..K-1)
+  ///                  are maintained; K <= W. The effective compression
+  ///                  factor is kappa = W / K.
+  SlidingDft(std::size_t window, std::size_t retained);
+
+  /// Feeds one attribute value. Before the window fills this accumulates;
+  /// afterwards it replaces the oldest value. O(K).
+  void push(double value);
+
+  /// Total number of values pushed so far.
+  std::uint64_t count() const noexcept { return count_; }
+  /// True once W values have been pushed.
+  bool full() const noexcept { return count_ >= window_; }
+
+  std::size_t window() const noexcept { return window_; }
+  std::size_t retained() const noexcept { return coeffs_.size(); }
+  /// W / K, the paper's compression factor kappa.
+  double kappa() const noexcept {
+    return static_cast<double>(window_) / static_cast<double>(retained());
+  }
+
+  /// The maintained coefficients X[0..K-1] (ring-buffer-order spectrum).
+  std::span<const Complex> coefficients() const noexcept { return coeffs_; }
+
+  /// Current window contents in ring-buffer slot order.
+  std::span<const double> window_values() const noexcept { return ring_; }
+
+  /// Mean of the values currently in the window (incrementally maintained).
+  double mean() const noexcept;
+  /// Population variance of the window values (incrementally maintained).
+  double variance() const noexcept;
+
+  /// Exactly recomputes the retained coefficients from the ring contents,
+  /// discarding accumulated floating-point drift. O(W log W).
+  void renormalize();
+
+  /// Renormalize automatically every `interval` pushes (0 disables). This is
+  /// the "recompute at regular intervals" knob of the control vector.
+  void set_renormalize_interval(std::uint64_t interval) noexcept {
+    renormalize_interval_ = interval;
+  }
+
+  /// Coefficients whose value moved by more than `threshold` (absolute
+  /// complex distance) since they were last drained. Used to piggyback
+  /// summary updates onto outgoing tuples; draining marks them clean.
+  std::vector<CoeffDelta> drain_dirty(double threshold);
+
+  /// Number of pushes since the last drain (any coefficient state is
+  /// "stale" on the receiver by at most this many tuples).
+  std::uint64_t pushes_since_drain() const noexcept { return pushes_since_drain_; }
+
+ private:
+  std::size_t window_;
+  std::vector<Complex> coeffs_;
+  std::vector<Complex> last_sent_;      // values as of the previous drain
+  std::vector<Complex> unit_steps_;     // e^{-2*pi*i*k/W} for retained k
+  std::vector<Complex> phases_;         // e^{-2*pi*i*k*ring_pos/W}, advanced per push
+  std::vector<double> ring_;
+  std::size_t ring_pos_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t renormalize_interval_ = 0;
+  std::uint64_t pushes_since_drain_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  Fft fft_;
+};
+
+}  // namespace dsjoin::dsp

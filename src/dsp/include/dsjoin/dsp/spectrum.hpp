@@ -1,0 +1,74 @@
+// Cross/auto power spectra and correlation coefficients from DFTs.
+//
+// Section 5.2 of the paper derives the cross-correlation of two remote
+// stream segments from their DFT coefficients alone (Eq. 5-8): the DFT
+// cross-correlation R_XY(u,v) collapses to 2*pi*delta(u-v)*S_xy(u), i.e. the
+// cross power spectrum, which each node can evaluate from its own DFT and
+// the remote node's shipped coefficients. This module implements:
+//
+//  * cross_power_spectrum     - S_xy[k] = X[k] * conj(Y[k])
+//  * spectral_energy          - auto-covariance proxy (Parseval, DC removed)
+//  * lag_max_correlation      - Eq. 4's rho, maximized over circular lags
+//                               (nodes' ring phases are not mutually
+//                               aligned; the lag search makes rho invariant
+//                               to that shift)
+//  * spectral_magnitude_cosine- a cheaper shift-invariant similarity used
+//                               as an ablation alternative
+//
+// All functions accept *truncated* spectra (the K retained low-frequency
+// coefficients) — exactly the information a remote node possesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsjoin/dsp/fft.hpp"
+
+namespace dsjoin::dsp {
+
+/// Result of a lag-resolved correlation estimate.
+struct CorrelationEstimate {
+  double rho = 0.0;   ///< cross-correlation coefficient in [0, 1]
+  std::size_t lag = 0;  ///< circular lag at which |r_xy| peaks
+};
+
+/// Pointwise cross power spectrum S_xy[k] = X[k] * conj(Y[k]).
+/// Inputs must have equal length.
+std::vector<Complex> cross_power_spectrum(std::span<const Complex> x,
+                                          std::span<const Complex> y);
+
+/// Sum of |X[k]|^2 over k >= 1 (DC excluded). By Parseval this equals
+/// W^2 * Var proxy of the (low-passed) signal: the auto-covariance term
+/// sigma_i of Eq. 4 evaluated in the frequency domain.
+double spectral_energy(std::span<const Complex> x);
+
+/// The paper's rho_{i,j} (Eq. 4) computed entirely from two truncated
+/// spectra of a window of length `window`: the cross power spectrum is
+/// mirrored to conjugate symmetry, inverse-transformed to the circular
+/// cross-correlation sequence r_xy[n], and the peak |r_xy| is normalized by
+/// sqrt(sigma_x * sigma_y). DC is excluded, so iid-unrelated segments score
+/// near 0 and (lagged) copies score near 1.
+///
+/// @param x,y     truncated spectra (same length K <= window/2 + 1).
+/// @param window  original window length W (power of two recommended).
+CorrelationEstimate lag_max_correlation(std::span<const Complex> x,
+                                        std::span<const Complex> y,
+                                        std::size_t window);
+
+/// Mean of the underlying window, read off the DC coefficient: Re(X[0])/W.
+double spectral_mean(std::span<const Complex> x, std::size_t window) noexcept;
+
+/// Standard deviation proxy of the (low-passed) window:
+/// sqrt(spectral_energy)/W. Underestimates the true sigma by the discarded
+/// high-frequency energy — fine for the affinity scaling it feeds.
+double spectral_stddev(std::span<const Complex> x, std::size_t window) noexcept;
+
+/// Cosine similarity of the coefficient magnitude vectors (DC excluded),
+/// in [0, 1]. Invariant to circular shifts by construction (magnitudes drop
+/// all phase), at the price of ignoring phase alignment entirely. Used by
+/// the signal-choice ablation.
+double spectral_magnitude_cosine(std::span<const Complex> x,
+                                 std::span<const Complex> y);
+
+}  // namespace dsjoin::dsp

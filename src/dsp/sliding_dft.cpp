@@ -1,0 +1,124 @@
+#include "dsjoin/dsp/sliding_dft.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dsjoin::dsp {
+
+namespace {
+// Phase tracking: rather than evaluating e^{-2*pi*i*k*p/W} with two trig
+// calls per retained coefficient per push, each coefficient carries a unit
+// phasor that is advanced by one unit step per push. Phasor magnitude drift
+// is O(eps) per step and is reset on every ring wrap and renormalization.
+}  // namespace
+
+SlidingDft::SlidingDft(std::size_t window, std::size_t retained)
+    : window_(window),
+      coeffs_(retained, Complex{}),
+      last_sent_(retained, Complex{}),
+      unit_steps_(retained),
+      ring_(window, 0.0),
+      fft_(window) {
+  if (window < 2) throw std::invalid_argument("SlidingDft window must be >= 2");
+  if (retained == 0 || retained > window) {
+    throw std::invalid_argument("SlidingDft retained must be in [1, window]");
+  }
+  for (std::size_t k = 0; k < retained; ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(window_);
+    unit_steps_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  phases_.assign(retained, Complex(1.0, 0.0));
+}
+
+void SlidingDft::push(double value) {
+  if (count_ == 0) {
+    // Backfill: treat the window as having always held the first value.
+    // Avoids the artificial zero->signal step that would otherwise dominate
+    // the spectrum (and any reconstruction) until the ring fills.
+    std::fill(ring_.begin(), ring_.end(), value);
+    coeffs_.assign(coeffs_.size(), Complex{});
+    coeffs_[0] = Complex(value * static_cast<double>(window_), 0.0);
+    sum_ = value * static_cast<double>(window_);
+    sum_sq_ = value * value * static_cast<double>(window_);
+    ++count_;
+    ++pushes_since_drain_;
+    ++ring_pos_;
+    for (std::size_t k = 0; k < phases_.size(); ++k) phases_[k] *= unit_steps_[k];
+    return;
+  }
+  const double old = ring_[ring_pos_];
+  ring_[ring_pos_] = value;
+  const double delta = value - old;
+  if (delta != 0.0) {
+    for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+      coeffs_[k] += delta * phases_[k];
+    }
+  }
+  sum_ += delta;
+  sum_sq_ += value * value - old * old;
+  ++count_;
+  ++pushes_since_drain_;
+  ++ring_pos_;
+  if (ring_pos_ == window_) {
+    ring_pos_ = 0;
+    // All phasors return to 1 exactly; resetting cancels magnitude drift.
+    for (auto& p : phases_) p = Complex(1.0, 0.0);
+  } else {
+    for (std::size_t k = 0; k < phases_.size(); ++k) phases_[k] *= unit_steps_[k];
+  }
+  if (renormalize_interval_ != 0 && count_ % renormalize_interval_ == 0) {
+    renormalize();
+  }
+}
+
+double SlidingDft::mean() const noexcept {
+  // The ring is value-backfilled from the first push, so all W slots are
+  // meaningful as soon as count() > 0.
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(window_);
+}
+
+double SlidingDft::variance() const noexcept {
+  if (count_ == 0) return 0.0;
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(window_) - m * m;
+  return var > 0.0 ? var : 0.0;
+}
+
+void SlidingDft::renormalize() {
+  std::vector<Complex> full(ring_.begin(), ring_.end());
+  fft_.forward(full);
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) coeffs_[k] = full[k];
+  // Recompute phasors exactly for the current ring position.
+  for (std::size_t k = 0; k < phases_.size(); ++k) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                         static_cast<double>(ring_pos_) / static_cast<double>(window_);
+    phases_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  // The exact sums also refresh the running moments.
+  double s = 0.0, sq = 0.0;
+  for (double v : ring_) {
+    s += v;
+    sq += v * v;
+  }
+  sum_ = s;
+  sum_sq_ = sq;
+}
+
+std::vector<CoeffDelta> SlidingDft::drain_dirty(double threshold) {
+  std::vector<CoeffDelta> out;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    if (std::abs(coeffs_[k] - last_sent_[k]) > threshold) {
+      out.push_back(CoeffDelta{static_cast<std::uint32_t>(k), coeffs_[k]});
+      last_sent_[k] = coeffs_[k];
+    }
+  }
+  pushes_since_drain_ = 0;
+  return out;
+}
+
+}  // namespace dsjoin::dsp

@@ -1,0 +1,66 @@
+// Discrete-event scheduler in virtual time.
+//
+// The WAN prototype of the paper ran on twenty workstations with artificial
+// latency and bandwidth shaping; our reproduction runs the same node logic
+// under a deterministic virtual clock. Events fire in nondecreasing time
+// order; ties break by insertion order (FIFO), which the simulated links
+// rely on for TCP-like ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dsjoin::net {
+
+/// Virtual time in seconds.
+using SimTime = double;
+
+/// A min-heap of timestamped callbacks with deterministic tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute virtual time `when` (>= now()).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedules `fn` `delay` seconds from now.
+  void schedule_in(SimTime delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Current virtual time (the timestamp of the last executed event).
+  SimTime now() const noexcept { return now_; }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Executes the earliest event; returns false if none is pending.
+  bool run_one();
+
+  /// Runs events until the queue drains or the next event would fire after
+  /// `limit`; returns the number executed. now() ends at the timestamp of
+  /// the last executed event (not advanced to `limit`).
+  std::size_t run_until(SimTime limit);
+
+  /// Runs events until the queue drains or `max_events` were executed.
+  std::size_t run_all(std::size_t max_events = SIZE_MAX);
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;  // insertion order for stable ties
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace dsjoin::net

@@ -1,0 +1,44 @@
+// Wire frames and node addressing.
+//
+// The network layer carries opaque frames between nodes; the core layer
+// defines their payload encodings. Frames carry two accounting fields the
+// experiments need: the total payload size (all of Figures 9-11 count
+// frames and bytes) and the piggybacked-summary share (Figure 8 reports DFT
+// coefficient updates as a percentage of net data transmitted).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsjoin::net {
+
+/// Index of a processing node, dense in [0, N).
+using NodeId = std::uint32_t;
+
+/// Coarse frame classification used for byte/message accounting.
+enum class FrameKind : std::uint8_t {
+  kTuple = 0,    ///< a forwarded stream tuple (possibly with piggybacked summary)
+  kSummary = 1,  ///< a standalone summary update (DFT coeffs / Bloom / sketch)
+  kResult = 2,   ///< shipped join-result tuples
+  kControl = 3,  ///< policy control traffic (fallback announcements etc.)
+};
+
+/// Human-readable frame kind name.
+const char* to_string(FrameKind kind) noexcept;
+
+/// One network frame. `payload` is the serialized body (owned);
+/// `piggyback_bytes` is the portion of the payload that is summary data
+/// riding along with a tuple, and must not exceed payload.size().
+struct Frame {
+  NodeId from = 0;
+  NodeId to = 0;
+  FrameKind kind = FrameKind::kTuple;
+  std::vector<std::uint8_t> payload;
+  std::uint32_t piggyback_bytes = 0;
+
+  /// Bytes on the wire: payload plus a fixed 16-byte header (addresses,
+  /// kind, length), mirroring the prototype's framing.
+  std::size_t wire_bytes() const noexcept { return payload.size() + 16; }
+};
+
+}  // namespace dsjoin::net

@@ -1,0 +1,66 @@
+// Network traffic accounting.
+//
+// Every experiment metric that involves communication flows through these
+// counters: total frames and bytes by kind, plus the piggybacked-summary
+// byte share (Figure 8's numerator).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsjoin/net/frame.hpp"
+
+namespace dsjoin::net {
+
+/// Monotonic counters for one traffic aggregate (a link, a node, or the
+/// whole system).
+struct TrafficCounters {
+  std::array<std::uint64_t, 4> frames_by_kind{};  // indexed by FrameKind
+  std::array<std::uint64_t, 4> bytes_by_kind{};
+  std::uint64_t piggyback_bytes = 0;
+
+  void record(const Frame& frame) noexcept {
+    const auto k = static_cast<std::size_t>(frame.kind);
+    ++frames_by_kind[k];
+    bytes_by_kind[k] += frame.wire_bytes();
+    piggyback_bytes += frame.piggyback_bytes;
+  }
+
+  void merge(const TrafficCounters& other) noexcept {
+    for (std::size_t k = 0; k < frames_by_kind.size(); ++k) {
+      frames_by_kind[k] += other.frames_by_kind[k];
+      bytes_by_kind[k] += other.bytes_by_kind[k];
+    }
+    piggyback_bytes += other.piggyback_bytes;
+  }
+
+  std::uint64_t total_frames() const noexcept {
+    std::uint64_t t = 0;
+    for (auto f : frames_by_kind) t += f;
+    return t;
+  }
+
+  std::uint64_t total_bytes() const noexcept {
+    std::uint64_t t = 0;
+    for (auto b : bytes_by_kind) t += b;
+    return t;
+  }
+
+  std::uint64_t frames(FrameKind kind) const noexcept {
+    return frames_by_kind[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t bytes(FrameKind kind) const noexcept {
+    return bytes_by_kind[static_cast<std::size_t>(kind)];
+  }
+
+  /// Summary bytes (standalone summary frames + piggybacked share) as a
+  /// fraction of all bytes transmitted — the Figure 8 ratio.
+  double summary_byte_fraction() const noexcept {
+    const auto total = total_bytes();
+    if (total == 0) return 0.0;
+    const auto summary = bytes(FrameKind::kSummary) + piggyback_bytes;
+    return static_cast<double>(summary) / static_cast<double>(total);
+  }
+};
+
+}  // namespace dsjoin::net

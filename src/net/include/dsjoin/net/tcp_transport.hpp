@@ -1,0 +1,89 @@
+// Real-socket transport (loopback TCP).
+//
+// The experiments run on the deterministic WAN emulator, but the node logic
+// is transport-agnostic; this transport runs the same frames over real TCP
+// sockets, demonstrating that the prototype is not simulation-bound (the
+// paper's system ran on twenty physical workstations). Topology: a full
+// mesh over loopback — node i listens on base_port + i and dials every
+// higher-numbered peer once; frames are length-prefixed on the wire.
+//
+// Threading: one receiver thread per node drains all of that node's
+// sockets with poll(2) and invokes the delivery handler inline; handlers
+// must therefore be internally synchronized or single-node-owned (the
+// wan_tcp_demo example serializes each node behind its own mutex).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dsjoin/net/transport.hpp"
+
+namespace dsjoin::net {
+
+/// RAII file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Full-mesh loopback TCP transport for N in-process nodes.
+class TcpTransport final : public Transport {
+ public:
+  /// Binds, connects the mesh, and starts receiver threads. Throws
+  /// std::runtime_error if any socket operation fails (setup is not a
+  /// recoverable path).
+  TcpTransport(std::size_t nodes, std::uint16_t base_port);
+  ~TcpTransport() override;
+
+  std::size_t node_count() const noexcept override { return nodes_; }
+  void register_handler(NodeId node, DeliveryHandler handler) override;
+  common::Status send(Frame frame) override;
+  const TrafficCounters& stats() const noexcept override { return totals_; }
+  double send_backlog_seconds(NodeId) const noexcept override { return 0.0; }
+
+  /// Stops receiver threads and closes every socket (also done by the
+  /// destructor). Safe to call twice.
+  void shutdown();
+
+ private:
+  void receiver_loop(NodeId node);
+  common::Status write_frame(int fd, const Frame& frame);
+
+  std::size_t nodes_;
+  std::atomic<bool> running_{true};
+  std::vector<DeliveryHandler> handlers_;
+  std::vector<std::vector<UniqueFd>> peer_fds_;  // [node][peer] connected socket
+  std::vector<std::unique_ptr<std::mutex>> send_mutexes_;  // per (node) sender
+  std::vector<std::thread> receivers_;
+  TrafficCounters totals_;
+  std::mutex totals_mutex_;
+};
+
+}  // namespace dsjoin::net

@@ -1,0 +1,231 @@
+#include "dsjoin/net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "dsjoin/common/strformat.hpp"
+
+namespace dsjoin::net {
+
+namespace {
+
+// Wire format per frame: u32 length | u8 kind | u32 from | u32 to |
+// u32 piggyback_bytes | payload.
+constexpr std::size_t kHeaderBytes = 4 + 1 + 4 + 4 + 4;
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(common::str_format("TcpTransport: %s: %s", what,
+                                              std::strerror(errno)));
+}
+
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd, out + done, n - done, 0);
+    if (got <= 0) return false;  // peer closed or error
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t sent = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+void put_u32(std::uint8_t* at, std::uint32_t v) { std::memcpy(at, &v, 4); }
+std::uint32_t get_u32(const std::uint8_t* at) {
+  std::uint32_t v;
+  std::memcpy(&v, at, 4);
+  return v;
+}
+
+}  // namespace
+
+void UniqueFd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpTransport::TcpTransport(std::size_t nodes, std::uint16_t base_port)
+    : nodes_(nodes), handlers_(nodes), peer_fds_(nodes) {
+  for (auto& row : peer_fds_) row.resize(nodes);
+  send_mutexes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    send_mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+
+  // Listeners: node i on base_port + i.
+  std::vector<UniqueFd> listeners(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) fail("socket");
+    const int one = 1;
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(base_port + i));
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      fail("bind");
+    }
+    if (::listen(fd.get(), static_cast<int>(nodes)) != 0) fail("listen");
+    listeners[i] = std::move(fd);
+  }
+
+  // Mesh: node i dials every j > i; j accepts and learns i's id from a
+  // one-u32 hello.
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t j = i + 1; j < nodes; ++j) {
+      UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+      if (!fd.valid()) fail("socket");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(base_port + j));
+      if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        fail("connect");
+      }
+      const int one = 1;
+      (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::uint8_t hello[4];
+      put_u32(hello, static_cast<std::uint32_t>(i));
+      if (!write_all(fd.get(), hello, 4)) fail("hello");
+
+      UniqueFd accepted(::accept(listeners[j].get(), nullptr, nullptr));
+      if (!accepted.valid()) fail("accept");
+      (void)::setsockopt(accepted.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::uint8_t peer_hello[4];
+      if (!read_exact(accepted.get(), peer_hello, 4)) fail("hello read");
+      const auto dialer = get_u32(peer_hello);
+      // One duplex socket serves both directions of the (i, j) pair.
+      peer_fds_[i][j] = std::move(fd);
+      peer_fds_[j][dialer] = std::move(accepted);
+    }
+  }
+
+  receivers_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    receivers_.emplace_back([this, i] { receiver_loop(static_cast<NodeId>(i)); });
+  }
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::shutdown() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Shut the sockets down to unblock poll/recv, then join.
+  for (auto& row : peer_fds_) {
+    for (auto& fd : row) {
+      if (fd.valid()) ::shutdown(fd.get(), SHUT_RDWR);
+    }
+  }
+  for (auto& t : receivers_) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& row : peer_fds_) {
+    for (auto& fd : row) fd.reset();
+  }
+}
+
+void TcpTransport::register_handler(NodeId node, DeliveryHandler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+common::Status TcpTransport::write_frame(int fd, const Frame& frame) {
+  std::vector<std::uint8_t> buffer(kHeaderBytes + frame.payload.size());
+  put_u32(buffer.data(),
+          static_cast<std::uint32_t>(1 + 4 + 4 + 4 + frame.payload.size()));
+  buffer[4] = static_cast<std::uint8_t>(frame.kind);
+  put_u32(buffer.data() + 5, frame.from);
+  put_u32(buffer.data() + 9, frame.to);
+  put_u32(buffer.data() + 13, frame.piggyback_bytes);
+  std::memcpy(buffer.data() + kHeaderBytes, frame.payload.data(),
+              frame.payload.size());
+  if (!write_all(fd, buffer.data(), buffer.size())) {
+    return common::Status(common::ErrorCode::kUnavailable, "peer write failed");
+  }
+  return common::Status::ok();
+}
+
+common::Status TcpTransport::send(Frame frame) {
+  if (frame.from >= nodes_ || frame.to >= nodes_ || frame.from == frame.to) {
+    return common::Status(common::ErrorCode::kInvalidArgument, "bad address");
+  }
+  if (!running_.load(std::memory_order_relaxed)) {
+    return common::Status(common::ErrorCode::kUnavailable, "transport stopped");
+  }
+  {
+    std::lock_guard lock(totals_mutex_);
+    totals_.record(frame);
+  }
+  std::lock_guard lock(*send_mutexes_[frame.from]);
+  const int fd = peer_fds_[frame.from][frame.to].get();
+  if (fd < 0) {
+    return common::Status(common::ErrorCode::kUnavailable, "no socket");
+  }
+  return write_frame(fd, frame);
+}
+
+void TcpTransport::receiver_loop(NodeId node) {
+  std::vector<pollfd> polled;
+  std::vector<NodeId> owners;
+  for (NodeId peer = 0; peer < nodes_; ++peer) {
+    const auto& fd = peer_fds_[node][peer];
+    if (fd.valid()) {
+      polled.push_back(pollfd{fd.get(), POLLIN, 0});
+      owners.push_back(peer);
+    }
+  }
+  while (running_.load(std::memory_order_relaxed)) {
+    const int ready = ::poll(polled.data(), polled.size(), 100 /*ms*/);
+    if (ready <= 0) continue;
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      if ((polled[i].revents & (POLLIN | POLLHUP)) == 0) continue;
+      std::uint8_t len_buf[4];
+      if (!read_exact(polled[i].fd, len_buf, 4)) {
+        polled[i].fd = -1;  // peer gone; stop polling it
+        continue;
+      }
+      const std::uint32_t body_len = get_u32(len_buf);
+      if (body_len < 13 || body_len > (1u << 26)) {
+        polled[i].fd = -1;  // corrupt stream
+        continue;
+      }
+      std::vector<std::uint8_t> body(body_len);
+      if (!read_exact(polled[i].fd, body.data(), body_len)) {
+        polled[i].fd = -1;
+        continue;
+      }
+      Frame frame;
+      frame.kind = static_cast<FrameKind>(body[0]);
+      frame.from = get_u32(body.data() + 1);
+      frame.to = get_u32(body.data() + 5);
+      frame.piggyback_bytes = get_u32(body.data() + 9);
+      frame.payload.assign(body.begin() + 13, body.end());
+      if (handlers_[node]) handlers_[node](std::move(frame));
+    }
+  }
+}
+
+}  // namespace dsjoin::net

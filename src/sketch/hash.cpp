@@ -1,0 +1,10 @@
+#include "dsjoin/sketch/hash.hpp"
+
+namespace dsjoin::sketch {
+
+FourWiseHash::FourWiseHash(common::Xoshiro256& rng) {
+  for (auto& c : coeff_) c = rng.next() % kMersenne61;
+  while (coeff_[3] == 0) coeff_[3] = rng.next() % kMersenne61;
+}
+
+}  // namespace dsjoin::sketch

@@ -1,0 +1,94 @@
+// Hash families for sketches and Bloom filters.
+//
+// AGMS sketches [1] require 4-wise independent +/-1 variables; we implement
+// them as degree-3 polynomials over the Mersenne prime p = 2^61 - 1 (the
+// classic Carter-Wegman construction), taking the low bit as the sign.
+// Bloom filters need only well-mixed indices; those come from the cheaper
+// double-hashing scheme over two SplitMix64-derived mixes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dsjoin/common/rng.hpp"
+
+namespace dsjoin::sketch {
+
+/// The Mersenne prime 2^61 - 1 used by the polynomial family.
+inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+/// Multiplies two residues mod 2^61-1 without overflow (128-bit intermediate).
+constexpr std::uint64_t mul_mod_m61(std::uint64_t a, std::uint64_t b) noexcept {
+  __extension__ using uint128 = unsigned __int128;
+  const uint128 prod = static_cast<uint128>(a) * static_cast<uint128>(b);
+  std::uint64_t lo = static_cast<std::uint64_t>(prod & kMersenne61);
+  std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// Degree-3 polynomial hash over GF(2^61-1): 4-wise independent.
+class FourWiseHash {
+ public:
+  /// Draws random coefficients (a3 forced nonzero) from the given generator.
+  explicit FourWiseHash(common::Xoshiro256& rng);
+
+  /// Polynomial value in [0, 2^61-1).
+  std::uint64_t eval(std::uint64_t x) const noexcept {
+    const std::uint64_t xm = x % kMersenne61;
+    std::uint64_t acc = coeff_[3];
+    acc = mul_mod_m61(acc, xm);
+    acc += coeff_[2];
+    if (acc >= kMersenne61) acc -= kMersenne61;
+    acc = mul_mod_m61(acc, xm);
+    acc += coeff_[1];
+    if (acc >= kMersenne61) acc -= kMersenne61;
+    acc = mul_mod_m61(acc, xm);
+    acc += coeff_[0];
+    if (acc >= kMersenne61) acc -= kMersenne61;
+    return acc;
+  }
+
+  /// The 4-wise independent +/-1 variable AGMS needs.
+  int sign(std::uint64_t x) const noexcept {
+    return (eval(x) & 1u) ? 1 : -1;
+  }
+
+  /// Bucket index in [0, buckets) (used by the Fast-AGMS variant).
+  std::uint64_t bucket(std::uint64_t x, std::uint64_t buckets) const noexcept {
+    return eval(x) % buckets;
+  }
+
+ private:
+  std::array<std::uint64_t, 4> coeff_;
+};
+
+/// Two independent 64-bit mixes for double hashing: index_i = h1 + i*h2.
+/// Kirsch-Mitzenmacher double hashing preserves Bloom filter asymptotics
+/// with only two hash evaluations per key.
+class DoubleHash {
+ public:
+  explicit DoubleHash(common::Xoshiro256& rng)
+      : seed1_(rng.next()), seed2_(rng.next() | 1u) {}
+
+  /// i-th probe position in [0, range).
+  std::uint64_t probe(std::uint64_t key, std::uint32_t i,
+                      std::uint64_t range) const noexcept {
+    const std::uint64_t h1 = mix(key ^ seed1_);
+    const std::uint64_t h2 = mix(key ^ seed2_) | 1u;  // odd => full period
+    return (h1 + static_cast<std::uint64_t>(i) * h2) % range;
+  }
+
+ private:
+  static constexpr std::uint64_t mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t seed1_;
+  std::uint64_t seed2_;
+};
+
+}  // namespace dsjoin::sketch

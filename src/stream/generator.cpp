@@ -1,0 +1,269 @@
+#include "dsjoin/stream/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dsjoin::stream {
+
+namespace {
+
+std::size_t rng_index(net::NodeId node, StreamSide side) {
+  return static_cast<std::size_t>(node) * 2 + static_cast<std::size_t>(side);
+}
+
+std::vector<common::Xoshiro256> per_node_side_rngs(std::uint32_t nodes,
+                                                   std::uint64_t seed) {
+  common::Xoshiro256 root(seed);
+  std::vector<common::Xoshiro256> rngs;
+  rngs.reserve(static_cast<std::size_t>(nodes) * 2);
+  for (std::uint32_t i = 0; i < nodes * 2; ++i) rngs.push_back(root.fork());
+  return rngs;
+}
+
+std::int64_t clamp_key(std::int64_t key, std::int64_t domain) {
+  return std::clamp<std::int64_t>(key, 1, domain);
+}
+
+// Timescale notes. Join windows in the experiments are ~10 s half-width and
+// sliding-DFT windows span ~40 s of arrivals, so latent processes must
+//  (a) drift slowly relative to the join window (else no two tuples ever
+//      share a key and the join is empty), and
+//  (b) still move visibly within a DFT window (else windows carry no
+//      low-frequency energy and spectra degenerate to the jitter floor).
+// The periods and ranges below satisfy (a) and (b) at the default arrival
+// rates; plateau quantization (NWRK, FIN) gives windows of exact key
+// equality even while the latent value creeps.
+
+}  // namespace
+
+LatentProcess::LatentProcess(double lo, double hi, double base_period_s,
+                             std::size_t harmonics, common::Xoshiro256& rng)
+    : lo_(lo), hi_(hi) {
+  assert(harmonics >= 1);
+  components_.reserve(harmonics);
+  double norm = 0.0;
+  for (std::size_t h = 0; h < harmonics; ++h) {
+    // Harmonic h runs ~(h+1)x faster with 1/(h+1) the amplitude: a smooth,
+    // pink-ish spectrum dominated by the base period. Frequencies are
+    // jittered so two independently constructed processes never share an
+    // exact harmonic grid (which would make them correlate under lag
+    // search).
+    Component c;
+    c.amplitude = 1.0 / static_cast<double>(h + 1);
+    const double freq_jitter = rng.next_double_in(0.85, 1.2);
+    c.angular_frequency = 2.0 * std::numbers::pi *
+                          static_cast<double>(h + 1) * freq_jitter / base_period_s;
+    c.phase = rng.next_double_in(0.0, 2.0 * std::numbers::pi);
+    norm += c.amplitude;
+    components_.push_back(c);
+  }
+  norm_ = norm;
+}
+
+double LatentProcess::value(double t) const noexcept {
+  double acc = 0.0;
+  for (const auto& c : components_) {
+    acc += c.amplitude * std::sin(c.angular_frequency * t + c.phase);
+  }
+  // acc in [-norm_, norm_]; map to [lo_, hi_].
+  const double unit = (acc / norm_ + 1.0) * 0.5;
+  return lo_ + unit * (hi_ - lo_);
+}
+
+UniformWorkload::UniformWorkload(const WorkloadParams& params)
+    : params_(params), rngs_(per_node_side_rngs(params.nodes, params.seed)) {}
+
+std::int64_t UniformWorkload::next_key(net::NodeId node, StreamSide side,
+                                       double /*now*/) {
+  auto& rng = rngs_[rng_index(node, side)];
+  return rng.next_in(1, params_.domain);
+}
+
+ZipfWorkload::ZipfWorkload(const WorkloadParams& params, double alpha,
+                           std::int64_t spread)
+    : params_(params),
+      zipf_(static_cast<std::uint64_t>(spread), alpha),
+      spread_(spread),
+      rngs_(per_node_side_rngs(params.nodes, params.seed)) {
+  if (params.regions == 0) throw std::invalid_argument("regions must be >= 1");
+  common::Xoshiro256 latent_rng(params.seed ^ 0xa5a5a5a5ULL);
+  region_centers_.reserve(params.regions);
+  // Each region owns a disjoint block of the domain (the geographic skew);
+  // within its block the hot center drifts slowly over a band of ~16 spreads
+  // (slope << spread / join-window).
+  const double block =
+      static_cast<double>(params.domain) / static_cast<double>(params.regions);
+  for (std::uint32_t r = 0; r < params.regions; ++r) {
+    const double mid = block * (static_cast<double>(r) + 0.5);
+    const double band =
+        std::min(block * 0.5, static_cast<double>(16 * spread));
+    region_centers_.emplace_back(mid - band / 2, mid + band / 2,
+                                 /*base_period_s=*/4000.0, /*harmonics=*/4,
+                                 latent_rng);
+  }
+}
+
+std::int64_t ZipfWorkload::next_key(net::NodeId node, StreamSide side, double now) {
+  auto& rng = rngs_[rng_index(node, side)];
+  if (rng.next_bool(params_.noise)) {
+    return rng.next_in(1, params_.domain);  // cold background tuple
+  }
+  std::uint32_t region = node % params_.regions;
+  if (params_.regions > 1 && !rng.next_bool(params_.locality)) {
+    // Occasionally observe a foreign region: the cross-region join residue.
+    region = static_cast<std::uint32_t>(rng.next_below(params_.regions));
+  }
+  // Plateau quantization: the hot center moves in 128-key steps, so keys
+  // coincide exactly across nodes within a join window despite the drift.
+  constexpr std::int64_t kPlateau = 128;
+  const double center = region_centers_[region].value(now);
+  const std::int64_t center_q =
+      static_cast<std::int64_t>(std::llround(center / static_cast<double>(kPlateau))) *
+      kPlateau;
+  const auto rank = static_cast<std::int64_t>(zipf_(rng));
+  const std::int64_t offset = (rank - 1) * (rng.next_bool(0.5) ? 1 : -1);
+  return clamp_key(center_q + offset, params_.domain);
+}
+
+FinancialWorkload::FinancialWorkload(const WorkloadParams& params,
+                                     std::uint32_t symbols,
+                                     std::int64_t half_spread)
+    : params_(params), symbols_(symbols), half_spread_(half_spread),
+      symbol_pop_(symbols, 1.0),
+      rngs_(per_node_side_rngs(params.nodes, params.seed)) {
+  if (symbols == 0) throw std::invalid_argument("symbols must be >= 1");
+  common::Xoshiro256 latent_rng(params.seed ^ 0x5ee5ee5eULL);
+  mid_prices_.reserve(symbols);
+  // Each region's symbols trade in one tight price cluster inside the
+  // region's block of the domain: a node's window is then unimodal in value
+  // (spectrally compressible) while regions stay far apart (geographic
+  // skew). The mid drifts very slowly (quotes must coincide within a join
+  // window) and is tick-quantized in next_key.
+  const std::uint32_t regions = std::max(params.regions, 1u);
+  const std::uint32_t per_region = std::max(symbols / regions, 1u);
+  const double block =
+      static_cast<double>(params.domain) / static_cast<double>(regions);
+  for (std::uint32_t s = 0; s < symbols; ++s) {
+    const std::uint32_t region = s / per_region % regions;
+    const std::uint32_t slot = s % per_region;
+    const double cluster_mid = block * (static_cast<double>(region) + 0.5);
+    const double spacing = 768.0;
+    const double mid = cluster_mid +
+                       (static_cast<double>(slot) -
+                        static_cast<double>(per_region - 1) / 2.0) *
+                           spacing;
+    const double range = 384.0;
+    mid_prices_.emplace_back(mid - range / 2, mid + range / 2,
+                             /*base_period_s=*/30000.0, /*harmonics=*/6,
+                             latent_rng);
+  }
+}
+
+std::int64_t FinancialWorkload::next_key(net::NodeId node, StreamSide side,
+                                         double now) {
+  auto& rng = rngs_[rng_index(node, side)];
+  // Exchanges list mostly regional symbols: the popularity ranking is
+  // rotated by region, so region r's hottest symbol differs from region
+  // r+1's.
+  const std::uint32_t regions = std::max(params_.regions, 1u);
+  const std::uint32_t per_region = std::max(symbols_ / regions, 1u);
+  std::uint32_t region = node % regions;
+  if (regions > 1 && !rng.next_bool(params_.locality)) {
+    region = static_cast<std::uint32_t>(rng.next_below(regions));
+  }
+  const std::uint32_t rank =
+      (static_cast<std::uint32_t>(symbol_pop_(rng)) - 1) % per_region;
+  const std::uint32_t symbol = (region * per_region + rank) % symbols_;
+  // Tick-quantized mid plus a +/-8 jitter; bids sit half_spread below the
+  // mid and asks above. A join is a price cross (bid == ask).
+  constexpr std::int64_t kTick = 8;
+  const double mid = mid_prices_[symbol].value(now);
+  const std::int64_t mid_q =
+      static_cast<std::int64_t>(std::llround(mid / static_cast<double>(kTick))) *
+      kTick;
+  const std::int64_t jitter = rng.next_in(-8, 8);
+  const std::int64_t price = side == StreamSide::kR
+                                 ? mid_q - half_spread_ + jitter
+                                 : mid_q + half_spread_ - jitter;
+  return clamp_key(price, params_.domain);
+}
+
+NetworkWorkload::NetworkWorkload(const WorkloadParams& params,
+                                 double flow_continue_p, double alpha,
+                                 std::int64_t hot_set)
+    : params_(params), flow_continue_p_(flow_continue_p),
+      host_pop_(static_cast<std::uint64_t>(hot_set), alpha),
+      rngs_(per_node_side_rngs(params.nodes, params.seed)),
+      current_flow_(static_cast<std::size_t>(params.nodes) * 2, 0) {
+  common::Xoshiro256 latent_rng(params.seed ^ 0x77cc77ccULL);
+  region_hot_.reserve(params.regions);
+  // The hot host set drifts diurnally across each region's address block;
+  // next_key quantizes it to plateaus so flows coincide within join windows.
+  const double block =
+      static_cast<double>(params.domain) / static_cast<double>(params.regions);
+  for (std::uint32_t r = 0; r < params.regions; ++r) {
+    const double mid = block * (static_cast<double>(r) + 0.5);
+    const double range = std::min(block * 0.5, static_cast<double>(16 * hot_set));
+    region_hot_.emplace_back(mid - range / 2, mid + range / 2,
+                             /*base_period_s=*/6000.0, /*harmonics=*/3,
+                             latent_rng);
+  }
+}
+
+std::int64_t NetworkWorkload::next_key(net::NodeId node, StreamSide side,
+                                       double now) {
+  const std::size_t idx = rng_index(node, side);
+  auto& rng = rngs_[idx];
+  // Packet bursts: continue the active flow with probability p.
+  if (current_flow_[idx] != 0 && rng.next_bool(flow_continue_p_)) {
+    return current_flow_[idx];
+  }
+  if (rng.next_bool(params_.noise)) {
+    current_flow_[idx] = rng.next_in(1, params_.domain);  // scanner noise
+    return current_flow_[idx];
+  }
+  std::uint32_t region = node % params_.regions;
+  if (params_.regions > 1 && !rng.next_bool(params_.locality)) {
+    region = static_cast<std::uint32_t>(rng.next_below(params_.regions));
+  }
+  // Plateau quantization: the hot base moves in 256-address steps, so the
+  // same hosts stay hot across a join window even while the latent drifts.
+  constexpr std::int64_t kPlateau = 256;
+  const double hot = region_hot_[region].value(now);
+  const std::int64_t hot_base =
+      static_cast<std::int64_t>(std::llround(hot / static_cast<double>(kPlateau))) *
+      kPlateau;
+  const auto rank = static_cast<std::int64_t>(host_pop_(rng));
+  const std::int64_t offset = (rank - 1) * (rng.next_bool(0.5) ? 1 : -1);
+  const std::int64_t key = clamp_key(hot_base + offset, params_.domain);
+  current_flow_[idx] = key;
+  return key;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const WorkloadParams& params) {
+  if (name == "UNI") return std::make_unique<UniformWorkload>(params);
+  if (name == "ZIPF") return std::make_unique<ZipfWorkload>(params);
+  if (name == "FIN") return std::make_unique<FinancialWorkload>(params);
+  if (name == "NWRK") return std::make_unique<NetworkWorkload>(params);
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<double> generate_stock_series(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  LatentProcess cycles(-40.0, 40.0, static_cast<double>(n) / 3.0, 8, rng);
+  std::vector<double> out(n);
+  double walk = 10000.0;  // price in cents
+  for (std::size_t i = 0; i < n; ++i) {
+    // A tick-scale random walk: the 1/f^2 spectrum puts the paper's
+    // E[MSE] < 0.25 lossless threshold (Figure 6) near kappa = 256.
+    walk += rng.next_gaussian() * 0.065;
+    out[i] = std::round(walk + cycles.value(static_cast<double>(i)));
+  }
+  return out;
+}
+
+}  // namespace dsjoin::stream

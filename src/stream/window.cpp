@@ -1,0 +1,126 @@
+#include "dsjoin/stream/window.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsjoin::stream {
+
+void TupleStore::insert(const Tuple& tuple) {
+  by_key_[tuple.key].push_back(StoredTuple{tuple.id, tuple.timestamp, tuple.origin});
+  eviction_.push(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
+  ++size_;
+}
+
+void TupleStore::evict_before(double min_timestamp) {
+  while (!eviction_.empty() && eviction_.top().timestamp < min_timestamp) {
+    const HeapEntry entry = eviction_.top();
+    eviction_.pop();
+    auto it = by_key_.find(entry.key);
+    assert(it != by_key_.end());
+    auto& deque = it->second;
+    // The heap pops in global timestamp order, so the matching element is at
+    // (or very near, under out-of-order inserts) the front of its deque.
+    for (auto dit = deque.begin(); dit != deque.end(); ++dit) {
+      if (dit->id == entry.id) {
+        deque.erase(dit);
+        break;
+      }
+    }
+    if (deque.empty()) by_key_.erase(it);
+    --size_;
+  }
+}
+
+std::uint64_t TupleStore::count_matches(std::int64_t key, double center,
+                                        double half_width) const {
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) return 0;
+  std::uint64_t n = 0;
+  for (const auto& st : it->second) {
+    if (st.timestamp >= center - half_width && st.timestamp <= center + half_width) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void TupleStore::for_each_match(
+    std::int64_t key, double center, double half_width,
+    const std::function<void(const StoredTuple&)>& fn) const {
+  const auto it = by_key_.find(key);
+  if (it == by_key_.end()) return;
+  for (const auto& st : it->second) {
+    if (st.timestamp >= center - half_width && st.timestamp <= center + half_width) {
+      fn(st);
+    }
+  }
+}
+
+CountWindow::CountWindow(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity >= 1);
+}
+
+CountWindow::Evicted CountWindow::insert(const Tuple& tuple) {
+  Evicted evicted;
+  if (ring_.size() == capacity_) {
+    evicted.valid = true;
+    evicted.tuple = ring_.front();
+    auto it = key_counts_.find(evicted.tuple.key);
+    assert(it != key_counts_.end());
+    if (--it->second == 0) key_counts_.erase(it);
+    ring_.pop_front();
+  }
+  ring_.push_back(tuple);
+  ++key_counts_[tuple.key];
+  return evicted;
+}
+
+std::uint64_t CountWindow::count_matches(std::int64_t key) const {
+  const auto it = key_counts_.find(key);
+  return it == key_counts_.end() ? 0 : it->second;
+}
+
+LandmarkWindow::LandmarkWindow(double landmark_time) : landmark_(landmark_time) {}
+
+bool LandmarkWindow::insert(const Tuple& tuple) {
+  if (tuple.timestamp < landmark_) return false;
+  by_key_[tuple.key].push_back(StoredTuple{tuple.id, tuple.timestamp, tuple.origin});
+  ++size_;
+  return true;
+}
+
+void LandmarkWindow::reset_landmark(double landmark_time) {
+  landmark_ = landmark_time;
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    auto& deque = it->second;
+    const auto before = deque.size();
+    std::erase_if(deque, [&](const StoredTuple& st) {
+      return st.timestamp < landmark_;
+    });
+    size_ -= before - deque.size();
+    it = deque.empty() ? by_key_.erase(it) : std::next(it);
+  }
+}
+
+std::uint64_t LandmarkWindow::count_matches(std::int64_t key) const {
+  const auto it = by_key_.find(key);
+  return it == by_key_.end() ? 0 : it->second.size();
+}
+
+std::vector<ResultPair> reference_join(const std::vector<Tuple>& r_tuples,
+                                       const std::vector<Tuple>& s_tuples,
+                                       double half_width) {
+  std::vector<ResultPair> out;
+  for (const Tuple& r : r_tuples) {
+    for (const Tuple& s : s_tuples) {
+      if (r.key == s.key &&
+          s.timestamp >= r.timestamp - half_width &&
+          s.timestamp <= r.timestamp + half_width) {
+        out.push_back(ResultPair{r.id, s.id});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dsjoin::stream

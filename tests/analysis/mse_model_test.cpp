@@ -1,0 +1,84 @@
+#include "dsjoin/analysis/mse_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsjoin/dsp/compression.hpp"
+#include "dsjoin/stream/generator.hpp"
+
+namespace dsjoin::analysis {
+namespace {
+
+TEST(PredictedMse, ZeroWhenEverythingRetained) {
+  dsp::Fft fft(64);
+  std::vector<double> signal(64, 3.0);
+  const auto spectrum = fft.forward_real(signal);
+  EXPECT_DOUBLE_EQ(predicted_mse(spectrum, 33), 0.0);
+}
+
+TEST(PredictedMse, MatchesEmpiricalReconstruction) {
+  // Parseval: the analytic model must equal the measured MSE exactly.
+  const auto signal = stream::generate_stock_series(4096, 5);
+  dsp::Fft fft(signal.size());
+  const auto spectrum = fft.forward_real(signal);
+  for (double kappa : {4.0, 16.0, 64.0, 256.0}) {
+    const std::size_t k = dsp::retained_for_kappa(signal.size(), kappa);
+    const auto approx = dsp::reconstruct(dsp::compress(signal, kappa, fft));
+    const double empirical = dsp::mean_squared_error(signal, approx);
+    const double predicted = predicted_mse(spectrum, k);
+    EXPECT_NEAR(predicted, empirical, 1e-6 * (1.0 + empirical)) << kappa;
+  }
+}
+
+TEST(PredictedMse, MonotoneInRetained) {
+  const auto signal = stream::generate_stock_series(2048, 6);
+  dsp::Fft fft(signal.size());
+  const auto spectrum = fft.forward_real(signal);
+  // Fewer retained coefficients leave more residual energy.
+  double prev = -1.0;
+  for (std::size_t k : {1024u, 256u, 64u, 16u, 4u, 1u}) {
+    const double mse = predicted_mse(spectrum, k);
+    EXPECT_GE(mse, prev);
+    prev = mse;
+  }
+}
+
+TEST(MseProfile, CoversPowerOfTwoKappas) {
+  const auto signal = stream::generate_stock_series(1024, 7);
+  const auto profile = mse_profile(signal);
+  ASSERT_GE(profile.size(), 5u);
+  EXPECT_DOUBLE_EQ(profile.front().kappa, 2.0);
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_DOUBLE_EQ(profile[i].kappa, profile[i - 1].kappa * 2.0);
+    EXPECT_GE(profile[i].mse, profile[i - 1].mse - 1e-12);
+  }
+}
+
+TEST(MaxLosslessKappa, StockSeriesSupportsDeepCompression) {
+  // The reproduction of the paper's kappa = 256 claim: the synthetic stock
+  // stream admits a lossless (E[MSE] < 0.25) compression factor of at
+  // least 128.
+  const auto signal = stream::generate_stock_series(65536, 42);
+  EXPECT_GE(max_lossless_kappa(signal, 0.25), 128.0);
+}
+
+TEST(MaxLosslessKappa, PureToneCompressesMaximally) {
+  constexpr std::size_t kN = 4096;
+  std::vector<double> tone(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    tone[i] = 100 * std::sin(2 * std::numbers::pi * static_cast<double>(i) / kN);
+  }
+  EXPECT_GE(max_lossless_kappa(tone, 0.25), 1024.0);
+}
+
+TEST(MaxLosslessKappa, WhiteNoiseDoesNotCompress) {
+  common::Xoshiro256 rng(8);
+  std::vector<double> noise(2048);
+  for (auto& v : noise) v = rng.next_double_in(-100, 100);
+  EXPECT_DOUBLE_EQ(max_lossless_kappa(noise, 0.25), 1.0);
+}
+
+}  // namespace
+}  // namespace dsjoin::analysis

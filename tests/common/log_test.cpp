@@ -1,0 +1,63 @@
+#include "dsjoin/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dsjoin::common {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelThresholdRoundTrips) {
+  LogLevelGuard guard;
+  for (auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                     LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // All of these must be no-ops (and must not evaluate into UB).
+  log(LogLevel::kDebug, "dropped %d", 1);
+  log(LogLevel::kError, "dropped %s", "too");
+  DSJOIN_LOG_INFO("macro form %d", 2);
+  SUCCEED();
+}
+
+TEST(Log, EmittingLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  log(LogLevel::kDebug, "test debug line %d", 42);
+  DSJOIN_LOG_WARN("test warn line %s", "ok");
+  SUCCEED();
+}
+
+TEST(Log, ConcurrentEmissionIsSafe) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);  // suppress output; exercise the filter
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) {
+        log(LogLevel::kWarn, "thread %d line %d", t, i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dsjoin::common

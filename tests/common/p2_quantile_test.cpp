@@ -1,0 +1,85 @@
+#include "dsjoin/common/p2_quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/common/stats.hpp"
+
+namespace dsjoin::common {
+namespace {
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile p(0.5);
+  EXPECT_EQ(p.value(), 0.0);
+  EXPECT_EQ(p.count(), 0u);
+}
+
+TEST(P2Quantile, SmallSamplesAreExact) {
+  P2Quantile median(0.5);
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(1.0);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);  // interpolated median of {1,3}
+  median.add(2.0);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile p(0.5);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100000; ++i) p.add(rng.next_double_in(0, 100));
+  EXPECT_NEAR(p.value(), 50.0, 2.0);
+}
+
+TEST(P2Quantile, TailQuantileOfUniform) {
+  P2Quantile p(0.95);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100000; ++i) p.add(rng.next_double_in(0, 1));
+  EXPECT_NEAR(p.value(), 0.95, 0.01);
+}
+
+TEST(P2Quantile, GaussianQuantiles) {
+  // Standard normal: q(0.5)=0, q(0.9)~1.2816.
+  P2Quantile median(0.5), p90(0.9);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    const double g = rng.next_gaussian();
+    median.add(g);
+    p90.add(g);
+  }
+  EXPECT_NEAR(median.value(), 0.0, 0.03);
+  EXPECT_NEAR(p90.value(), 1.2816, 0.05);
+}
+
+TEST(P2Quantile, AgreesWithExactOnSkewedData) {
+  P2Quantile p(0.75);
+  SampleSet exact;
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = std::exp(rng.next_gaussian());  // lognormal
+    p.add(x);
+    exact.add(x);
+  }
+  const double truth = exact.quantile(0.75);
+  EXPECT_NEAR(p.value(), truth, 0.08 * truth);
+}
+
+TEST(P2Quantile, MonotoneInputStreams) {
+  P2Quantile p(0.5);
+  for (int i = 1; i <= 10001; ++i) p.add(i);
+  EXPECT_NEAR(p.value(), 5001.0, 250.0);
+  P2Quantile down(0.5);
+  for (int i = 10001; i >= 1; --i) down.add(i);
+  EXPECT_NEAR(down.value(), 5001.0, 250.0);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile p(0.25);
+  for (int i = 0; i < 1000; ++i) p.add(7.5);
+  EXPECT_DOUBLE_EQ(p.value(), 7.5);
+}
+
+}  // namespace
+}  // namespace dsjoin::common

@@ -1,0 +1,140 @@
+#include "dsjoin/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace dsjoin::common {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanIsHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversSmallRange) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, NextInIsInclusive) {
+  Xoshiro256 rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, BernoulliEdgeCases) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+    EXPECT_FALSE(rng.next_bool(-0.5));
+    EXPECT_TRUE(rng.next_bool(1.5));
+  }
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(29);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, GaussianMoments) {
+  Xoshiro256 rng(31);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, ExponentialMeanMatchesRate) {
+  Xoshiro256 rng(37);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double e = rng.next_exponential(4.0);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(Xoshiro256, ForkProducesIndependentStream) {
+  Xoshiro256 parent(41);
+  Xoshiro256 child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dsjoin::common

@@ -1,0 +1,122 @@
+#include "dsjoin/common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dsjoin::common {
+namespace {
+
+TEST(Serialize, FixedWidthRoundTrip) {
+  BufferWriter w;
+  w.write_u8(0xab);
+  w.write_u16(0xbeef);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x0123456789abcdefULL);
+  w.write_i64(-42);
+  w.write_f64(3.14159);
+
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.read_u8().value(), 0xab);
+  EXPECT_EQ(r.read_u16().value(), 0xbeef);
+  EXPECT_EQ(r.read_u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.read_i64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64().value(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, FloatSpecialValues) {
+  BufferWriter w;
+  w.write_f64(std::numeric_limits<double>::infinity());
+  w.write_f64(-0.0);
+  w.write_f64(std::numeric_limits<double>::denorm_min());
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.read_f64().value(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.read_f64().value(), 0.0);
+  EXPECT_EQ(r.read_f64().value(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  BufferWriter w;
+  w.write_string("hello");
+  w.write_string("");
+  w.write_string(std::string(1000, 'x'));
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.read_string().value(), "hello");
+  EXPECT_EQ(r.read_string().value(), "");
+  EXPECT_EQ(r.read_string().value(), std::string(1000, 'x'));
+}
+
+TEST(Serialize, BytesRoundTrip) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 255, 0, 128};
+  BufferWriter w;
+  w.write_bytes(payload);
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.read_bytes().value(), payload);
+}
+
+TEST(Serialize, TruncatedFixedReadFails) {
+  BufferWriter w;
+  w.write_u16(7);
+  BufferReader r(w.bytes());
+  EXPECT_TRUE(r.read_u8());
+  // one byte left, u32 must fail
+  auto res = r.read_u32();
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(Serialize, TruncatedStringFails) {
+  BufferWriter w;
+  w.write_u32(100);  // claims 100 bytes follow
+  w.write_u8('x');
+  BufferReader r(w.bytes());
+  auto res = r.read_string();
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(Serialize, TruncatedBytesFails) {
+  BufferWriter w;
+  w.write_u32(16);
+  BufferReader r(w.bytes());
+  EXPECT_FALSE(r.read_bytes().is_ok());
+}
+
+TEST(Serialize, EmptyReaderIsExhausted) {
+  BufferReader r({});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_FALSE(r.read_u8().is_ok());
+}
+
+TEST(Serialize, RemainingTracksPosition) {
+  BufferWriter w;
+  w.write_u64(1);
+  w.write_u64(2);
+  BufferReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 16u);
+  (void)r.read_u64();
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.read_u64();
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, WriterSizeAndTake) {
+  BufferWriter w(64);
+  w.write_u32(5);
+  EXPECT_EQ(w.size(), 4u);
+  auto owned = std::move(w).take();
+  EXPECT_EQ(owned.size(), 4u);
+}
+
+TEST(Serialize, RawBytesHaveNoPrefix) {
+  BufferWriter w;
+  const std::vector<std::uint8_t> raw{9, 8, 7};
+  w.write_raw(raw);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dsjoin::common

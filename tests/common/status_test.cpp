@@ -1,0 +1,72 @@
+#include "dsjoin/common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsjoin::common {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kNotFound, "no such node");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such node");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: no such node");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (auto code : {ErrorCode::kOk, ErrorCode::kInvalidArgument,
+                    ErrorCode::kOutOfRange, ErrorCode::kFailedPrecondition,
+                    ErrorCode::kNotFound, ErrorCode::kAlreadyExists,
+                    ErrorCode::kResourceExhausted, ErrorCode::kUnavailable,
+                    ErrorCode::kDataLoss, ErrorCode::kInternal}) {
+    EXPECT_FALSE(to_string(code).empty());
+    EXPECT_NE(to_string(code), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status(ErrorCode::kDataLoss, "truncated");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kDataLoss);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.is_ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+TEST(Result, ImplicitConversionFromValueAndStatus) {
+  auto make = [](bool ok) -> Result<double> {
+    if (ok) return 1.5;
+    return Status(ErrorCode::kInternal, "boom");
+  };
+  EXPECT_TRUE(make(true).is_ok());
+  EXPECT_FALSE(make(false).is_ok());
+}
+
+}  // namespace
+}  // namespace dsjoin::common

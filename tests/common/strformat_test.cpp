@@ -1,0 +1,34 @@
+#include "dsjoin/common/strformat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsjoin::common {
+namespace {
+
+TEST(StrFormat, BasicSubstitution) {
+  EXPECT_EQ(str_format("a=%d b=%s c=%.2f", 7, "xy", 1.5), "a=7 b=xy c=1.50");
+}
+
+TEST(StrFormat, EmptyAndNoArgs) {
+  EXPECT_EQ(str_format("plain"), "plain");
+  EXPECT_EQ(str_format("%s", ""), "");
+}
+
+TEST(StrFormat, LongOutputAllocatesCorrectly) {
+  const std::string big(10000, 'z');
+  const std::string out = str_format("[%s]", big.c_str());
+  EXPECT_EQ(out.size(), big.size() + 2);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StrFormat, NumericEdgeCases) {
+  EXPECT_EQ(str_format("%lld", -9223372036854775807LL), "-9223372036854775807");
+  EXPECT_EQ(str_format("%llu", 18446744073709551615ULL), "18446744073709551615");
+  EXPECT_EQ(str_format("%g", 0.0), "0");
+}
+
+TEST(StrFormat, PercentEscape) { EXPECT_EQ(str_format("100%%"), "100%"); }
+
+}  // namespace
+}  // namespace dsjoin::common

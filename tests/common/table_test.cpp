@@ -1,0 +1,68 @@
+#include "dsjoin/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace dsjoin::common {
+namespace {
+
+std::string render(TablePrinter& table, bool csv) {
+  std::FILE* tmp = std::tmpfile();
+  if (csv) {
+    table.print_csv(tmp);
+  } else {
+    table.print(tmp);
+  }
+  std::fseek(tmp, 0, SEEK_END);
+  const long size = std::ftell(tmp);
+  std::rewind(tmp);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  EXPECT_EQ(std::fread(out.data(), 1, out.size(), tmp), out.size());
+  std::fclose(tmp);
+  return out;
+}
+
+TEST(TablePrinter, RendersTitleHeaderAndRows) {
+  TablePrinter table("Figure X", {"n", "value"});
+  table.add(1, 2.5);
+  table.add(20, "text");
+  const std::string out = render(table, false);
+  EXPECT_NE(out.find("Figure X"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("text"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter table("series", {"a", "b"});
+  table.add(1, 2);
+  table.add(3, 4);
+  const std::string out = render(table, true);
+  EXPECT_NE(out.find("# csv series"), std::string::npos);
+  EXPECT_NE(out.find("a,b"), std::string::npos);
+  EXPECT_NE(out.find("1,2"), std::string::npos);
+  EXPECT_NE(out.find("3,4"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvEscapesSpecialCharacters) {
+  TablePrinter table("esc", {"col"});
+  table.add_row({"a,b"});
+  table.add_row({"quote\"inside"});
+  const std::string out = render(table, true);
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TablePrinter, IntegerFormatting) {
+  TablePrinter table("ints", {"signed", "unsigned"});
+  table.add(-5, std::uint64_t{18446744073709551615ull});
+  const std::string out = render(table, true);
+  EXPECT_NE(out.find("-5"), std::string::npos);
+  EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsjoin::common

@@ -1,0 +1,108 @@
+#include "dsjoin/common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dsjoin::common {
+namespace {
+
+TEST(GeneralizedHarmonic, SmallExactValues) {
+  EXPECT_DOUBLE_EQ(generalized_harmonic(1, 1.0), 1.0);
+  EXPECT_NEAR(generalized_harmonic(2, 1.0), 1.5, 1e-12);
+  EXPECT_NEAR(generalized_harmonic(3, 0.0), 3.0, 1e-12);
+  EXPECT_NEAR(generalized_harmonic(4, 2.0), 1.0 + 0.25 + 1.0 / 9 + 1.0 / 16, 1e-12);
+}
+
+TEST(GeneralizedHarmonic, LargeNMatchesDirectSum) {
+  // The Euler-Maclaurin branch must agree with direct summation.
+  const std::uint64_t n = 1u << 18;
+  const double alpha = 0.4;
+  double direct = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    direct += std::pow(static_cast<double>(k), -alpha);
+  }
+  EXPECT_NEAR(generalized_harmonic(n, alpha) / direct, 1.0, 1e-9);
+}
+
+TEST(ZipfDistribution, PmfSumsToOne) {
+  for (double alpha : {0.0, 0.4, 1.0, 1.5}) {
+    ZipfDistribution zipf(1000, alpha);
+    double total = 0.0;
+    for (std::uint64_t k = 1; k <= 1000; ++k) total += zipf.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(ZipfDistribution, PmfMonotoneDecreasing) {
+  ZipfDistribution zipf(100, 0.7);
+  for (std::uint64_t k = 1; k < 100; ++k) {
+    EXPECT_GE(zipf.pmf(k), zipf.pmf(k + 1));
+  }
+}
+
+TEST(ZipfDistribution, SamplesInDomain) {
+  Xoshiro256 rng(1);
+  ZipfDistribution zipf(64, 1.1);
+  for (int i = 0; i < 100000; ++i) {
+    const auto k = zipf(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 64u);
+  }
+}
+
+TEST(ZipfDistribution, DomainOfOne) {
+  Xoshiro256 rng(2);
+  ZipfDistribution zipf(1, 0.9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 1u);
+  EXPECT_DOUBLE_EQ(zipf.pmf(1), 1.0);
+  EXPECT_DOUBLE_EQ(zipf.pmf(2), 0.0);
+}
+
+// The empirical frequency of each rank must match the pmf (chi-squared-ish
+// tolerance check on the head of the distribution).
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalMatchesPmf) {
+  const double alpha = GetParam();
+  const std::uint64_t n = 50;
+  ZipfDistribution zipf(n, alpha);
+  Xoshiro256 rng(777);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(n + 1, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf(rng)];
+  for (std::uint64_t k = 1; k <= 10; ++k) {
+    const double expected = zipf.pmf(k);
+    const double observed = static_cast<double>(counts[k]) / kSamples;
+    // 5 sigma of the binomial standard error plus a small absolute slack.
+    const double tol =
+        5.0 * std::sqrt(expected * (1 - expected) / kSamples) + 1e-4;
+    EXPECT_NEAR(observed, expected, tol) << "alpha=" << alpha << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfFrequencyTest,
+                         ::testing::Values(0.0, 0.4, 0.8, 1.0, 1.2, 2.0));
+
+TEST(ZipfDistribution, UniformAlphaIsUniform) {
+  ZipfDistribution zipf(100, 0.0);
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    EXPECT_NEAR(zipf.pmf(k), 0.01, 1e-12);
+  }
+}
+
+TEST(ZipfDistribution, SkewConcentratesMassAtHead) {
+  Xoshiro256 rng(9);
+  ZipfDistribution mild(1000, 0.4);
+  ZipfDistribution heavy(1000, 1.5);
+  int mild_head = 0, heavy_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (mild(rng) <= 10) ++mild_head;
+    if (heavy(rng) <= 10) ++heavy_head;
+  }
+  EXPECT_LT(mild_head, heavy_head);
+}
+
+}  // namespace
+}  // namespace dsjoin::common

@@ -1,0 +1,45 @@
+#include "dsjoin/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsjoin::core {
+namespace {
+
+TEST(MetricsCollector, DeduplicatesPairs) {
+  MetricsCollector metrics;
+  metrics.set_node_count(3);
+  metrics.record_pair({1, 2}, 0, 1.0);
+  metrics.record_pair({1, 2}, 1, 2.0);  // duplicate discovery at another node
+  metrics.record_pair({2, 1}, 1, 3.0);  // distinct (order matters: R vs S id)
+  EXPECT_EQ(metrics.distinct_pairs(), 2u);
+  EXPECT_EQ(metrics.total_reports(), 3u);
+}
+
+TEST(MetricsCollector, CreditsFirstDiscoverer) {
+  MetricsCollector metrics;
+  metrics.set_node_count(2);
+  metrics.record_pair({1, 2}, 1, 1.0);
+  metrics.record_pair({1, 2}, 0, 2.0);
+  metrics.record_pair({3, 4}, 0, 3.0);
+  EXPECT_EQ(metrics.per_node_discoveries()[0], 1u);
+  EXPECT_EQ(metrics.per_node_discoveries()[1], 1u);
+}
+
+TEST(MetricsCollector, TracksLastReportTime) {
+  MetricsCollector metrics;
+  metrics.set_node_count(1);
+  EXPECT_DOUBLE_EQ(metrics.last_report_time(), 0.0);
+  metrics.record_pair({1, 1}, 0, 5.0);
+  metrics.record_pair({2, 2}, 0, 3.0);  // earlier report does not move it back
+  EXPECT_DOUBLE_EQ(metrics.last_report_time(), 5.0);
+}
+
+TEST(MetricsCollector, OutOfRangeDiscovererIsSafe) {
+  MetricsCollector metrics;
+  metrics.set_node_count(1);
+  metrics.record_pair({9, 9}, 57, 1.0);  // no per-node slot; still counted
+  EXPECT_EQ(metrics.distinct_pairs(), 1u);
+}
+
+}  // namespace
+}  // namespace dsjoin::core

@@ -1,0 +1,327 @@
+#include "dsjoin/core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace dsjoin::core {
+namespace {
+
+SystemConfig config_for(PolicyKind kind, std::uint32_t nodes = 6) {
+  SystemConfig config;
+  config.policy = kind;
+  config.nodes = nodes;
+  config.seed = 99;
+  return config;
+}
+
+stream::Tuple tuple_with(std::int64_t key, stream::StreamSide side,
+                         double ts = 1.0) {
+  stream::Tuple t;
+  t.id = 1;
+  t.key = key;
+  t.side = side;
+  t.timestamp = ts;
+  return t;
+}
+
+TEST(ThrottleToBudget, EndpointsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(throttle_to_budget(0.0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(throttle_to_budget(1.0, 10), 9.0);
+  EXPECT_DOUBLE_EQ(throttle_to_budget(0.5, 10), 3.0);  // sqrt(9)
+  double prev = 0.0;
+  for (double t = 0.0; t <= 1.0; t += 0.1) {
+    const double budget = throttle_to_budget(t, 10);
+    EXPECT_GE(budget, prev);
+    prev = budget;
+  }
+  // Degenerate cluster sizes.
+  EXPECT_DOUBLE_EQ(throttle_to_budget(0.5, 1), 0.0);
+  EXPECT_DOUBLE_EQ(throttle_to_budget(0.5, 2), 1.0);
+}
+
+TEST(AllocateFlowProbabilities, ZeroScoresGetFloorOnly) {
+  std::vector<double> scores(5, 0.0);
+  const auto probs = allocate_flow_probabilities(scores, 3.0, 0.1);
+  for (double p : probs) EXPECT_DOUBLE_EQ(p, 0.1);
+}
+
+TEST(AllocateFlowProbabilities, SpendsBudgetProportionally) {
+  std::vector<double> scores{1.0, 3.0};
+  const auto probs = allocate_flow_probabilities(scores, 0.8, 0.0);
+  EXPECT_NEAR(probs[0] + probs[1], 0.8, 1e-9);
+  EXPECT_NEAR(probs[1] / probs[0], 3.0, 1e-9);
+}
+
+TEST(AllocateFlowProbabilities, SaturatesAtOne) {
+  std::vector<double> scores{100.0, 1.0, 1.0};
+  const auto probs = allocate_flow_probabilities(scores, 2.0, 0.0);
+  EXPECT_DOUBLE_EQ(probs[0], 1.0);
+  EXPECT_NEAR(probs[0] + probs[1] + probs[2], 2.0, 1e-9);
+  EXPECT_NEAR(probs[1], probs[2], 1e-12);
+}
+
+TEST(AllocateFlowProbabilities, FullBudgetBroadcasts) {
+  std::vector<double> scores{5.0, 0.1, 2.0, 0.4};
+  const auto probs = allocate_flow_probabilities(scores, 4.0, 0.0);
+  for (double p : probs) EXPECT_NEAR(p, 1.0, 1e-9);
+}
+
+TEST(AllocateFlowProbabilities, FloorIsRespected) {
+  std::vector<double> scores{10.0, 0.0, 0.0};
+  const auto probs = allocate_flow_probabilities(scores, 1.5, 0.2);
+  EXPECT_GE(probs[1], 0.2 - 1e-12);
+  EXPECT_GE(probs[2], 0.2 - 1e-12);
+  EXPECT_DOUBLE_EQ(probs[0], 1.0);
+  // Budget left over once every scored peer saturates is deliberately NOT
+  // dumped on zero-score peers (they stay at the exploration floor).
+  EXPECT_NEAR(std::accumulate(probs.begin(), probs.end(), 0.0), 1.4, 1e-9);
+}
+
+TEST(AllocateFlowProbabilities, EmptyAndClamps) {
+  EXPECT_TRUE(allocate_flow_probabilities({}, 3.0, 0.1).empty());
+  std::vector<double> scores{1.0};
+  const auto probs = allocate_flow_probabilities(scores, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(probs[0], 1.0);  // budget clamped to n
+}
+
+TEST(PolicyFactory, CreatesEveryKind) {
+  for (auto kind : {PolicyKind::kBase, PolicyKind::kRoundRobin, PolicyKind::kDft,
+                    PolicyKind::kDftt, PolicyKind::kBloom, PolicyKind::kSketch,
+                    PolicyKind::kSpectrum}) {
+    const auto policy = RoutingPolicy::create(config_for(kind), 0);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_STREQ(policy->name(), to_string(kind));
+  }
+}
+
+TEST(PolicyNames, RoundTripThroughStrings) {
+  for (auto kind : {PolicyKind::kBase, PolicyKind::kRoundRobin, PolicyKind::kDft,
+                    PolicyKind::kDftt, PolicyKind::kBloom, PolicyKind::kSketch,
+                    PolicyKind::kSpectrum}) {
+    EXPECT_EQ(policy_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(policy_from_string("NOPE"), std::invalid_argument);
+}
+
+TEST(BasePolicy, BroadcastsToAllPeers) {
+  const auto policy = RoutingPolicy::create(config_for(PolicyKind::kBase, 5), 2);
+  const auto dests = policy->route(tuple_with(1, stream::StreamSide::kR));
+  EXPECT_EQ(dests.size(), 4u);
+  std::set<net::NodeId> unique(dests.begin(), dests.end());
+  EXPECT_EQ(unique.size(), 4u);
+  EXPECT_EQ(unique.count(2), 0u);  // never self
+  EXPECT_TRUE(policy->piggyback_for(0).empty());
+  EXPECT_TRUE(policy->maintenance(0.0).empty());
+}
+
+TEST(RoundRobinPolicy, CyclesThroughPeersEvenly) {
+  auto config = config_for(PolicyKind::kRoundRobin, 4);
+  config.throttle = 0.0;  // T = 1
+  const auto policy = RoutingPolicy::create(config, 1);
+  std::map<net::NodeId, int> counts;
+  for (int i = 0; i < 300; ++i) {
+    const auto dests = policy->route(tuple_with(1, stream::StreamSide::kR));
+    ASSERT_EQ(dests.size(), 1u);
+    EXPECT_NE(dests[0], 1u);
+    ++counts[dests[0]];
+  }
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [peer, count] : counts) EXPECT_EQ(count, 100) << peer;
+}
+
+TEST(RoundRobinPolicy, ThrottleWidensFanout) {
+  auto config = config_for(PolicyKind::kRoundRobin, 6);
+  config.throttle = 1.0;  // T = 5
+  const auto policy = RoutingPolicy::create(config, 0);
+  const auto dests = policy->route(tuple_with(1, stream::StreamSide::kR));
+  EXPECT_EQ(dests.size(), 5u);
+}
+
+// Membership policies route towards a peer whose summary contains the key.
+class MembershipPolicyTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(MembershipPolicyTest, LearnsFromSummariesAndRoutesToOwners) {
+  auto config = config_for(GetParam(), 3);
+  config.dft_window = 256;
+  config.kappa = 16.0;  // 16 coefficients
+  config.summary_epoch_tuples = 32;
+  config.throttle = 0.0;  // stingiest budget; scores must decide
+  config.membership_tolerance = 8;
+
+  // Three policies: node 0 (router under test), node 1 (whose stream sits
+  // at key ~5000 — the owner of the matches) and node 2 (far away at
+  // ~90000, so its summaries never contain the probed key).
+  const auto router = RoutingPolicy::create(config, 0);
+  const auto owner = RoutingPolicy::create(config, 1);
+  const auto stranger = RoutingPolicy::create(config, 2);
+
+  double now = 0.0;
+  std::uint64_t id = 1;
+  for (int i = 0; i < 512; ++i) {
+    now += 0.02;
+    stream::Tuple t = tuple_with(5000 + (i % 3), stream::StreamSide::kS, now);
+    t.id = id++;
+    t.origin = 1;
+    owner->observe_local(t);
+    // R-side values too, so both sides' summaries exist.
+    stream::Tuple r = tuple_with(5000 + (i % 3), stream::StreamSide::kR, now);
+    r.id = id++;
+    r.origin = 1;
+    owner->observe_local(r);
+    (void)owner->route(t);
+    for (auto& summary : owner->maintenance(now)) {
+      if (summary.peer == 0) router->on_summary(1, summary.block);
+    }
+    const auto piggy = owner->piggyback_for(0);
+    if (!piggy.empty()) router->on_summary(1, piggy);
+
+    stream::Tuple far_s = tuple_with(90000 + (i % 3), stream::StreamSide::kS, now);
+    far_s.id = id++;
+    far_s.origin = 2;
+    stranger->observe_local(far_s);
+    stream::Tuple far_r = tuple_with(90000 + (i % 3), stream::StreamSide::kR, now);
+    far_r.id = id++;
+    far_r.origin = 2;
+    stranger->observe_local(far_r);
+    for (auto& summary : stranger->maintenance(now)) {
+      if (summary.peer == 0) router->on_summary(2, summary.block);
+    }
+    const auto piggy2 = stranger->piggyback_for(0);
+    if (!piggy2.empty()) router->on_summary(2, piggy2);
+  }
+
+  // Router's own stream also near 5000 so its local spectra are sane.
+  for (int i = 0; i < 512; ++i) {
+    now += 0.02;
+    stream::Tuple t = tuple_with(5001, stream::StreamSide::kR, now);
+    t.id = id++;
+    router->observe_local(t);
+  }
+
+  int to_owner = 0, to_silent = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += 0.02;
+    const auto dests = router->route(tuple_with(5001, stream::StreamSide::kR, now));
+    for (auto d : dests) {
+      ++total;
+      if (d == 1) ++to_owner;
+      if (d == 2) ++to_silent;
+    }
+  }
+  EXPECT_GT(to_owner, 150);  // the owner's summary matches the key
+  EXPECT_LT(to_silent, to_owner / 3);  // the stranger's summary does not
+  EXPECT_GT(total, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, MembershipPolicyTest,
+                         ::testing::Values(PolicyKind::kDftt, PolicyKind::kBloom));
+
+TEST(DftPolicy, PiggybackCarriesCoefficientDeltas) {
+  auto config = config_for(PolicyKind::kDft, 3);
+  config.dft_window = 128;
+  config.kappa = 16.0;
+  config.summary_epoch_tuples = 16;
+  const auto policy = RoutingPolicy::create(config, 0);
+  double now = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    now += 0.1;
+    stream::Tuple t = tuple_with(100 + i % 7, stream::StreamSide::kR, now);
+    policy->observe_local(t);
+    (void)policy->maintenance(now);
+  }
+  const auto block = policy->piggyback_for(1);
+  EXPECT_FALSE(block.empty());
+  // Draining repeatedly (the per-frame cap spreads deltas over frames)
+  // eventually syncs the peer; then piggybacks go empty until new changes.
+  bool drained = false;
+  for (int i = 0; i < 16; ++i) {
+    if (policy->piggyback_for(1).empty()) {
+      drained = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(drained);
+}
+
+TEST(DftPolicy, MaintenanceFlushesToSilentPeers) {
+  auto config = config_for(PolicyKind::kDft, 3);
+  config.dft_window = 128;
+  config.kappa = 16.0;
+  config.summary_epoch_tuples = 8;
+  config.stale_flush_epochs = 2;
+  const auto policy = RoutingPolicy::create(config, 0);
+  double now = 0.0;
+  bool flushed_to_1 = false, flushed_to_2 = false;
+  for (int i = 0; i < 64; ++i) {
+    now += 0.1;
+    policy->observe_local(tuple_with(50, stream::StreamSide::kR, now));
+    for (auto& s : policy->maintenance(now)) {
+      flushed_to_1 |= s.peer == 1;
+      flushed_to_2 |= s.peer == 2;
+      EXPECT_FALSE(s.block.empty());
+    }
+  }
+  EXPECT_TRUE(flushed_to_1);
+  EXPECT_TRUE(flushed_to_2);
+}
+
+TEST(SpectrumPolicy, BroadcastsSpectraEveryEpochAndLearns) {
+  auto config = config_for(PolicyKind::kSpectrum, 3);
+  config.summary_epoch_tuples = 16;
+  config.dft_window = 256;
+  config.kappa = 16.0;
+  const auto sender = RoutingPolicy::create(config, 1);
+  const auto receiver = RoutingPolicy::create(config, 0);
+  double now = 0.0;
+  int broadcasts = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += 0.1;
+    sender->observe_local(tuple_with(7000 + i % 4, stream::StreamSide::kS, now));
+    sender->observe_local(tuple_with(7000 + i % 4, stream::StreamSide::kR, now));
+    for (auto& s : sender->maintenance(now)) {
+      ++broadcasts;
+      if (s.peer == 0) receiver->on_summary(1, s.block);
+    }
+  }
+  EXPECT_GT(broadcasts, 10);
+  // Receiver's own stream near the same keys: peer 1 should attract a high
+  // flow probability (key-independent join-size estimate).
+  for (int i = 0; i < 300; ++i) {
+    now += 0.1;
+    receiver->observe_local(tuple_with(7001, stream::StreamSide::kR, now));
+  }
+  (void)receiver->route(tuple_with(7001, stream::StreamSide::kR, now));
+  const auto probs = receiver->flow_probabilities();
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_GT(probs[1], probs[2]);  // summarized matching peer beats silent one
+}
+
+TEST(SketchPolicy, BroadcastsSketchesEveryEpoch) {
+  auto config = config_for(PolicyKind::kSketch, 4);
+  config.summary_epoch_tuples = 10;
+  const auto policy = RoutingPolicy::create(config, 0);
+  double now = 0.0;
+  int broadcasts = 0;
+  for (int i = 0; i < 35; ++i) {
+    now += 0.1;
+    policy->observe_local(tuple_with(5, stream::StreamSide::kR, now));
+    broadcasts += static_cast<int>(policy->maintenance(now).size());
+  }
+  // 3 epochs x 3 peers.
+  EXPECT_EQ(broadcasts, 9);
+}
+
+TEST(DftFamilyPolicy, FlowProbabilitiesExposeSelfAsZero) {
+  auto config = config_for(PolicyKind::kDft, 4);
+  const auto policy = RoutingPolicy::create(config, 2);
+  (void)policy->route(tuple_with(1, stream::StreamSide::kR));
+  const auto probs = policy->flow_probabilities();
+  ASSERT_EQ(probs.size(), 4u);
+  EXPECT_DOUBLE_EQ(probs[2], 0.0);
+}
+
+}  // namespace
+}  // namespace dsjoin::core

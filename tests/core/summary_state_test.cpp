@@ -1,0 +1,190 @@
+#include "dsjoin/core/summary_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsjoin/dsp/fft.hpp"
+
+namespace dsjoin::core {
+namespace {
+
+using stream::StreamSide;
+
+TEST(SummaryCodec, DftRoundTrip) {
+  common::BufferWriter w;
+  std::vector<dsp::CoeffDelta> deltas{
+      {0, dsp::Complex(1.5, -2.5)}, {3, dsp::Complex(0.0, 4.0)}};
+  summary_codec::encode_dft(w, StreamSide::kS, 2048, 8, deltas);
+
+  bool visited = false;
+  summary_codec::Visitor visitor;
+  visitor.on_dft = [&](StreamSide side, std::uint32_t window,
+                       std::uint32_t retained,
+                       const std::vector<dsp::CoeffDelta>& decoded) {
+    visited = true;
+    EXPECT_EQ(side, StreamSide::kS);
+    EXPECT_EQ(window, 2048u);
+    EXPECT_EQ(retained, 8u);
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_EQ(decoded[0].index, 0u);
+    EXPECT_EQ(decoded[0].value, dsp::Complex(1.5, -2.5));
+    EXPECT_EQ(decoded[1].index, 3u);
+  };
+  SummaryBlock block{std::move(w).take()};
+  ASSERT_TRUE(summary_codec::decode_blocks(block, visitor));
+  EXPECT_TRUE(visited);
+}
+
+TEST(SummaryCodec, MultipleSubBlocksDecodeInOrder) {
+  common::BufferWriter w;
+  summary_codec::encode_dft(w, StreamSide::kR, 64, 4, {});
+  sketch::CountingBloomFilter counting(512, 3, 5);
+  counting.insert(42);
+  summary_codec::encode_bloom(w, StreamSide::kS, counting.snapshot());
+  sketch::AgmsSketch agms(sketch::AgmsShape{5, 1}, 9);
+  agms.update(7);
+  summary_codec::encode_sketch(w, StreamSide::kR, agms);
+
+  int dft = 0, bloom = 0, sk = 0;
+  summary_codec::Visitor visitor;
+  visitor.on_dft = [&](auto, auto, auto, const auto&) { ++dft; };
+  visitor.on_bloom = [&](StreamSide side, sketch::BloomFilter filter) {
+    ++bloom;
+    EXPECT_EQ(side, StreamSide::kS);
+    EXPECT_TRUE(filter.contains(42));
+  };
+  visitor.on_sketch = [&](StreamSide side, sketch::AgmsSketch decoded) {
+    ++sk;
+    EXPECT_EQ(side, StreamSide::kR);
+    EXPECT_EQ(decoded.counters(), agms.counters());
+  };
+  SummaryBlock block{std::move(w).take()};
+  ASSERT_TRUE(summary_codec::decode_blocks(block, visitor));
+  EXPECT_EQ(dft, 1);
+  EXPECT_EQ(bloom, 1);
+  EXPECT_EQ(sk, 1);
+}
+
+TEST(SummaryCodec, RejectsUnknownTag) {
+  SummaryBlock block;
+  block.bytes = {0x5a, 0x00};
+  EXPECT_FALSE(summary_codec::decode_blocks(block, {}).is_ok());
+}
+
+TEST(SummaryCodec, RejectsBadSide) {
+  SummaryBlock block;
+  block.bytes = {summary_codec::kTagDft, 0x07};
+  EXPECT_FALSE(summary_codec::decode_blocks(block, {}).is_ok());
+}
+
+TEST(SummaryCodec, RejectsTruncatedDft) {
+  common::BufferWriter w;
+  summary_codec::encode_dft(w, StreamSide::kR, 64, 4,
+                            {{dsp::CoeffDelta{1, dsp::Complex(1, 1)}}});
+  auto bytes = std::move(w).take();
+  bytes.resize(bytes.size() - 4);
+  SummaryBlock block{std::move(bytes)};
+  EXPECT_FALSE(summary_codec::decode_blocks(block, {}).is_ok());
+}
+
+TEST(SummaryCodec, EmptyBlockIsOk) {
+  EXPECT_TRUE(summary_codec::decode_blocks(SummaryBlock{}, {}).is_ok());
+}
+
+TEST(CoeffStore, StartsUnseeded) {
+  CoeffStore store(64, 8);
+  EXPECT_FALSE(store.seeded());
+  EXPECT_EQ(store.estimate_count(5, 2), 0u);
+}
+
+TEST(CoeffStore, ReconstructsAppliedSpectrum) {
+  // Build a real spectrum for a constant-100 window; apply it as deltas;
+  // every estimate near 100 must see the full window.
+  constexpr std::uint32_t kW = 64;
+  std::vector<double> signal(kW, 100.0);
+  dsp::Fft fft(kW);
+  const auto spectrum = fft.forward_real(signal);
+  CoeffStore store(kW, 8);
+  std::vector<dsp::CoeffDelta> deltas;
+  for (std::uint32_t k = 0; k < 8; ++k) {
+    deltas.push_back(dsp::CoeffDelta{k, spectrum[k]});
+  }
+  store.apply(deltas);
+  EXPECT_TRUE(store.seeded());
+  EXPECT_EQ(store.estimate_count(100, 0), kW);
+  EXPECT_EQ(store.estimate_count(100, 5), kW);
+  EXPECT_EQ(store.estimate_count(200, 5), 0u);
+}
+
+TEST(CoeffStore, ToleranceWidensMatches) {
+  // Ramp 0..63 reconstructed from the full half-spectrum: estimates around
+  // key k with tolerance t must count ~2t+1 values.
+  constexpr std::uint32_t kW = 64;
+  std::vector<double> signal(kW);
+  for (std::uint32_t i = 0; i < kW; ++i) signal[i] = i;
+  dsp::Fft fft(kW);
+  const auto spectrum = fft.forward_real(signal);
+  CoeffStore store(kW, kW / 2 + 1);
+  std::vector<dsp::CoeffDelta> deltas;
+  for (std::uint32_t k = 0; k < kW / 2 + 1; ++k) {
+    deltas.push_back(dsp::CoeffDelta{k, spectrum[k]});
+  }
+  store.apply(deltas);
+  const auto narrow = store.estimate_count(32, 1);
+  const auto wide = store.estimate_count(32, 8);
+  EXPECT_GT(wide, narrow);
+  EXPECT_GE(narrow, 2u);
+  EXPECT_LE(wide, 20u);
+}
+
+TEST(CoeffStore, IgnoresOutOfRangeIndices) {
+  CoeffStore store(64, 4);
+  store.apply({dsp::CoeffDelta{99, dsp::Complex(1, 1)}});
+  EXPECT_FALSE(store.seeded());
+}
+
+TEST(CoeffStore, UpdatesInvalidateCache) {
+  constexpr std::uint32_t kW = 32;
+  CoeffStore store(kW, 1);
+  // DC for constant 10: X0 = 320.
+  store.apply({dsp::CoeffDelta{0, dsp::Complex(320, 0)}});
+  EXPECT_EQ(store.estimate_count(10, 0), kW);
+  // Move the window to constant 20.
+  store.apply({dsp::CoeffDelta{0, dsp::Complex(640, 0)}});
+  EXPECT_EQ(store.estimate_count(10, 0), 0u);
+  EXPECT_EQ(store.estimate_count(20, 0), kW);
+  EXPECT_EQ(store.updates_applied(), 2u);
+}
+
+TEST(BloomStore, UnseededContainsNothing) {
+  BloomStore store;
+  EXPECT_FALSE(store.seeded());
+  EXPECT_FALSE(store.contains(5, 3));
+}
+
+TEST(BloomStore, ToleranceScansNeighbourhood) {
+  sketch::BloomFilter filter(4096, 3, 1);
+  filter.insert(100);
+  BloomStore store;
+  store.update(std::move(filter));
+  EXPECT_TRUE(store.seeded());
+  EXPECT_TRUE(store.contains(100, 0));
+  EXPECT_TRUE(store.contains(98, 2));
+  EXPECT_FALSE(store.contains(90, 2));
+}
+
+TEST(SketchStore, HoldsLatestSketch) {
+  SketchStore store;
+  EXPECT_FALSE(store.seeded());
+  EXPECT_EQ(store.sketch(), nullptr);
+  sketch::AgmsSketch sketch(sketch::AgmsShape{5, 1}, 3);
+  sketch.update(9);
+  store.update(std::move(sketch));
+  ASSERT_TRUE(store.seeded());
+  EXPECT_DOUBLE_EQ(store.sketch()->estimate_self_join(), 1.0);
+}
+
+}  // namespace
+}  // namespace dsjoin::core

@@ -1,0 +1,94 @@
+#include "dsjoin/core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsjoin::core {
+namespace {
+
+stream::Tuple sample_tuple() {
+  stream::Tuple t;
+  t.id = 321;
+  t.key = 777;
+  t.timestamp = 5.25;
+  t.origin = 2;
+  t.side = stream::StreamSide::kS;
+  return t;
+}
+
+TEST(TuplePayload, RoundTripWithoutPiggyback) {
+  TuplePayload payload;
+  payload.tuple = sample_tuple();
+  const auto bytes = payload.encode();
+  auto decoded = TuplePayload::decode(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().tuple.id, 321u);
+  EXPECT_EQ(decoded.value().tuple.key, 777);
+  EXPECT_TRUE(decoded.value().piggyback.empty());
+}
+
+TEST(TuplePayload, RoundTripWithPiggyback) {
+  TuplePayload payload;
+  payload.tuple = sample_tuple();
+  payload.piggyback.bytes = {1, 2, 3, 4, 5};
+  const auto bytes = payload.encode();
+  auto decoded = TuplePayload::decode(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().piggyback.bytes, payload.piggyback.bytes);
+}
+
+TEST(TuplePayload, RejectsTruncatedPiggyback) {
+  TuplePayload payload;
+  payload.tuple = sample_tuple();
+  payload.piggyback.bytes.assign(100, 7);
+  auto bytes = payload.encode();
+  bytes.resize(bytes.size() - 50);
+  EXPECT_FALSE(TuplePayload::decode(bytes).is_ok());
+}
+
+TEST(TuplePayload, RejectsGarbage) {
+  std::vector<std::uint8_t> junk{1, 2, 3};
+  EXPECT_FALSE(TuplePayload::decode(junk).is_ok());
+}
+
+TEST(SummaryPayload, RoundTrip) {
+  SummaryPayload payload;
+  payload.block.bytes = {9, 8, 7, 6};
+  auto decoded = SummaryPayload::decode(payload.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().block.bytes, payload.block.bytes);
+}
+
+TEST(SummaryPayload, EmptyBlockAllowed) {
+  SummaryPayload payload;
+  auto decoded = SummaryPayload::decode(payload.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().block.empty());
+}
+
+TEST(ResultPayload, RoundTrip) {
+  ResultPayload payload;
+  payload.pairs = {{1, 2}, {3, 4}, {5, 6}};
+  auto decoded = ResultPayload::decode(payload.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_EQ(decoded.value().pairs.size(), 3u);
+  EXPECT_EQ(decoded.value().pairs[1].r_id, 3u);
+  EXPECT_EQ(decoded.value().pairs[1].s_id, 4u);
+}
+
+TEST(ResultPayload, EmptyIsValid) {
+  ResultPayload payload;
+  auto decoded = ResultPayload::decode(payload.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().pairs.empty());
+}
+
+TEST(ResultPayload, RejectsTruncation) {
+  ResultPayload payload;
+  payload.pairs = {{1, 2}, {3, 4}};
+  auto bytes = payload.encode();
+  bytes.resize(bytes.size() - 8);
+  EXPECT_FALSE(ResultPayload::decode(bytes).is_ok());
+}
+
+}  // namespace
+}  // namespace dsjoin::core

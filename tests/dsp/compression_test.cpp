@@ -1,0 +1,149 @@
+#include "dsjoin/dsp/compression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/stream/generator.hpp"
+
+namespace dsjoin::dsp {
+namespace {
+
+TEST(RetainedForKappa, ClampsAndScales) {
+  EXPECT_EQ(retained_for_kappa(1024, 2.0), 512u);
+  EXPECT_EQ(retained_for_kappa(1024, 256.0), 4u);
+  EXPECT_EQ(retained_for_kappa(1024, 4096.0), 1u);     // floor at one
+  EXPECT_EQ(retained_for_kappa(1024, 1.0), 513u);      // cap at W/2 + 1
+  EXPECT_EQ(retained_for_kappa(1024, 0.5), 513u);
+}
+
+TEST(Compress, KeepsLowestFrequencies) {
+  constexpr std::size_t kN = 64;
+  std::vector<double> signal(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    signal[i] = std::sin(2 * std::numbers::pi * 2 * static_cast<double>(i) / kN);
+  }
+  Fft fft(kN);
+  const auto cs = compress(signal, 8.0, fft);
+  EXPECT_EQ(cs.window, kN);
+  EXPECT_EQ(cs.coeffs.size(), 8u);
+  EXPECT_DOUBLE_EQ(cs.kappa(), 8.0);
+  EXPECT_EQ(cs.wire_bytes(), 8u * 16u);
+  // Tone at bin 2 survives; DC ~ 0.
+  EXPECT_GT(std::abs(cs.coeffs[2]), 10.0);
+  EXPECT_NEAR(std::abs(cs.coeffs[0]), 0.0, 1e-9);
+}
+
+TEST(Reconstruct, BandLimitedSignalIsExact) {
+  constexpr std::size_t kN = 128;
+  std::vector<double> signal(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double t = static_cast<double>(i) / kN;
+    signal[i] = 10 + 5 * std::cos(2 * std::numbers::pi * 3 * t) +
+                2 * std::sin(2 * std::numbers::pi * 5 * t);
+  }
+  Fft fft(kN);
+  // Frequencies up to 5 retained: kappa = 128/8 = 16 keeps k = 0..7.
+  const auto cs = compress(signal, 16.0, fft);
+  const auto approx = reconstruct(cs);
+  EXPECT_LT(mean_squared_error(signal, approx), 1e-18);
+  EXPECT_DOUBLE_EQ(lossless_fraction(signal, approx), 1.0);
+}
+
+TEST(Reconstruct, ConstantSignalAtAnyKappa) {
+  std::vector<double> signal(256, 42.0);
+  Fft fft(256);
+  for (double kappa : {2.0, 16.0, 128.0}) {
+    const auto approx = reconstruct(compress(signal, kappa, fft));
+    EXPECT_LT(mean_squared_error(signal, approx), 1e-18) << kappa;
+  }
+}
+
+TEST(Reconstruct, MseGrowsWithKappa) {
+  const auto signal = stream::generate_stock_series(4096, 7);
+  Fft fft(signal.size());
+  double previous = -1.0;
+  for (double kappa : {2.0, 8.0, 32.0, 128.0, 512.0}) {
+    const auto approx = reconstruct(compress(signal, kappa, fft));
+    const double mse = mean_squared_error(signal, approx);
+    EXPECT_GE(mse, previous) << "kappa=" << kappa;
+    previous = mse;
+  }
+}
+
+TEST(Reconstruct, StockSeriesLosslessAtModerateKappa) {
+  // The paper's headline claim (Figures 5-6): stock-like data reconstructs
+  // within +/-0.5 per value from a small fraction of the coefficients.
+  const auto signal = stream::generate_stock_series(65536, 42);
+  Fft fft(signal.size());
+  const auto cs = compress(signal, 256.0, fft);
+  const auto approx = reconstruct(cs);
+  const double mse = mean_squared_error(signal, approx);
+  EXPECT_LT(mse, 2.0);  // near the paper's 0.25 criterion at kappa=256
+  EXPECT_GT(lossless_fraction(signal, approx), 0.5);
+  // And at a laxer compression the criterion is met outright.
+  const auto approx64 = reconstruct(compress(signal, 64.0, fft));
+  EXPECT_LT(mean_squared_error(signal, approx64), 0.25);
+}
+
+TEST(ReconstructRounded, RoundsToIntegers) {
+  std::vector<double> signal{10, 11, 12, 13, 12, 11, 10, 11};
+  Fft fft(signal.size());
+  const auto rounded = reconstruct_rounded(compress(signal, 1.0, fft));
+  ASSERT_EQ(rounded.size(), signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    EXPECT_EQ(rounded[i], static_cast<std::int64_t>(signal[i]));
+  }
+}
+
+TEST(SquaredErrors, PerSampleValues) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{1, 4, 0};
+  const auto errs = squared_errors(a, b);
+  EXPECT_DOUBLE_EQ(errs[0], 0.0);
+  EXPECT_DOUBLE_EQ(errs[1], 4.0);
+  EXPECT_DOUBLE_EQ(errs[2], 9.0);
+  EXPECT_DOUBLE_EQ(mean_squared_error(a, b), 13.0 / 3.0);
+}
+
+TEST(LosslessFraction, CountsRoundedMatches) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b{1.2, 2.6, 3.4, 4.0};  // rounds to 1, 3, 3, 4
+  EXPECT_DOUBLE_EQ(lossless_fraction(a, b), 0.75);
+}
+
+TEST(RecommendKappa, FindsLargestSafeCompression) {
+  // Band-limited signal: every kappa that keeps its band passes, so the
+  // recommendation is deep.
+  constexpr std::size_t kN = 1024;
+  std::vector<double> signal(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    signal[i] =
+        100 * std::sin(2 * std::numbers::pi * 2 * static_cast<double>(i) / kN);
+  }
+  Fft fft(kN);
+  const double kappa = recommend_kappa(signal, 0.25, fft);
+  EXPECT_GE(kappa, 128.0);
+
+  // White noise: even kappa=2 discards half the energy and fails.
+  common::Xoshiro256 rng(1);
+  std::vector<double> noise(kN);
+  for (auto& v : noise) v = rng.next_double_in(-100, 100);
+  EXPECT_EQ(recommend_kappa(noise, 0.25, fft), 1.0);
+}
+
+TEST(Reconstruct, OddWindowSizeWorks) {
+  constexpr std::size_t kN = 100;
+  std::vector<double> signal(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    signal[i] = 5 + std::sin(2 * std::numbers::pi * 3 * static_cast<double>(i) / kN);
+  }
+  Fft fft(kN);
+  const auto approx = reconstruct(compress(signal, 10.0, fft));
+  EXPECT_LT(mean_squared_error(signal, approx), 1e-12);
+}
+
+}  // namespace
+}  // namespace dsjoin::dsp

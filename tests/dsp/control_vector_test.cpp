@@ -1,0 +1,86 @@
+#include "dsjoin/dsp/control_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dsjoin::dsp {
+namespace {
+
+TEST(ControlVectorCosts, ExactBaselineGrowsWithWindow) {
+  EXPECT_LT(exact_cost_per_tuple(1024), exact_cost_per_tuple(4096));
+  EXPECT_DOUBLE_EQ(exact_cost_per_tuple(1024), 1024.0 * 10.0);
+}
+
+TEST(ControlVectorCosts, IncrementalCostComponents) {
+  // K per tuple plus amortized full recompute.
+  EXPECT_DOUBLE_EQ(incremental_cost_per_tuple(1024, 8, 1024), 8.0 + 10.0);
+  EXPECT_DOUBLE_EQ(incremental_cost_per_tuple(1024, 8, 0), 8.0);
+}
+
+TEST(ControlVectorCosts, CostFallsWithInterval) {
+  double prev = incremental_cost_per_tuple(4096, 16, 1);
+  for (std::uint64_t interval : {4ull, 16ull, 256ull, 4096ull}) {
+    const double cost = incremental_cost_per_tuple(4096, 16, interval);
+    EXPECT_LT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(CompletionProbability, FallsWithInterval) {
+  ControlVectorModel model;
+  double prev = 1.1;
+  for (std::uint64_t interval : {1ull, 1ull << 10, 1ull << 20, 1ull << 30}) {
+    const double p = completion_probability(64, interval, model);
+    EXPECT_LE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(CompletionProbability, FallsWithRetainedCount) {
+  ControlVectorModel model;
+  const std::uint64_t interval = 1ull << 16;
+  EXPECT_GE(completion_probability(1, interval, model),
+            completion_probability(1024, interval, model));
+}
+
+TEST(CompletionProbability, ZeroIntervalIsZero) {
+  EXPECT_EQ(completion_probability(8, 0, ControlVectorModel{}), 0.0);
+}
+
+TEST(DesignControlVector, MeetsPaperOperatingPoint) {
+  // The paper (Section 4, citing [28]) sets the control vector to reduce
+  // arithmetic by 10x with completion probability > 0.95.
+  const auto cv = design_control_vector(1u << 20, 4096, 10.0, 0.95);
+  EXPECT_GE(cv.arithmetic_reduction, 10.0);
+  EXPECT_GE(cv.completion_probability, 0.95);
+  EXPECT_GT(cv.recompute_interval, 0u);
+  EXPECT_EQ(cv.retained_coefficients, 4096u);
+}
+
+TEST(DesignControlVector, SmallWindowsToo) {
+  const auto cv = design_control_vector(2048, 8, 10.0, 0.95);
+  EXPECT_GE(cv.arithmetic_reduction, 10.0);
+  EXPECT_GE(cv.completion_probability, 0.95);
+}
+
+TEST(DesignControlVector, ReductionConsistentWithCostModel) {
+  const auto cv = design_control_vector(8192, 32, 10.0, 0.9);
+  const double check = exact_cost_per_tuple(8192) /
+                       incremental_cost_per_tuple(8192, cv.retained_coefficients,
+                                                  cv.recompute_interval);
+  EXPECT_NEAR(cv.arithmetic_reduction, check, 1e-9);
+}
+
+TEST(DesignControlVector, UnreachableTargetReturnsBestEffort) {
+  // Retaining every coefficient of a tiny window cannot reduce arithmetic
+  // 1000x; the design must still return a valid (best-effort) point.
+  const auto cv = design_control_vector(16, 16, 1000.0, 0.95);
+  EXPECT_GT(cv.recompute_interval, 0u);
+  EXPECT_LT(cv.arithmetic_reduction, 1000.0);
+}
+
+}  // namespace
+}  // namespace dsjoin::dsp

@@ -1,0 +1,212 @@
+#include "dsjoin/dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsjoin/common/rng.hpp"
+
+namespace dsjoin::dsp {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<Complex> out(n);
+  for (auto& v : out) {
+    v = Complex(rng.next_double_in(-10, 10), rng.next_double_in(-10, 10));
+  }
+  return out;
+}
+
+double max_abs_diff(std::span<const Complex> a, std::span<const Complex> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+TEST(NextPowerOfTwo, Values) {
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+}
+
+TEST(IsPowerOfTwo, Values) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(4096));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(4097));
+}
+
+TEST(Fft, SizeZeroThrows) { EXPECT_THROW(Fft(0), std::invalid_argument); }
+
+TEST(Fft, SizeOneIsIdentity) {
+  Fft fft(1);
+  std::vector<Complex> data{Complex(3, 4)};
+  fft.forward(data);
+  EXPECT_EQ(data[0], Complex(3, 4));
+  fft.inverse(data);
+  EXPECT_EQ(data[0], Complex(3, 4));
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  Fft fft(8);
+  std::vector<Complex> data(8, Complex{});
+  data[0] = Complex(1, 0);
+  fft.forward(data);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantSignalIsDcOnly) {
+  Fft fft(16);
+  std::vector<Complex> data(16, Complex(2.0, 0.0));
+  fft.forward(data);
+  EXPECT_NEAR(data[0].real(), 32.0, 1e-10);
+  for (std::size_t k = 1; k < 16; ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  constexpr std::size_t kN = 64;
+  Fft fft(kN);
+  std::vector<Complex> data(kN);
+  for (std::size_t n = 0; n < kN; ++n) {
+    const double angle = 2.0 * std::numbers::pi * 5.0 * static_cast<double>(n) / kN;
+    data[n] = Complex(std::cos(angle), 0.0);
+  }
+  fft.forward(data);
+  // cos splits into bins 5 and N-5, each of magnitude N/2.
+  EXPECT_NEAR(std::abs(data[5]), kN / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[kN - 5]), kN / 2.0, 1e-9);
+  for (std::size_t k = 0; k < kN; ++k) {
+    if (k != 5 && k != kN - 5) {
+      EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+// Forward transform must agree with the direct O(n^2) definition for both
+// power-of-two (radix-2 path) and arbitrary (Bluestein path) sizes.
+class FftAgreementTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftAgreementTest, MatchesDirectDft) {
+  const std::size_t n = GetParam();
+  auto signal = random_signal(n, 1000 + n);
+  const auto expected = direct_dft(signal);
+  Fft fft(n);
+  auto actual = signal;
+  fft.forward(actual);
+  EXPECT_LT(max_abs_diff(actual, expected), 1e-6 * static_cast<double>(n))
+      << "n=" << n;
+}
+
+TEST_P(FftAgreementTest, RoundTripRecoversSignal) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, 2000 + n);
+  Fft fft(n);
+  auto data = signal;
+  fft.forward(data);
+  fft.inverse(data);
+  EXPECT_LT(max_abs_diff(data, signal), 1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftAgreementTest,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 12, 16, 31, 32, 100,
+                                           128, 255, 256, 1000, 1024));
+
+TEST(Fft, LinearityHolds) {
+  constexpr std::size_t kN = 128;
+  auto a = random_signal(kN, 1);
+  auto b = random_signal(kN, 2);
+  std::vector<Complex> combo(kN);
+  const Complex alpha(2.0, -1.0), beta(0.5, 3.0);
+  for (std::size_t i = 0; i < kN; ++i) combo[i] = alpha * a[i] + beta * b[i];
+  Fft fft(kN);
+  fft.forward(a);
+  fft.forward(b);
+  fft.forward(combo);
+  for (std::size_t k = 0; k < kN; ++k) {
+    EXPECT_LT(std::abs(combo[k] - (alpha * a[k] + beta * b[k])), 1e-8);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  constexpr std::size_t kN = 256;
+  auto signal = random_signal(kN, 3);
+  double time_energy = 0.0;
+  for (const auto& v : signal) time_energy += std::norm(v);
+  Fft fft(kN);
+  fft.forward(signal);
+  double freq_energy = 0.0;
+  for (const auto& v : signal) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / kN, time_energy, 1e-6 * time_energy);
+}
+
+TEST(Fft, RealSignalHasConjugateSymmetry) {
+  constexpr std::size_t kN = 64;
+  common::Xoshiro256 rng(4);
+  std::vector<double> signal(kN);
+  for (auto& v : signal) v = rng.next_double_in(-5, 5);
+  Fft fft(kN);
+  const auto spectrum = fft.forward_real(signal);
+  for (std::size_t k = 1; k < kN; ++k) {
+    EXPECT_LT(std::abs(spectrum[k] - std::conj(spectrum[kN - k])), 1e-9);
+  }
+}
+
+// The packed half-size real transform must agree exactly with the complex
+// path at every power-of-two size (and fall back correctly elsewhere).
+class RealFftTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealFftTest, PackedPathMatchesComplexPath) {
+  const std::size_t n = GetParam();
+  common::Xoshiro256 rng(900 + n);
+  std::vector<double> signal(n);
+  for (auto& v : signal) v = rng.next_double_in(-1000, 1000);
+  Fft fft(n);
+  const auto packed = fft.forward_real(signal);
+  std::vector<Complex> reference(signal.begin(), signal.end());
+  fft.forward(reference);
+  ASSERT_EQ(packed.size(), reference.size());
+  double scale = 0.0;
+  for (const auto& v : reference) scale = std::max(scale, std::abs(v));
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_LT(std::abs(packed[k] - reference[k]), 1e-9 * (scale + 1.0))
+        << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RealFftTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 100, 256, 255,
+                                           1024, 4096));
+
+TEST(DirectDft, RealWrapperMatchesComplex) {
+  std::vector<double> real{1, 2, 3, 4, 5};
+  std::vector<Complex> complex_in(real.begin(), real.end());
+  const auto a = direct_dft_real(real);
+  const auto b = direct_dft(complex_in);
+  EXPECT_LT(max_abs_diff(a, b), 1e-12);
+}
+
+TEST(Fft, LargeSizeIsAccurate) {
+  constexpr std::size_t kN = 1 << 14;
+  auto signal = random_signal(kN, 5);
+  Fft fft(kN);
+  auto data = signal;
+  fft.forward(data);
+  fft.inverse(data);
+  EXPECT_LT(max_abs_diff(data, signal), 1e-8);
+}
+
+}  // namespace
+}  // namespace dsjoin::dsp

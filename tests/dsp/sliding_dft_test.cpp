@@ -1,0 +1,173 @@
+#include "dsjoin/dsp/sliding_dft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/dsp/fft.hpp"
+
+namespace dsjoin::dsp {
+namespace {
+
+// Exact retained coefficients of the current ring contents.
+std::vector<Complex> exact_coeffs(const SlidingDft& dft) {
+  std::vector<Complex> data(dft.window_values().begin(),
+                            dft.window_values().end());
+  Fft fft(data.size());
+  fft.forward(data);
+  data.resize(dft.retained());
+  return data;
+}
+
+double max_coeff_error(const SlidingDft& dft) {
+  const auto expected = exact_coeffs(dft);
+  const auto actual = dft.coefficients();
+  double worst = 0.0;
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    worst = std::max(worst, std::abs(expected[k] - actual[k]));
+  }
+  return worst;
+}
+
+TEST(SlidingDft, RejectsBadGeometry) {
+  EXPECT_THROW(SlidingDft(1, 1), std::invalid_argument);
+  EXPECT_THROW(SlidingDft(8, 0), std::invalid_argument);
+  EXPECT_THROW(SlidingDft(8, 9), std::invalid_argument);
+}
+
+TEST(SlidingDft, BackfillMakesWindowConstant) {
+  SlidingDft dft(16, 4);
+  dft.push(7.0);
+  for (double v : dft.window_values()) EXPECT_EQ(v, 7.0);
+  EXPECT_DOUBLE_EQ(dft.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(dft.variance(), 0.0);
+  // DC coefficient of a constant-7 window of size 16 is 112.
+  EXPECT_NEAR(dft.coefficients()[0].real(), 112.0, 1e-9);
+  EXPECT_NEAR(std::abs(dft.coefficients()[1]), 0.0, 1e-9);
+}
+
+TEST(SlidingDft, TracksExactDftThroughFill) {
+  SlidingDft dft(32, 8);
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 32; ++i) {
+    dft.push(rng.next_double_in(-100, 100));
+    EXPECT_LT(max_coeff_error(dft), 1e-8) << "after push " << i;
+  }
+  EXPECT_TRUE(dft.full());
+}
+
+TEST(SlidingDft, TracksExactDftThroughManySlides) {
+  SlidingDft dft(64, 16);
+  common::Xoshiro256 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    dft.push(rng.next_double_in(-1000, 1000));
+  }
+  EXPECT_LT(max_coeff_error(dft), 1e-6);
+}
+
+TEST(SlidingDft, FullRetentionMatchesCompleteSpectrum) {
+  SlidingDft dft(16, 16);
+  common::Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) dft.push(rng.next_double_in(-10, 10));
+  EXPECT_LT(max_coeff_error(dft), 1e-9);
+}
+
+TEST(SlidingDft, MeanAndVarianceTrackWindow) {
+  SlidingDft dft(8, 2);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) dft.push(v);
+  EXPECT_DOUBLE_EQ(dft.mean(), 4.5);
+  EXPECT_NEAR(dft.variance(), 5.25, 1e-9);
+  // Slide: window becomes 2..9.
+  dft.push(9.0);
+  EXPECT_DOUBLE_EQ(dft.mean(), 5.5);
+  EXPECT_NEAR(dft.variance(), 5.25, 1e-9);
+}
+
+TEST(SlidingDft, RenormalizeRemovesDrift) {
+  SlidingDft dft(32, 8);
+  common::Xoshiro256 rng(4);
+  for (int i = 0; i < 100000; ++i) dft.push(rng.next_double_in(-1e6, 1e6));
+  // Drift may have accumulated; renormalization must restore exactness.
+  dft.renormalize();
+  EXPECT_LT(max_coeff_error(dft), 1e-9);
+  // And subsequent incremental updates stay correct.
+  for (int i = 0; i < 64; ++i) dft.push(rng.next_double_in(-1e6, 1e6));
+  EXPECT_LT(max_coeff_error(dft), 1e-6);
+}
+
+TEST(SlidingDft, AutoRenormalizeKeepsErrorBounded) {
+  SlidingDft with(64, 8);
+  with.set_renormalize_interval(256);
+  common::Xoshiro256 rng(5);
+  for (int i = 0; i < 50000; ++i) with.push(rng.next_double_in(-1e3, 1e3));
+  EXPECT_LT(max_coeff_error(with), 1e-7);
+}
+
+TEST(SlidingDft, DrainDirtyReportsChanges) {
+  SlidingDft dft(16, 4);
+  for (int i = 0; i < 20; ++i) dft.push(static_cast<double>(i * 3 % 7));
+  auto first = dft.drain_dirty(0.0);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(dft.pushes_since_drain(), 0u);
+  // Without new pushes, nothing further is dirty.
+  auto second = dft.drain_dirty(0.0);
+  EXPECT_TRUE(second.empty());
+  // Pushing identical values into a constant window changes nothing either.
+  SlidingDft constant(8, 4);
+  for (int i = 0; i < 16; ++i) constant.push(5.0);
+  (void)constant.drain_dirty(0.0);
+  constant.push(5.0);
+  EXPECT_TRUE(constant.drain_dirty(1e-9).empty());
+}
+
+TEST(SlidingDft, DrainDirtyThresholdSuppressesSmallChanges) {
+  SlidingDft dft(16, 4);
+  for (int i = 0; i < 16; ++i) dft.push(100.0);
+  (void)dft.drain_dirty(0.0);
+  dft.push(100.001);  // tiny perturbation
+  EXPECT_TRUE(dft.drain_dirty(1.0).empty());
+  dft.push(500.0);  // large change must be reported
+  EXPECT_FALSE(dft.drain_dirty(1.0).empty());
+}
+
+TEST(SlidingDft, KappaReflectsGeometry) {
+  SlidingDft dft(1024, 4);
+  EXPECT_DOUBLE_EQ(dft.kappa(), 256.0);
+  EXPECT_EQ(dft.window(), 1024u);
+  EXPECT_EQ(dft.retained(), 4u);
+}
+
+TEST(SlidingDft, CountsPushes) {
+  SlidingDft dft(4, 2);
+  EXPECT_FALSE(dft.full());
+  for (int i = 0; i < 10; ++i) dft.push(i);
+  EXPECT_EQ(dft.count(), 10u);
+  EXPECT_TRUE(dft.full());
+}
+
+// Property sweep: incremental equals exact across geometries.
+class SlidingDftGeometryTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SlidingDftGeometryTest, IncrementalMatchesExact) {
+  const auto [window, retained] = GetParam();
+  SlidingDft dft(window, retained);
+  common::Xoshiro256 rng(window * 31 + retained);
+  for (std::size_t i = 0; i < window * 3 + 17; ++i) {
+    dft.push(rng.next_double_in(-50, 50));
+  }
+  EXPECT_LT(max_coeff_error(dft), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SlidingDftGeometryTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 1},
+                      std::pair<std::size_t, std::size_t>{8, 8},
+                      std::pair<std::size_t, std::size_t>{64, 1},
+                      std::pair<std::size_t, std::size_t>{128, 32},
+                      std::pair<std::size_t, std::size_t>{2048, 8},
+                      std::pair<std::size_t, std::size_t>{100, 10}));
+
+}  // namespace
+}  // namespace dsjoin::dsp

@@ -1,0 +1,209 @@
+#include "dsjoin/net/sim_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsjoin::net {
+namespace {
+
+Frame make_frame(NodeId from, NodeId to, std::size_t payload_bytes = 16,
+                 FrameKind kind = FrameKind::kTuple) {
+  Frame f;
+  f.from = from;
+  f.to = to;
+  f.kind = kind;
+  f.payload.assign(payload_bytes, 0xaa);
+  return f;
+}
+
+struct Delivery {
+  Frame frame;
+  SimTime at;
+};
+
+TEST(SimTransport, DeliversWithinLatencyBounds) {
+  EventQueue q;
+  WanProfile profile;
+  profile.unlimited_bandwidth = true;  // isolate latency
+  SimTransport transport(q, 2, profile, 1);
+  std::vector<Delivery> deliveries;
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [&](Frame&& f) {
+    deliveries.push_back(Delivery{std::move(f), q.now()});
+  });
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(transport.send(make_frame(0, 1)));
+  }
+  q.run_all();
+  ASSERT_EQ(deliveries.size(), 200u);
+  for (const auto& d : deliveries) {
+    EXPECT_GE(d.at, 0.020 - 1e-9);
+    EXPECT_LE(d.at, 0.100 + 1e-6);
+  }
+}
+
+TEST(SimTransport, PerLinkFifoOrderPreserved) {
+  EventQueue q;
+  WanProfile profile;  // random latency could reorder without the FIFO floor
+  profile.unlimited_bandwidth = true;
+  SimTransport transport(q, 2, profile, 7);
+  std::vector<std::uint32_t> received;
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [&](Frame&& f) {
+    received.push_back(f.piggyback_bytes);  // used as a sequence number here
+  });
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    Frame f = make_frame(0, 1);
+    f.piggyback_bytes = i;
+    ASSERT_TRUE(transport.send(std::move(f)));
+  }
+  q.run_all();
+  ASSERT_EQ(received.size(), 500u);
+  for (std::uint32_t i = 0; i < 500; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(SimTransport, BandwidthSerializationDelaysBulk) {
+  EventQueue q;
+  WanProfile profile;
+  profile.latency_min_s = profile.latency_max_s = 0.0;
+  profile.bandwidth_bps = 8000.0;  // 1 KB/s
+  SimTransport transport(q, 2, profile, 3);
+  SimTime last = 0.0;
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [&](Frame&&) { last = q.now(); });
+  // Ten frames of 1016+16=1032... wire bytes: payload+16. Use 984+16=1000 B.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(transport.send(make_frame(0, 1, 984)));
+  }
+  q.run_all();
+  // 10 KB at 1 KB/s -> ~10 s of serialization.
+  EXPECT_NEAR(last, 10.0, 0.2);
+}
+
+TEST(SimTransport, PerNodeScopeSharesBandwidthAcrossPeers) {
+  EventQueue q;
+  WanProfile profile;
+  profile.latency_min_s = profile.latency_max_s = 0.0;
+  profile.bandwidth_bps = 8000.0;
+  profile.scope = WanProfile::BandwidthScope::kPerNode;
+  SimTransport transport(q, 3, profile, 3);
+  SimTime last = 0.0;
+  for (NodeId id = 0; id < 3; ++id) {
+    transport.register_handler(id, [&](Frame&&) { last = q.now(); });
+  }
+  // 5 frames to each of two peers; shared NIC -> ~10 s total.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(transport.send(make_frame(0, 1, 984)));
+    ASSERT_TRUE(transport.send(make_frame(0, 2, 984)));
+  }
+  q.run_all();
+  EXPECT_NEAR(last, 10.0, 0.2);
+}
+
+TEST(SimTransport, PerLinkScopeParallelizesAcrossPeers) {
+  EventQueue q;
+  WanProfile profile;
+  profile.latency_min_s = profile.latency_max_s = 0.0;
+  profile.bandwidth_bps = 8000.0;
+  profile.scope = WanProfile::BandwidthScope::kPerLink;
+  SimTransport transport(q, 3, profile, 3);
+  SimTime last = 0.0;
+  for (NodeId id = 0; id < 3; ++id) {
+    transport.register_handler(id, [&](Frame&&) { last = q.now(); });
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(transport.send(make_frame(0, 1, 984)));
+    ASSERT_TRUE(transport.send(make_frame(0, 2, 984)));
+  }
+  q.run_all();
+  // Independent links -> ~5 s each, concurrently.
+  EXPECT_NEAR(last, 5.0, 0.2);
+}
+
+TEST(SimTransport, PauseBurstShapingMatchesAverageRate) {
+  EventQueue q;
+  WanProfile profile;
+  profile.latency_min_s = profile.latency_max_s = 0.0;
+  profile.pause_burst_shaping = true;  // 1 s pause per 90 kbit
+  SimTransport transport(q, 2, profile, 3);
+  SimTime last = 0.0;
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [&](Frame&&) { last = q.now(); });
+  // 90 KB = 720 kbit -> 8 pauses -> ~8 s.
+  for (int i = 0; i < 90; ++i) {
+    ASSERT_TRUE(transport.send(make_frame(0, 1, 1000 - 16)));
+  }
+  q.run_all();
+  EXPECT_NEAR(last, 8.0, 1.0);
+}
+
+TEST(SimTransport, SendBacklogReflectsQueuedBytes) {
+  EventQueue q;
+  WanProfile profile;
+  profile.latency_min_s = profile.latency_max_s = 0.0;
+  profile.bandwidth_bps = 8000.0;
+  SimTransport transport(q, 2, profile, 3);
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [](Frame&&) {});
+  EXPECT_DOUBLE_EQ(transport.send_backlog_seconds(0), 0.0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(transport.send(make_frame(0, 1, 984)));
+  }
+  EXPECT_NEAR(transport.send_backlog_seconds(0), 10.0, 0.2);
+  EXPECT_DOUBLE_EQ(transport.send_backlog_seconds(1), 0.0);
+}
+
+TEST(SimTransport, RejectsBadAddresses) {
+  EventQueue q;
+  SimTransport transport(q, 2, WanProfile::ideal(), 1);
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [](Frame&&) {});
+  EXPECT_FALSE(transport.send(make_frame(0, 7)));
+  EXPECT_FALSE(transport.send(make_frame(7, 0)));
+  EXPECT_FALSE(transport.send(make_frame(1, 1)));  // loopback
+}
+
+TEST(SimTransport, RejectsUnregisteredDestination) {
+  EventQueue q;
+  SimTransport transport(q, 2, WanProfile::ideal(), 1);
+  transport.register_handler(0, [](Frame&&) {});
+  auto status = transport.send(make_frame(0, 1));
+  ASSERT_FALSE(status);
+  EXPECT_EQ(status.code(), common::ErrorCode::kFailedPrecondition);
+}
+
+TEST(SimTransport, CountsTrafficGloballyAndPerLink) {
+  EventQueue q;
+  SimTransport transport(q, 3, WanProfile::ideal(), 1);
+  for (NodeId id = 0; id < 3; ++id) transport.register_handler(id, [](Frame&&) {});
+  ASSERT_TRUE(transport.send(make_frame(0, 1, 100, FrameKind::kTuple)));
+  ASSERT_TRUE(transport.send(make_frame(0, 1, 50, FrameKind::kSummary)));
+  ASSERT_TRUE(transport.send(make_frame(1, 2, 10, FrameKind::kResult)));
+  q.run_all();
+  EXPECT_EQ(transport.stats().total_frames(), 3u);
+  EXPECT_EQ(transport.stats().frames(FrameKind::kTuple), 1u);
+  EXPECT_EQ(transport.stats().bytes(FrameKind::kTuple), 116u);
+  EXPECT_EQ(transport.link_stats(0, 1).total_frames(), 2u);
+  EXPECT_EQ(transport.link_stats(1, 2).total_frames(), 1u);
+  EXPECT_EQ(transport.link_stats(2, 0).total_frames(), 0u);
+}
+
+TEST(SimTransport, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    EventQueue q;
+    WanProfile profile;
+    SimTransport transport(q, 2, profile, seed);
+    std::vector<SimTime> times;
+    transport.register_handler(0, [](Frame&&) {});
+    transport.register_handler(1, [&](Frame&&) { times.push_back(q.now()); });
+    for (int i = 0; i < 50; ++i) (void)transport.send(make_frame(0, 1));
+    q.run_all();
+    return times;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace dsjoin::net

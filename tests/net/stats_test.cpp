@@ -1,0 +1,67 @@
+#include "dsjoin/net/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsjoin::net {
+namespace {
+
+Frame frame_of(FrameKind kind, std::size_t payload, std::uint32_t piggy = 0) {
+  Frame f;
+  f.kind = kind;
+  f.payload.assign(payload, 0);
+  f.piggyback_bytes = piggy;
+  return f;
+}
+
+TEST(TrafficCounters, StartsZeroed) {
+  TrafficCounters c;
+  EXPECT_EQ(c.total_frames(), 0u);
+  EXPECT_EQ(c.total_bytes(), 0u);
+  EXPECT_EQ(c.piggyback_bytes, 0u);
+  EXPECT_DOUBLE_EQ(c.summary_byte_fraction(), 0.0);
+}
+
+TEST(TrafficCounters, RecordsByKind) {
+  TrafficCounters c;
+  c.record(frame_of(FrameKind::kTuple, 100));
+  c.record(frame_of(FrameKind::kTuple, 50));
+  c.record(frame_of(FrameKind::kResult, 10));
+  EXPECT_EQ(c.frames(FrameKind::kTuple), 2u);
+  EXPECT_EQ(c.frames(FrameKind::kResult), 1u);
+  EXPECT_EQ(c.frames(FrameKind::kSummary), 0u);
+  // wire_bytes adds the 16-byte header.
+  EXPECT_EQ(c.bytes(FrameKind::kTuple), 100u + 50u + 32u);
+  EXPECT_EQ(c.total_frames(), 3u);
+  EXPECT_EQ(c.total_bytes(), 160u + 48u);
+}
+
+TEST(TrafficCounters, SummaryFractionCombinesBothChannels) {
+  TrafficCounters c;
+  // A tuple frame of 100 payload bytes, 30 of which are piggybacked summary.
+  c.record(frame_of(FrameKind::kTuple, 100, 30));
+  // A standalone summary frame of 44 payload bytes (60 on the wire).
+  c.record(frame_of(FrameKind::kSummary, 44));
+  const double expected =
+      (30.0 + 60.0) / static_cast<double>(c.total_bytes());
+  EXPECT_DOUBLE_EQ(c.summary_byte_fraction(), expected);
+}
+
+TEST(TrafficCounters, MergeAccumulates) {
+  TrafficCounters a, b;
+  a.record(frame_of(FrameKind::kTuple, 10));
+  b.record(frame_of(FrameKind::kControl, 20, 5));
+  a.merge(b);
+  EXPECT_EQ(a.total_frames(), 2u);
+  EXPECT_EQ(a.frames(FrameKind::kControl), 1u);
+  EXPECT_EQ(a.piggyback_bytes, 5u);
+}
+
+TEST(FrameKindNames, AllNamed) {
+  EXPECT_STREQ(to_string(FrameKind::kTuple), "tuple");
+  EXPECT_STREQ(to_string(FrameKind::kSummary), "summary");
+  EXPECT_STREQ(to_string(FrameKind::kResult), "result");
+  EXPECT_STREQ(to_string(FrameKind::kControl), "control");
+}
+
+}  // namespace
+}  // namespace dsjoin::net

@@ -1,0 +1,105 @@
+// WAN shaping details: pause-burst vs smooth serialization equivalence at
+// the average rate, and the failure-injection counters.
+#include <gtest/gtest.h>
+
+#include "dsjoin/net/sim_transport.hpp"
+
+namespace dsjoin::net {
+namespace {
+
+Frame payload_frame(NodeId from, NodeId to, std::size_t bytes) {
+  Frame f;
+  f.from = from;
+  f.to = to;
+  f.kind = FrameKind::kTuple;
+  f.payload.assign(bytes, 0x11);
+  return f;
+}
+
+TEST(WanShaping, PauseBurstAveragesToSmoothRate) {
+  // Over a long transfer the literal "pause 1 s per 90 kilobits" shaping
+  // and the smooth serialization model must agree on total time within a
+  // pause quantum.
+  auto run = [](bool burst) {
+    EventQueue q;
+    WanProfile p;
+    p.latency_min_s = p.latency_max_s = 0.0;
+    p.pause_burst_shaping = burst;
+    SimTransport t(q, 2, p, 1);
+    SimTime last = 0.0;
+    t.register_handler(0, [](Frame&&) {});
+    t.register_handler(1, [&](Frame&&) { last = q.now(); });
+    // ~1.8 Mbit total: 200 frames x (1109+16)B x 8 = 1.8e6 bits -> ~20 s.
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(t.send(payload_frame(0, 1, 1109)));
+    }
+    q.run_all();
+    return last;
+  };
+  const double smooth = run(false);
+  const double bursty = run(true);
+  EXPECT_NEAR(smooth, bursty, 1.2);  // within ~one pause quantum
+  EXPECT_GT(smooth, 15.0);
+}
+
+TEST(WanShaping, DropCounterMatchesProbability) {
+  EventQueue q;
+  WanProfile p = WanProfile::ideal();
+  p.drop_probability = 0.25;
+  SimTransport t(q, 2, p, 7);
+  int delivered = 0;
+  t.register_handler(0, [](Frame&&) {});
+  t.register_handler(1, [&](Frame&&) { ++delivered; });
+  constexpr int kFrames = 4000;
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_TRUE(t.send(payload_frame(0, 1, 8)));
+  }
+  q.run_all();
+  EXPECT_EQ(delivered + static_cast<int>(t.dropped_frames()), kFrames);
+  EXPECT_NEAR(static_cast<double>(t.dropped_frames()) / kFrames, 0.25, 0.03);
+  // Accounting happens at send time: all frames were charged.
+  EXPECT_EQ(t.stats().total_frames(), static_cast<std::uint64_t>(kFrames));
+}
+
+TEST(WanShaping, CorruptionCounterAndDelivery) {
+  EventQueue q;
+  WanProfile p = WanProfile::ideal();
+  p.corrupt_probability = 0.5;
+  SimTransport t(q, 2, p, 9);
+  int delivered = 0;
+  int mutated = 0;
+  t.register_handler(0, [](Frame&&) {});
+  t.register_handler(1, [&](Frame&& f) {
+    ++delivered;
+    for (auto b : f.payload) {
+      if (b != 0x11) {
+        ++mutated;
+        break;
+      }
+    }
+  });
+  constexpr int kFrames = 2000;
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_TRUE(t.send(payload_frame(0, 1, 64)));
+  }
+  q.run_all();
+  EXPECT_EQ(delivered, kFrames);  // corruption does not drop
+  EXPECT_EQ(static_cast<int>(t.corrupted_frames()), mutated);
+  EXPECT_NEAR(static_cast<double>(mutated) / kFrames, 0.5, 0.05);
+}
+
+TEST(WanShaping, NoInjectionByDefault) {
+  EventQueue q;
+  SimTransport t(q, 2, WanProfile{}, 3);
+  t.register_handler(0, [](Frame&&) {});
+  t.register_handler(1, [](Frame&&) {});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(t.send(payload_frame(0, 1, 16)));
+  }
+  q.run_all();
+  EXPECT_EQ(t.dropped_frames(), 0u);
+  EXPECT_EQ(t.corrupted_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace dsjoin::net

@@ -1,0 +1,211 @@
+#include "dsjoin/sketch/agms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/common/serialize.hpp"
+#include "dsjoin/common/zipf.hpp"
+
+namespace dsjoin::sketch {
+namespace {
+
+// Exact join size of two frequency maps: sum_v f(v) * g(v).
+std::int64_t exact_join(const std::map<std::uint64_t, std::int64_t>& f,
+                        const std::map<std::uint64_t, std::int64_t>& g) {
+  std::int64_t total = 0;
+  for (const auto& [key, count] : f) {
+    const auto it = g.find(key);
+    if (it != g.end()) total += count * it->second;
+  }
+  return total;
+}
+
+TEST(AgmsShape, BudgetKeepsPaperRatio) {
+  const auto shape = AgmsShape::for_budget(500);
+  EXPECT_LE(shape.counters(), 500u);
+  EXPECT_GE(shape.s0, shape.s1);  // s0 : s1 = 5 : 1
+  EXPECT_NEAR(static_cast<double>(shape.s0) / shape.s1, 5.0, 2.0);
+}
+
+TEST(AgmsShape, TinyBudgetStillValid) {
+  const auto shape = AgmsShape::for_budget(1);
+  EXPECT_GE(shape.s0, 1u);
+  EXPECT_GE(shape.s1, 1u);
+  EXPECT_LE(shape.counters(), 5u);
+}
+
+TEST(AgmsSketch, RejectsZeroShape) {
+  EXPECT_THROW(AgmsSketch(AgmsShape{0, 1}, 1), std::invalid_argument);
+  EXPECT_THROW(AgmsSketch(AgmsShape{1, 0}, 1), std::invalid_argument);
+}
+
+TEST(AgmsSketch, EmptyEstimatesZero) {
+  AgmsSketch f(AgmsShape{5, 3}, 7);
+  AgmsSketch g(AgmsShape{5, 3}, 7);
+  EXPECT_DOUBLE_EQ(AgmsSketch::estimate_join(f, g), 0.0);
+}
+
+TEST(AgmsSketch, SelfJoinOfSingleKey) {
+  // One key inserted n times: F2 = n^2 exactly (every atomic estimator
+  // holds +/-n, squared = n^2, so mean and median are exact).
+  AgmsSketch sketch(AgmsShape{5, 2}, 11);
+  for (int i = 0; i < 9; ++i) sketch.update(42);
+  EXPECT_DOUBLE_EQ(sketch.estimate_self_join(), 81.0);
+}
+
+TEST(AgmsSketch, DeletionCancelsInsertion) {
+  AgmsSketch sketch(AgmsShape{5, 2}, 13);
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) sketch.update(rng.next() % 50);
+  AgmsSketch copy = sketch;
+  copy.update(7, +3);
+  copy.update(7, -3);
+  EXPECT_EQ(copy.counters(), sketch.counters());
+}
+
+TEST(AgmsSketch, JoinEstimateIsAccurateWithEnoughCounters) {
+  // Large sketch => tight estimate; validates unbiasedness in practice.
+  const std::uint64_t seed = 99;
+  AgmsSketch f(AgmsShape{15, 40}, seed);
+  AgmsSketch g(AgmsShape{15, 40}, seed);
+  std::map<std::uint64_t, std::int64_t> fm, gm;
+  common::Xoshiro256 rng(2);
+  common::ZipfDistribution zipf(100, 1.0);
+  for (int i = 0; i < 3000; ++i) {
+    const auto a = zipf(rng);
+    const auto b = zipf(rng);
+    f.update(a);
+    g.update(b);
+    ++fm[a];
+    ++gm[b];
+  }
+  const double exact = static_cast<double>(exact_join(fm, gm));
+  const double estimate = AgmsSketch::estimate_join(f, g);
+  EXPECT_NEAR(estimate, exact, 0.35 * exact);
+}
+
+TEST(AgmsSketch, EstimateImprovesWithWidth) {
+  // Variance control: wider sketches give (stochastically) tighter
+  // estimates. Checked via average relative error across seeds.
+  std::map<std::uint64_t, std::int64_t> fm, gm;
+  std::vector<std::uint64_t> fs, gs;
+  common::Xoshiro256 rng(3);
+  common::ZipfDistribution zipf(50, 1.1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = zipf(rng), b = zipf(rng);
+    fs.push_back(a);
+    gs.push_back(b);
+    ++fm[a];
+    ++gm[b];
+  }
+  const double exact = static_cast<double>(exact_join(fm, gm));
+  auto mean_rel_error = [&](AgmsShape shape) {
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      AgmsSketch f(shape, seed), g(shape, seed);
+      for (auto v : fs) f.update(v);
+      for (auto v : gs) g.update(v);
+      total += std::abs(AgmsSketch::estimate_join(f, g) - exact) / exact;
+    }
+    return total / 10;
+  };
+  EXPECT_LT(mean_rel_error(AgmsShape{5, 64}), mean_rel_error(AgmsShape{5, 2}));
+}
+
+TEST(AgmsSketch, MergeEqualsUnion) {
+  const std::uint64_t seed = 17;
+  AgmsSketch a(AgmsShape{5, 4}, seed), b(AgmsShape{5, 4}, seed),
+      both(AgmsShape{5, 4}, seed);
+  common::Xoshiro256 rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto va = rng.next() % 99;
+    const auto vb = rng.next() % 99;
+    a.update(va);
+    both.update(va);
+    b.update(vb);
+    both.update(vb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.counters(), both.counters());
+}
+
+TEST(AgmsSketch, SerializeRoundTrip) {
+  AgmsSketch sketch(AgmsShape{5, 3}, 23);
+  for (int i = 0; i < 77; ++i) sketch.update(i * 13 % 31);
+  common::BufferWriter w;
+  sketch.serialize(w);
+  common::BufferReader r(w.bytes());
+  auto decoded = AgmsSketch::deserialize(r);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().counters(), sketch.counters());
+  EXPECT_EQ(decoded.value().seed(), sketch.seed());
+  // The decoded sketch must be combinable with the original.
+  EXPECT_DOUBLE_EQ(AgmsSketch::estimate_join(sketch, decoded.value()),
+                   sketch.estimate_self_join());
+}
+
+TEST(AgmsSketch, DeserializeRejectsGarbage) {
+  common::BufferWriter w;
+  w.write_u32(0);  // s0 = 0 is invalid
+  w.write_u32(5);
+  w.write_u64(1);
+  common::BufferReader r(w.bytes());
+  EXPECT_FALSE(AgmsSketch::deserialize(r).is_ok());
+}
+
+TEST(AgmsSketch, SetCountersReplacesGrid) {
+  AgmsSketch sketch(AgmsShape{2, 2}, 5);
+  sketch.set_counters({1, -2, 3, -4});
+  EXPECT_EQ(sketch.counters(), (std::vector<std::int64_t>{1, -2, 3, -4}));
+}
+
+TEST(AgmsSketch, WireBytesMatchCounters) {
+  AgmsSketch sketch(AgmsShape{5, 3}, 1);
+  EXPECT_EQ(sketch.wire_bytes(), 15u * 8u);
+}
+
+TEST(FastAgmsSketch, SelfJoinOfSingleKey) {
+  FastAgmsSketch sketch(7, 32, 3);
+  for (int i = 0; i < 6; ++i) sketch.update(1234);
+  EXPECT_DOUBLE_EQ(sketch.estimate_self_join(), 36.0);
+}
+
+TEST(FastAgmsSketch, JoinEstimateAccuracy) {
+  const std::uint64_t seed = 31;
+  FastAgmsSketch f(9, 256, seed), g(9, 256, seed);
+  std::map<std::uint64_t, std::int64_t> fm, gm;
+  common::Xoshiro256 rng(6);
+  common::ZipfDistribution zipf(100, 1.0);
+  for (int i = 0; i < 3000; ++i) {
+    const auto a = zipf(rng), b = zipf(rng);
+    f.update(a);
+    g.update(b);
+    ++fm[a];
+    ++gm[b];
+  }
+  const double exact = static_cast<double>(exact_join(fm, gm));
+  EXPECT_NEAR(FastAgmsSketch::estimate_join(f, g), exact, 0.3 * exact);
+}
+
+TEST(FastAgmsSketch, DeletionCancels) {
+  FastAgmsSketch sketch(5, 16, 37);
+  FastAgmsSketch reference(5, 16, 37);
+  reference.update(9);
+  sketch.update(9);
+  sketch.update(500, +2);
+  sketch.update(500, -2);
+  EXPECT_DOUBLE_EQ(FastAgmsSketch::estimate_join(sketch, reference),
+                   FastAgmsSketch::estimate_join(reference, reference));
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace dsjoin::sketch

@@ -1,0 +1,169 @@
+#include "dsjoin/sketch/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/common/serialize.hpp"
+
+namespace dsjoin::sketch {
+namespace {
+
+TEST(OptimalHashCount, KnownValues) {
+  // m/n = 10 -> k ~ 6.93 -> 7.
+  EXPECT_EQ(optimal_hash_count(10000, 1000), 7u);
+  // Degenerate inputs clamp to [1, 16].
+  EXPECT_EQ(optimal_hash_count(10, 10000), 1u);
+  EXPECT_EQ(optimal_hash_count(1 << 20, 10), 16u);
+  EXPECT_EQ(optimal_hash_count(1024, 0), 1u);
+}
+
+TEST(BloomFalsePositiveRate, Monotonicity) {
+  // More keys -> higher FP rate; more bits -> lower FP rate.
+  EXPECT_LT(bloom_false_positive_rate(10000, 7, 500),
+            bloom_false_positive_rate(10000, 7, 2000));
+  EXPECT_GT(bloom_false_positive_rate(1000, 3, 500),
+            bloom_false_positive_rate(100000, 3, 500));
+  EXPECT_EQ(bloom_false_positive_rate(0, 1, 10), 1.0);
+}
+
+TEST(BloomFilter, RejectsBadGeometry) {
+  EXPECT_THROW(BloomFilter(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(64, 0, 1), std::invalid_argument);
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter filter(4096, 3, 42);
+  for (std::uint64_t key = 0; key < 200; ++key) filter.insert(key * 7 + 1);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    EXPECT_TRUE(filter.contains(key * 7 + 1)) << key;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTheory) {
+  constexpr std::size_t kBits = 8192;
+  constexpr std::size_t kKeys = 1000;
+  const std::uint32_t hashes = optimal_hash_count(kBits, kKeys);
+  BloomFilter filter(kBits, hashes, 7);
+  for (std::uint64_t key = 0; key < kKeys; ++key) filter.insert(key);
+  int fp = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.contains(1000000 + static_cast<std::uint64_t>(i))) ++fp;
+  }
+  const double observed = static_cast<double>(fp) / kProbes;
+  const double theory = bloom_false_positive_rate(kBits, hashes, kKeys);
+  EXPECT_NEAR(observed, theory, theory + 0.01);  // generous band
+  EXPECT_NEAR(filter.estimated_fpp(), theory, theory);  // fill-based estimate
+}
+
+TEST(BloomFilter, EmptyContainsNothing) {
+  BloomFilter filter(1024, 3, 9);
+  EXPECT_EQ(filter.popcount(), 0u);
+  for (std::uint64_t key = 0; key < 100; ++key) EXPECT_FALSE(filter.contains(key));
+}
+
+TEST(BloomFilter, SerializeRoundTrip) {
+  BloomFilter filter(2048, 4, 55);
+  for (std::uint64_t key = 0; key < 100; ++key) filter.insert(key * key);
+  common::BufferWriter w;
+  filter.serialize(w);
+  EXPECT_EQ(w.size() + 0u, 2048 / 8 + 20u);  // words + header
+  common::BufferReader r(w.bytes());
+  auto decoded = BloomFilter::deserialize(r);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().popcount(), filter.popcount());
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_TRUE(decoded.value().contains(key * key));
+  }
+}
+
+TEST(BloomFilter, DeserializeRejectsGarbage) {
+  common::BufferWriter w;
+  w.write_u64(0);  // zero bits
+  w.write_u32(3);
+  w.write_u64(1);
+  common::BufferReader r(w.bytes());
+  EXPECT_FALSE(BloomFilter::deserialize(r).is_ok());
+}
+
+TEST(BloomFilter, DeserializeRejectsTruncation) {
+  BloomFilter filter(2048, 4, 55);
+  common::BufferWriter w;
+  filter.serialize(w);
+  auto bytes = std::move(w).take();
+  bytes.resize(bytes.size() / 2);
+  common::BufferReader r(bytes);
+  EXPECT_FALSE(BloomFilter::deserialize(r).is_ok());
+}
+
+TEST(CountingBloomFilter, InsertEraseRestoresAbsence) {
+  CountingBloomFilter filter(4096, 3, 77);
+  filter.insert(123);
+  EXPECT_TRUE(filter.contains(123));
+  filter.erase(123);
+  EXPECT_FALSE(filter.contains(123));
+}
+
+TEST(CountingBloomFilter, SlidingWindowBehaviour) {
+  // Insert a window of keys, slide it forward, and verify membership
+  // reflects only the live window (no false negatives for live keys).
+  CountingBloomFilter filter(1 << 14, 4, 5);
+  constexpr std::uint64_t kWindow = 500;
+  std::vector<std::uint64_t> keys;
+  common::Xoshiro256 rng(8);
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    const std::uint64_t key = rng.next() % 100000;
+    keys.push_back(key);
+    filter.insert(key);
+    if (keys.size() > kWindow) {
+      filter.erase(keys[keys.size() - kWindow - 1]);
+    }
+  }
+  // Every key still in the window must be present.
+  for (std::size_t i = keys.size() - kWindow; i < keys.size(); ++i) {
+    EXPECT_TRUE(filter.contains(keys[i]));
+  }
+}
+
+TEST(CountingBloomFilter, DuplicateInsertsNeedMatchingErases) {
+  CountingBloomFilter filter(2048, 3, 11);
+  filter.insert(5);
+  filter.insert(5);
+  filter.erase(5);
+  EXPECT_TRUE(filter.contains(5));  // one copy still inside
+  filter.erase(5);
+  EXPECT_FALSE(filter.contains(5));
+}
+
+TEST(CountingBloomFilter, SnapshotMatchesMembership) {
+  CountingBloomFilter counting(4096, 3, 21);
+  for (std::uint64_t key = 0; key < 300; ++key) counting.insert(key * 3);
+  const BloomFilter snapshot = counting.snapshot();
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    EXPECT_TRUE(snapshot.contains(key * 3));
+  }
+  // The snapshot uses the same hash seed, so behaviour matches exactly.
+  int disagreements = 0;
+  for (std::uint64_t probe = 1000000; probe < 1002000; ++probe) {
+    if (snapshot.contains(probe) != counting.contains(probe)) ++disagreements;
+  }
+  EXPECT_EQ(disagreements, 0);
+}
+
+TEST(CountingBloomFilter, SnapshotSurvivesSerializeCycle) {
+  CountingBloomFilter counting(2048, 3, 31);
+  for (std::uint64_t key = 0; key < 100; ++key) counting.insert(key);
+  common::BufferWriter w;
+  counting.snapshot().serialize(w);
+  common::BufferReader r(w.bytes());
+  auto decoded = BloomFilter::deserialize(r);
+  ASSERT_TRUE(decoded.is_ok());
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_TRUE(decoded.value().contains(key));
+  }
+}
+
+}  // namespace
+}  // namespace dsjoin::sketch

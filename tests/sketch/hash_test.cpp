@@ -1,0 +1,109 @@
+#include "dsjoin/sketch/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace dsjoin::sketch {
+namespace {
+
+TEST(MulModM61, SmallValues) {
+  EXPECT_EQ(mul_mod_m61(3, 4), 12u);
+  EXPECT_EQ(mul_mod_m61(0, 12345), 0u);
+  EXPECT_EQ(mul_mod_m61(1, kMersenne61 - 1), kMersenne61 - 1);
+}
+
+TEST(MulModM61, WrapsCorrectly) {
+  // (p-1)^2 mod p == 1
+  EXPECT_EQ(mul_mod_m61(kMersenne61 - 1, kMersenne61 - 1), 1u);
+  // (p-1)*2 mod p == p-2
+  EXPECT_EQ(mul_mod_m61(kMersenne61 - 1, 2), kMersenne61 - 2);
+}
+
+TEST(MulModM61, ResultAlwaysReduced) {
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(mul_mod_m61(rng.next() % kMersenne61, rng.next() % kMersenne61),
+              kMersenne61);
+  }
+}
+
+TEST(FourWiseHash, Deterministic) {
+  common::Xoshiro256 rng_a(5), rng_b(5);
+  FourWiseHash a(rng_a), b(rng_b);
+  for (std::uint64_t x = 0; x < 100; ++x) EXPECT_EQ(a.eval(x), b.eval(x));
+}
+
+TEST(FourWiseHash, SignsAreBalanced) {
+  common::Xoshiro256 rng(7);
+  FourWiseHash h(rng);
+  int sum = 0;
+  constexpr int kN = 100000;
+  for (int x = 0; x < kN; ++x) sum += h.sign(static_cast<std::uint64_t>(x));
+  // Mean 0, stddev sqrt(N) ~ 316; 5 sigma bound.
+  EXPECT_LT(std::abs(sum), 5 * 316);
+}
+
+TEST(FourWiseHash, PairwiseSignProductsBalanced) {
+  // 4-wise independence implies E[xi(x) xi(y)] = 0 for x != y.
+  common::Xoshiro256 rng(11);
+  FourWiseHash h(rng);
+  int sum = 0;
+  constexpr int kN = 50000;
+  for (int x = 0; x < kN; ++x) {
+    sum += h.sign(static_cast<std::uint64_t>(x)) *
+           h.sign(static_cast<std::uint64_t>(x) + 1000000);
+  }
+  EXPECT_LT(std::abs(sum), 5 * 224);
+}
+
+TEST(FourWiseHash, BucketsRoughlyUniform) {
+  common::Xoshiro256 rng(13);
+  FourWiseHash h(rng);
+  constexpr std::uint64_t kBuckets = 16;
+  std::map<std::uint64_t, int> counts;
+  constexpr int kN = 160000;
+  for (int x = 0; x < kN; ++x) {
+    ++counts[h.bucket(static_cast<std::uint64_t>(x), kBuckets)];
+  }
+  for (const auto& [bucket, count] : counts) {
+    EXPECT_LT(bucket, kBuckets);
+    EXPECT_NEAR(count, kN / kBuckets, 0.05 * kN / kBuckets);
+  }
+}
+
+TEST(DoubleHash, ProbesWithinRange) {
+  common::Xoshiro256 rng(17);
+  DoubleHash h(rng);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      EXPECT_LT(h.probe(key, i, 1021), 1021u);
+    }
+  }
+}
+
+TEST(DoubleHash, DistinctSeedsDistinctProbes) {
+  common::Xoshiro256 rng(19);
+  DoubleHash a(rng), b(rng);
+  int equal = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    if (a.probe(key, 0, 1 << 20) == b.probe(key, 0, 1 << 20)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(DoubleHash, ProbesSpreadAcrossRange) {
+  common::Xoshiro256 rng(23);
+  DoubleHash h(rng);
+  constexpr std::uint64_t kRange = 64;
+  std::map<std::uint64_t, int> counts;
+  for (std::uint64_t key = 0; key < 64000; ++key) ++counts[h.probe(key, 0, kRange)];
+  EXPECT_EQ(counts.size(), kRange);
+  for (const auto& [slot, count] : counts) {
+    EXPECT_NEAR(count, 1000, 150) << slot;
+  }
+}
+
+}  // namespace
+}  // namespace dsjoin::sketch

@@ -1,0 +1,216 @@
+#include "dsjoin/stream/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace dsjoin::stream {
+namespace {
+
+WorkloadParams params_for(std::uint32_t nodes = 4, std::uint32_t regions = 2) {
+  WorkloadParams p;
+  p.nodes = nodes;
+  p.regions = regions;
+  p.seed = 1234;
+  return p;
+}
+
+TEST(LatentProcess, StaysWithinRange) {
+  common::Xoshiro256 rng(1);
+  LatentProcess proc(100.0, 200.0, 50.0, 4, rng);
+  for (double t = 0; t < 500; t += 0.37) {
+    const double v = proc.value(t);
+    EXPECT_GE(v, 100.0);
+    EXPECT_LE(v, 200.0);
+  }
+}
+
+TEST(LatentProcess, IsDeterministicInTime) {
+  common::Xoshiro256 rng(2);
+  LatentProcess proc(0.0, 1.0, 10.0, 3, rng);
+  EXPECT_DOUBLE_EQ(proc.value(42.0), proc.value(42.0));
+}
+
+TEST(LatentProcess, VariesOverTime) {
+  common::Xoshiro256 rng(3);
+  LatentProcess proc(0.0, 1000.0, 10.0, 4, rng);
+  double lo = 1e18, hi = -1e18;
+  for (double t = 0; t < 20; t += 0.1) {
+    lo = std::min(lo, proc.value(t));
+    hi = std::max(hi, proc.value(t));
+  }
+  EXPECT_GT(hi - lo, 100.0);
+}
+
+TEST(MakeWorkload, FactoryNamesAndDomains) {
+  const auto p = params_for();
+  for (const char* name : {"UNI", "ZIPF", "FIN", "NWRK"}) {
+    const auto wl = make_workload(name, p);
+    ASSERT_NE(wl, nullptr);
+    EXPECT_STREQ(wl->name(), name);
+    EXPECT_EQ(wl->domain(), p.domain);
+  }
+  EXPECT_THROW(make_workload("BOGUS", p), std::invalid_argument);
+}
+
+// Keys must stay within the declared domain for every workload.
+class WorkloadDomainTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadDomainTest, KeysInDomain) {
+  const auto p = params_for(6, 3);
+  const auto wl = make_workload(GetParam(), p);
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 0.01;
+    const auto key = wl->next_key(static_cast<net::NodeId>(i % 6),
+                                  i % 2 ? StreamSide::kR : StreamSide::kS, t);
+    ASSERT_GE(key, 1);
+    ASSERT_LE(key, p.domain);
+  }
+}
+
+TEST_P(WorkloadDomainTest, DeterministicAcrossInstances) {
+  const auto p = params_for();
+  const auto a = make_workload(GetParam(), p);
+  const auto b = make_workload(GetParam(), p);
+  for (int i = 0; i < 1000; ++i) {
+    const double t = 0.02 * i;
+    EXPECT_EQ(a->next_key(1, StreamSide::kR, t), b->next_key(1, StreamSide::kR, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadDomainTest,
+                         ::testing::Values("UNI", "ZIPF", "FIN", "NWRK"));
+
+TEST(UniformWorkload, CoversDomainEvenly) {
+  auto p = params_for();
+  p.domain = 1 << 10;
+  UniformWorkload wl(p);
+  std::map<std::int64_t, int> quartiles;
+  for (int i = 0; i < 40000; ++i) {
+    ++quartiles[(wl.next_key(0, StreamSide::kR, 0.0) - 1) * 4 / p.domain];
+  }
+  ASSERT_EQ(quartiles.size(), 4u);
+  for (const auto& [q, count] : quartiles) {
+    EXPECT_NEAR(count, 10000, 600) << q;
+  }
+}
+
+TEST(ZipfWorkload, SameRegionJoinMassDominates) {
+  // Geographic skew: the *pair count* (join mass, multiplicity-weighted)
+  // between same-region nodes must dominate the cross-region mass. Set
+  // membership alone would not discriminate: locality escapes sprinkle a
+  // thin copy of every region's hot band onto every node.
+  const auto p = params_for(4, 2);
+  ZipfWorkload wl(p);
+  std::map<std::int64_t, long> node0, node1, node2;
+  double t = 0.0;
+  for (int i = 0; i < 6000; ++i) {
+    t += 0.01;
+    ++node0[wl.next_key(0, StreamSide::kR, t)];
+    ++node1[wl.next_key(1, StreamSide::kS, t)];  // region 1
+    ++node2[wl.next_key(2, StreamSide::kS, t)];  // region 0 (same as node 0)
+  }
+  auto join_mass = [](const std::map<std::int64_t, long>& a,
+                      const std::map<std::int64_t, long>& b) {
+    long total = 0;
+    for (const auto& [key, count] : a) {
+      const auto it = b.find(key);
+      if (it != b.end()) total += count * it->second;
+    }
+    return total;
+  };
+  const long same = join_mass(node0, node2);
+  const long cross = join_mass(node0, node1);
+  EXPECT_GT(same, 3 * std::max(cross, 1L));
+  EXPECT_GT(same, 1000);
+}
+
+TEST(ZipfWorkload, NoiseTuplesSpreadOverDomain) {
+  auto p = params_for();
+  p.noise = 1.0;  // every tuple is background noise
+  ZipfWorkload wl(p);
+  std::int64_t min_key = p.domain, max_key = 1;
+  for (int i = 0; i < 5000; ++i) {
+    const auto key = wl.next_key(0, StreamSide::kR, 1.0);
+    min_key = std::min(min_key, key);
+    max_key = std::max(max_key, key);
+  }
+  EXPECT_LT(min_key, p.domain / 10);
+  EXPECT_GT(max_key, 9 * p.domain / 10);
+}
+
+TEST(FinancialWorkload, BidAskCrossesHappenWithinSymbol) {
+  const auto p = params_for(2, 1);
+  FinancialWorkload wl(p);
+  std::map<std::int64_t, int> bids;
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    t += 0.01;
+    ++bids[wl.next_key(0, StreamSide::kR, t)];
+  }
+  int crosses = 0;
+  t = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    t += 0.01;
+    if (bids.count(wl.next_key(1, StreamSide::kS, t))) ++crosses;
+  }
+  EXPECT_GT(crosses, 100);  // same region => frequent price crosses
+}
+
+TEST(NetworkWorkload, FlowsArriveInBursts) {
+  const auto p = params_for();
+  NetworkWorkload wl(p, /*flow_continue_p=*/0.9);
+  std::int64_t previous = -1;
+  int repeats = 0;
+  constexpr int kN = 10000;
+  double t = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    t += 0.01;
+    const auto key = wl.next_key(0, StreamSide::kR, t);
+    if (key == previous) ++repeats;
+    previous = key;
+  }
+  // Geometric runs with p = 0.9 -> ~85+% consecutive repeats after noise.
+  EXPECT_GT(repeats, kN / 2);
+}
+
+TEST(NetworkWorkload, HeavyTailHostPopularity) {
+  const auto p = params_for(2, 1);
+  NetworkWorkload wl(p, /*flow_continue_p=*/0.0, /*alpha=*/1.1);
+  std::map<std::int64_t, int> counts;
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 0.0005;  // hot base barely moves
+    ++counts[wl.next_key(0, StreamSide::kR, t)];
+  }
+  int top = 0;
+  for (const auto& [key, count] : counts) top = std::max(top, count);
+  // The hottest host dominates well beyond a uniform share.
+  EXPECT_GT(top, 20000 / static_cast<int>(counts.size()) * 5);
+}
+
+TEST(GenerateStockSeries, IntegerValuedAndDeterministic) {
+  const auto a = generate_stock_series(1024, 9);
+  const auto b = generate_stock_series(1024, 9);
+  EXPECT_EQ(a, b);
+  for (double v : a) EXPECT_DOUBLE_EQ(v, std::round(v));
+  const auto c = generate_stock_series(1024, 10);
+  EXPECT_NE(a, c);
+}
+
+TEST(GenerateStockSeries, LooksLikeAWalkNotNoise) {
+  const auto series = generate_stock_series(8192, 11);
+  // Successive differences must be tiny relative to the overall excursion.
+  double max_step = 0.0, lo = 1e18, hi = -1e18;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    max_step = std::max(max_step, std::abs(series[i] - series[i - 1]));
+    lo = std::min(lo, series[i]);
+    hi = std::max(hi, series[i]);
+  }
+  EXPECT_LT(max_step * 20, hi - lo);
+}
+
+}  // namespace
+}  // namespace dsjoin::stream

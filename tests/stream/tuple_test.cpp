@@ -1,0 +1,79 @@
+#include "dsjoin/stream/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dsjoin::stream {
+namespace {
+
+TEST(StreamSide, OppositeFlips) {
+  EXPECT_EQ(opposite(StreamSide::kR), StreamSide::kS);
+  EXPECT_EQ(opposite(StreamSide::kS), StreamSide::kR);
+  EXPECT_STREQ(to_string(StreamSide::kR), "R");
+  EXPECT_STREQ(to_string(StreamSide::kS), "S");
+}
+
+TEST(Tuple, SerializeRoundTrip) {
+  Tuple t;
+  t.id = 0xfeedfacecafebeefULL;
+  t.key = -123456789;
+  t.timestamp = 98.7654321;
+  t.origin = 17;
+  t.side = StreamSide::kS;
+  common::BufferWriter w;
+  t.serialize(w);
+  common::BufferReader r(w.bytes());
+  auto decoded = Tuple::deserialize(r);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().id, t.id);
+  EXPECT_EQ(decoded.value().key, t.key);
+  EXPECT_DOUBLE_EQ(decoded.value().timestamp, t.timestamp);
+  EXPECT_EQ(decoded.value().origin, t.origin);
+  EXPECT_EQ(decoded.value().side, t.side);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Tuple, DeserializeRejectsBadSide) {
+  Tuple t;
+  common::BufferWriter w;
+  t.serialize(w);
+  auto bytes = std::move(w).take();
+  bytes[8 + 8 + 8] = 9;  // side byte
+  common::BufferReader r(bytes);
+  EXPECT_FALSE(Tuple::deserialize(r).is_ok());
+}
+
+TEST(Tuple, DeserializeRejectsTruncation) {
+  Tuple t;
+  common::BufferWriter w;
+  t.serialize(w);
+  auto bytes = std::move(w).take();
+  bytes.resize(10);
+  common::BufferReader r(bytes);
+  EXPECT_FALSE(Tuple::deserialize(r).is_ok());
+}
+
+TEST(ResultPair, EqualityAndHash) {
+  const ResultPair a{1, 2};
+  const ResultPair b{1, 2};
+  const ResultPair c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  ResultPairHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));  // order matters (R id vs S id)
+}
+
+TEST(ResultPair, HashSpreadsOverSet) {
+  std::unordered_set<ResultPair, ResultPairHash> set;
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    for (std::uint64_t s = 0; s < 100; ++s) {
+      set.insert(ResultPair{r, s});
+    }
+  }
+  EXPECT_EQ(set.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace dsjoin::stream

@@ -1,0 +1,160 @@
+// Statistical properties of the synthetic workloads that the evaluation's
+// claims rest on (DESIGN.md §3): marginal shapes, burst structure, and the
+// spectral compressibility of the generated windows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dsjoin/dsp/compression.hpp"
+#include "dsjoin/stream/generator.hpp"
+
+namespace dsjoin::stream {
+namespace {
+
+WorkloadParams params4() {
+  WorkloadParams p;
+  p.nodes = 4;
+  p.regions = 2;
+  p.seed = 99;
+  return p;
+}
+
+TEST(WorkloadStats, ZipfOffsetsAreHeadHeavy) {
+  // With noise off, keys cluster around the (plateau-quantized) regional
+  // center with Zipf-shaped offsets: rank-1 offsets must dominate.
+  auto p = params4();
+  p.noise = 0.0;
+  p.locality = 1.0;
+  ZipfWorkload wl(p);
+  std::map<std::int64_t, int> counts;
+  double t = 100.0;  // fixed instant => fixed center
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[wl.next_key(0, StreamSide::kR, t)];
+  }
+  // The hottest key (offset 0) clearly beats the median populated key.
+  int top = 0;
+  long total_keys = 0;
+  for (const auto& [key, count] : counts) {
+    top = std::max(top, count);
+    total_keys += 1;
+  }
+  EXPECT_GT(top, 20000 / static_cast<int>(total_keys) * 3);
+}
+
+TEST(WorkloadStats, ZipfReconstructionErrorWithinMembershipTolerance) {
+  // The property DFTT's membership test actually relies on (DESIGN.md §3,
+  // property 3): a regional window's truncated-DFT reconstruction tracks
+  // the hot band to within the offset spread — i.e. the per-sample RMS
+  // error is on the order of the Zipf offset scale, not the key domain.
+  // (Locality escapes / noise are clipped before the DFT by the policies.)
+  auto p = params4();
+  p.noise = 0.0;
+  p.locality = 1.0;
+  ZipfWorkload wl(p);
+  constexpr std::size_t kW = 2048;
+  std::vector<double> window(kW);
+  double t = 0.0;
+  for (auto& v : window) {
+    t += 0.02;
+    v = static_cast<double>(wl.next_key(0, StreamSide::kR, t));
+  }
+  dsp::Fft fft(kW);
+  const auto approx = dsp::reconstruct(dsp::compress(window, 256.0, fft));
+  const double rms = std::sqrt(dsp::mean_squared_error(window, approx));
+  EXPECT_LT(rms, 64.0);  // the offset spread; tolerance=32 catches the head
+}
+
+TEST(WorkloadStats, UniformReconstructionErrorIsDomainScale) {
+  // The worst case: uniform keys reconstruct uselessly — the RMS error is
+  // on the order of the key domain itself, five orders above ZIPF's.
+  auto p = params4();
+  UniformWorkload wl(p);
+  constexpr std::size_t kW = 2048;
+  std::vector<double> window(kW);
+  double t = 0.0;
+  for (auto& v : window) {
+    t += 0.02;
+    v = static_cast<double>(wl.next_key(0, StreamSide::kR, t));
+  }
+  dsp::Fft fft(kW);
+  const auto approx = dsp::reconstruct(dsp::compress(window, 256.0, fft));
+  const double rms = std::sqrt(dsp::mean_squared_error(window, approx));
+  EXPECT_GT(rms, 50000.0);
+}
+
+TEST(WorkloadStats, NetworkFlowRunLengthsAreGeometric) {
+  auto p = params4();
+  p.noise = 0.0;
+  NetworkWorkload wl(p, /*flow_continue_p=*/0.8);
+  std::int64_t prev = -1;
+  std::vector<int> runs;
+  int run = 0;
+  double t = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    t += 0.01;
+    const auto key = wl.next_key(0, StreamSide::kR, t);
+    if (key == prev) {
+      ++run;
+    } else {
+      if (run > 0) runs.push_back(run);
+      run = 1;
+      prev = key;
+    }
+  }
+  // Geometric(continue=0.8) mean run length is 1/(1-0.8) = 5.
+  double mean_run = 0.0;
+  for (int r : runs) mean_run += r;
+  mean_run /= static_cast<double>(runs.size());
+  EXPECT_NEAR(mean_run, 5.0, 0.8);
+}
+
+TEST(WorkloadStats, FinancialPricesAreTickAligned) {
+  // Bid/ask keys derive from a tick-quantized mid: consecutive same-symbol
+  // quotes stay within the jitter band of each other.
+  auto p = params4();
+  p.regions = 1;
+  p.locality = 1.0;
+  FinancialWorkload wl(p, /*symbols=*/1);
+  double t = 0.0;
+  std::int64_t lo = 1 << 20, hi = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += 0.01;
+    const auto key = wl.next_key(0, StreamSide::kR, t);
+    lo = std::min(lo, key);
+    hi = std::max(hi, key);
+  }
+  // Single symbol over 20 s: the whole spread stays inside jitter (+/-8)
+  // plus spread and a little drift.
+  EXPECT_LT(hi - lo, 64);
+}
+
+TEST(WorkloadStats, LocalityControlsCrossRegionMass) {
+  // Lower locality => more cross-region draws => more collisions with a
+  // foreign region's key set.
+  auto mass_with_locality = [&](double locality) {
+    auto p = params4();
+    p.noise = 0.0;
+    p.locality = locality;
+    p.seed = 7;
+    ZipfWorkload wl(p);
+    std::map<std::int64_t, long> region1;  // node 1's keys (region 1)
+    double t = 0.0;
+    for (int i = 0; i < 8000; ++i) {
+      t += 0.01;
+      ++region1[wl.next_key(1, StreamSide::kS, t)];
+    }
+    long mass = 0;
+    t = 0.0;
+    for (int i = 0; i < 8000; ++i) {
+      t += 0.01;
+      const auto it = region1.find(wl.next_key(0, StreamSide::kR, t));
+      if (it != region1.end()) mass += it->second;
+    }
+    return mass;
+  };
+  EXPECT_GT(mass_with_locality(0.6), 2 * mass_with_locality(0.95) + 1);
+}
+
+}  // namespace
+}  // namespace dsjoin::stream

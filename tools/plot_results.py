@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Plot the CSV blocks emitted by the dsjoin bench binaries.
+
+Each bench prints one or more blocks of the form
+
+    # csv <title>
+    col1,col2,...
+    v,v,...
+
+Usage:
+    for b in build/bench/*; do $b; done | tee bench_output.txt
+    python3 tools/plot_results.py bench_output.txt --outdir plots/
+
+Produces one PNG per CSV block (requires matplotlib; falls back to writing
+the extracted CSV files when it is unavailable).
+"""
+import argparse
+import csv
+import io
+import os
+import re
+import sys
+
+
+def extract_blocks(text):
+    """Yield (title, header, rows) for every '# csv' block in the text."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].startswith("# csv "):
+            title = lines[i][6:].strip()
+            body = []
+            i += 1
+            while i < len(lines) and lines[i] and not lines[i].startswith(("#", "=")):
+                body.append(lines[i])
+                i += 1
+            if len(body) >= 2:
+                reader = csv.reader(io.StringIO("\n".join(body)))
+                rows = list(reader)
+                yield title, rows[0], rows[1:]
+        else:
+            i += 1
+
+
+def slug(title):
+    return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:80]
+
+
+def is_number(s):
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def plot_block(title, header, rows, outdir):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    x_label = header[0]
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    if all(is_number(r[0]) for r in rows) and len(header) > 1:
+        xs = [float(r[0]) for r in rows]
+        for col in range(1, len(header)):
+            ys = [r[col] for r in rows]
+            if not all(is_number(v) for v in ys):
+                continue
+            ax.plot(xs, [float(v) for v in ys], marker="o", label=header[col])
+        ax.set_xlabel(x_label)
+        ax.legend(fontsize=8)
+    else:
+        # Categorical first column: bar chart of the first numeric column.
+        num_col = next((c for c in range(1, len(header))
+                        if all(is_number(r[c]) for r in rows)), None)
+        if num_col is None:
+            plt.close(fig)
+            return False
+        ax.bar([f"{r[0]}" for r in rows], [float(r[num_col]) for r in rows])
+        ax.set_ylabel(header[num_col])
+        ax.tick_params(axis="x", rotation=45, labelsize=7)
+    ax.set_title(title, fontsize=9)
+    fig.tight_layout()
+    path = os.path.join(outdir, slug(title) + ".png")
+    fig.savefig(path, dpi=130)
+    plt.close(fig)
+    print(f"wrote {path}")
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", help="bench output file ('-' for stdin)")
+    parser.add_argument("--outdir", default="plots", help="output directory")
+    args = parser.parse_args()
+
+    text = sys.stdin.read() if args.input == "-" else open(args.input).read()
+    os.makedirs(args.outdir, exist_ok=True)
+
+    blocks = list(extract_blocks(text))
+    if not blocks:
+        print("no '# csv' blocks found", file=sys.stderr)
+        return 1
+
+    try:
+        import matplotlib  # noqa: F401
+        have_mpl = True
+    except ImportError:
+        have_mpl = False
+        print("matplotlib unavailable; writing raw CSVs instead", file=sys.stderr)
+
+    for title, header, rows in blocks:
+        if have_mpl:
+            plot_block(title, header, rows, args.outdir)
+        else:
+            path = os.path.join(args.outdir, slug(title) + ".csv")
+            with open(path, "w", newline="") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(header)
+                writer.writerows(rows)
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
