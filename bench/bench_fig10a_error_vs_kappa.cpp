@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   flags.add_int("nodes", 8, "cluster size");
   flags.add_int("tuples", 1500, "tuples per node per side");
   flags.add_double("throttle", 0.5, "fixed forwarding budget knob");
+  bench::add_workers_flag(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
       auto config = probe;
       config.policy = kind;
       config.throttle = flags.get_double("throttle");
+      bench::apply_workers_flag(flags, config);
       const auto result = core::run_experiment(config);
       row.push_back(common::str_format("%.4f", result.epsilon));
     }

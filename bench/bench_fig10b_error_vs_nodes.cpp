@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   common::CliFlags flags("Figure 10(b) reproduction: error vs cluster size");
   flags.add_int("tuples", 1200, "tuples per node per side");
   flags.add_double("throttle", 0.5, "fixed forwarding budget knob");
+  bench::add_workers_flag(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
       auto config = bench::figure_config("ZIPF", n, tuples);
       config.policy = kind;
       config.throttle = flags.get_double("throttle");
+      bench::apply_workers_flag(flags, config);
       const auto result = core::run_experiment(config);
       row.push_back(common::str_format("%.4f", result.epsilon));
     }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   flags.add_int("tuples", 1400, "tuples per node per side (measurement run)");
   flags.add_int("calib_tuples", 800, "tuples per node per side (calibration)");
   flags.add_double("target_eps", 0.15, "calibrated error rate");
+  bench::add_workers_flag(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
     for (auto kind : bench::evaluated_policies()) {
       auto config = bench::figure_config("ZIPF", n, tuples);
       config.policy = kind;
+      bench::apply_workers_flag(flags, config);
       if (kind != core::PolicyKind::kBase) {
         auto calib_config = config;
         calib_config.tuples_per_node = calib_tuples;

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   common::CliFlags flags("Figure 8 reproduction: summary byte overhead vs nodes");
   flags.add_int("tuples", 2000, "tuples per node per side");
   flags.add_double("throttle", 0.5, "forwarding budget knob");
+  bench::add_workers_flag(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
         "ZIPF", n, static_cast<std::uint64_t>(flags.get_int("tuples")));
     config.policy = core::PolicyKind::kDft;
     config.throttle = flags.get_double("throttle");
+    bench::apply_workers_flag(flags, config);
     const auto result = core::run_experiment(config);
     table.add(n, 100.0 * result.summary_byte_fraction,
               result.traffic.piggyback_bytes,

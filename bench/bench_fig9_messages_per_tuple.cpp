@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   flags.add_int("tuples", 1200, "tuples per node per side");
   flags.add_double("target_eps", 0.15, "calibrated error rate");
   flags.add_int("bisections", 5, "calibration bisection steps");
+  bench::add_workers_flag(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
       for (auto kind : bench::evaluated_policies()) {
         auto config = bench::figure_config(workload, n, tuples);
         config.policy = kind;
+        bench::apply_workers_flag(flags, config);
         const auto calibrated =
             core::calibrate_throttle(config, target, 0.02, bisections);
         table.add(n, core::to_string(kind),

@@ -5,7 +5,9 @@
 // reproduction target is the *shape* of each figure (see EXPERIMENTS.md).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,27 @@ inline core::SystemConfig figure_config(const std::string& workload,
     config.domain = 1 << 13;
   }
   return config;
+}
+
+/// Declares the shared `--workers` flag (parallel simulator driver).
+inline void add_workers_flag(common::CliFlags& flags) {
+  flags.add_int("workers", 0,
+                "execution strands for the simulator (0 = serial driver; "
+                "k >= 1 is bit-identical to serial unless backpressure "
+                "engages, see DESIGN.md section 6)");
+}
+
+/// Applies `--workers` to a config. A negative count would wrap to a huge
+/// unsigned thread total and abort inside the pool, so reject it here.
+inline void apply_workers_flag(const common::CliFlags& flags,
+                               core::SystemConfig& config) {
+  const std::int64_t workers = flags.get_int("workers");
+  if (workers < 0) {
+    std::fprintf(stderr, "error: --workers must be >= 0, got %lld\n",
+                 static_cast<long long>(workers));
+    std::exit(1);
+  }
+  config.worker_threads = static_cast<std::uint32_t>(workers);
 }
 
 /// Prints both renderings of a finished table.

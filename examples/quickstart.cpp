@@ -5,6 +5,7 @@
 //
 // Prints, for the chosen policy and for BASE: epsilon, messages per result
 // tuple, and throughput — the paper's three headline metrics (Section 6).
+#include <cstdint>
 #include <cstdio>
 
 #include "dsjoin/common/cli.hpp"
@@ -25,7 +26,11 @@ int main(int argc, char** argv) {
       .add_int("kappa", 256, "DFT compression factor")
       .add_int("tolerance", 2, "DFTT membership tolerance (+/- keys)")
       .add_double("noise", 0.15, "background cold-tuple fraction")
-      .add_int("seed", 42, "experiment seed");
+      .add_int("seed", 42, "experiment seed")
+      .add_int("workers", 0,
+               "execution strands for the simulator (0 = serial driver; "
+               "k >= 1 is bit-identical to serial unless backpressure "
+               "engages, see DESIGN.md section 6)");
   if (auto status = flags.parse(argc, argv); !status) {
     if (status.code() != common::ErrorCode::kFailedPrecondition) {
       std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
@@ -44,6 +49,13 @@ int main(int argc, char** argv) {
   config.membership_tolerance = flags.get_int("tolerance");
   config.noise = flags.get_double("noise");
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const std::int64_t workers = flags.get_int("workers");
+  if (workers < 0) {
+    std::fprintf(stderr, "error: --workers must be >= 0, got %lld\n",
+                 static_cast<long long>(workers));
+    return 1;
+  }
+  config.worker_threads = static_cast<std::uint32_t>(workers);
 
   std::printf("Running %s on %s with %u nodes (%llu tuples/node/side)...\n",
               core::to_string(config.policy), config.workload.c_str(),

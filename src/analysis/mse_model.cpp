@@ -23,7 +23,7 @@ double predicted_mse(std::span<const dsp::Complex> spectrum, std::size_t retaine
 
 std::vector<KappaMse> mse_profile(std::span<const double> signal) {
   const std::size_t w = signal.size();
-  dsp::Fft fft(w);
+  const dsp::Fft& fft = dsp::Fft::plan(w);
   const auto spectrum = fft.forward_real(signal);
   std::vector<KappaMse> out;
   for (double kappa = 2.0; ; kappa *= 2.0) {

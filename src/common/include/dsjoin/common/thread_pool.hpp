@@ -1,0 +1,66 @@
+// Fixed-size batch thread pool.
+//
+// The parallel simulator driver executes one "epoch" of per-node work at a
+// time: it hands the pool a batch of tasks (one per busy node), blocks until
+// every task finished, and repeats — thousands of small batches over one
+// run. The pool is therefore built for cheap reuse rather than generality:
+//
+//  * a fixed set of workers, started once and joined in the destructor;
+//  * no work stealing and no task queue growth — a batch is an immutable
+//    vector and workers claim indices with one atomic counter, so the
+//    assignment of tasks to threads never affects observable results
+//    (tasks must not depend on which thread runs them);
+//  * exceptions thrown by tasks are captured per task and rethrown to the
+//    caller of run_batch() — the lowest-index failure wins, which keeps
+//    error reporting deterministic too.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsjoin::common {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads. The caller of run_batch() always helps drain
+  /// the batch, so ThreadPool(0) is a valid degenerate pool that runs
+  /// everything on the calling thread, and ThreadPool(n) yields n + 1
+  /// concurrent execution strands during a batch.
+  explicit ThreadPool(std::size_t workers);
+
+  /// Signals the workers and joins them. Must not be called while a
+  /// run_batch() is in flight on another thread.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Runs every task and blocks until all have finished. If any task threw,
+  /// the exception of the lowest-index failing task is rethrown after the
+  /// whole batch completed (remaining tasks still run). Reentrant calls and
+  /// calls from worker threads are not supported.
+  void run_batch(std::vector<std::function<void()>>& tasks);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // caller waits for batch completion
+  std::vector<std::function<void()>>* batch_ = nullptr;
+  std::vector<std::exception_ptr> errors_;  // one slot per task of the batch
+  std::uint64_t generation_ = 0;      // bumped per batch; wakes the workers
+  std::size_t next_task_ = 0;         // claim index into *batch_
+  std::size_t unfinished_ = 0;        // tasks not yet completed
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dsjoin::common

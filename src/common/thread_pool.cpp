@@ -1,0 +1,81 @@
+#include "dsjoin/common/thread_pool.hpp"
+
+namespace dsjoin::common {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    while (batch_ != nullptr && next_task_ < batch_->size()) {
+      const std::size_t index = next_task_++;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*batch_)[index]();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error) errors_[index] = std::move(error);
+      if (--unfinished_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  std::unique_lock lock(mutex_);
+  batch_ = &tasks;
+  errors_.assign(tasks.size(), nullptr);
+  next_task_ = 0;
+  unfinished_ = tasks.size();
+  ++generation_;
+  work_cv_.notify_all();
+
+  // The caller drains tasks alongside the workers (a one-task batch never
+  // pays a context switch), then waits for the stragglers.
+  while (next_task_ < tasks.size()) {
+    const std::size_t index = next_task_++;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      tasks[index]();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error) errors_[index] = std::move(error);
+    --unfinished_;
+  }
+  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+  batch_ = nullptr;
+
+  for (auto& error : errors_) {
+    if (error) {
+      auto first = std::move(error);
+      errors_.clear();
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace dsjoin::common

@@ -88,6 +88,22 @@ struct SystemConfig {
   /// this (models a bounded send queue); 0 disables backpressure.
   double max_backlog_s = 10.0;
 
+  // Parallel execution.
+  /// Execution strands for the simulator driver. 0 (default) runs every
+  /// event on the caller's thread — the historical serial path. k >= 1
+  /// runs each epoch's per-node work on k strands (the caller plus k-1
+  /// pool workers); nodes are shared-nothing and all cross-node effects
+  /// are applied in canonical order at the epoch barrier, so results are
+  /// bit-identical to the serial driver (see DESIGN.md §6; the one caveat
+  /// is backpressure engaging mid-epoch, which the paper's approximate
+  /// policies never trigger).
+  std::uint32_t worker_threads = 0;
+
+  /// Feed every arrival to the exact-join oracle (needed for epsilon /
+  /// |Psi|). The oracle is inherently global and serial; large-scale
+  /// throughput runs can switch it off and measure wall-clock honestly.
+  bool oracle_enabled = true;
+
   // Online epsilon controller (extension; the paper calibrates offline).
   // Each node broadcasts a small audit sample of its tuples to all peers;
   // comparing the remote-match rate of audited vs policy-routed tuples

@@ -16,11 +16,24 @@
 namespace dsjoin::core {
 
 /// Global (cross-node) result accounting.
+///
+/// Parallel epochs: the collector is shared by all nodes, so the parallel
+/// driver opens an epoch around each worker phase; record_pair from a bound
+/// worker thread is buffered per slot and end_epoch() applies the buffers
+/// in slot order — the serial dispatch order — keeping the dedup set's
+/// first-discoverer attribution bit-identical to a serial run.
 class MetricsCollector {
  public:
   /// Records a discovered pair; duplicates (same r_id/s_id) count once.
   void record_pair(const stream::ResultPair& pair, net::NodeId discoverer,
                    double now);
+
+  /// Opens an epoch with `slots` report buffers (one per deferred task).
+  void begin_epoch(std::size_t slots);
+  /// Binds the calling thread to `slot` for the current epoch.
+  void bind_epoch_slot(std::size_t slot);
+  /// Applies all buffered reports in slot order.
+  void end_epoch();
 
   /// Distinct pairs reported by the system — |Psi-hat| of Eq. 1.
   std::uint64_t distinct_pairs() const noexcept { return reported_.size(); }
@@ -40,10 +53,18 @@ class MetricsCollector {
   void set_node_count(std::size_t nodes) { per_node_.assign(nodes, 0); }
 
  private:
+  struct PendingReport {
+    stream::ResultPair pair;
+    net::NodeId discoverer;
+    double now;
+  };
+
   std::unordered_set<stream::ResultPair, stream::ResultPairHash> reported_;
   std::vector<std::uint64_t> per_node_;
   std::uint64_t total_reports_ = 0;
   double last_report_time_ = 0.0;
+  bool epoch_open_ = false;
+  std::vector<std::vector<PendingReport>> epoch_reports_;  // by slot
 };
 
 }  // namespace dsjoin::core

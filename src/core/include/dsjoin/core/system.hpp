@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "dsjoin/common/thread_pool.hpp"
 #include "dsjoin/core/config.hpp"
 #include "dsjoin/core/metrics.hpp"
 #include "dsjoin/core/node.hpp"
@@ -67,6 +69,33 @@ class DspSystem {
   void schedule_arrival(net::NodeId node, stream::StreamSide side, double at);
   void install_node(net::NodeId id);
 
+  // --- Parallel epoch execution (worker_threads >= 1) ---
+  //
+  // The event queue is consumed in epochs: a serial *dispatch phase* runs
+  // events in (time, insertion) order inside a lookahead window no wider
+  // than the minimum link latency — so nothing dispatched can cause a
+  // cross-node event inside the same window — doing only the cheap global
+  // bookkeeping (tuple ids, arrival pacing, the oracle) and deferring each
+  // node's per-tuple work; a *worker phase* then fans the deferred tasks
+  // out across the pool, one strand per node (shared-nothing), with sends
+  // and metric reports buffered per task; the *barrier* flushes those
+  // buffers in dispatch order, reproducing the serial schedule exactly.
+
+  /// Runs `task` now (serial mode) or defers it to the open epoch's worker
+  /// phase, tagged with its owning node and event time.
+  void defer_node_task(net::NodeId node, double when,
+                       std::function<void()> task);
+  void run_parallel();
+  void execute_epoch(common::ThreadPool& pool,
+                     std::vector<std::function<void()>>& batch,
+                     std::vector<std::vector<std::size_t>>& by_node);
+
+  struct EpochTask {
+    net::NodeId node;
+    double when;
+    std::function<void()> fn;
+  };
+
   SystemConfig config_;
   net::EventQueue queue_;
   std::unique_ptr<net::SimTransport> transport_;
@@ -81,6 +110,8 @@ class DspSystem {
   std::vector<std::pair<net::NodeId, double>> pending_restarts_;
   std::uint64_t restarts_executed_ = 0;
   bool ran_ = false;
+  bool epoch_open_ = false;
+  std::vector<EpochTask> epoch_tasks_;
 };
 
 /// Runs a full experiment for a config (convenience for benches).

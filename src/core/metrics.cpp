@@ -1,13 +1,51 @@
 #include "dsjoin/core/metrics.hpp"
 
+#include <cassert>
+
 namespace dsjoin::core {
+
+namespace {
+// Which collector/slot the current thread buffers reports for (mirrors the
+// SimTransport epoch binding; thread-local so node workers never share it).
+struct EpochBinding {
+  const void* collector = nullptr;
+  std::size_t slot = 0;
+};
+thread_local EpochBinding tls_epoch_binding;
+}  // namespace
 
 void MetricsCollector::record_pair(const stream::ResultPair& pair,
                                    net::NodeId discoverer, double now) {
+  if (epoch_open_ && tls_epoch_binding.collector == this) {
+    epoch_reports_[tls_epoch_binding.slot].push_back(
+        PendingReport{pair, discoverer, now});
+    return;
+  }
   ++total_reports_;
   if (now > last_report_time_) last_report_time_ = now;
   if (reported_.insert(pair).second && discoverer < per_node_.size()) {
     ++per_node_[discoverer];
+  }
+}
+
+void MetricsCollector::begin_epoch(std::size_t slots) {
+  assert(!epoch_open_);
+  if (epoch_reports_.size() < slots) epoch_reports_.resize(slots);
+  epoch_open_ = true;
+}
+
+void MetricsCollector::bind_epoch_slot(std::size_t slot) {
+  tls_epoch_binding = EpochBinding{this, slot};
+}
+
+void MetricsCollector::end_epoch() {
+  assert(epoch_open_);
+  epoch_open_ = false;
+  for (auto& slot : epoch_reports_) {
+    for (const auto& report : slot) {
+      record_pair(report.pair, report.discoverer, report.now);
+    }
+    slot.clear();
   }
 }
 

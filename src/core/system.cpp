@@ -46,10 +46,24 @@ DspSystem::~DspSystem() = default;
 
 void DspSystem::install_node(net::NodeId id) {
   nodes_[id] = std::make_unique<Node>(config_, id, *transport_, metrics_);
-  Node* node = nodes_[id].get();
-  transport_->register_handler(id, [this, node](net::Frame&& frame) {
-    node->on_frame(std::move(frame), queue_.now());
+  transport_->register_handler(id, [this, id](net::Frame&& frame) {
+    // The node is re-resolved when the deferred work runs, so frames still
+    // in flight across a crash-and-restart reach the fresh instance.
+    const double now = queue_.now();
+    defer_node_task(id, now,
+                    [this, id, now, f = std::move(frame)]() mutable {
+                      nodes_[id]->on_frame(std::move(f), now);
+                    });
   });
+}
+
+void DspSystem::defer_node_task(net::NodeId node, double when,
+                                std::function<void()> task) {
+  if (!epoch_open_) {
+    task();
+    return;
+  }
+  epoch_tasks_.push_back(EpochTask{node, when, std::move(task)});
 }
 
 void DspSystem::schedule_restart(net::NodeId node, double at) {
@@ -86,9 +100,13 @@ void DspSystem::schedule_arrival(net::NodeId node, stream::StreamSide side,
     ++total_arrivals_;
 
     // Arrival events fire in global time order, so the oracle sees tuples
-    // in nondecreasing timestamp order.
-    oracle_.observe(tuple);
-    nodes_[node]->on_local_tuple(tuple, now);
+    // in nondecreasing timestamp order. The oracle is global state and
+    // therefore stays on the (serial) dispatch path; the node's per-tuple
+    // work is what the parallel driver fans out.
+    if (config_.oracle_enabled) oracle_.observe(tuple);
+    defer_node_task(node, now, [this, node, tuple, now] {
+      nodes_[node]->on_local_tuple(tuple, now);
+    });
 
     auto& rng = arrival_rngs_[s];
     schedule_arrival(node, side,
@@ -101,7 +119,10 @@ ExperimentResult DspSystem::run() {
   ran_ = true;
 
   for (const auto& [node, at] : pending_restarts_) {
-    queue_.schedule_at(at, [this, node = node] {
+    // Restarts are *barrier* events: they replace a node object wholesale
+    // and re-register its delivery handler, so the parallel driver must
+    // fully quiesce the epoch in flight before one runs.
+    queue_.schedule_barrier_at(at, [this, node = node] {
       // Crash-and-restart: every window, summary and policy state of the
       // node is lost; the fresh instance bootstraps from peers' summaries.
       install_node(node);
@@ -116,7 +137,11 @@ ExperimentResult DspSystem::run() {
     schedule_arrival(id, stream::StreamSide::kS,
                      rng_s.next_exponential(config_.arrivals_per_second));
   }
-  queue_.run_all();
+  if (config_.worker_threads == 0) {
+    queue_.run_all();
+  } else {
+    run_parallel();
+  }
 
   ExperimentResult result;
   result.exact_pairs = oracle_.total_pairs();
@@ -146,6 +171,78 @@ ExperimentResult DspSystem::run() {
     result.decode_failures += node->decode_failures();
   }
   return result;
+}
+
+void DspSystem::run_parallel() {
+  common::ThreadPool pool(config_.worker_threads - 1);
+  // Conservative lookahead: any event dispatched at time t can schedule a
+  // cross-node event no earlier than t + minimum link latency, so every
+  // event inside a window of that width is causally independent of the
+  // window's own outputs. Width 0 (ideal profiles) degenerates to
+  // exact-timestamp ties, which the same argument covers.
+  const double width = config_.wan.latency_min_s;
+  std::vector<std::function<void()>> batch;
+  std::vector<std::vector<std::size_t>> by_node(config_.nodes);
+  while (!queue_.empty()) {
+    if (queue_.next_is_barrier()) {
+      // Node crash-restarts swap the node object out; they run alone,
+      // serially, between epochs.
+      queue_.run_one();
+      continue;
+    }
+    const double t0 = queue_.next_when();
+    epoch_open_ = true;
+    if (width > 0.0) {
+      const double t_end = t0 + width;
+      // Strictly '<': an event at exactly t0 + width may tie with a send
+      // flushed from this window and must be ordered against it by the
+      // event queue, so it belongs to the next epoch.
+      while (!queue_.empty() && !queue_.next_is_barrier() &&
+             queue_.next_when() < t_end) {
+        queue_.run_one();
+      }
+    } else {
+      while (!queue_.empty() && !queue_.next_is_barrier() &&
+             queue_.next_when() == t0) {
+        queue_.run_one();
+      }
+    }
+    epoch_open_ = false;
+    execute_epoch(pool, batch, by_node);
+  }
+}
+
+void DspSystem::execute_epoch(common::ThreadPool& pool,
+                              std::vector<std::function<void()>>& batch,
+                              std::vector<std::vector<std::size_t>>& by_node) {
+  if (epoch_tasks_.empty()) return;
+  transport_->begin_epoch(epoch_tasks_.size());
+  metrics_.begin_epoch(epoch_tasks_.size());
+  // One strand per node: tasks for the same node run sequentially in
+  // dispatch order on one thread (nodes are stateful), tasks for distinct
+  // nodes run concurrently (nodes are shared-nothing).
+  for (auto& list : by_node) list.clear();
+  for (std::size_t i = 0; i < epoch_tasks_.size(); ++i) {
+    by_node[epoch_tasks_[i].node].push_back(i);
+  }
+  batch.clear();
+  for (auto& list : by_node) {
+    if (list.empty()) continue;
+    batch.push_back([this, &list] {
+      for (const std::size_t index : list) {
+        EpochTask& task = epoch_tasks_[index];
+        transport_->bind_epoch_slot(index, task.when);
+        metrics_.bind_epoch_slot(index);
+        task.fn();
+      }
+    });
+  }
+  pool.run_batch(batch);
+  // Barrier: flush buffered sends and reports in slot (= dispatch) order,
+  // reproducing the serial event-queue sequence exactly.
+  transport_->end_epoch();
+  metrics_.end_epoch();
+  epoch_tasks_.clear();
 }
 
 ExperimentResult run_experiment(const SystemConfig& config) {

@@ -36,7 +36,7 @@ std::vector<double> reconstruct(const CompressedSpectrum& spectrum) {
     // the coefficient of a real signal is already real.
     if (w - k != k) full[w - k] = std::conj(spectrum.coeffs[k]);
   }
-  Fft fft(w);
+  const Fft& fft = Fft::plan(w);
   fft.inverse(full);
   std::vector<double> out(w);
   for (std::size_t n = 0; n < w; ++n) out[n] = full[n].real();

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <numbers>
 #include <stdexcept>
 
@@ -64,6 +65,16 @@ std::size_t next_power_of_two(std::size_t n) noexcept {
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
+}
+
+const Fft& Fft::plan(std::size_t size) {
+  // Keyed by exact size; experiments use a handful of sizes (the DFT
+  // window, histogram bucket counts), so the map stays tiny. Thread-local
+  // so parallel node strands never contend or share plans.
+  thread_local std::map<std::size_t, Fft> cache;
+  const auto it = cache.find(size);
+  if (it != cache.end()) return it->second;
+  return cache.emplace(size, Fft(size)).first->second;
 }
 
 Fft::Fft(std::size_t size) : size_(size), pow2_(is_power_of_two(size)) {

@@ -54,6 +54,13 @@ class Fft {
   /// transform (the classic real-FFT packing), roughly halving the work.
   std::vector<Complex> forward_real(std::span<const double> signal) const;
 
+  /// A cached plan for `size`, built on first use. The cache is
+  /// thread-local: hot paths that transform per tuple (membership probes
+  /// reconstructing a window, correlation scoring) skip the O(N log N)
+  /// table setup without any cross-thread synchronization, so it is safe
+  /// from the simulator's parallel node strands.
+  static const Fft& plan(std::size_t size);
+
  private:
   void transform_pow2(std::span<Complex> data, bool invert) const;
   void transform_bluestein(std::span<Complex> data, bool invert) const;

@@ -41,7 +41,7 @@ CorrelationEstimate lag_max_correlation(std::span<const Complex> x,
     full[k] = s;
     full[window - k] = std::conj(s);
   }
-  Fft fft(window);
+  const Fft& fft = Fft::plan(window);
   fft.inverse(full);
 
   double best = 0.0;

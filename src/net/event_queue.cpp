@@ -7,7 +7,14 @@ namespace dsjoin::net {
 
 void EventQueue::schedule_at(SimTime when, Callback fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  heap_.push(Event{when < now_ ? now_ : when, next_sequence_++, std::move(fn)});
+  heap_.push(Event{when < now_ ? now_ : when, next_sequence_++, false,
+                   std::move(fn)});
+}
+
+void EventQueue::schedule_barrier_at(SimTime when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  heap_.push(Event{when < now_ ? now_ : when, next_sequence_++, true,
+                   std::move(fn)});
 }
 
 bool EventQueue::run_one() {
@@ -33,6 +40,23 @@ std::size_t EventQueue::run_until(SimTime limit) {
 std::size_t EventQueue::run_all(std::size_t max_events) {
   std::size_t executed = 0;
   while (executed < max_events && run_one()) ++executed;
+  return executed;
+}
+
+std::size_t EventQueue::run_epoch() {
+  if (heap_.empty()) return 0;
+  const SimTime when = heap_.top().when;
+  std::size_t executed = 0;
+  // A leading barrier event is its own epoch; a later one ends the epoch
+  // before running.
+  if (heap_.top().barrier) {
+    run_one();
+    return 1;
+  }
+  while (!heap_.empty() && heap_.top().when == when && !heap_.top().barrier) {
+    run_one();
+    ++executed;
+  }
   return executed;
 }
 

@@ -5,6 +5,15 @@
 // under a deterministic virtual clock. Events fire in nondecreasing time
 // order; ties break by insertion order (FIFO), which the simulated links
 // rely on for TCP-like ordering.
+//
+// Epochs: the parallel driver consumes the queue in *epochs* — all events
+// sharing the next virtual timestamp (or, with lookahead, all events inside
+// a half-open window no wider than the minimum network latency, so nothing
+// executed in the epoch can schedule a cross-node event back into it). The
+// queue supports this with next_when()/run_epoch() plus *barrier* events:
+// events that must never share an epoch with per-node work (node restarts,
+// topology changes). run_all()/run_one() treat barrier events like any
+// other, so the serial path is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -28,14 +37,35 @@ class EventQueue {
   /// Schedules `fn` `delay` seconds from now.
   void schedule_in(SimTime delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
 
+  /// Schedules a *barrier* event: run_epoch() and the parallel driver's
+  /// dispatch loop stop in front of it so it executes alone, after every
+  /// earlier event's effects are fully applied. Serial execution order is
+  /// identical to schedule_at.
+  void schedule_barrier_at(SimTime when, Callback fn);
+
   /// Current virtual time (the timestamp of the last executed event).
   SimTime now() const noexcept { return now_; }
 
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t pending() const noexcept { return heap_.size(); }
 
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  SimTime next_when() const noexcept { return heap_.top().when; }
+
+  /// Whether the earliest pending event is a barrier event.
+  /// Precondition: !empty().
+  bool next_is_barrier() const noexcept { return heap_.top().barrier; }
+
   /// Executes the earliest event; returns false if none is pending.
   bool run_one();
+
+  /// Runs one epoch: every pending event sharing the earliest pending
+  /// timestamp, in insertion order — except that a barrier event ends the
+  /// epoch (a leading barrier event runs alone). Events scheduled *during*
+  /// the epoch at the same timestamp join it (they sort after every event
+  /// already pending, exactly as under run_all). Returns the number of
+  /// events executed (0 when the queue is empty).
+  std::size_t run_epoch();
 
   /// Runs events until the queue drains or the next event would fire after
   /// `limit`; returns the number executed. now() ends at the timestamp of
@@ -49,6 +79,7 @@ class EventQueue {
   struct Event {
     SimTime when;
     std::uint64_t sequence;  // insertion order for stable ties
+    bool barrier;
     Callback fn;
   };
   struct Later {

@@ -78,7 +78,11 @@ class TcpTransport final : public Transport {
 
   std::size_t nodes_;
   std::atomic<bool> running_{true};
+  // Written by register_handler while receiver threads are already polling,
+  // so every access goes through handlers_mutex_ (receivers copy the
+  // handler out under the lock, then invoke it unlocked).
   std::vector<DeliveryHandler> handlers_;
+  std::mutex handlers_mutex_;
   std::vector<std::vector<UniqueFd>> peer_fds_;  // [node][peer] connected socket
   std::vector<std::unique_ptr<std::mutex>> send_mutexes_;  // per (node) sender
   std::vector<std::thread> receivers_;

@@ -134,21 +134,28 @@ void TcpTransport::shutdown() {
   if (!running_.exchange(false)) {
     return;
   }
-  // Shut the sockets down to unblock poll/recv, then join.
-  for (auto& row : peer_fds_) {
-    for (auto& fd : row) {
+  // Shut the sockets down (without closing — senders may still hold the
+  // fds) to unblock poll/recv, then join the receivers.
+  for (std::size_t node = 0; node < nodes_; ++node) {
+    std::lock_guard lock(*send_mutexes_[node]);
+    for (auto& fd : peer_fds_[node]) {
       if (fd.valid()) ::shutdown(fd.get(), SHUT_RDWR);
     }
   }
   for (auto& t : receivers_) {
     if (t.joinable()) t.join();
   }
-  for (auto& row : peer_fds_) {
-    for (auto& fd : row) fd.reset();
+  // Close under the per-sender locks: a send() racing with shutdown()
+  // either writes to a shut-down socket (harmless error) or observes the
+  // fd already gone — never a write to a closed/reused descriptor.
+  for (std::size_t node = 0; node < nodes_; ++node) {
+    std::lock_guard lock(*send_mutexes_[node]);
+    for (auto& fd : peer_fds_[node]) fd.reset();
   }
 }
 
 void TcpTransport::register_handler(NodeId node, DeliveryHandler handler) {
+  std::lock_guard lock(handlers_mutex_);
   handlers_[node] = std::move(handler);
 }
 
@@ -223,7 +230,12 @@ void TcpTransport::receiver_loop(NodeId node) {
       frame.to = get_u32(body.data() + 5);
       frame.piggyback_bytes = get_u32(body.data() + 9);
       frame.payload.assign(body.begin() + 13, body.end());
-      if (handlers_[node]) handlers_[node](std::move(frame));
+      DeliveryHandler handler;
+      {
+        std::lock_guard lock(handlers_mutex_);
+        handler = handlers_[node];
+      }
+      if (handler) handler(std::move(frame));
     }
   }
 }

@@ -1,0 +1,82 @@
+// Golden regression pins: N=4, seed 42, ZIPF, 400 tuples/node/side.
+//
+// The simulator is deterministic end to end (fixed-seed xoshiro streams,
+// virtual time, -ffp-contract=off builds), so the headline figure metrics —
+// messages per result tuple and epsilon — are pinned exactly per policy.
+// A change here means the experiment pipeline changed behaviour: either a
+// bug, or an intentional change that must update these numbers *and* be
+// called out in review. Integer counts are compared with EXPECT_EQ; the two
+// doubles are ratios of those integers, so EXPECT_DOUBLE_EQ is exact too.
+#include <gtest/gtest.h>
+
+#include "dsjoin/core/system.hpp"
+
+namespace dsjoin::core {
+namespace {
+
+struct Golden {
+  PolicyKind policy;
+  std::uint64_t exact_pairs;
+  std::uint64_t reported_pairs;
+  std::uint64_t total_frames;
+  double epsilon;
+  double messages_per_result;
+};
+
+// Regenerate by running this config per policy and printing with %.17g.
+constexpr Golden kGoldens[] = {
+    {PolicyKind::kBase, 6622ull, 6622ull, 13330ull, 0.0, 2.0129870129870131},
+    {PolicyKind::kRoundRobin, 6622ull, 6182ull, 9055ull, 0.066445182724252483,
+     1.464736331284374},
+    {PolicyKind::kDft, 6622ull, 6070ull, 7434ull, 0.083358501963153087,
+     1.2247116968698517},
+    {PolicyKind::kDftt, 6622ull, 6231ull, 6061ull, 0.059045605557233483,
+     0.97271705986198043},
+    {PolicyKind::kBloom, 6622ull, 6006ull, 5965ull, 0.093023255813953543,
+     0.99317349317349313},
+    {PolicyKind::kSketch, 6622ull, 5958ull, 7722ull, 0.1002718212020538,
+     1.2960725075528701},
+    {PolicyKind::kSpectrum, 6622ull, 6241ull, 8372ull, 0.057535487768045956,
+     1.3414516904342253},
+};
+
+SystemConfig golden_config(PolicyKind kind) {
+  SystemConfig config;
+  config.policy = kind;
+  config.workload = "ZIPF";
+  config.nodes = 4;
+  config.tuples_per_node = 400;
+  config.seed = 42;
+  return config;
+}
+
+class GoldenRegression : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenRegression, PinnedMetricsUnchanged) {
+  const Golden& golden = GetParam();
+  const auto result = run_experiment(golden_config(golden.policy));
+  EXPECT_EQ(result.exact_pairs, golden.exact_pairs);
+  EXPECT_EQ(result.reported_pairs, golden.reported_pairs);
+  EXPECT_EQ(result.traffic.total_frames(), golden.total_frames);
+  EXPECT_DOUBLE_EQ(result.epsilon, golden.epsilon);
+  EXPECT_DOUBLE_EQ(result.messages_per_result, golden.messages_per_result);
+}
+
+TEST_P(GoldenRegression, ParallelDriverMatchesGoldens) {
+  // The pins hold for the parallel driver too — same numbers, any strands.
+  auto config = golden_config(GetParam().policy);
+  config.worker_threads = 3;
+  const auto result = run_experiment(config);
+  EXPECT_EQ(result.reported_pairs, GetParam().reported_pairs);
+  EXPECT_EQ(result.traffic.total_frames(), GetParam().total_frames);
+  EXPECT_DOUBLE_EQ(result.epsilon, GetParam().epsilon);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, GoldenRegression,
+                         ::testing::ValuesIn(kGoldens),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param.policy));
+                         });
+
+}  // namespace
+}  // namespace dsjoin::core

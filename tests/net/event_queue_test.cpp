@@ -80,6 +80,72 @@ TEST(EventQueue, RunAllHonoursMaxEvents) {
   EXPECT_EQ(q.pending(), 6u);
 }
 
+TEST(EventQueue, NextWhenAndBarrierInspection) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.schedule_barrier_at(1.0, [] {});
+  EXPECT_EQ(q.next_when(), 1.0);
+  EXPECT_TRUE(q.next_is_barrier());
+  EXPECT_TRUE(q.run_one());
+  EXPECT_EQ(q.next_when(), 2.0);
+  EXPECT_FALSE(q.next_is_barrier());
+}
+
+TEST(EventQueue, RunEpochDrainsExactTimestampTies) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_epoch(), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.now(), 1.0);
+  EXPECT_EQ(q.run_epoch(), 1u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(q.run_epoch(), 0u);
+}
+
+TEST(EventQueue, RunEpochPreservesInsertionOrderWithinTie) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5.0, [&] { order.push_back(0); });
+  q.schedule_at(5.0, [&] { order.push_back(1); });
+  q.schedule_at(5.0, [&] { order.push_back(2); });
+  q.run_epoch();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, BarrierRunsAloneEvenWhenTied) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] { order.push_back(0); });
+  q.schedule_barrier_at(1.0, [&] { order.push_back(100); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  // First epoch stops short of the barrier; the barrier then runs alone.
+  EXPECT_EQ(q.run_epoch(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(q.run_epoch(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0, 100}));
+  EXPECT_EQ(q.run_epoch(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{0, 100, 1}));
+}
+
+TEST(EventQueue, EventsScheduledDuringEpochJoinFollowingEpochs) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1.0, [&] {
+    order.push_back(1);
+    // Same-time insertion lands after the tie already being drained.
+    q.schedule_at(1.0, [&] { order.push_back(2); });
+    q.schedule_at(3.0, [&] { order.push_back(3); });
+  });
+  EXPECT_EQ(q.run_epoch(), 2u);  // both t=1.0 events, in causal order
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.run_epoch(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(EventQueue, ManyEventsStaySorted) {
   EventQueue q;
   double last = -1.0;

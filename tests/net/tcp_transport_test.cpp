@@ -1,6 +1,7 @@
 #include "dsjoin/net/tcp_transport.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -11,10 +12,29 @@
 namespace dsjoin::net {
 namespace {
 
-// Ports are offset per test to avoid TIME_WAIT collisions across cases.
+// Ports are offset per test to avoid TIME_WAIT collisions across cases,
+// and per process (ctest runs each case in its own process, in parallel)
+// so concurrent test processes bind disjoint ranges. The whole range stays
+// below the kernel's ephemeral port floor (32768) so previous rounds'
+// outgoing connections can never squat a port a later round listens on.
 std::uint16_t next_base_port() {
-  static std::atomic<std::uint16_t> port{39100};
-  return port.fetch_add(20);
+  static std::atomic<std::uint16_t> port{static_cast<std::uint16_t>(
+      10000 + (::getpid() % 1000) * 20)};
+  const std::uint16_t p = port.fetch_add(20);
+  return p < 31000 ? p : static_cast<std::uint16_t>(10000 + p % 1000);
+}
+
+// Binding can still collide with an unrelated process; construction is not
+// what these tests probe, so retry on a fresh block before giving up.
+TcpTransport make_transport(std::size_t nodes) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    try {
+      return TcpTransport(nodes, next_base_port());
+    } catch (const std::runtime_error&) {
+      if (attempt == 3) throw;
+    }
+  }
+  __builtin_unreachable();
 }
 
 Frame make_frame(NodeId from, NodeId to, std::uint32_t tag) {
@@ -52,7 +72,7 @@ class Collector {
 };
 
 TEST(TcpTransport, DeliversFramesBothDirections) {
-  TcpTransport transport(2, next_base_port());
+  TcpTransport transport = make_transport(2);
   Collector at0, at1;
   transport.register_handler(0, [&](Frame&& f) { at0.add(std::move(f)); });
   transport.register_handler(1, [&](Frame&& f) { at1.add(std::move(f)); });
@@ -68,7 +88,7 @@ TEST(TcpTransport, DeliversFramesBothDirections) {
 }
 
 TEST(TcpTransport, PreservesPerLinkOrder) {
-  TcpTransport transport(2, next_base_port());
+  TcpTransport transport = make_transport(2);
   Collector at1;
   transport.register_handler(0, [](Frame&&) {});
   transport.register_handler(1, [&](Frame&& f) { at1.add(std::move(f)); });
@@ -86,7 +106,7 @@ TEST(TcpTransport, PreservesPerLinkOrder) {
 
 TEST(TcpTransport, FullMeshAllPairs) {
   constexpr std::size_t kNodes = 4;
-  TcpTransport transport(kNodes, next_base_port());
+  TcpTransport transport = make_transport(kNodes);
   std::vector<Collector> collectors(kNodes);
   for (NodeId id = 0; id < kNodes; ++id) {
     transport.register_handler(
@@ -108,7 +128,7 @@ TEST(TcpTransport, FullMeshAllPairs) {
 }
 
 TEST(TcpTransport, RejectsBadAddressesAndSurvivesShutdown) {
-  TcpTransport transport(2, next_base_port());
+  TcpTransport transport = make_transport(2);
   transport.register_handler(0, [](Frame&&) {});
   transport.register_handler(1, [](Frame&&) {});
   EXPECT_FALSE(transport.send(make_frame(0, 5, 1)));
@@ -119,7 +139,7 @@ TEST(TcpTransport, RejectsBadAddressesAndSurvivesShutdown) {
 }
 
 TEST(TcpTransport, ConcurrentSendersDoNotInterleaveFrames) {
-  TcpTransport transport(3, next_base_port());
+  TcpTransport transport = make_transport(3);
   Collector at2;
   transport.register_handler(0, [](Frame&&) {});
   transport.register_handler(1, [](Frame&&) {});
@@ -143,6 +163,62 @@ TEST(TcpTransport, ConcurrentSendersDoNotInterleaveFrames) {
     const auto expected = static_cast<std::uint8_t>(f.piggyback_bytes);
     for (std::uint8_t byte : f.payload) EXPECT_EQ(byte, expected);
   }
+  transport.shutdown();
+}
+
+TEST(TcpTransport, StartStopStress) {
+  // 100 construct/teardown cycles with traffic in flight while shutdown()
+  // runs — the stop()-during-receive race this is designed to catch shows
+  // up under TSan (CI runs this binary in the thread-sanitizer job).
+  // Each round uses fresh ports so lingering TIME_WAIT sockets from the
+  // previous round cannot fail the bind.
+  for (int round = 0; round < 100; ++round) {
+    TcpTransport transport = make_transport(3);
+    Collector at1;
+    // Register *after* receivers are live (the historical handler race).
+    transport.register_handler(0, [](Frame&&) {});
+    transport.register_handler(1, [&](Frame&& f) { at1.add(std::move(f)); });
+    transport.register_handler(2, [](Frame&&) {});
+
+    std::thread sender([&] {
+      // Keep sending until the transport rejects: exercises send() racing
+      // shutdown()'s socket teardown.
+      for (std::uint32_t i = 0;; ++i) {
+        if (!transport.send(make_frame(0, 1, i))) break;
+        if (!transport.send(make_frame(2, 1, 1000 + i))) break;
+      }
+    });
+    if (round % 4 == 0) {
+      // Sometimes wait for real traffic first, sometimes tear down hot.
+      (void)at1.wait_for(4, std::chrono::seconds(5));
+    }
+    transport.shutdown();
+    sender.join();
+    // Whatever arrived must be intact.
+    for (const auto& f : at1.take()) {
+      const auto expected = static_cast<std::uint8_t>(f.piggyback_bytes);
+      for (std::uint8_t byte : f.payload) ASSERT_EQ(byte, expected);
+    }
+  }
+}
+
+TEST(TcpTransport, RegisterHandlerWhileTrafficFlows) {
+  // A handler registered late (while a peer is already sending) must not
+  // race the receiver thread; frames that beat the registration are
+  // dropped, frames after it are delivered.
+  TcpTransport transport = make_transport(2);
+  transport.register_handler(0, [](Frame&&) {});
+  std::atomic<bool> stop{false};
+  std::thread sender([&] {
+    for (std::uint32_t i = 0; !stop.load(); ++i) {
+      if (!transport.send(make_frame(0, 1, i))) break;
+    }
+  });
+  Collector at1;
+  transport.register_handler(1, [&](Frame&& f) { at1.add(std::move(f)); });
+  EXPECT_TRUE(at1.wait_for(1, std::chrono::seconds(5)));
+  stop.store(true);
+  sender.join();
   transport.shutdown();
 }
 
