@@ -1,0 +1,327 @@
+// Scalar vs. batch ingestion cost for every hot-path operator (sliding DFT,
+// AGMS / Fast-AGMS sketches, counting Bloom filter, window stores).
+//
+// Each operator runs the same value/key stream through its tuple-at-a-time
+// reference path and through the vectorized batch path (batches of
+// kBatchSize, the default summary epoch length), and reports ns per item
+// plus the scalar/batch speedup. Results go to stdout as an aligned table
+// and to BENCH_hotpath.json (one entry per operator per config) so later
+// PRs have a machine-readable perf trajectory.
+//
+// Flags:
+//   --quick      fewer configs, shorter timing windows (CI smoke)
+//   --check      exit 1 if any operator's batch path is >10% slower than
+//                scalar (regression guard, not an absolute-speed gate)
+//   --out=PATH   JSON output path (default BENCH_hotpath.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/dsp/sliding_dft.hpp"
+#include "dsjoin/sketch/agms.hpp"
+#include "dsjoin/sketch/bloom.hpp"
+#include "dsjoin/stream/tuple.hpp"
+#include "dsjoin/stream/window.hpp"
+
+namespace {
+
+using namespace dsjoin;
+
+// Matches SystemConfig::summary_epoch_tuples — the batch size the simulator
+// driver actually forms between summary refreshes.
+constexpr std::size_t kBatchSize = 256;
+
+struct Entry {
+  std::string op;      // operator name
+  std::string config;  // human-readable config, e.g. "W=2048 K=32"
+  double scalar_ns = 0.0;
+  double batch_ns = 0.0;
+  std::size_t batch_size = kBatchSize;
+
+  double speedup() const { return batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0; }
+};
+
+/// Runs fn() (which processes `items` items per call) repeatedly for at
+/// least `min_time_s`, three repetitions, and returns the best ns/item.
+template <typename F>
+double measure_ns_per_item(std::size_t items, double min_time_s, F&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::size_t calls = 0;
+    const auto start = clock::now();
+    double elapsed = 0.0;
+    do {
+      fn();
+      ++calls;
+      elapsed = std::chrono::duration<double>(clock::now() - start).count();
+    } while (elapsed < min_time_s);
+    const double ns =
+        elapsed * 1e9 / (static_cast<double>(calls) * static_cast<double>(items));
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.next_double_in(-1000.0, 1000.0);
+  return out;
+}
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = rng.next() % 100000;
+  return out;
+}
+
+std::vector<stream::Tuple> random_tuples(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<stream::Tuple> out(n);
+  double ts = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].id = i + 1;
+    out[i].key = static_cast<std::int64_t>(rng.next() % 100000);
+    ts += 0.001;
+    out[i].timestamp = ts;
+    out[i].origin = 0;
+    out[i].side = stream::StreamSide::kR;
+  }
+  return out;
+}
+
+Entry bench_sliding_dft(std::size_t window, std::size_t retained,
+                        double min_time_s) {
+  Entry e;
+  e.op = "sliding_dft";
+  e.config = "W=" + std::to_string(window) + " K=" + std::to_string(retained);
+  const auto values = random_values(4 * kBatchSize, 11);
+
+  dsp::SlidingDft scalar(window, retained);
+  e.scalar_ns = measure_ns_per_item(values.size(), min_time_s, [&] {
+    for (double v : values) scalar.push(v);
+  });
+
+  dsp::SlidingDft batch(window, retained);
+  e.batch_ns = measure_ns_per_item(values.size(), min_time_s, [&] {
+    for (std::size_t base = 0; base < values.size(); base += kBatchSize) {
+      batch.push_batch(std::span<const double>(values).subspan(base, kBatchSize));
+    }
+  });
+  return e;
+}
+
+Entry bench_agms(std::size_t budget_counters, double min_time_s) {
+  Entry e;
+  const auto shape = sketch::AgmsShape::for_budget(budget_counters);
+  e.op = "agms";
+  e.config = "s0=" + std::to_string(shape.s0) + " s1=" + std::to_string(shape.s1);
+  const auto keys = random_keys(4 * kBatchSize, 12);
+
+  sketch::AgmsSketch scalar(shape, 42);
+  e.scalar_ns = measure_ns_per_item(keys.size(), min_time_s, [&] {
+    for (std::uint64_t k : keys) scalar.update(k, +1);
+  });
+
+  sketch::AgmsSketch batch(shape, 42);
+  e.batch_ns = measure_ns_per_item(keys.size(), min_time_s, [&] {
+    for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
+      batch.update_batch(
+          std::span<const std::uint64_t>(keys).subspan(base, kBatchSize), +1);
+    }
+  });
+  return e;
+}
+
+Entry bench_fast_agms(std::uint32_t rows, std::uint32_t buckets,
+                      double min_time_s) {
+  Entry e;
+  e.op = "fast_agms";
+  e.config =
+      "rows=" + std::to_string(rows) + " buckets=" + std::to_string(buckets);
+  const auto keys = random_keys(4 * kBatchSize, 13);
+
+  sketch::FastAgmsSketch scalar(rows, buckets, 42);
+  e.scalar_ns = measure_ns_per_item(keys.size(), min_time_s, [&] {
+    for (std::uint64_t k : keys) scalar.update(k, +1);
+  });
+
+  sketch::FastAgmsSketch batch(rows, buckets, 42);
+  e.batch_ns = measure_ns_per_item(keys.size(), min_time_s, [&] {
+    for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
+      batch.update_batch(
+          std::span<const std::uint64_t>(keys).subspan(base, kBatchSize), +1);
+    }
+  });
+  return e;
+}
+
+Entry bench_counting_bloom(std::size_t counters, std::size_t expected_keys,
+                           double min_time_s) {
+  Entry e;
+  const auto hashes = sketch::optimal_hash_count(counters, expected_keys);
+  e.op = "counting_bloom";
+  e.config = "m=" + std::to_string(counters) + " k=" + std::to_string(hashes);
+  const auto keys = random_keys(4 * kBatchSize, 14);
+
+  // Insert + erase of the same keys per round keeps counter state bounded,
+  // so both paths measure the steady-state branch pattern.
+  sketch::CountingBloomFilter scalar(counters, hashes, 42);
+  e.scalar_ns = measure_ns_per_item(2 * keys.size(), min_time_s, [&] {
+    for (std::uint64_t k : keys) scalar.insert(k);
+    for (std::uint64_t k : keys) scalar.erase(k);
+  });
+
+  sketch::CountingBloomFilter batch(counters, hashes, 42);
+  e.batch_ns = measure_ns_per_item(2 * keys.size(), min_time_s, [&] {
+    for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
+      batch.insert_batch(
+          std::span<const std::uint64_t>(keys).subspan(base, kBatchSize));
+    }
+    for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
+      batch.erase_batch(
+          std::span<const std::uint64_t>(keys).subspan(base, kBatchSize));
+    }
+  });
+  return e;
+}
+
+Entry bench_count_window(std::size_t capacity, double min_time_s) {
+  Entry e;
+  e.op = "count_window";
+  e.config = "W=" + std::to_string(capacity);
+  const auto tuples = random_tuples(4 * kBatchSize, 15);
+
+  stream::CountWindow scalar(capacity);
+  e.scalar_ns = measure_ns_per_item(tuples.size(), min_time_s, [&] {
+    for (const auto& t : tuples) (void)scalar.insert(t);
+  });
+
+  stream::CountWindow batch(capacity);
+  std::vector<stream::Tuple> evicted;
+  e.batch_ns = measure_ns_per_item(tuples.size(), min_time_s, [&] {
+    for (std::size_t base = 0; base < tuples.size(); base += kBatchSize) {
+      evicted.clear();
+      batch.insert_batch(
+          std::span<const stream::Tuple>(tuples).subspan(base, kBatchSize),
+          evicted);
+    }
+  });
+  return e;
+}
+
+Entry bench_tuple_store(double min_time_s) {
+  Entry e;
+  e.op = "tuple_store";
+  e.config = "insert+evict";
+  const auto tuples = random_tuples(4 * kBatchSize, 16);
+  const double horizon = tuples.back().timestamp + 1.0;
+
+  stream::TupleStore scalar;
+  e.scalar_ns = measure_ns_per_item(tuples.size(), min_time_s, [&] {
+    for (const auto& t : tuples) scalar.insert(t);
+    scalar.evict_before(horizon);
+  });
+
+  stream::TupleStore batch;
+  e.batch_ns = measure_ns_per_item(tuples.size(), min_time_s, [&] {
+    batch.insert_batch(tuples);
+    batch.evict_before(horizon);
+  });
+  return e;
+}
+
+void write_json(const std::vector<Entry>& entries, const std::string& path) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "  {\"operator\": \"%s\", \"config\": \"%s\", "
+                  "\"scalar_ns_per_item\": %.2f, \"batch_ns_per_item\": %.2f, "
+                  "\"speedup\": %.3f, \"batch_size\": %zu}%s\n",
+                  e.op.c_str(), e.config.c_str(), e.scalar_ns, e.batch_ns,
+                  e.speedup(), e.batch_size, i + 1 < entries.size() ? "," : "");
+    out << buf;
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool check = false;
+  std::string out_path = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::fprintf(stderr, "usage: bench_hotpath [--quick] [--check] [--out=PATH]\n");
+      return 2;
+    }
+  }
+
+  const double min_time_s = quick ? 0.05 : 0.2;
+  std::puts("Hot-path ingestion: scalar (tuple-at-a-time reference) vs batch.");
+  std::vector<Entry> entries;
+
+  if (quick) {
+    entries.push_back(bench_sliding_dft(2048, 32, min_time_s));
+    entries.push_back(bench_agms(80, min_time_s));
+    entries.push_back(bench_fast_agms(5, 256, min_time_s));
+    entries.push_back(bench_counting_bloom(16384, 2048, min_time_s));
+    entries.push_back(bench_count_window(2048, min_time_s));
+    entries.push_back(bench_tuple_store(min_time_s));
+  } else {
+    entries.push_back(bench_sliding_dft(2048, 8, min_time_s));
+    entries.push_back(bench_sliding_dft(2048, 32, min_time_s));
+    entries.push_back(bench_sliding_dft(2048, 128, min_time_s));
+    entries.push_back(bench_sliding_dft(8192, 256, min_time_s));
+    entries.push_back(bench_agms(20, min_time_s));
+    entries.push_back(bench_agms(80, min_time_s));
+    entries.push_back(bench_agms(320, min_time_s));
+    entries.push_back(bench_fast_agms(5, 64, min_time_s));
+    entries.push_back(bench_fast_agms(5, 256, min_time_s));
+    entries.push_back(bench_fast_agms(7, 512, min_time_s));
+    entries.push_back(bench_counting_bloom(16384, 2048, min_time_s));
+    entries.push_back(bench_counting_bloom(65536, 2048, min_time_s));
+    entries.push_back(bench_count_window(2048, min_time_s));
+    entries.push_back(bench_count_window(8192, min_time_s));
+    entries.push_back(bench_tuple_store(min_time_s));
+  }
+
+  std::printf("%-16s %-22s %12s %12s %9s\n", "operator", "config",
+              "scalar ns/it", "batch ns/it", "speedup");
+  bool regression = false;
+  for (const Entry& e : entries) {
+    std::printf("%-16s %-22s %12.2f %12.2f %8.2fx\n", e.op.c_str(),
+                e.config.c_str(), e.scalar_ns, e.batch_ns, e.speedup());
+    if (e.speedup() < 0.9) regression = true;
+  }
+  write_json(entries, out_path);
+  std::printf("\nwrote %s (%zu entries, batch size %zu)\n", out_path.c_str(),
+              entries.size(), kBatchSize);
+
+  if (check && regression) {
+    std::fprintf(stderr,
+                 "FAIL: batch path >10%% slower than scalar on at least one "
+                 "operator\n");
+    return 1;
+  }
+  return 0;
+}

@@ -10,8 +10,10 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -36,6 +38,21 @@ class Node {
   /// A tuple arrives from this node's own source at virtual time `now`
   /// (== tuple.timestamp).
   void on_local_tuple(const stream::Tuple& tuple, double now);
+
+  /// One deferred local arrival (tuple plus its event time).
+  struct LocalArrival {
+    stream::Tuple tuple;
+    double when;
+  };
+
+  /// Processes a run of local arrivals in order with one call — the
+  /// parallel driver hands each node its epoch's consecutive arrivals as a
+  /// batch instead of one type-erased task per tuple. `bind_slot(i)`, if
+  /// set, runs before arrival i so the driver can point the transport and
+  /// metrics buffers at that arrival's epoch slot. Results are identical
+  /// to calling on_local_tuple per arrival.
+  void on_local_batch(std::span<const LocalArrival> arrivals,
+                      const std::function<void(std::size_t)>& bind_slot);
 
   /// A frame arrives from the network at virtual time `now`.
   void on_frame(net::Frame&& frame, double now);

@@ -85,6 +85,10 @@ class DspSystem {
   /// phase, tagged with its owning node and event time.
   void defer_node_task(net::NodeId node, double when,
                        std::function<void()> task);
+  /// Local-arrival variant: stores the tuple inline in the epoch task (no
+  /// per-arrival closure), letting the worker phase feed each node its
+  /// consecutive arrivals as one Node::on_local_batch call.
+  void defer_arrival(net::NodeId node, double when, const stream::Tuple& tuple);
   void run_parallel();
   void execute_epoch(common::ThreadPool& pool,
                      std::vector<std::function<void()>>& batch,
@@ -93,7 +97,9 @@ class DspSystem {
   struct EpochTask {
     net::NodeId node;
     double when;
-    std::function<void()> fn;
+    std::function<void()> fn;    // empty for arrival tasks
+    bool is_arrival = false;
+    stream::Tuple tuple;         // valid when is_arrival
   };
 
   SystemConfig config_;
@@ -112,6 +118,8 @@ class DspSystem {
   bool ran_ = false;
   bool epoch_open_ = false;
   std::vector<EpochTask> epoch_tasks_;
+  /// Per-node scratch for assembling arrival runs (one strand writes each).
+  std::vector<std::vector<Node::LocalArrival>> arrival_scratch_;
 };
 
 /// Runs a full experiment for a config (convenience for benches).

@@ -108,6 +108,14 @@ void Node::on_local_tuple(const stream::Tuple& tuple, double now) {
   if (local_tuples_ % 128 == 0) evict(now);
 }
 
+void Node::on_local_batch(std::span<const LocalArrival> arrivals,
+                          const std::function<void(std::size_t)>& bind_slot) {
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (bind_slot) bind_slot(i);
+    on_local_tuple(arrivals[i].tuple, arrivals[i].when);
+  }
+}
+
 void Node::on_frame(net::Frame&& frame, double now) {
   switch (frame.kind) {
     case net::FrameKind::kTuple: {

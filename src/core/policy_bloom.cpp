@@ -33,13 +33,39 @@ BloomPolicy::BloomPolicy(const SystemConfig& config, net::NodeId self)
       rng_(config.seed ^ (0xb100'beefULL + self)) {}
 
 void BloomPolicy::observe_local(const stream::Tuple& tuple) {
-  const auto side = static_cast<std::size_t>(tuple.side);
-  const auto evicted = window_[side].insert(tuple);
-  counting_[side].insert(static_cast<std::uint64_t>(tuple.key));
-  if (evicted.valid) {
-    counting_[side].erase(static_cast<std::uint64_t>(evicted.tuple.key));
-  }
+  // Deferred: route() consults peer snapshots only, so the local counting
+  // filter is not read until the next broadcast. The tuple joins the
+  // pending batch; flush_pending applies it through the filter's two-pass
+  // batch update at snapshot time.
+  pending_[static_cast<std::size_t>(tuple.side)].push_back(tuple);
   ++local_tuples_;
+}
+
+void BloomPolicy::flush_pending(std::size_t side) {
+  auto& pending = pending_[side];
+  if (pending.empty()) return;
+  auto& window = window_[side];
+  // Reconstruct the scalar insert/erase interleaving: the first `free`
+  // inserts cannot evict; each later insert is immediately followed by the
+  // eviction insert_batch reports for it (in order). The interleaving
+  // matters because counting-Bloom clamps make updates order-dependent.
+  const std::size_t free_slots =
+      std::min(window.capacity() - window.size(), pending.size());
+  evicted_scratch_.clear();
+  window.insert_batch(pending, evicted_scratch_);
+  key_scratch_.clear();
+  delta_scratch_.clear();
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    key_scratch_.push_back(static_cast<std::uint64_t>(pending[j].key));
+    delta_scratch_.push_back(+1);
+    if (j >= free_slots) {
+      key_scratch_.push_back(
+          static_cast<std::uint64_t>(evicted_scratch_[j - free_slots].key));
+      delta_scratch_.push_back(-1);
+    }
+  }
+  counting_[side].apply_batch(key_scratch_, delta_scratch_);
+  pending.clear();
 }
 
 void BloomPolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
@@ -57,6 +83,7 @@ std::vector<OutboundSummary> BloomPolicy::maintenance(double /*now*/) {
   last_broadcast_tuple_ = local_tuples_;
   common::BufferWriter writer;
   for (std::size_t side = 0; side < 2; ++side) {
+    flush_pending(side);
     summary_codec::encode_bloom(writer, static_cast<stream::StreamSide>(side),
                                 counting_[side].snapshot());
   }

@@ -53,7 +53,6 @@ void DftFamilyPolicy::refresh_clip_band(std::size_t side) {
 
 void DftFamilyPolicy::observe_local(const stream::Tuple& tuple) {
   const std::size_t side = side_index(tuple.side);
-  auto& dft = local_[side];
   // Robust summarization: background keys far outside the stream's typical
   // value band would dominate the spectral energy and wreck both the
   // compressed reconstruction and the correlation coefficient. Values are
@@ -68,8 +67,21 @@ void DftFamilyPolicy::observe_local(const stream::Tuple& tuple) {
     sample[local_tuples_ % 512] = raw;
   }
   if (clip_[side].lo == -1e300 && sample.size() >= 64) refresh_clip_band(side);
-  dft.push(std::clamp(raw, clip_[side].lo, clip_[side].hi));
+  // Clipping happens at observation time (the band in force for *this*
+  // tuple), but the DFT push is deferred: route() reads only cached rho
+  // values and remote coefficient stores, so local_[side] is not consulted
+  // until the next rho refresh or epoch republish. flush_pending then
+  // drains the buffer through the vectorized push_batch — bit-identical to
+  // pushing here, since nothing observed the coefficients in between.
+  pending_values_[side].push_back(std::clamp(raw, clip_[side].lo, clip_[side].hi));
   ++local_tuples_;
+}
+
+void DftFamilyPolicy::flush_pending(std::size_t side) {
+  auto& pending = pending_values_[side];
+  if (pending.empty()) return;
+  local_[side].push_batch(pending);
+  pending.clear();
 }
 
 std::vector<dsp::CoeffDelta> DftFamilyPolicy::deltas_for(net::NodeId peer,
@@ -139,6 +151,7 @@ std::vector<OutboundSummary> DftFamilyPolicy::maintenance(double /*now*/) {
   if (local_tuples_ % config_.summary_epoch_tuples == 0) {
     for (std::size_t side = 0; side < 2; ++side) {
       refresh_clip_band(side);
+      flush_pending(side);
       const auto coeffs = local_[side].coefficients();
       published_[side].assign(coeffs.begin(), coeffs.end());
     }
@@ -166,6 +179,7 @@ double DftFamilyPolicy::refreshed_rho(net::NodeId peer, std::size_t tuple_side) 
   auto& state = peers_[peer];
   const std::size_t opposite = 1 - tuple_side;
   if (state.rho_dirty[tuple_side]) {
+    flush_pending(tuple_side);
     const auto& remote = state.remote[opposite];
     double sample = 0.0;
     // The ring is value-backfilled, so the local spectrum is meaningful as

@@ -99,11 +99,22 @@ class DftFamilyPolicy : public RoutingPolicy {
   };
   void refresh_clip_band(std::size_t side);
 
+  /// Pushes the side's buffered (already clipped) values into the DFT as
+  /// one batch. Called before any read of local_[side]; see observe_local.
+  void flush_pending(std::size_t side);
+
   SystemConfig config_;
   net::NodeId self_;
   bool reconstruct_;
   double throttle_;
   std::array<dsp::SlidingDft, 2> local_;
+  /// Clipped values observed since the last read of local_[side]. route()
+  /// and piggyback_for() never read the local DFTs, so between summary
+  /// refreshes the per-tuple pushes accumulate here and enter the DFT
+  /// through the vectorized push_batch — with results identical to pushing
+  /// each value at observation time, because nothing reads the coefficients
+  /// in between.
+  std::array<std::vector<double>, 2> pending_values_;
   std::array<ClipBand, 2> clip_;
   std::array<std::vector<double>, 2> recent_raw_;  // bounded sample buffer
   /// Epoch snapshot of the local coefficients — what peers are synced to.
@@ -136,11 +147,21 @@ class BloomPolicy final : public RoutingPolicy {
     std::array<BloomStore, 2> remote;  // by remote side
   };
 
+  /// Applies the side's buffered tuples to the window and counting filter
+  /// as one batch. Called before any read of counting_[side] (which only
+  /// happens at snapshot time; route() reads peer snapshots exclusively).
+  void flush_pending(std::size_t side);
+
   SystemConfig config_;
   net::NodeId self_;
   double throttle_;
   std::array<sketch::CountingBloomFilter, 2> counting_;
   std::array<stream::CountWindow, 2> window_;
+  /// Tuples observed since the last snapshot of counting_[side].
+  std::array<std::vector<stream::Tuple>, 2> pending_;
+  std::vector<stream::Tuple> evicted_scratch_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<std::int32_t> delta_scratch_;
   std::vector<PeerState> peers_;
   common::Xoshiro256 rng_;
   std::uint64_t local_tuples_ = 0;
@@ -172,11 +193,22 @@ class SketchPolicy final : public RoutingPolicy {
 
   double refreshed_estimate(net::NodeId peer, std::size_t tuple_side);
 
+  /// Applies the side's buffered tuples to the window and sketch as one
+  /// batch (AGMS updates commute, so insert/evict interleaving is free to
+  /// reorder). Called before any read of local_[side]: the cached pairwise
+  /// estimates only go stale at epoch boundaries, so between refreshes the
+  /// per-tuple updates accumulate here.
+  void flush_pending(std::size_t side);
+
   SystemConfig config_;
   net::NodeId self_;
   double throttle_;
   std::array<sketch::AgmsSketch, 2> local_;
   std::array<stream::CountWindow, 2> window_;
+  /// Tuples observed since the last read of local_[side].
+  std::array<std::vector<stream::Tuple>, 2> pending_;
+  std::vector<stream::Tuple> evicted_scratch_;
+  std::vector<std::uint64_t> key_scratch_;
   std::vector<PeerState> peers_;
   common::Xoshiro256 rng_;
   std::uint64_t local_tuples_ = 0;

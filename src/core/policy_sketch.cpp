@@ -33,13 +33,30 @@ SketchPolicy::SketchPolicy(const SystemConfig& config, net::NodeId self)
       rng_(config.seed ^ (0x5ce7'beefULL + self)) {}
 
 void SketchPolicy::observe_local(const stream::Tuple& tuple) {
-  const auto side = static_cast<std::size_t>(tuple.side);
-  const auto evicted = window_[side].insert(tuple);
-  local_[side].update(static_cast<std::uint64_t>(tuple.key), +1);
-  if (evicted.valid) {
-    local_[side].update(static_cast<std::uint64_t>(evicted.tuple.key), -1);
-  }
+  // Deferred: nothing reads local_[side] until the next estimate refresh or
+  // broadcast, so the tuple only joins the pending batch here. flush_pending
+  // runs the sketch's vectorized two-pass update at the first read.
+  pending_[static_cast<std::size_t>(tuple.side)].push_back(tuple);
   ++local_tuples_;
+}
+
+void SketchPolicy::flush_pending(std::size_t side) {
+  auto& pending = pending_[side];
+  if (pending.empty()) return;
+  evicted_scratch_.clear();
+  window_[side].insert_batch(pending, evicted_scratch_);
+  key_scratch_.clear();
+  key_scratch_.reserve(pending.size());
+  for (const auto& t : pending) {
+    key_scratch_.push_back(static_cast<std::uint64_t>(t.key));
+  }
+  local_[side].update_batch(key_scratch_, +1);
+  key_scratch_.clear();
+  for (const auto& t : evicted_scratch_) {
+    key_scratch_.push_back(static_cast<std::uint64_t>(t.key));
+  }
+  local_[side].update_batch(key_scratch_, -1);
+  pending.clear();
 }
 
 void SketchPolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
@@ -64,6 +81,7 @@ std::vector<OutboundSummary> SketchPolicy::maintenance(double /*now*/) {
   last_broadcast_tuple_ = local_tuples_;
   common::BufferWriter writer;
   for (std::size_t side = 0; side < 2; ++side) {
+    flush_pending(side);
     summary_codec::encode_sketch(writer, static_cast<stream::StreamSide>(side),
                                  local_[side]);
   }
@@ -78,6 +96,7 @@ std::vector<OutboundSummary> SketchPolicy::maintenance(double /*now*/) {
 double SketchPolicy::refreshed_estimate(net::NodeId peer, std::size_t tuple_side) {
   auto& state = peers_[peer];
   if (state.est_dirty[tuple_side]) {
+    flush_pending(tuple_side);
     const std::size_t opposite = 1 - tuple_side;
     const auto* remote = state.remote[opposite].sketch();
     state.est[tuple_side] =

@@ -30,6 +30,7 @@ DspSystem::DspSystem(const SystemConfig& config)
 
   metrics_.set_node_count(config.nodes);
   nodes_.resize(config.nodes);
+  arrival_scratch_.resize(config.nodes);
   for (net::NodeId id = 0; id < config.nodes; ++id) {
     install_node(id);
   }
@@ -64,6 +65,15 @@ void DspSystem::defer_node_task(net::NodeId node, double when,
     return;
   }
   epoch_tasks_.push_back(EpochTask{node, when, std::move(task)});
+}
+
+void DspSystem::defer_arrival(net::NodeId node, double when,
+                              const stream::Tuple& tuple) {
+  if (!epoch_open_) {
+    nodes_[node]->on_local_tuple(tuple, when);
+    return;
+  }
+  epoch_tasks_.push_back(EpochTask{node, when, {}, true, tuple});
 }
 
 void DspSystem::schedule_restart(net::NodeId node, double at) {
@@ -104,9 +114,7 @@ void DspSystem::schedule_arrival(net::NodeId node, stream::StreamSide side,
     // therefore stays on the (serial) dispatch path; the node's per-tuple
     // work is what the parallel driver fans out.
     if (config_.oracle_enabled) oracle_.observe(tuple);
-    defer_node_task(node, now, [this, node, tuple, now] {
-      nodes_[node]->on_local_tuple(tuple, now);
-    });
+    defer_arrival(node, now, tuple);
 
     auto& rng = arrival_rngs_[s];
     schedule_arrival(node, side,
@@ -226,14 +234,39 @@ void DspSystem::execute_epoch(common::ThreadPool& pool,
     by_node[epoch_tasks_[i].node].push_back(i);
   }
   batch.clear();
-  for (auto& list : by_node) {
+  for (net::NodeId node_id = 0; node_id < by_node.size(); ++node_id) {
+    auto& list = by_node[node_id];
     if (list.empty()) continue;
-    batch.push_back([this, &list] {
-      for (const std::size_t index : list) {
+    batch.push_back([this, &list, node_id] {
+      auto& scratch = arrival_scratch_[node_id];
+      std::size_t li = 0;
+      while (li < list.size()) {
+        const std::size_t index = list[li];
         EpochTask& task = epoch_tasks_[index];
-        transport_->bind_epoch_slot(index, task.when);
-        metrics_.bind_epoch_slot(index);
-        task.fn();
+        if (!task.is_arrival) {
+          transport_->bind_epoch_slot(index, task.when);
+          metrics_.bind_epoch_slot(index);
+          task.fn();
+          ++li;
+          continue;
+        }
+        // Consecutive local arrivals are handed to the node as one batch
+        // call instead of one type-erased task each. Slot binding stays
+        // per arrival (the flush-order contract), via the callback.
+        std::size_t run_end = li;
+        scratch.clear();
+        while (run_end < list.size() && epoch_tasks_[list[run_end]].is_arrival) {
+          const EpochTask& t = epoch_tasks_[list[run_end]];
+          scratch.push_back(Node::LocalArrival{t.tuple, t.when});
+          ++run_end;
+        }
+        nodes_[node_id]->on_local_batch(
+            scratch, [this, &list, li](std::size_t j) {
+              const std::size_t idx = list[li + j];
+              transport_->bind_epoch_slot(idx, epoch_tasks_[idx].when);
+              metrics_.bind_epoch_slot(idx);
+            });
+        li = run_end;
       }
     });
   }

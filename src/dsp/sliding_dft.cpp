@@ -12,14 +12,20 @@ namespace {
 // Phase tracking: rather than evaluating e^{-2*pi*i*k*p/W} with two trig
 // calls per retained coefficient per push, each coefficient carries a unit
 // phasor that is advanced by one unit step per push. Phasor magnitude drift
-// is O(eps) per step and is reset on every ring wrap and renormalization.
+// is O(eps) per step; every ring wrap restores all phasors to exactly 1, and
+// renormalization re-derives the table when enough incremental steps have
+// accumulated (kPhaseResetSteps).
 }  // namespace
 
 SlidingDft::SlidingDft(std::size_t window, std::size_t retained)
     : window_(window),
-      coeffs_(retained, Complex{}),
+      coeff_re_(retained, 0.0),
+      coeff_im_(retained, 0.0),
+      phase_re_(retained, 1.0),
+      phase_im_(retained, 0.0),
+      step_re_(retained),
+      step_im_(retained),
       last_sent_(retained, Complex{}),
-      unit_steps_(retained),
       ring_(window, 0.0),
       fft_(window) {
   if (window < 2) throw std::invalid_argument("SlidingDft window must be >= 2");
@@ -29,34 +35,60 @@ SlidingDft::SlidingDft(std::size_t window, std::size_t retained)
   for (std::size_t k = 0; k < retained; ++k) {
     const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) /
                          static_cast<double>(window_);
-    unit_steps_[k] = Complex(std::cos(angle), std::sin(angle));
+    step_re_[k] = std::cos(angle);
+    step_im_[k] = std::sin(angle);
   }
-  phases_.assign(retained, Complex(1.0, 0.0));
+}
+
+void SlidingDft::backfill_first(double value) {
+  // Backfill: treat the window as having always held the first value.
+  // Avoids the artificial zero->signal step that would otherwise dominate
+  // the spectrum (and any reconstruction) until the ring fills.
+  std::fill(ring_.begin(), ring_.end(), value);
+  std::fill(coeff_re_.begin(), coeff_re_.end(), 0.0);
+  std::fill(coeff_im_.begin(), coeff_im_.end(), 0.0);
+  coeff_re_[0] = value * static_cast<double>(window_);
+  sum_ = value * static_cast<double>(window_);
+  sum_sq_ = value * value * static_cast<double>(window_);
+  ++count_;
+  ++pushes_since_drain_;
+  ++ring_pos_;
+  for (std::size_t k = 0; k < phase_re_.size(); ++k) {
+    Complex p(phase_re_[k], phase_im_[k]);
+    p *= Complex(step_re_[k], step_im_[k]);
+    phase_re_[k] = p.real();
+    phase_im_[k] = p.imag();
+  }
+  ++phase_steps_;
+  view_dirty_ = true;
+}
+
+void SlidingDft::reset_phases_exact() {
+  // All phasors return to 1 exactly; resetting cancels magnitude drift.
+  std::fill(phase_re_.begin(), phase_re_.end(), 1.0);
+  std::fill(phase_im_.begin(), phase_im_.end(), 0.0);
+  phase_steps_ = 0;
 }
 
 void SlidingDft::push(double value) {
   if (count_ == 0) {
-    // Backfill: treat the window as having always held the first value.
-    // Avoids the artificial zero->signal step that would otherwise dominate
-    // the spectrum (and any reconstruction) until the ring fills.
-    std::fill(ring_.begin(), ring_.end(), value);
-    coeffs_.assign(coeffs_.size(), Complex{});
-    coeffs_[0] = Complex(value * static_cast<double>(window_), 0.0);
-    sum_ = value * static_cast<double>(window_);
-    sum_sq_ = value * value * static_cast<double>(window_);
-    ++count_;
-    ++pushes_since_drain_;
-    ++ring_pos_;
-    for (std::size_t k = 0; k < phases_.size(); ++k) phases_[k] *= unit_steps_[k];
+    backfill_first(value);
     return;
   }
   const double old = ring_[ring_pos_];
   ring_[ring_pos_] = value;
   const double delta = value - old;
   if (delta != 0.0) {
-    for (std::size_t k = 0; k < coeffs_.size(); ++k) {
-      coeffs_[k] += delta * phases_[k];
+    // Reference scalar formulation, kept in std::complex arithmetic: the
+    // per-element operations (and therefore the results) are exactly those
+    // of push_batch's fused structure-of-arrays loop.
+    for (std::size_t k = 0; k < coeff_re_.size(); ++k) {
+      Complex c(coeff_re_[k], coeff_im_[k]);
+      c += delta * Complex(phase_re_[k], phase_im_[k]);
+      coeff_re_[k] = c.real();
+      coeff_im_[k] = c.imag();
     }
+    view_dirty_ = true;
   }
   sum_ += delta;
   sum_sq_ += value * value - old * old;
@@ -65,14 +97,96 @@ void SlidingDft::push(double value) {
   ++ring_pos_;
   if (ring_pos_ == window_) {
     ring_pos_ = 0;
-    // All phasors return to 1 exactly; resetting cancels magnitude drift.
-    for (auto& p : phases_) p = Complex(1.0, 0.0);
+    reset_phases_exact();
   } else {
-    for (std::size_t k = 0; k < phases_.size(); ++k) phases_[k] *= unit_steps_[k];
+    for (std::size_t k = 0; k < phase_re_.size(); ++k) {
+      Complex p(phase_re_[k], phase_im_[k]);
+      p *= Complex(step_re_[k], step_im_[k]);
+      phase_re_[k] = p.real();
+      phase_im_[k] = p.imag();
+    }
+    ++phase_steps_;
   }
   if (renormalize_interval_ != 0 && count_ % renormalize_interval_ == 0) {
     renormalize();
   }
+}
+
+void SlidingDft::push_batch(std::span<const double> values) {
+  std::size_t i = 0;
+  if (values.empty()) return;
+  if (count_ == 0) {
+    backfill_first(values[0]);
+    i = 1;
+  }
+  const std::size_t k_count = coeff_re_.size();
+  double* const cr = coeff_re_.data();
+  double* const ci = coeff_im_.data();
+  double* const pr = phase_re_.data();
+  double* const pi = phase_im_.data();
+  const double* const ur = step_re_.data();
+  const double* const ui = step_im_.data();
+  for (; i < values.size(); ++i) {
+    const double value = values[i];
+    const double old = ring_[ring_pos_];
+    ring_[ring_pos_] = value;
+    const double delta = value - old;
+    const bool wrap = ring_pos_ + 1 == window_;
+    // One fused pass: coefficient delta-accumulation and phasor advance
+    // touch each of the four SoA arrays once. The component formulas are
+    // the scalar path's std::complex operations spelled out, so results
+    // stay bit-identical while the loop auto-vectorizes.
+    if (delta != 0.0) {
+      if (wrap) {
+        for (std::size_t k = 0; k < k_count; ++k) {
+          cr[k] += delta * pr[k];
+          ci[k] += delta * pi[k];
+        }
+      } else {
+        for (std::size_t k = 0; k < k_count; ++k) {
+          cr[k] += delta * pr[k];
+          ci[k] += delta * pi[k];
+          const double npr = pr[k] * ur[k] - pi[k] * ui[k];
+          const double npi = pr[k] * ui[k] + pi[k] * ur[k];
+          pr[k] = npr;
+          pi[k] = npi;
+        }
+      }
+      view_dirty_ = true;
+    } else if (!wrap) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double npr = pr[k] * ur[k] - pi[k] * ui[k];
+        const double npi = pr[k] * ui[k] + pi[k] * ur[k];
+        pr[k] = npr;
+        pi[k] = npi;
+      }
+    }
+    sum_ += delta;
+    sum_sq_ += value * value - old * old;
+    ++count_;
+    ++pushes_since_drain_;
+    if (wrap) {
+      ring_pos_ = 0;
+      reset_phases_exact();
+    } else {
+      ++ring_pos_;
+      ++phase_steps_;
+    }
+    if (renormalize_interval_ != 0 && count_ % renormalize_interval_ == 0) {
+      renormalize();
+    }
+  }
+}
+
+std::span<const Complex> SlidingDft::coefficients() const {
+  if (view_dirty_) {
+    coeff_view_.resize(coeff_re_.size());
+    for (std::size_t k = 0; k < coeff_re_.size(); ++k) {
+      coeff_view_[k] = Complex(coeff_re_[k], coeff_im_[k]);
+    }
+    view_dirty_ = false;
+  }
+  return coeff_view_;
 }
 
 double SlidingDft::mean() const noexcept {
@@ -92,12 +206,25 @@ double SlidingDft::variance() const noexcept {
 void SlidingDft::renormalize() {
   std::vector<Complex> full(ring_.begin(), ring_.end());
   fft_.forward(full);
-  for (std::size_t k = 0; k < coeffs_.size(); ++k) coeffs_[k] = full[k];
-  // Recompute phasors exactly for the current ring position.
-  for (std::size_t k = 0; k < phases_.size(); ++k) {
-    const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) *
-                         static_cast<double>(ring_pos_) / static_cast<double>(window_);
-    phases_[k] = Complex(std::cos(angle), std::sin(angle));
+  for (std::size_t k = 0; k < coeff_re_.size(); ++k) {
+    coeff_re_[k] = full[k].real();
+    coeff_im_[k] = full[k].imag();
+  }
+  view_dirty_ = true;
+  // Re-derive the phasor table only once enough incremental multiplies have
+  // accumulated for drift to matter; below the threshold the table is
+  // already exact (phase_steps_ == 0 right after a ring wrap, which is
+  // where interval renormalizations land for window-aligned intervals) or
+  // within ~kPhaseResetSteps * eps of exact.
+  if (phase_steps_ >= kPhaseResetSteps) {
+    for (std::size_t k = 0; k < phase_re_.size(); ++k) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                           static_cast<double>(ring_pos_) /
+                           static_cast<double>(window_);
+      phase_re_[k] = std::cos(angle);
+      phase_im_[k] = std::sin(angle);
+    }
+    phase_steps_ = 0;
   }
   // The exact sums also refresh the running moments.
   double s = 0.0, sq = 0.0;
@@ -111,10 +238,11 @@ void SlidingDft::renormalize() {
 
 std::vector<CoeffDelta> SlidingDft::drain_dirty(double threshold) {
   std::vector<CoeffDelta> out;
-  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
-    if (std::abs(coeffs_[k] - last_sent_[k]) > threshold) {
-      out.push_back(CoeffDelta{static_cast<std::uint32_t>(k), coeffs_[k]});
-      last_sent_[k] = coeffs_[k];
+  for (std::size_t k = 0; k < coeff_re_.size(); ++k) {
+    const Complex current(coeff_re_[k], coeff_im_[k]);
+    if (std::abs(current - last_sent_[k]) > threshold) {
+      out.push_back(CoeffDelta{static_cast<std::uint32_t>(k), current});
+      last_sent_[k] = current;
     }
   }
   pushes_since_drain_ = 0;

@@ -101,6 +101,7 @@ CountingBloomFilter::CountingBloomFilter(std::size_t counters, std::uint32_t has
         auto rng = seeded(seed);
         return DoubleHash(rng);
       }()),
+      counters_mod_(counters),
       counters_(counters, 0) {
   if (counters == 0 || hashes == 0) {
     throw std::invalid_argument("counting Bloom geometry must be positive");
@@ -120,6 +121,52 @@ void CountingBloomFilter::erase(std::uint64_t key) {
     // Saturated counters stay pinned (they have lost their exact count);
     // zero counters indicate a misuse that we refuse to wrap around.
     if (c != 0 && c != std::numeric_limits<std::uint16_t>::max()) --c;
+  }
+}
+
+void CountingBloomFilter::apply_batch(std::span<const std::uint64_t> keys,
+                                      std::span<const std::int32_t> deltas) {
+  // Per key: the two SplitMix mixes are computed once and reused by every
+  // probe (the scalar path recomputes both per probe). Counters are touched
+  // directly in (key, probe) order — exactly the scalar interleaving, which
+  // the saturate/pin clamps make significant.
+  assert(keys.size() == deltas.size());
+  constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
+  for (std::size_t j = 0; j < keys.size(); ++j) {
+    const DoubleHash::Prepared p = hash_.prepare(keys[j]);
+    if (deltas[j] > 0) {
+      for (std::uint32_t i = 0; i < hashes_; ++i) {
+        auto& c = counters_[p.index(i, counters_mod_)];
+        if (c != kMax) ++c;  // saturate
+      }
+    } else if (deltas[j] < 0) {
+      for (std::uint32_t i = 0; i < hashes_; ++i) {
+        auto& c = counters_[p.index(i, counters_mod_)];
+        if (c != 0 && c != kMax) --c;  // pinned / refuse wrap, as erase()
+      }
+    }
+  }
+}
+
+void CountingBloomFilter::insert_batch(std::span<const std::uint64_t> keys) {
+  constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
+  for (const std::uint64_t key : keys) {
+    const DoubleHash::Prepared p = hash_.prepare(key);
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      auto& c = counters_[p.index(i, counters_mod_)];
+      if (c != kMax) ++c;  // saturate
+    }
+  }
+}
+
+void CountingBloomFilter::erase_batch(std::span<const std::uint64_t> keys) {
+  constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
+  for (const std::uint64_t key : keys) {
+    const DoubleHash::Prepared p = hash_.prepare(key);
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      auto& c = counters_[p.index(i, counters_mod_)];
+      if (c != 0 && c != kMax) --c;  // pinned / refuse wrap, as erase()
+    }
   }
 }
 

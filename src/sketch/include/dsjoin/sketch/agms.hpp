@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dsjoin/common/rng.hpp"
@@ -50,8 +51,18 @@ class AgmsSketch {
   /// Adds `weight` copies of `key` (negative weight = deletion).
   void update(std::uint64_t key, std::int64_t weight = 1);
 
+  /// Adds `weight` copies of every key in `keys`. Counter updates are
+  /// integer additions, so reordering them is exact: the batch path hashes
+  /// all keys first (shared key powers into a scratch buffer), then sweeps
+  /// the counter grid once, accumulating each counter's total sign in a
+  /// register. State after the call is bit-identical to calling update()
+  /// per key.
+  void update_batch(std::span<const std::uint64_t> keys,
+                    std::int64_t weight = 1);
+
   /// Unbiased join-size estimate sum_v f(v)*g(v): mean within rows, median
-  /// across rows. Shapes and seeds must match.
+  /// across rows. Shapes and seeds must match. Uses f's preallocated
+  /// scratch — sketches are per-node state, not shared across threads.
   static double estimate_join(const AgmsSketch& f, const AgmsSketch& g);
 
   /// Self-join size (second frequency moment F2) estimate.
@@ -80,6 +91,8 @@ class AgmsSketch {
   std::uint64_t seed_;
   std::vector<FourWiseHash> xi_;         // one per (row, column)
   std::vector<std::int64_t> counters_;   // row-major s0 x s1
+  std::vector<KeyPowers> powers_scratch_;        // batch pass 1 output
+  mutable std::vector<double> estimate_scratch_; // row means, reused
 };
 
 /// Fast-AGMS: per row, the key selects one bucket (2-wise hash) and adds its
@@ -92,7 +105,17 @@ class FastAgmsSketch {
 
   void update(std::uint64_t key, std::int64_t weight = 1);
 
-  /// Join-size estimate: per-row inner product, median across rows.
+  /// Adds `weight` copies of every key. Pass 1 reduces each key to its
+  /// powers mod 2^61-1 once; pass 2 sweeps rows in the outer loop so each
+  /// row's hash pair stays in registers and its 8*buckets-byte counter
+  /// segment stays cache-resident. Counter updates are exact integer adds,
+  /// which commute, so the row-major order is bit-identical to per-key
+  /// update().
+  void update_batch(std::span<const std::uint64_t> keys,
+                    std::int64_t weight = 1);
+
+  /// Join-size estimate: per-row inner product, median across rows. Uses
+  /// f's preallocated scratch — sketches are per-node, not shared.
   static double estimate_join(const FastAgmsSketch& f, const FastAgmsSketch& g);
 
   double estimate_self_join() const { return estimate_join(*this, *this); }
@@ -101,16 +124,24 @@ class FastAgmsSketch {
   std::uint32_t buckets() const noexcept { return buckets_; }
   std::size_t wire_bytes() const noexcept { return counters_.size() * 8; }
 
+  const std::vector<std::int64_t>& counters() const noexcept { return counters_; }
+
  private:
   std::uint32_t rows_;
   std::uint32_t buckets_;
   std::uint64_t seed_;
+  RangeReducer buckets_mod_;               // exact `% buckets_` for batches
   std::vector<FourWiseHash> bucket_hash_;  // one per row
   std::vector<FourWiseHash> sign_hash_;    // one per row
   std::vector<std::int64_t> counters_;     // row-major rows x buckets
+  std::vector<KeyPowers> powers_scratch_;        // batch pass 1 output
+  mutable std::vector<double> estimate_scratch_; // row products, reused
 };
 
 /// Median of a small vector (copies; intended for s0-sized inputs).
 double median(std::vector<double> values);
+
+/// Median computed in place over caller-owned storage (no allocation).
+double median_in_place(std::span<double> values);
 
 }  // namespace dsjoin::sketch

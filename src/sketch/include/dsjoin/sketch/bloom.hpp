@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dsjoin/common/rng.hpp"
@@ -70,8 +71,23 @@ class CountingBloomFilter {
   void erase(std::uint64_t key);
   bool contains(std::uint64_t key) const;
 
+  /// Applies one insert (+1) or erase (-1) per key, strictly in key order.
+  /// Each key's two SplitMix mixes are computed once and shared by all of
+  /// its probes (the scalar path recomputes both per probe). Because the
+  /// saturate/pin clamps make counter updates order-dependent, touches keep
+  /// the exact scalar (key, probe) interleaving — state after the call is
+  /// bit-identical to per-key insert()/erase() calls.
+  void apply_batch(std::span<const std::uint64_t> keys,
+                   std::span<const std::int32_t> deltas);
+
+  /// apply_batch with all +1 deltas.
+  void insert_batch(std::span<const std::uint64_t> keys);
+  /// apply_batch with all -1 deltas.
+  void erase_batch(std::span<const std::uint64_t> keys);
+
   std::size_t counter_count() const noexcept { return counters_.size(); }
   std::uint32_t hash_count() const noexcept { return hashes_; }
+  const std::vector<std::uint16_t>& counters() const noexcept { return counters_; }
 
   /// Plain bit-vector snapshot (counter > 0 -> bit set) sharing this
   /// filter's geometry and seed; this is what goes on the wire.
@@ -81,6 +97,7 @@ class CountingBloomFilter {
   std::uint32_t hashes_;
   std::uint64_t seed_;
   DoubleHash hash_;
+  RangeReducer counters_mod_;  // exact `% counter_count()` for batches
   std::vector<std::uint16_t> counters_;
 };
 

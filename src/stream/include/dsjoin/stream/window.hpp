@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <queue>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -35,6 +35,11 @@ struct StoredTuple {
 class TupleStore {
  public:
   void insert(const Tuple& tuple);
+
+  /// Inserts every tuple in order; state after the call is identical to
+  /// calling insert() per tuple. The eviction heap is rebuilt once from the
+  /// combined sequence instead of sift-up per element.
+  void insert_batch(std::span<const Tuple> tuples);
 
   /// Drops every tuple with timestamp < min_timestamp.
   void evict_before(double min_timestamp);
@@ -61,8 +66,11 @@ class TupleStore {
     }
   };
 
+  // Min-heap on timestamp, maintained with the <algorithm> heap primitives
+  // directly (rather than std::priority_queue) so insert_batch can append
+  // the whole batch and re-heapify once.
   std::unordered_map<std::int64_t, std::deque<StoredTuple>> by_key_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> eviction_;
+  std::vector<HeapEntry> eviction_;
   std::size_t size_ = 0;
 };
 
@@ -78,6 +86,12 @@ class CountWindow {
     Tuple tuple;
   };
   Evicted insert(const Tuple& tuple);
+
+  /// Inserts every tuple in order, appending each eviction (in eviction
+  /// order) to `evicted`. Final window and index state is identical to
+  /// calling insert() per tuple; batches that cannot evict skip the
+  /// per-tuple capacity bookkeeping entirely.
+  void insert_batch(std::span<const Tuple> tuples, std::vector<Tuple>& evicted);
 
   std::uint64_t count_matches(std::int64_t key) const;
   std::size_t size() const noexcept { return ring_.size(); }

@@ -7,14 +7,34 @@ namespace dsjoin::stream {
 
 void TupleStore::insert(const Tuple& tuple) {
   by_key_[tuple.key].push_back(StoredTuple{tuple.id, tuple.timestamp, tuple.origin});
-  eviction_.push(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
+  eviction_.push_back(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
+  std::push_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
   ++size_;
 }
 
+void TupleStore::insert_batch(std::span<const Tuple> tuples) {
+  if (tuples.empty()) return;
+  eviction_.reserve(eviction_.size() + tuples.size());
+  // A full O(m) heapify only pays off when the batch rivals the heap in
+  // size; for the common small-batch-into-big-store case, per-element
+  // sift-ups are O(n log m) << O(m). Either way the heap's internal layout
+  // is unobservable: eviction removes tuples by unique id.
+  const bool bulk = tuples.size() >= eviction_.size() / 4;
+  for (const Tuple& tuple : tuples) {
+    by_key_[tuple.key].push_back(
+        StoredTuple{tuple.id, tuple.timestamp, tuple.origin});
+    eviction_.push_back(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
+    if (!bulk) std::push_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
+  }
+  if (bulk) std::make_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
+  size_ += tuples.size();
+}
+
 void TupleStore::evict_before(double min_timestamp) {
-  while (!eviction_.empty() && eviction_.top().timestamp < min_timestamp) {
-    const HeapEntry entry = eviction_.top();
-    eviction_.pop();
+  while (!eviction_.empty() && eviction_.front().timestamp < min_timestamp) {
+    const HeapEntry entry = eviction_.front();
+    std::pop_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
+    eviction_.pop_back();
     auto it = by_key_.find(entry.key);
     assert(it != by_key_.end());
     auto& deque = it->second;
@@ -73,6 +93,24 @@ CountWindow::Evicted CountWindow::insert(const Tuple& tuple) {
   ring_.push_back(tuple);
   ++key_counts_[tuple.key];
   return evicted;
+}
+
+void CountWindow::insert_batch(std::span<const Tuple> tuples,
+                               std::vector<Tuple>& evicted) {
+  std::size_t i = 0;
+  // While the window still has room for the whole remaining batch, no
+  // insert can evict: skip the capacity check and front-eviction
+  // bookkeeping per tuple.
+  const std::size_t room = capacity_ - ring_.size();
+  const std::size_t free_fill = std::min(room, tuples.size());
+  for (; i < free_fill; ++i) {
+    ring_.push_back(tuples[i]);
+    ++key_counts_[tuples[i].key];
+  }
+  for (; i < tuples.size(); ++i) {
+    Evicted e = insert(tuples[i]);
+    if (e.valid) evicted.push_back(std::move(e.tuple));
+  }
 }
 
 std::uint64_t CountWindow::count_matches(std::int64_t key) const {

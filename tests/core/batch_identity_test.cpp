@@ -1,0 +1,330 @@
+// Batch-vs-scalar bit-identity: every batch ingestion path must leave its
+// operator in *exactly* the state the scalar tuple-at-a-time reference path
+// produces — same bits, not just "close". The parallel driver feeds nodes
+// through the batch APIs, so these identities are what keeps the golden
+// regression (and cross-worker-count determinism) intact.
+//
+// Each test splits one input stream into randomly sized batches — including
+// empty and single-element batches — across three seeds, and compares full
+// observable state against a scalar twin fed element by element.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/dsp/sliding_dft.hpp"
+#include "dsjoin/sketch/agms.hpp"
+#include "dsjoin/sketch/bloom.hpp"
+#include "dsjoin/stream/window.hpp"
+
+namespace dsjoin {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {17, 1234, 987654321};
+
+/// Random batch size in [0, 64] with 0 and 1 guaranteed to occur often.
+std::size_t next_batch_size(common::Xoshiro256& rng) {
+  const std::uint64_t roll = rng.next() % 8;
+  if (roll == 0) return 0;
+  if (roll == 1) return 1;
+  return 2 + rng.next() % 63;
+}
+
+std::vector<double> random_values(std::size_t n, common::Xoshiro256& rng) {
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.next_double_in(-100.0, 100.0);
+  return out;
+}
+
+std::vector<std::uint64_t> random_keys(std::size_t n, common::Xoshiro256& rng) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& k : out) k = rng.next() % 512;
+  return out;
+}
+
+std::vector<stream::Tuple> random_tuples(std::size_t n, common::Xoshiro256& rng) {
+  std::vector<stream::Tuple> out(n);
+  double ts = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].id = i + 1;
+    out[i].key = static_cast<std::int64_t>(rng.next() % 64);
+    ts += rng.next_double_in(0.0, 0.01);
+    out[i].timestamp = ts;
+    out[i].origin = 0;
+    out[i].side = stream::StreamSide::kR;
+  }
+  return out;
+}
+
+TEST(BatchIdentity, SlidingDftMatchesScalarBitForBit) {
+  for (const std::uint64_t seed : kSeeds) {
+    common::Xoshiro256 rng(seed);
+    const auto values = random_values(3000, rng);
+
+    dsp::SlidingDft scalar(128, 16);
+    dsp::SlidingDft batched(128, 16);
+    // Window-aligned interval, as the DFT policies use: renormalizations
+    // land inside batches too and must fire at identical push counts.
+    scalar.set_renormalize_interval(4 * 128);
+    batched.set_renormalize_interval(4 * 128);
+
+    for (double v : values) scalar.push(v);
+    std::size_t i = 0;
+    while (i < values.size()) {
+      const std::size_t n = std::min(next_batch_size(rng), values.size() - i);
+      batched.push_batch(std::span<const double>(values).subspan(i, n));
+      i += n;
+    }
+
+    ASSERT_EQ(scalar.count(), batched.count());
+    EXPECT_EQ(scalar.phase_steps(), batched.phase_steps());
+    EXPECT_EQ(scalar.mean(), batched.mean());
+    EXPECT_EQ(scalar.variance(), batched.variance());
+    const auto sc = scalar.coefficients();
+    const auto bc = batched.coefficients();
+    ASSERT_EQ(sc.size(), bc.size());
+    for (std::size_t k = 0; k < sc.size(); ++k) {
+      EXPECT_EQ(sc[k].real(), bc[k].real()) << "k=" << k << " seed=" << seed;
+      EXPECT_EQ(sc[k].imag(), bc[k].imag()) << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BatchIdentity, AgmsSketchMatchesScalarBitForBit) {
+  for (const std::uint64_t seed : kSeeds) {
+    common::Xoshiro256 rng(seed);
+    const auto keys = random_keys(2000, rng);
+
+    sketch::AgmsSketch scalar(sketch::AgmsShape{10, 2}, 42);
+    sketch::AgmsSketch batched(sketch::AgmsShape{10, 2}, 42);
+
+    // Mix of +1 (arrival) and -1 (expiry) weights, as the policies issue.
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      scalar.update(keys[i], i % 3 == 2 ? -1 : +1);
+    }
+    std::size_t i = 0;
+    while (i < keys.size()) {
+      std::size_t n = std::min(next_batch_size(rng), keys.size() - i);
+      // Keep each batch within one weight class (policies batch arrivals
+      // and expiries separately).
+      for (std::size_t j = 0; j < n; ++j) {
+        if (((i + j) % 3 == 2) != (i % 3 == 2)) {
+          n = j;
+          break;
+        }
+      }
+      if (n == 0) {
+        // Empty batches must be no-ops; then advance by one element.
+        batched.update_batch(std::span<const std::uint64_t>{}, +1);
+        n = 1;
+      }
+      batched.update_batch(std::span<const std::uint64_t>(keys).subspan(i, n),
+                           i % 3 == 2 ? -1 : +1);
+      i += n;
+    }
+    EXPECT_EQ(scalar.counters(), batched.counters()) << "seed=" << seed;
+  }
+}
+
+TEST(BatchIdentity, FastAgmsSketchMatchesScalarBitForBit) {
+  for (const std::uint64_t seed : kSeeds) {
+    common::Xoshiro256 rng(seed);
+    const auto keys = random_keys(2000, rng);
+
+    sketch::FastAgmsSketch scalar(5, 96, 42);   // non-power-of-two buckets
+    sketch::FastAgmsSketch batched(5, 96, 42);
+    sketch::FastAgmsSketch scalar2(5, 256, 42);  // power-of-two buckets
+    sketch::FastAgmsSketch batched2(5, 256, 42);
+
+    for (const std::uint64_t k : keys) {
+      scalar.update(k, +1);
+      scalar2.update(k, +1);
+    }
+    std::size_t i = 0;
+    while (i < keys.size()) {
+      const std::size_t n = std::min(next_batch_size(rng), keys.size() - i);
+      const auto chunk = std::span<const std::uint64_t>(keys).subspan(i, n);
+      batched.update_batch(chunk, +1);
+      batched2.update_batch(chunk, +1);
+      i += n;
+    }
+    EXPECT_EQ(scalar.counters(), batched.counters()) << "seed=" << seed;
+    EXPECT_EQ(scalar2.counters(), batched2.counters()) << "seed=" << seed;
+  }
+}
+
+TEST(BatchIdentity, CountingBloomMatchesScalarBitForBit) {
+  for (const std::uint64_t seed : kSeeds) {
+    common::Xoshiro256 rng(seed);
+    const auto keys = random_keys(2000, rng);
+
+    // 384 counters with 512 distinct keys: collisions, saturating inserts
+    // and pinned counters all occur, so the order-dependent clamp behavior
+    // is actually exercised.
+    sketch::CountingBloomFilter scalar(384, 4, 42);
+    sketch::CountingBloomFilter batched(384, 4, 42);
+
+    std::vector<std::int32_t> deltas(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      deltas[i] = i % 3 == 2 ? -1 : +1;
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (deltas[i] > 0) {
+        scalar.insert(keys[i]);
+      } else {
+        scalar.erase(keys[i]);
+      }
+    }
+    std::size_t i = 0;
+    while (i < keys.size()) {
+      const std::size_t n = std::min(next_batch_size(rng), keys.size() - i);
+      batched.apply_batch(std::span<const std::uint64_t>(keys).subspan(i, n),
+                          std::span<const std::int32_t>(deltas).subspan(i, n));
+      i += n;
+    }
+    EXPECT_EQ(scalar.counters(), batched.counters()) << "seed=" << seed;
+  }
+}
+
+TEST(BatchIdentity, CountingBloomInsertEraseBatchMatchScalar) {
+  common::Xoshiro256 rng(kSeeds[0]);
+  const auto keys = random_keys(500, rng);
+  sketch::CountingBloomFilter scalar(256, 3, 7);
+  sketch::CountingBloomFilter batched(256, 3, 7);
+  for (const std::uint64_t k : keys) scalar.insert(k);
+  batched.insert_batch(keys);
+  EXPECT_EQ(scalar.counters(), batched.counters());
+  for (const std::uint64_t k : keys) scalar.erase(k);
+  batched.erase_batch(keys);
+  EXPECT_EQ(scalar.counters(), batched.counters());
+}
+
+TEST(BatchIdentity, TupleStoreMatchesScalarObservably) {
+  for (const std::uint64_t seed : kSeeds) {
+    common::Xoshiro256 rng(seed);
+    const auto tuples = random_tuples(1500, rng);
+
+    stream::TupleStore scalar;
+    stream::TupleStore batched;
+    std::size_t i = 0;
+    while (i < tuples.size()) {
+      const std::size_t n = std::min(next_batch_size(rng), tuples.size() - i);
+      for (std::size_t j = 0; j < n; ++j) scalar.insert(tuples[i + j]);
+      batched.insert_batch(std::span<const stream::Tuple>(tuples).subspan(i, n));
+      i += n;
+      // Interleave evictions so the heap (whose internal layout the two
+      // paths legitimately build differently) is drained mid-stream.
+      if (rng.next() % 4 == 0 && i > 0) {
+        const double horizon = tuples[i - 1].timestamp * 0.5;
+        scalar.evict_before(horizon);
+        batched.evict_before(horizon);
+      }
+    }
+    ASSERT_EQ(scalar.size(), batched.size()) << "seed=" << seed;
+    for (std::int64_t key = 0; key < 64; ++key) {
+      for (const auto& probe : tuples) {
+        if (probe.key != key) continue;
+        EXPECT_EQ(scalar.count_matches(key, probe.timestamp, 0.05),
+                  batched.count_matches(key, probe.timestamp, 0.05))
+            << "seed=" << seed << " key=" << key;
+        break;  // one probe per key is plenty
+      }
+    }
+  }
+}
+
+TEST(BatchIdentity, CountWindowMatchesScalarBitForBit) {
+  for (const std::uint64_t seed : kSeeds) {
+    common::Xoshiro256 rng(seed);
+    const auto tuples = random_tuples(1200, rng);
+
+    stream::CountWindow scalar(256);
+    stream::CountWindow batched(256);
+    std::vector<stream::Tuple> scalar_evicted;
+    std::vector<stream::Tuple> batch_evicted;
+
+    std::size_t i = 0;
+    while (i < tuples.size()) {
+      const std::size_t n = std::min(next_batch_size(rng), tuples.size() - i);
+      for (std::size_t j = 0; j < n; ++j) {
+        auto e = scalar.insert(tuples[i + j]);
+        if (e.valid) scalar_evicted.push_back(e.tuple);
+      }
+      batched.insert_batch(std::span<const stream::Tuple>(tuples).subspan(i, n),
+                           batch_evicted);
+      i += n;
+    }
+    ASSERT_EQ(scalar.size(), batched.size());
+    ASSERT_EQ(scalar_evicted.size(), batch_evicted.size()) << "seed=" << seed;
+    for (std::size_t j = 0; j < scalar_evicted.size(); ++j) {
+      EXPECT_EQ(scalar_evicted[j].id, batch_evicted[j].id) << "seed=" << seed;
+    }
+    for (std::int64_t key = 0; key < 64; ++key) {
+      EXPECT_EQ(scalar.count_matches(key), batched.count_matches(key))
+          << "seed=" << seed << " key=" << key;
+    }
+  }
+}
+
+// The phasor table re-derivation inside renormalize() is conditional on the
+// accumulated incremental step count (kPhaseResetSteps). Below the
+// threshold the table is kept; the bound on its drift (~2 eps per unit
+// multiply) must keep coefficient error far below the update error that
+// renormalization targets.
+TEST(BatchIdentity, PhasorDriftStaysBoundedBelowResetThreshold) {
+  // W > kPhaseResetSteps so phase_steps can cross the threshold between
+  // ring wraps (wraps reset the table exactly).
+  const std::size_t W = 2048;
+  ASSERT_GT(W, dsp::SlidingDft::kPhaseResetSteps);
+  dsp::SlidingDft dft(W, 32);
+  common::Xoshiro256 rng(5);
+
+  // Fill the window, then advance to mid-ring: fewer steps than the
+  // threshold accumulated since the last wrap.
+  for (std::size_t i = 0; i < W; ++i) dft.push(rng.next_double_in(-1.0, 1.0));
+  ASSERT_EQ(dft.phase_steps(), 0u);  // wrap resets exactly
+  const std::uint64_t below = dsp::SlidingDft::kPhaseResetSteps - 1;
+  for (std::uint64_t i = 0; i < below; ++i) {
+    dft.push(rng.next_double_in(-1.0, 1.0));
+  }
+  ASSERT_EQ(dft.phase_steps(), below);
+
+  // Renormalize below the threshold: coefficients are recomputed but the
+  // (near-exact) phasor table is kept — phase_steps is not reset.
+  dft.renormalize();
+  EXPECT_EQ(dft.phase_steps(), below);
+
+  // The kept table must still track the exact phasors: one more push made
+  // with it, then an exact recompute, must agree to far better than the
+  // update-error scale renormalization exists to fix.
+  dsp::SlidingDft exact(W, 32);
+  // Mirror the full history into a twin, renormalizing at the same point.
+  common::Xoshiro256 rng2(5);
+  for (std::size_t i = 0; i < W + below; ++i) {
+    exact.push(rng2.next_double_in(-1.0, 1.0));
+  }
+  exact.renormalize();
+  const double v = 0.123;
+  dft.push(v);
+  exact.push(v);
+  const auto a = dft.coefficients();
+  const auto b = exact.coefficients();
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(a[k].real(), b[k].real(), 1e-9);
+    EXPECT_NEAR(a[k].imag(), b[k].imag(), 1e-9);
+  }
+
+  // Cross the threshold: the next renormalize re-derives the table.
+  for (std::uint64_t i = dft.phase_steps();
+       i < dsp::SlidingDft::kPhaseResetSteps; ++i) {
+    dft.push(rng.next_double_in(-1.0, 1.0));
+  }
+  ASSERT_GE(dft.phase_steps(), dsp::SlidingDft::kPhaseResetSteps);
+  dft.renormalize();
+  EXPECT_EQ(dft.phase_steps(), 0u);
+}
+
+}  // namespace
+}  // namespace dsjoin
