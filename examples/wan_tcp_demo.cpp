@@ -2,152 +2,74 @@
 // deterministic WAN emulator, running over actual loopback TCP sockets —
 // the reproduction analogue of the paper's twenty-workstation prototype.
 //
-// Four nodes live in one process, meshed over 127.0.0.1; a driver thread
-// paces tuple arrivals in real time while receiver threads deliver frames.
-// At the end the demo prints the same epsilon/traffic metrics as the
-// simulated experiments.
-#include <chrono>
+// The run goes through the full distributed runtime in-process: a
+// coordinator admits one daemon thread per node over a real control
+// socket, the daemons mesh over loopback TCP, stream the deterministic
+// arrival schedule, and ship their discovered pairs back for global
+// deduplication — exactly the protocol the dsjoin_coord / dsjoin_noded
+// binaries speak across processes.
 #include <cstdio>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "dsjoin/common/cli.hpp"
-#include "dsjoin/core/metrics.hpp"
-#include "dsjoin/core/node.hpp"
-#include "dsjoin/core/oracle.hpp"
-#include "dsjoin/net/tcp_transport.hpp"
-#include "dsjoin/stream/generator.hpp"
+#include "dsjoin/common/log.hpp"
+#include "dsjoin/core/config.hpp"
+#include "dsjoin/runtime/local.hpp"
 
 using namespace dsjoin;
 
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  common::CliFlags flags("dsjoin example: DFTT over real TCP sockets");
-  flags.add_int("nodes", 4, "number of in-process nodes")
-      .add_int("seconds", 6, "real-time run duration")
-      .add_int("rate", 120, "tuples per node per side per second")
-      .add_int("port", 38500, "loopback base port")
-      .add_string("policy", "DFTT", "routing policy");
+  common::CliFlags flags("dsjoin example: distributed runtime over real TCP");
+  flags.add_int("nodes", 4, "number of daemon threads")
+      .add_int("tuples", 400, "tuples per node per stream side")
+      .add_double("rate", 120.0, "arrivals per node per side per second")
+      .add_string("policy", "DFTT", "routing policy")
+      .add_bool("pace", false, "replay arrivals in real time")
+      .add_bool("verbose", false, "log protocol progress");
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
+  common::set_log_level(flags.get_bool("verbose") ? common::LogLevel::kInfo
+                                                  : common::LogLevel::kWarn);
 
   core::SystemConfig config;
   config.nodes = static_cast<std::uint32_t>(flags.get_int("nodes"));
   config.regions = 2;
   config.policy = core::policy_from_string(flags.get_string("policy"));
   config.workload = "ZIPF";
+  config.tuples_per_node = static_cast<std::uint64_t>(flags.get_int("tuples"));
+  config.arrivals_per_second = flags.get_double("rate");
   config.join_half_width_s = 2.0;
   config.dft_window = 512;
   config.kappa = 64.0;
   config.summary_epoch_tuples = 64;
 
-  std::printf("Meshing %u nodes over loopback TCP (%s policy)...\n",
+  std::printf("Meshing %u daemon threads over loopback TCP (%s policy)...\n",
               config.nodes, core::to_string(config.policy));
-  net::TcpTransport transport(config.nodes,
-                              static_cast<std::uint16_t>(flags.get_int("port")));
+  runtime::LocalOptions options;
+  options.pace = flags.get_bool("pace");
+  const runtime::RunReport report = runtime::run_local(config, options);
 
-  core::MetricsCollector metrics;
-  metrics.set_node_count(config.nodes);
-  std::mutex metrics_mutex;  // record_pair is called from receiver threads
-
-  // Each node is serialized behind its own mutex: the driver thread feeds
-  // local tuples, the transport's receiver thread delivers frames.
-  struct GuardedNode {
-    std::unique_ptr<core::Node> node;
-    std::mutex mutex;
-  };
-  std::vector<std::unique_ptr<GuardedNode>> nodes;
-
-  // MetricsCollector itself is not thread safe; wrap it.
-  class LockedMetrics : public core::MetricsCollector {};
-  const auto start = std::chrono::steady_clock::now();
-
-  for (net::NodeId id = 0; id < config.nodes; ++id) {
-    auto guarded = std::make_unique<GuardedNode>();
-    guarded->node = std::make_unique<core::Node>(config, id, transport, metrics);
-    nodes.push_back(std::move(guarded));
+  if (!report.clean) {
+    std::fprintf(stderr, "run failed: %s\n", report.error.c_str());
+    return 1;
   }
-  for (net::NodeId id = 0; id < config.nodes; ++id) {
-    GuardedNode* guarded = nodes[id].get();
-    transport.register_handler(id, [guarded, &metrics_mutex, start](net::Frame&& f) {
-      // The metrics collector is shared; nodes only touch it inside
-      // record_pair, so one global lock around frame processing keeps the
-      // demo simple and safe.
-      std::scoped_lock lock(metrics_mutex, guarded->mutex);
-      guarded->node->on_frame(std::move(f), seconds_since(start));
-    });
-  }
-
-  stream::WorkloadParams params;
-  params.nodes = config.nodes;
-  params.regions = config.regions;
-  params.seed = config.seed;
-  const auto workload = stream::make_workload(config.workload, params);
-  core::ExactJoinOracle oracle(config.join_half_width_s);
-
-  const auto duration = static_cast<double>(flags.get_int("seconds"));
-  const auto rate = static_cast<double>(flags.get_int("rate"));
-  const double interval = 1.0 / (rate * 2.0 * config.nodes);
-  std::uint64_t next_id = 1;
-  std::uint64_t arrivals = 0;
-  std::printf("Streaming for %.0f s at %g tuples/node/side/s...\n", duration,
-              rate);
-  while (seconds_since(start) < duration) {
-    for (net::NodeId id = 0; id < config.nodes; ++id) {
-      for (auto side : {stream::StreamSide::kR, stream::StreamSide::kS}) {
-        const double now = seconds_since(start);
-        stream::Tuple tuple;
-        tuple.id = next_id++;
-        tuple.key = workload->next_key(id, side, now);
-        tuple.timestamp = now;
-        tuple.origin = id;
-        tuple.side = side;
-        oracle.observe(tuple);
-        {
-          std::scoped_lock lock(metrics_mutex, nodes[id]->mutex);
-          nodes[id]->node->on_local_tuple(tuple, now);
-        }
-        ++arrivals;
-      }
-    }
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(interval * 2.0 * config.nodes));
-  }
-  // Let in-flight frames drain, then stop.
-  std::this_thread::sleep_for(std::chrono::milliseconds(300));
-  transport.shutdown();
-
-  const auto exact = oracle.total_pairs();
-  const auto reported = metrics.distinct_pairs();
   std::printf("\narrivals: %llu   exact pairs: %llu   reported: %llu\n",
-              static_cast<unsigned long long>(arrivals),
-              static_cast<unsigned long long>(exact),
-              static_cast<unsigned long long>(reported));
-  if (exact > 0) {
-    std::printf("epsilon over real sockets: %.4f\n",
-                1.0 - static_cast<double>(reported) / static_cast<double>(exact));
-  }
+              static_cast<unsigned long long>(report.total_arrivals),
+              static_cast<unsigned long long>(report.exact_pairs),
+              static_cast<unsigned long long>(report.reported_pairs));
+  std::printf("epsilon over real sockets: %.4f   (false pairs: %llu)\n",
+              report.epsilon,
+              static_cast<unsigned long long>(report.false_pairs));
   std::printf("frames: %llu (%llu tuple / %llu summary / %llu result), "
               "%llu bytes\n",
-              static_cast<unsigned long long>(transport.stats().total_frames()),
+              static_cast<unsigned long long>(report.traffic.total_frames()),
               static_cast<unsigned long long>(
-                  transport.stats().frames(net::FrameKind::kTuple)),
+                  report.traffic.frames(net::FrameKind::kTuple)),
               static_cast<unsigned long long>(
-                  transport.stats().frames(net::FrameKind::kSummary)),
+                  report.traffic.frames(net::FrameKind::kSummary)),
               static_cast<unsigned long long>(
-                  transport.stats().frames(net::FrameKind::kResult)),
-              static_cast<unsigned long long>(transport.stats().total_bytes()));
+                  report.traffic.frames(net::FrameKind::kResult)),
+              static_cast<unsigned long long>(report.traffic.total_bytes()));
   std::puts("\nThe same Node and RoutingPolicy code ran here over real TCP");
   std::puts("that the experiments run under the deterministic WAN emulator.");
   return 0;

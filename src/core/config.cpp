@@ -1,0 +1,145 @@
+#include "dsjoin/core/config.hpp"
+
+namespace dsjoin::core {
+
+namespace {
+
+// The policy enum travels as its name, not its ordinal, so a config is
+// readable in logs and the encoding survives enum reordering.
+
+void serialize_wan(const net::WanProfile& wan, common::BufferWriter& out) {
+  out.write_f64(wan.latency_min_s);
+  out.write_f64(wan.latency_max_s);
+  out.write_f64(wan.bandwidth_bps);
+  out.write_u8(static_cast<std::uint8_t>(wan.scope));
+  out.write_u8(wan.pause_burst_shaping ? 1 : 0);
+  out.write_u8(wan.unlimited_bandwidth ? 1 : 0);
+  out.write_f64(wan.drop_probability);
+  out.write_f64(wan.corrupt_probability);
+}
+
+common::Result<net::WanProfile> deserialize_wan(common::BufferReader& in) {
+  net::WanProfile wan;
+  auto lat_min = in.read_f64();
+  if (!lat_min) return lat_min.status();
+  auto lat_max = in.read_f64();
+  if (!lat_max) return lat_max.status();
+  auto bps = in.read_f64();
+  if (!bps) return bps.status();
+  auto scope = in.read_u8();
+  if (!scope) return scope.status();
+  if (scope.value() > 1) {
+    return common::Status(common::ErrorCode::kDataLoss, "bad bandwidth scope");
+  }
+  auto pause = in.read_u8();
+  if (!pause) return pause.status();
+  auto unlimited = in.read_u8();
+  if (!unlimited) return unlimited.status();
+  auto drop = in.read_f64();
+  if (!drop) return drop.status();
+  auto corrupt = in.read_f64();
+  if (!corrupt) return corrupt.status();
+  wan.latency_min_s = lat_min.value();
+  wan.latency_max_s = lat_max.value();
+  wan.bandwidth_bps = bps.value();
+  wan.scope = static_cast<net::WanProfile::BandwidthScope>(scope.value());
+  wan.pause_burst_shaping = pause.value() != 0;
+  wan.unlimited_bandwidth = unlimited.value() != 0;
+  wan.drop_probability = drop.value();
+  wan.corrupt_probability = corrupt.value();
+  return wan;
+}
+
+}  // namespace
+
+void serialize_config(const SystemConfig& config, common::BufferWriter& out) {
+  out.write_u32(config.nodes);
+  out.write_u64(config.seed);
+  serialize_wan(config.wan, out);
+  out.write_string(config.workload);
+  out.write_u32(config.regions);
+  out.write_f64(config.locality);
+  out.write_f64(config.noise);
+  out.write_i64(config.domain);
+  out.write_f64(config.arrivals_per_second);
+  out.write_u64(config.tuples_per_node);
+  out.write_f64(config.join_half_width_s);
+  out.write_f64(config.retention_margin_s);
+  out.write_u32(config.dft_window);
+  out.write_f64(config.kappa);
+  out.write_u32(config.summary_epoch_tuples);
+  out.write_u32(config.stale_flush_epochs);
+  out.write_u32(config.piggyback_max_coeffs);
+  out.write_i64(config.membership_tolerance);
+  out.write_f64(config.coeff_delta_threshold);
+  out.write_string(to_string(config.policy));
+  out.write_f64(config.throttle);
+  out.write_f64(config.uniform_detection_cv);
+  out.write_f64(config.max_backlog_s);
+  out.write_u32(config.worker_threads);
+  out.write_u8(config.oracle_enabled ? 1 : 0);
+  out.write_f64(config.online_target_eps);
+  out.write_f64(config.audit_probability);
+  out.write_f64(config.controller_gain);
+  out.write_u32(config.controller_interval_tuples);
+}
+
+common::Result<SystemConfig> deserialize_config(common::BufferReader& in) {
+  SystemConfig config;
+#define DSJOIN_READ(field, reader)          \
+  do {                                      \
+    auto r = in.reader();                   \
+    if (!r) return r.status();              \
+    config.field = std::move(r).value();    \
+  } while (0)
+  DSJOIN_READ(nodes, read_u32);
+  DSJOIN_READ(seed, read_u64);
+  {
+    auto wan = deserialize_wan(in);
+    if (!wan) return wan.status();
+    config.wan = wan.value();
+  }
+  DSJOIN_READ(workload, read_string);
+  DSJOIN_READ(regions, read_u32);
+  DSJOIN_READ(locality, read_f64);
+  DSJOIN_READ(noise, read_f64);
+  DSJOIN_READ(domain, read_i64);
+  DSJOIN_READ(arrivals_per_second, read_f64);
+  DSJOIN_READ(tuples_per_node, read_u64);
+  DSJOIN_READ(join_half_width_s, read_f64);
+  DSJOIN_READ(retention_margin_s, read_f64);
+  DSJOIN_READ(dft_window, read_u32);
+  DSJOIN_READ(kappa, read_f64);
+  DSJOIN_READ(summary_epoch_tuples, read_u32);
+  DSJOIN_READ(stale_flush_epochs, read_u32);
+  DSJOIN_READ(piggyback_max_coeffs, read_u32);
+  DSJOIN_READ(membership_tolerance, read_i64);
+  DSJOIN_READ(coeff_delta_threshold, read_f64);
+  {
+    auto policy = in.read_string();
+    if (!policy) return policy.status();
+    try {
+      config.policy = policy_from_string(policy.value());
+    } catch (const std::invalid_argument&) {
+      return common::Status(common::ErrorCode::kDataLoss,
+                            "unknown policy: " + policy.value());
+    }
+  }
+  DSJOIN_READ(throttle, read_f64);
+  DSJOIN_READ(uniform_detection_cv, read_f64);
+  DSJOIN_READ(max_backlog_s, read_f64);
+  DSJOIN_READ(worker_threads, read_u32);
+  {
+    auto oracle = in.read_u8();
+    if (!oracle) return oracle.status();
+    config.oracle_enabled = oracle.value() != 0;
+  }
+  DSJOIN_READ(online_target_eps, read_f64);
+  DSJOIN_READ(audit_probability, read_f64);
+  DSJOIN_READ(controller_gain, read_f64);
+  DSJOIN_READ(controller_interval_tuples, read_u32);
+#undef DSJOIN_READ
+  return config;
+}
+
+}  // namespace dsjoin::core

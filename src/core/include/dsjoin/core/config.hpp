@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "dsjoin/common/serialize.hpp"
 #include "dsjoin/net/sim_transport.hpp"
 
 namespace dsjoin::core {
@@ -128,5 +129,14 @@ struct SystemConfig {
   /// Retained coefficient count K for the DFT policies.
   std::size_t dft_retained() const noexcept { return summary_budget_bytes() / 16; }
 };
+
+/// Wire encoding of a complete SystemConfig (every field, WAN profile
+/// included), so a coordinator can ship one config to remote node daemons.
+/// The layout is covered by the control-plane protocol version.
+void serialize_config(const SystemConfig& config, common::BufferWriter& out);
+
+/// Decodes a config, validating enum fields; kDataLoss on truncation or
+/// out-of-range values.
+common::Result<SystemConfig> deserialize_config(common::BufferReader& in);
 
 }  // namespace dsjoin::core

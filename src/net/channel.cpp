@@ -1,0 +1,264 @@
+#include "dsjoin/net/channel.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "dsjoin/common/strformat.hpp"
+
+namespace dsjoin::net {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 4 + 4 + 4;
+// Sanity cap on any length prefix read off the wire (64 MiB).
+constexpr std::uint32_t kMaxBodyBytes = 1u << 26;
+
+common::Status errno_status(const char* what) {
+  return common::Status(
+      common::ErrorCode::kUnavailable,
+      common::str_format("%s: %s", what, std::strerror(errno)));
+}
+
+void put_u32(std::uint8_t* at, std::uint32_t v) { std::memcpy(at, &v, 4); }
+std::uint32_t get_u32(const std::uint8_t* at) {
+  std::uint32_t v;
+  std::memcpy(&v, at, 4);
+  return v;
+}
+
+common::Result<sockaddr_in> make_addr(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    return common::Status(common::ErrorCode::kInvalidArgument,
+                          "bad IPv4 address: " + endpoint.host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+common::Result<UniqueFd> tcp_listen(std::uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_status("socket");
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return errno_status("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) return errno_status("listen");
+  return fd;
+}
+
+common::Result<std::uint16_t> bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_status("getsockname");
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+common::Result<UniqueFd> tcp_accept(int listener_fd, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return common::Status(common::ErrorCode::kUnavailable,
+                            "timed out waiting for a connection");
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{listener_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("poll");
+    }
+    if (ready == 0) continue;
+    UniqueFd fd(::accept(listener_fd, nullptr, nullptr));
+    if (!fd.valid()) {
+      if (errno == EINTR) continue;
+      return errno_status("accept");
+    }
+    const int one = 1;
+    (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+}
+
+common::Result<UniqueFd> tcp_connect(const Endpoint& endpoint) {
+  auto addr = make_addr(endpoint);
+  if (!addr) return addr.status();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_status("socket");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr.value()),
+                sizeof(sockaddr_in)) != 0) {
+    return errno_status("connect");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+common::Result<UniqueFd> tcp_connect_retry(const Endpoint& endpoint,
+                                           double timeout_s,
+                                           double base_delay_s,
+                                           double max_delay_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  double delay = base_delay_s;
+  for (;;) {
+    auto fd = tcp_connect(endpoint);
+    if (fd) return fd;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return common::Status(
+          common::ErrorCode::kUnavailable,
+          common::str_format("connect to %s:%u timed out after %.1fs (%s)",
+                             endpoint.host.c_str(), endpoint.port, timeout_s,
+                             fd.status().message().c_str()));
+    }
+    auto sleep_for = std::chrono::duration<double>(delay);
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::duration<double>>(deadline - now);
+    if (sleep_for > remaining) sleep_for = remaining;
+    std::this_thread::sleep_for(sleep_for);
+    delay = std::min(delay * 2.0, max_delay_s);
+  }
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t sent = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd, out + done, n - done, 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      return false;  // peer closed or error
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_wire_frame(const Frame& frame) {
+  std::vector<std::uint8_t> buffer(kFrameHeaderBytes + frame.payload.size());
+  put_u32(buffer.data(),
+          static_cast<std::uint32_t>(1 + 4 + 4 + 4 + frame.payload.size()));
+  buffer[4] = static_cast<std::uint8_t>(frame.kind);
+  put_u32(buffer.data() + 5, frame.from);
+  put_u32(buffer.data() + 9, frame.to);
+  put_u32(buffer.data() + 13, frame.piggyback_bytes);
+  if (!frame.payload.empty()) {
+    std::memcpy(buffer.data() + kFrameHeaderBytes, frame.payload.data(),
+                frame.payload.size());
+  }
+  return buffer;
+}
+
+bool read_wire_frame(int fd, Frame* out) {
+  std::uint8_t len_buf[4];
+  if (!read_exact(fd, len_buf, 4)) return false;
+  const std::uint32_t body_len = get_u32(len_buf);
+  if (body_len < 13 || body_len > kMaxBodyBytes) return false;
+  std::vector<std::uint8_t> body(body_len);
+  if (!read_exact(fd, body.data(), body_len)) return false;
+  out->kind = static_cast<FrameKind>(body[0]);
+  out->from = get_u32(body.data() + 1);
+  out->to = get_u32(body.data() + 5);
+  out->piggyback_bytes = get_u32(body.data() + 9);
+  out->payload.assign(body.begin() + 13, body.end());
+  return true;
+}
+
+common::Status MsgSocket::send_msg(std::uint8_t type,
+                                   std::span<const std::uint8_t> payload) {
+  if (!fd_.valid()) {
+    return common::Status(common::ErrorCode::kUnavailable, "socket closed");
+  }
+  std::vector<std::uint8_t> buffer(4 + 1 + payload.size());
+  put_u32(buffer.data(), static_cast<std::uint32_t>(1 + payload.size()));
+  buffer[4] = type;
+  if (!payload.empty()) {
+    std::memcpy(buffer.data() + 5, payload.data(), payload.size());
+  }
+  std::lock_guard lock(*send_mutex_);
+  if (!write_all(fd_.get(), buffer.data(), buffer.size())) {
+    return common::Status(common::ErrorCode::kDataLoss, "control write failed");
+  }
+  return common::Status::ok();
+}
+
+common::Result<ControlMessage> MsgSocket::recv_msg(double timeout_s) {
+  if (!fd_.valid()) {
+    return common::Status(common::ErrorCode::kDataLoss, "socket closed");
+  }
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  const int timeout_ms =
+      timeout_s < 0 ? -1 : static_cast<int>(timeout_s * 1000.0);
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready == 0) {
+    return common::Status(common::ErrorCode::kUnavailable, "recv timeout");
+  }
+  if (ready < 0) return errno_status("poll");
+  std::uint8_t len_buf[4];
+  if (!read_exact(fd_.get(), len_buf, 4)) {
+    return common::Status(common::ErrorCode::kDataLoss, "peer closed");
+  }
+  const std::uint32_t body_len = get_u32(len_buf);
+  if (body_len < 1 || body_len > kMaxBodyBytes) {
+    return common::Status(common::ErrorCode::kDataLoss, "corrupt message length");
+  }
+  std::vector<std::uint8_t> body(body_len);
+  if (!read_exact(fd_.get(), body.data(), body_len)) {
+    return common::Status(common::ErrorCode::kDataLoss, "truncated message");
+  }
+  ControlMessage msg;
+  msg.type = body[0];
+  msg.payload.assign(body.begin() + 1, body.end());
+  return msg;
+}
+
+void MsgSocket::close() noexcept {
+  if (fd_.valid()) {
+    ::shutdown(fd_.get(), SHUT_RDWR);
+    fd_.reset();
+  }
+}
+
+}  // namespace dsjoin::net

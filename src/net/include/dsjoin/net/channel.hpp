@@ -1,0 +1,142 @@
+// TCP plumbing shared by every real-socket component.
+//
+// The in-process TcpTransport, the multi-process mesh transport and the
+// coordinator/daemon control plane all speak the same length-prefixed
+// framing over loopback/LAN TCP. This header centralizes the pieces they
+// share: RAII descriptors, listen/connect helpers (including capped
+// exponential-backoff dialing, needed while a distributed mesh forms and
+// peers come up in arbitrary order), the data-plane frame codec, and a
+// typed message socket for the control plane.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsjoin/common/status.hpp"
+#include "dsjoin/net/frame.hpp"
+
+namespace dsjoin::net {
+
+/// RAII file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A dialable TCP address.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Binds and listens on IPv4 `port` (0 picks an ephemeral port; read the
+/// actual one back with bound_port).
+common::Result<UniqueFd> tcp_listen(std::uint16_t port, int backlog);
+
+/// The locally bound port of a socket (after tcp_listen with port 0).
+common::Result<std::uint16_t> bound_port(int fd);
+
+/// Accepts one connection within `timeout_s`; kUnavailable on timeout.
+common::Result<UniqueFd> tcp_accept(int listener_fd, double timeout_s);
+
+/// One blocking connect attempt (TCP_NODELAY set on success).
+common::Result<UniqueFd> tcp_connect(const Endpoint& endpoint);
+
+/// Dials until success or `timeout_s` elapses, sleeping between attempts
+/// with capped exponential backoff (base_delay, 2x per failure, capped at
+/// max_delay). This is the mesh-formation path: daemons start in arbitrary
+/// order, so early dials routinely meet ECONNREFUSED.
+common::Result<UniqueFd> tcp_connect_retry(const Endpoint& endpoint,
+                                           double timeout_s,
+                                           double base_delay_s = 0.05,
+                                           double max_delay_s = 1.0);
+
+/// Writes all of `data`, retrying short writes and EINTR. False on error.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n);
+
+/// Reads exactly `n` bytes. False on EOF or error.
+bool read_exact(int fd, std::uint8_t* out, std::size_t n);
+
+// --- Data-plane frame codec ---
+//
+// Wire format per frame: u32 body length | u8 kind | u32 from | u32 to |
+// u32 piggyback_bytes | payload. Shared by the in-process transport and
+// the multi-process mesh so a frame written by either is readable by both.
+
+/// Serialized size prefix + body for one frame.
+std::vector<std::uint8_t> encode_wire_frame(const Frame& frame);
+
+/// Blocking read of one frame. False on EOF, error, or a corrupt length.
+bool read_wire_frame(int fd, Frame* out);
+
+// --- Control-plane message socket ---
+
+/// One typed control-plane message (the body encoding is the caller's).
+struct ControlMessage {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// A connected socket carrying length-prefixed typed messages:
+/// u32 length | u8 type | payload. Sends are locked (a daemon's heartbeat
+/// and its main loop may share the socket); receives belong to one thread.
+/// Movable (the send mutex lives on the heap) — but only while no other
+/// thread is using the source.
+class MsgSocket {
+ public:
+  MsgSocket() = default;
+  explicit MsgSocket(UniqueFd fd) noexcept : fd_(std::move(fd)) {}
+  MsgSocket(MsgSocket&&) = default;
+  MsgSocket& operator=(MsgSocket&&) = default;
+
+  bool valid() const noexcept { return fd_.valid(); }
+  int fd() const noexcept { return fd_.get(); }
+
+  common::Status send_msg(std::uint8_t type,
+                          std::span<const std::uint8_t> payload);
+
+  /// Waits up to `timeout_s` for one message.
+  ///   kUnavailable -> timed out (retryable; the peer is simply quiet)
+  ///   kDataLoss    -> peer closed the connection or sent garbage
+  common::Result<ControlMessage> recv_msg(double timeout_s);
+
+  /// Half-closes and closes the socket; recv on the peer sees EOF.
+  void close() noexcept;
+
+ private:
+  UniqueFd fd_;
+  std::unique_ptr<std::mutex> send_mutex_ = std::make_unique<std::mutex>();
+};
+
+}  // namespace dsjoin::net

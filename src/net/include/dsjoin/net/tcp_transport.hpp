@@ -4,54 +4,32 @@
 // is transport-agnostic; this transport runs the same frames over real TCP
 // sockets, demonstrating that the prototype is not simulation-bound (the
 // paper's system ran on twenty physical workstations). Topology: a full
-// mesh over loopback — node i listens on base_port + i and dials every
+// mesh over loopback — node i listens on its own port and dials every
 // higher-numbered peer once; frames are length-prefixed on the wire.
+//
+// Port selection: with base_port == 0 (the default) every listener binds an
+// ephemeral port and the in-process mesh exchanges the real ports
+// internally — no fixed range, so concurrent transports (parallel test
+// processes) can never collide. With an explicit base_port, node i prefers
+// base_port + i but falls back to an ephemeral port if that one is taken,
+// so an unrelated squatter degrades the port layout instead of the run.
 //
 // Threading: one receiver thread per node drains all of that node's
 // sockets with poll(2) and invokes the delivery handler inline; handlers
-// must therefore be internally synchronized or single-node-owned (the
-// wan_tcp_demo example serializes each node behind its own mutex).
+// must therefore be internally synchronized or single-node-owned.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "dsjoin/net/channel.hpp"
 #include "dsjoin/net/transport.hpp"
 
 namespace dsjoin::net {
-
-/// RAII file descriptor.
-class UniqueFd {
- public:
-  UniqueFd() = default;
-  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
-  ~UniqueFd() { reset(); }
-  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
-  UniqueFd& operator=(UniqueFd&& other) noexcept {
-    if (this != &other) {
-      reset();
-      fd_ = other.release();
-    }
-    return *this;
-  }
-  UniqueFd(const UniqueFd&) = delete;
-  UniqueFd& operator=(const UniqueFd&) = delete;
-
-  int get() const noexcept { return fd_; }
-  bool valid() const noexcept { return fd_ >= 0; }
-  int release() noexcept {
-    const int fd = fd_;
-    fd_ = -1;
-    return fd;
-  }
-  void reset() noexcept;
-
- private:
-  int fd_ = -1;
-};
 
 /// Full-mesh loopback TCP transport for N in-process nodes.
 class TcpTransport final : public Transport {
@@ -59,24 +37,51 @@ class TcpTransport final : public Transport {
   /// Binds, connects the mesh, and starts receiver threads. Throws
   /// std::runtime_error if any socket operation fails (setup is not a
   /// recoverable path).
-  TcpTransport(std::size_t nodes, std::uint16_t base_port);
+  ///
+  /// @param base_port  0 = every listener ephemeral; otherwise node i
+  ///                   prefers base_port + i with ephemeral fallback.
+  /// @param link_rate_bytes_per_s  models each directed link draining at
+  ///                   this rate for send_backlog_seconds (real loopback
+  ///                   has no shaping, so backlog is tracked as a token
+  ///                   bucket over queued wire bytes); 0 disables the
+  ///                   model and backlog reads 0.
+  explicit TcpTransport(std::size_t nodes, std::uint16_t base_port = 0,
+                        double link_rate_bytes_per_s = 0.0);
   ~TcpTransport() override;
 
   std::size_t node_count() const noexcept override { return nodes_; }
   void register_handler(NodeId node, DeliveryHandler handler) override;
   common::Status send(Frame frame) override;
   const TrafficCounters& stats() const noexcept override { return totals_; }
-  double send_backlog_seconds(NodeId) const noexcept override { return 0.0; }
+
+  /// Worst modeled backlog over `node`'s outgoing links, in seconds at the
+  /// configured link rate (0 when no rate was configured) — the same
+  /// backpressure signal the WAN emulator provides, so the ingestion
+  /// throttle works unchanged over real sockets.
+  double send_backlog_seconds(NodeId node) const noexcept override;
+
+  /// The port node `node`'s listener actually bound.
+  std::uint16_t listen_port(NodeId node) const { return ports_.at(node); }
 
   /// Stops receiver threads and closes every socket (also done by the
   /// destructor). Safe to call twice.
   void shutdown();
 
  private:
+  /// Modeled occupancy of one directed link's send queue.
+  struct LinkBacklog {
+    double queued_bytes = 0.0;
+    std::chrono::steady_clock::time_point last{};
+  };
+
   void receiver_loop(NodeId node);
   common::Status write_frame(int fd, const Frame& frame);
+  /// Drains `backlog` at the link rate up to `now`, then returns it.
+  double drained_bytes(LinkBacklog& backlog,
+                       std::chrono::steady_clock::time_point now) const;
 
   std::size_t nodes_;
+  double link_rate_bytes_per_s_;
   std::atomic<bool> running_{true};
   // Written by register_handler while receiver threads are already polling,
   // so every access goes through handlers_mutex_ (receivers copy the
@@ -85,6 +90,9 @@ class TcpTransport final : public Transport {
   std::mutex handlers_mutex_;
   std::vector<std::vector<UniqueFd>> peer_fds_;  // [node][peer] connected socket
   std::vector<std::unique_ptr<std::mutex>> send_mutexes_;  // per (node) sender
+  // [node][peer] modeled send-queue state, guarded by send_mutexes_[node].
+  mutable std::vector<std::vector<LinkBacklog>> backlog_;
+  std::vector<std::uint16_t> ports_;  // actual bound listener ports
   std::vector<std::thread> receivers_;
   TrafficCounters totals_;
   std::mutex totals_mutex_;

@@ -1,6 +1,5 @@
 #include "dsjoin/net/tcp_transport.hpp"
 
-#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -17,37 +16,12 @@ namespace dsjoin::net {
 
 namespace {
 
-// Wire format per frame: u32 length | u8 kind | u32 from | u32 to |
-// u32 piggyback_bytes | payload.
-constexpr std::size_t kHeaderBytes = 4 + 1 + 4 + 4 + 4;
-
-[[noreturn]] void fail(const char* what) {
-  throw std::runtime_error(common::str_format("TcpTransport: %s: %s", what,
-                                              std::strerror(errno)));
+[[noreturn]] void fail(const char* what, const std::string& detail) {
+  throw std::runtime_error(
+      common::str_format("TcpTransport: %s: %s", what, detail.c_str()));
 }
 
-bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
-  std::size_t done = 0;
-  while (done < n) {
-    const ssize_t got = ::recv(fd, out + done, n - done, 0);
-    if (got <= 0) return false;  // peer closed or error
-    done += static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
-  std::size_t done = 0;
-  while (done < n) {
-    const ssize_t sent = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
-    if (sent <= 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    done += static_cast<std::size_t>(sent);
-  }
-  return true;
-}
+[[noreturn]] void fail(const char* what) { fail(what, std::strerror(errno)); }
 
 void put_u32(std::uint8_t* at, std::uint32_t v) { std::memcpy(at, &v, 4); }
 std::uint32_t get_u32(const std::uint8_t* at) {
@@ -58,60 +32,55 @@ std::uint32_t get_u32(const std::uint8_t* at) {
 
 }  // namespace
 
-void UniqueFd::reset() noexcept {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
-
-TcpTransport::TcpTransport(std::size_t nodes, std::uint16_t base_port)
-    : nodes_(nodes), handlers_(nodes), peer_fds_(nodes) {
+TcpTransport::TcpTransport(std::size_t nodes, std::uint16_t base_port,
+                           double link_rate_bytes_per_s)
+    : nodes_(nodes),
+      link_rate_bytes_per_s_(link_rate_bytes_per_s),
+      handlers_(nodes),
+      peer_fds_(nodes),
+      backlog_(nodes),
+      ports_(nodes, 0) {
   for (auto& row : peer_fds_) row.resize(nodes);
+  for (auto& row : backlog_) row.resize(nodes);
   send_mutexes_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     send_mutexes_.push_back(std::make_unique<std::mutex>());
   }
 
-  // Listeners: node i on base_port + i.
+  // Listeners. The preferred port is advisory: a collision with an
+  // unrelated process falls back to an ephemeral port rather than failing
+  // the run — the mesh below exchanges the real ports in-process anyway.
   std::vector<UniqueFd> listeners(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
-    UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
-    if (!fd.valid()) fail("socket");
-    const int one = 1;
-    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(base_port + i));
-    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      fail("bind");
+    common::Result<UniqueFd> fd = common::Status(common::ErrorCode::kInternal, "unset");
+    if (base_port != 0) {
+      fd = tcp_listen(static_cast<std::uint16_t>(base_port + i),
+                      static_cast<int>(nodes));
     }
-    if (::listen(fd.get(), static_cast<int>(nodes)) != 0) fail("listen");
-    listeners[i] = std::move(fd);
+    if (base_port == 0 || !fd) {
+      fd = tcp_listen(0, static_cast<int>(nodes));
+    }
+    if (!fd) fail("listen", fd.status().message());
+    auto port = bound_port(fd.value().get());
+    if (!port) fail("getsockname", port.status().message());
+    ports_[i] = port.value();
+    listeners[i] = std::move(fd).value();
   }
 
   // Mesh: node i dials every j > i; j accepts and learns i's id from a
   // one-u32 hello.
   for (std::size_t i = 0; i < nodes; ++i) {
     for (std::size_t j = i + 1; j < nodes; ++j) {
-      UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
-      if (!fd.valid()) fail("socket");
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(static_cast<std::uint16_t>(base_port + j));
-      if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-        fail("connect");
-      }
-      const int one = 1;
-      (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto dialed = tcp_connect(Endpoint{"127.0.0.1", ports_[j]});
+      if (!dialed) fail("connect", dialed.status().message());
+      UniqueFd fd = std::move(dialed).value();
       std::uint8_t hello[4];
       put_u32(hello, static_cast<std::uint32_t>(i));
       if (!write_all(fd.get(), hello, 4)) fail("hello");
 
       UniqueFd accepted(::accept(listeners[j].get(), nullptr, nullptr));
       if (!accepted.valid()) fail("accept");
+      const int one = 1;
       (void)::setsockopt(accepted.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       std::uint8_t peer_hello[4];
       if (!read_exact(accepted.get(), peer_hello, 4)) fail("hello read");
@@ -160,19 +129,23 @@ void TcpTransport::register_handler(NodeId node, DeliveryHandler handler) {
 }
 
 common::Status TcpTransport::write_frame(int fd, const Frame& frame) {
-  std::vector<std::uint8_t> buffer(kHeaderBytes + frame.payload.size());
-  put_u32(buffer.data(),
-          static_cast<std::uint32_t>(1 + 4 + 4 + 4 + frame.payload.size()));
-  buffer[4] = static_cast<std::uint8_t>(frame.kind);
-  put_u32(buffer.data() + 5, frame.from);
-  put_u32(buffer.data() + 9, frame.to);
-  put_u32(buffer.data() + 13, frame.piggyback_bytes);
-  std::memcpy(buffer.data() + kHeaderBytes, frame.payload.data(),
-              frame.payload.size());
+  const auto buffer = encode_wire_frame(frame);
   if (!write_all(fd, buffer.data(), buffer.size())) {
     return common::Status(common::ErrorCode::kUnavailable, "peer write failed");
   }
   return common::Status::ok();
+}
+
+double TcpTransport::drained_bytes(
+    LinkBacklog& backlog, std::chrono::steady_clock::time_point now) const {
+  if (backlog.last.time_since_epoch().count() != 0) {
+    const double elapsed =
+        std::chrono::duration<double>(now - backlog.last).count();
+    backlog.queued_bytes =
+        std::max(0.0, backlog.queued_bytes - elapsed * link_rate_bytes_per_s_);
+  }
+  backlog.last = now;
+  return backlog.queued_bytes;
 }
 
 common::Status TcpTransport::send(Frame frame) {
@@ -187,11 +160,27 @@ common::Status TcpTransport::send(Frame frame) {
     totals_.record(frame);
   }
   std::lock_guard lock(*send_mutexes_[frame.from]);
+  if (link_rate_bytes_per_s_ > 0.0) {
+    auto& backlog = backlog_[frame.from][frame.to];
+    drained_bytes(backlog, std::chrono::steady_clock::now());
+    backlog.queued_bytes += static_cast<double>(frame.wire_bytes());
+  }
   const int fd = peer_fds_[frame.from][frame.to].get();
   if (fd < 0) {
     return common::Status(common::ErrorCode::kUnavailable, "no socket");
   }
   return write_frame(fd, frame);
+}
+
+double TcpTransport::send_backlog_seconds(NodeId node) const noexcept {
+  if (node >= nodes_ || link_rate_bytes_per_s_ <= 0.0) return 0.0;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard lock(*send_mutexes_[node]);
+  double worst_bytes = 0.0;
+  for (auto& backlog : backlog_[node]) {
+    worst_bytes = std::max(worst_bytes, drained_bytes(backlog, now));
+  }
+  return worst_bytes / link_rate_bytes_per_s_;
 }
 
 void TcpTransport::receiver_loop(NodeId node) {
@@ -209,27 +198,11 @@ void TcpTransport::receiver_loop(NodeId node) {
     if (ready <= 0) continue;
     for (std::size_t i = 0; i < polled.size(); ++i) {
       if ((polled[i].revents & (POLLIN | POLLHUP)) == 0) continue;
-      std::uint8_t len_buf[4];
-      if (!read_exact(polled[i].fd, len_buf, 4)) {
-        polled[i].fd = -1;  // peer gone; stop polling it
-        continue;
-      }
-      const std::uint32_t body_len = get_u32(len_buf);
-      if (body_len < 13 || body_len > (1u << 26)) {
-        polled[i].fd = -1;  // corrupt stream
-        continue;
-      }
-      std::vector<std::uint8_t> body(body_len);
-      if (!read_exact(polled[i].fd, body.data(), body_len)) {
-        polled[i].fd = -1;
-        continue;
-      }
       Frame frame;
-      frame.kind = static_cast<FrameKind>(body[0]);
-      frame.from = get_u32(body.data() + 1);
-      frame.to = get_u32(body.data() + 5);
-      frame.piggyback_bytes = get_u32(body.data() + 9);
-      frame.payload.assign(body.begin() + 13, body.end());
+      if (!read_wire_frame(polled[i].fd, &frame)) {
+        polled[i].fd = -1;  // peer gone or corrupt stream; stop polling it
+        continue;
+      }
       DeliveryHandler handler;
       {
         std::lock_guard lock(handlers_mutex_);

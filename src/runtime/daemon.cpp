@@ -1,0 +1,388 @@
+#include "dsjoin/runtime/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "dsjoin/common/log.hpp"
+#include "dsjoin/runtime/schedule.hpp"
+
+namespace dsjoin::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// FIN markers ride the data plane as kControl frames so they are ordered
+// against the tuple/result traffic of their link. core::Node ignores
+// kControl frames, so even a leaked FIN is harmless.
+constexpr std::uint8_t kFinMagic[8] = {'D', 'S', 'J', 'N', '-', 'F', 'I', 'N'};
+
+net::Frame make_fin(net::NodeId from, net::NodeId to, std::uint8_t phase) {
+  net::Frame frame;
+  frame.from = from;
+  frame.to = to;
+  frame.kind = net::FrameKind::kControl;
+  frame.payload.assign(std::begin(kFinMagic), std::end(kFinMagic));
+  frame.payload.push_back(phase);
+  return frame;
+}
+
+bool is_fin(const net::Frame& frame, std::uint8_t* phase) {
+  if (frame.kind != net::FrameKind::kControl) return false;
+  if (frame.payload.size() != sizeof(kFinMagic) + 1) return false;
+  if (std::memcmp(frame.payload.data(), kFinMagic, sizeof(kFinMagic)) != 0) {
+    return false;
+  }
+  *phase = frame.payload.back();
+  return true;
+}
+
+}  // namespace
+
+NodeDaemon::~NodeDaemon() { stop_threads(); }
+
+common::Status NodeDaemon::run() {
+  // Bind the data listener first so HELLO can advertise a real port.
+  auto listener = net::tcp_listen(0, 64);
+  if (!listener) return listener.status();
+  auto port = net::bound_port(listener.value().get());
+  if (!port) return port.status();
+
+  auto control_fd = net::tcp_connect_retry(options_.coordinator,
+                                           options_.connect_timeout_s);
+  if (!control_fd) return control_fd.status();
+  net::MsgSocket control(std::move(control_fd).value());
+
+  HelloMsg hello;
+  hello.data_endpoint = net::Endpoint{"127.0.0.1", port.value()};
+  {
+    const auto encoded = hello.encode();
+    auto status = control.send_msg(
+        static_cast<std::uint8_t>(ControlType::kHello), encoded);
+    if (!status.is_ok()) return status;
+  }
+
+  ConfigMsg assignment;
+  if (auto status = handshake(control, &assignment); !status.is_ok()) {
+    return status;
+  }
+  node_id_ = assignment.node_id;
+  nodes_ = assignment.config.nodes;
+  config_ = assignment.config;
+  heartbeat_period_s_ = assignment.heartbeat_period_s;
+  if (node_id_ >= nodes_ || assignment.peers.size() != nodes_) {
+    return common::Status(common::ErrorCode::kInvalidArgument,
+                          "coordinator sent an inconsistent assignment");
+  }
+  DSJOIN_LOG_INFO("daemon: admitted as node %u of %u", node_id_, nodes_);
+
+  fin1_seen_.assign(nodes_, false);
+  fin2_seen_.assign(nodes_, false);
+  peer_dead_.assign(nodes_, false);
+  metrics_.set_node_count(nodes_);
+
+  MeshOptions mesh_options;
+  mesh_options.connect_timeout_s = assignment.mesh_timeout_s;
+  mesh_ = std::make_unique<MeshTransport>(node_id_, nodes_,
+                                          std::move(listener).value(),
+                                          assignment.peers, mesh_options);
+  mesh_->register_handler(node_id_, [this](net::Frame&& frame) {
+    QueueItem item;
+    item.frame = std::move(frame);
+    enqueue(std::move(item));
+  });
+  mesh_->set_peer_down([this](net::NodeId peer) {
+    QueueItem item;
+    item.peer_down = true;
+    item.peer = peer;
+    enqueue(std::move(item));
+  });
+  node_ = std::make_unique<core::Node>(config_, node_id_, *mesh_, metrics_);
+
+  if (auto status = mesh_->connect_mesh(); !status.is_ok()) return status;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+
+  DaemonState state = DaemonState::kMeshed;
+  send_heartbeat(control, state);
+  auto last_beat = Clock::now();
+  bool reported = false;
+
+  for (;;) {
+    auto message = control.recv_msg(0.05);
+    if (!message) {
+      if (message.status().code() == common::ErrorCode::kDataLoss) {
+        stop_threads();
+        return common::Status(common::ErrorCode::kUnavailable,
+                              "coordinator connection lost");
+      }
+      // Timeout: nothing from the coordinator right now.
+    } else {
+      switch (static_cast<ControlType>(message.value().type)) {
+        case ControlType::kStart:
+          if (state == DaemonState::kMeshed) {
+            state = DaemonState::kRunning;
+            arrival_ = std::thread([this] { arrival_loop(); });
+          }
+          break;
+        case ControlType::kDrain: {
+          auto drain = DrainMsg::decode(message.value().payload);
+          if (drain) {
+            for (const auto dead : drain.value().dead_nodes) {
+              note_peer_dead(dead);
+            }
+          }
+          // Arrivals are finished (the coordinator only drains once every
+          // live node reported DONE); make sure ours joined.
+          if (arrival_.joinable()) arrival_.join();
+          state = DaemonState::kDraining;
+          send_heartbeat(control, state);
+          {
+            std::lock_guard lock(fin_mutex_);
+            fin1_sent_ = true;
+          }
+          send_fin(1);
+          {
+            std::lock_guard lock(fin_mutex_);
+            advance_fin_locked();
+          }
+          {
+            std::unique_lock lock(fin_mutex_);
+            const bool flushed = fin_cv_.wait_for(
+                lock, std::chrono::duration<double>(options_.drain_timeout_s),
+                [this] { return drain_complete_; });
+            if (!flushed) {
+              DSJOIN_LOG_WARN(
+                  "node %u: drain timed out; reporting partial results",
+                  node_id_);
+            }
+          }
+          {
+            const auto report = build_report();
+            const auto encoded = report.encode();
+            auto status = control.send_msg(
+                static_cast<std::uint8_t>(ControlType::kMetricsReport),
+                encoded);
+            if (!status.is_ok()) {
+              stop_threads();
+              return status;
+            }
+            reported = true;
+          }
+          break;
+        }
+        case ControlType::kBye:
+          stop_threads();
+          if (!reported) {
+            return common::Status(common::ErrorCode::kUnavailable,
+                                  "coordinator hung up before drain");
+          }
+          return common::Status::ok();
+        default:
+          DSJOIN_LOG_WARN("node %u: unexpected control message type %u",
+                          node_id_, message.value().type);
+          break;
+      }
+    }
+
+    if (state == DaemonState::kRunning && arrivals_done_.load()) {
+      state = DaemonState::kDone;
+      send_heartbeat(control, state);
+      last_beat = Clock::now();
+    }
+    const auto now = Clock::now();
+    if (std::chrono::duration<double>(now - last_beat).count() >=
+        heartbeat_period_s_) {
+      send_heartbeat(control, state);
+      last_beat = now;
+    }
+  }
+}
+
+common::Status NodeDaemon::handshake(net::MsgSocket& control, ConfigMsg* out) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(options_.connect_timeout_s);
+  for (;;) {
+    const double left =
+        std::chrono::duration<double>(deadline - Clock::now()).count();
+    if (left <= 0.0) {
+      return common::Status(common::ErrorCode::kUnavailable,
+                            "timed out waiting for CONFIG");
+    }
+    auto message = control.recv_msg(std::min(left, 0.2));
+    if (!message) {
+      if (message.status().code() == common::ErrorCode::kDataLoss) {
+        return common::Status(common::ErrorCode::kUnavailable,
+                              "coordinator closed during admission");
+      }
+      continue;
+    }
+    if (static_cast<ControlType>(message.value().type) != ControlType::kConfig) {
+      continue;  // stray message; CONFIG must come first
+    }
+    auto config = ConfigMsg::decode(message.value().payload);
+    if (!config) return config.status();
+    *out = std::move(config).value();
+    return common::Status::ok();
+  }
+}
+
+void NodeDaemon::enqueue(QueueItem item) {
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (queue_stopped_) return;
+    queue_.push_back(std::move(item));
+  }
+  queue_cv_.notify_one();
+}
+
+void NodeDaemon::dispatcher_loop() {
+  for (;;) {
+    QueueItem item;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return queue_stopped_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopped and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (item.peer_down) {
+      note_peer_dead(item.peer);
+      continue;
+    }
+    std::uint8_t phase = 0;
+    if (is_fin(item.frame, &phase)) {
+      handle_fin(item.frame.from, phase);
+      continue;
+    }
+    std::lock_guard lock(node_mutex_);
+    node_->on_frame(std::move(item.frame), virtual_now_);
+  }
+}
+
+void NodeDaemon::arrival_loop() {
+  // Regenerate the global schedule from the config (it is a pure function
+  // of it) and ingest only this node's slice.
+  const auto schedule = ArrivalSchedule::build(config_);
+  const auto mine = schedule.for_node(node_id_);
+  const auto start = Clock::now();
+  for (const auto& tuple : mine) {
+    if (stop_.load()) break;
+    if (options_.pace) {
+      // Sleep toward the tuple's virtual time in short slices so shutdown
+      // (or a dead coordinator) interrupts promptly.
+      const auto due = start + std::chrono::duration<double>(tuple.timestamp);
+      while (!stop_.load()) {
+        const auto now = Clock::now();
+        if (now >= due) break;
+        const auto nap = std::min(std::chrono::duration<double>(due - now),
+                                  std::chrono::duration<double>(0.05));
+        std::this_thread::sleep_for(nap);
+      }
+      if (stop_.load()) break;
+    }
+    std::lock_guard lock(node_mutex_);
+    virtual_now_ = tuple.timestamp;
+    node_->on_local_tuple(tuple, tuple.timestamp);
+    ++arrivals_ingested_;
+  }
+  arrivals_done_.store(true);
+}
+
+void NodeDaemon::handle_fin(net::NodeId peer, std::uint8_t phase) {
+  if (peer >= nodes_ || peer == node_id_) return;
+  std::lock_guard lock(fin_mutex_);
+  if (phase == 1) {
+    fin1_seen_[peer] = true;
+  } else if (phase == 2) {
+    fin2_seen_[peer] = true;
+  }
+  advance_fin_locked();
+}
+
+void NodeDaemon::note_peer_dead(net::NodeId peer) {
+  if (peer >= nodes_ || peer == node_id_) return;
+  if (mesh_) mesh_->mark_peer_dead(peer);
+  std::lock_guard lock(fin_mutex_);
+  if (!peer_dead_[peer]) {
+    DSJOIN_LOG_INFO("node %u: treating peer %u as dead", node_id_, peer);
+    peer_dead_[peer] = true;
+  }
+  advance_fin_locked();
+}
+
+bool NodeDaemon::fin_phase1_complete_locked() const {
+  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
+    if (peer == node_id_) continue;
+    if (!fin1_seen_[peer] && !peer_dead_[peer]) return false;
+  }
+  return true;
+}
+
+bool NodeDaemon::fin_phase2_complete_locked() const {
+  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
+    if (peer == node_id_) continue;
+    if (!fin2_seen_[peer] && !peer_dead_[peer]) return false;
+  }
+  return true;
+}
+
+void NodeDaemon::advance_fin_locked() {
+  if (!fin1_sent_) return;
+  if (!fin2_sent_ && fin_phase1_complete_locked()) {
+    fin2_sent_ = true;
+    send_fin(2);
+  }
+  if (fin2_sent_ && !drain_complete_ && fin_phase2_complete_locked()) {
+    drain_complete_ = true;
+    fin_cv_.notify_all();
+  }
+}
+
+void NodeDaemon::send_fin(std::uint8_t phase) {
+  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
+    if (peer == node_id_) continue;
+    // A failed send means the peer just died; its EOF path marks it dead.
+    (void)mesh_->send(make_fin(node_id_, peer, phase));
+  }
+}
+
+void NodeDaemon::send_heartbeat(net::MsgSocket& control, DaemonState state) {
+  HeartbeatMsg beat;
+  beat.node_id = node_id_;
+  beat.state = state;
+  {
+    std::lock_guard lock(node_mutex_);
+    beat.local_tuples = arrivals_ingested_;
+    beat.pairs_discovered = metrics_.distinct_pairs();
+  }
+  const auto encoded = beat.encode();
+  (void)control.send_msg(static_cast<std::uint8_t>(ControlType::kHeartbeat),
+                         encoded);
+}
+
+MetricsReportMsg NodeDaemon::build_report() {
+  MetricsReportMsg report;
+  report.node_id = node_id_;
+  std::lock_guard lock(node_mutex_);
+  report.local_tuples = node_->local_tuples();
+  report.received_tuples = node_->received_tuples();
+  report.decode_failures = node_->decode_failures();
+  report.traffic = mesh_->stats_snapshot();
+  report.pairs = metrics_.pairs();
+  return report;
+}
+
+void NodeDaemon::stop_threads() {
+  stop_.store(true);
+  if (arrival_.joinable()) arrival_.join();
+  if (mesh_) mesh_->shutdown();
+  {
+    std::lock_guard lock(queue_mutex_);
+    queue_stopped_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+}  // namespace dsjoin::runtime

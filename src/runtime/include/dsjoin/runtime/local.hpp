@@ -1,0 +1,38 @@
+// Single-process entry points to the distributed runtime.
+//
+// run_local() runs the complete coordinator/daemon protocol — real
+// loopback sockets, real control plane, real mesh — with every daemon on a
+// thread of the calling process instead of its own process. It is the
+// runtime's in-proc mode: what the examples use, and what lets unit tests
+// cover the protocol without fork/exec.
+//
+// run_inprocess_tcp() is the baseline the acceptance criterion measures
+// against: the same nodes over the in-process TcpTransport with a shared
+// metrics collector, fed from the same deterministic arrival schedule. The
+// discovered-pair set is order-insensitive (a pair is found iff some node
+// holds both tuples, routing is deterministic for the summary-free
+// policies, nothing is evicted at experiment scale, and both modes drain
+// fully), so a distributed run must reproduce its pair count and epsilon
+// exactly.
+#pragma once
+
+#include "dsjoin/core/config.hpp"
+#include "dsjoin/runtime/coordinator.hpp"
+
+namespace dsjoin::runtime {
+
+struct LocalOptions {
+  /// Replay arrivals in real time (see DaemonOptions::pace).
+  bool pace = false;
+  /// Forwarded to CoordinatorOptions::verify.
+  bool verify = true;
+};
+
+/// Coordinator + config.nodes daemon threads over loopback TCP.
+RunReport run_local(const core::SystemConfig& config, LocalOptions options = {});
+
+/// Baseline: the same experiment over the in-process TcpTransport (all
+/// nodes in one process sharing one metrics collector).
+RunReport run_inprocess_tcp(const core::SystemConfig& config);
+
+}  // namespace dsjoin::runtime

@@ -1,0 +1,112 @@
+// Multi-process data-plane transport.
+//
+// Where TcpTransport hosts all N nodes in one process, MeshTransport is one
+// process's view of the same full mesh: it owns node `self`'s listener and
+// its N-1 peer sockets, each in a separate daemon process (possibly on a
+// separate machine). The wire format is identical — a frame written by
+// either transport is readable by both.
+//
+// Mesh formation mirrors TcpTransport's in-process handshake: node i dials
+// every higher-numbered peer (with capped-backoff retry, since daemons
+// start in arbitrary order) and accepts from every lower-numbered one; the
+// dialer identifies itself with a u32 node id.
+//
+// Peer death is a first-class event here, not an error: a SIGKILLed peer
+// shows up as EOF on its socket. The receiver thread for that link invokes
+// the peer-down callback after the link's last delivered frame (preserving
+// per-link FIFO even across the death), sends to the dead peer return
+// kUnavailable, and everything else keeps running — the graceful-
+// degradation contract of the distributed runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dsjoin/net/channel.hpp"
+#include "dsjoin/net/transport.hpp"
+
+namespace dsjoin::runtime {
+
+struct MeshOptions {
+  /// Per-peer budget for mesh formation (dial retries / accept waits).
+  double connect_timeout_s = 20.0;
+  double dial_base_delay_s = 0.05;
+  double dial_max_delay_s = 1.0;
+};
+
+/// One node's end of a multi-process full TCP mesh.
+class MeshTransport final : public net::Transport {
+ public:
+  /// Takes ownership of the already-bound data listener (bind-before-HELLO
+  /// is what lets the daemon advertise a real ephemeral port). Peer sockets
+  /// are not opened until connect_mesh().
+  ///
+  /// @param peers  endpoint per node id, self's entry ignored.
+  MeshTransport(net::NodeId self, std::size_t nodes, net::UniqueFd listener,
+                std::vector<net::Endpoint> peers, MeshOptions options = {});
+  ~MeshTransport() override;
+
+  /// Invoked (from the dead link's receiver thread) when a peer's data
+  /// socket hits EOF or an error outside shutdown. Set before
+  /// connect_mesh(); called at most once per peer.
+  void set_peer_down(std::function<void(net::NodeId)> callback) {
+    peer_down_ = std::move(callback);
+  }
+
+  /// Forms the mesh: dials higher-numbered peers (retrying while they come
+  /// up), accepts lower-numbered ones, then starts one receiver thread per
+  /// link. Everything stays down on failure; safe to destroy afterwards.
+  common::Status connect_mesh();
+
+  std::size_t node_count() const noexcept override { return nodes_; }
+  void register_handler(net::NodeId node, net::DeliveryHandler handler) override;
+  common::Status send(net::Frame frame) override;
+  const net::TrafficCounters& stats() const noexcept override { return totals_; }
+
+  /// Race-free copy of the counters (stats() hands out the live object,
+  /// which concurrent senders keep mutating).
+  net::TrafficCounters stats_snapshot() const {
+    std::lock_guard lock(totals_mutex_);
+    return totals_;
+  }
+  double send_backlog_seconds(net::NodeId) const noexcept override { return 0.0; }
+
+  bool peer_alive(net::NodeId peer) const noexcept {
+    return peer < nodes_ && peer != self_ && alive_[peer].load();
+  }
+
+  /// Marks a peer dead without a socket event (e.g. the coordinator's
+  /// DRAIN carried it in the dead list). Sends to it start failing. The
+  /// peer-down callback is not invoked here, but the link's receiver may
+  /// still fire it when the socket eventually EOFs — callers must treat
+  /// peer death idempotently.
+  void mark_peer_dead(net::NodeId peer) noexcept;
+
+  /// Closes every socket and joins receiver threads. Safe to call twice.
+  void shutdown();
+
+ private:
+  void receiver_loop(net::NodeId peer);
+
+  net::NodeId self_;
+  std::size_t nodes_;
+  net::UniqueFd listener_;
+  std::vector<net::Endpoint> peers_;
+  MeshOptions options_;
+  std::function<void(net::NodeId)> peer_down_;
+  net::DeliveryHandler handler_;
+
+  std::atomic<bool> running_{true};
+  std::vector<net::UniqueFd> peer_fds_;                     // by peer id
+  std::vector<std::unique_ptr<std::mutex>> send_mutexes_;   // by peer id
+  mutable std::vector<std::atomic<bool>> alive_;            // by peer id
+  std::vector<std::thread> receivers_;
+  net::TrafficCounters totals_;
+  mutable std::mutex totals_mutex_;
+};
+
+}  // namespace dsjoin::runtime

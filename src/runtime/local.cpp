@@ -1,0 +1,128 @@
+#include "dsjoin/runtime/local.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dsjoin/common/log.hpp"
+#include "dsjoin/core/metrics.hpp"
+#include "dsjoin/core/node.hpp"
+#include "dsjoin/net/tcp_transport.hpp"
+#include "dsjoin/runtime/daemon.hpp"
+#include "dsjoin/runtime/schedule.hpp"
+
+namespace dsjoin::runtime {
+
+RunReport run_local(const core::SystemConfig& config, LocalOptions options) {
+  CoordinatorOptions coordinator_options;
+  coordinator_options.port = 0;
+  coordinator_options.config = config;
+  coordinator_options.verify = options.verify;
+  Coordinator coordinator(coordinator_options);
+
+  std::vector<std::thread> daemons;
+  daemons.reserve(config.nodes);
+  for (std::uint32_t i = 0; i < config.nodes; ++i) {
+    DaemonOptions daemon_options;
+    daemon_options.coordinator = net::Endpoint{"127.0.0.1", coordinator.port()};
+    daemon_options.pace = options.pace;
+    daemons.emplace_back([daemon_options] {
+      NodeDaemon daemon(daemon_options);
+      auto status = daemon.run();
+      if (!status.is_ok()) {
+        DSJOIN_LOG_WARN("local daemon exited: %s",
+                        status.to_string().c_str());
+      }
+    });
+  }
+  RunReport report = coordinator.run();
+  for (auto& thread : daemons) thread.join();
+  return report;
+}
+
+RunReport run_inprocess_tcp(const core::SystemConfig& config) {
+  RunReport report;
+  report.nodes_admitted = config.nodes;
+
+  const auto schedule = ArrivalSchedule::build(config);
+
+  net::TcpTransport transport(config.nodes);
+  core::MetricsCollector metrics;
+  metrics.set_node_count(config.nodes);
+  std::vector<std::unique_ptr<core::Node>> nodes;
+  nodes.reserve(config.nodes);
+  // One coarse lock serializes all node work: receiver-thread deliveries
+  // and the arrival loop below. Throughput is irrelevant here — this mode
+  // exists as a correctness baseline.
+  std::mutex mutex;
+  for (net::NodeId id = 0; id < config.nodes; ++id) {
+    nodes.push_back(
+        std::make_unique<core::Node>(config, id, transport, metrics));
+  }
+  for (net::NodeId id = 0; id < config.nodes; ++id) {
+    core::Node* node = nodes[id].get();
+    transport.register_handler(id, [node, &mutex](net::Frame&& frame) {
+      std::lock_guard lock(mutex);
+      // Forwarded work is timestamped with the tuple era it belongs to;
+      // precise receive times only matter for reporting latency, which
+      // this baseline does not measure.
+      node->on_frame(std::move(frame), 0.0);
+    });
+  }
+
+  for (const auto& tuple : schedule.tuples) {
+    std::lock_guard lock(mutex);
+    nodes[tuple.origin]->on_local_tuple(tuple, tuple.timestamp);
+  }
+  report.total_arrivals = schedule.tuples.size();
+
+  // Quiesce: frames are still in flight through kernel buffers and
+  // receiver threads. Settled = no observable progress for a while.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  auto observe = [&] {
+    std::lock_guard lock(mutex);
+    std::uint64_t progress = metrics.distinct_pairs();
+    for (const auto& node : nodes) {
+      progress += node->received_tuples() + node->decode_failures();
+    }
+    return progress;
+  };
+  auto last = observe();
+  auto last_change = std::chrono::steady_clock::now();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now_progress = observe();
+    const auto now = std::chrono::steady_clock::now();
+    if (now_progress != last) {
+      last = now_progress;
+      last_change = now;
+    } else if (now - last_change > std::chrono::milliseconds(300)) {
+      break;
+    }
+    if (now > deadline) {
+      report.error = "in-process run failed to quiesce";
+      transport.shutdown();
+      return report;
+    }
+  }
+  transport.shutdown();
+
+  report.clean = true;
+  report.reported_pairs = metrics.distinct_pairs();
+  report.traffic = transport.stats();
+  report.exact_pairs = exact_pairs(schedule, config.join_half_width_s);
+  const auto pairs = metrics.pairs();
+  report.false_pairs =
+      count_false_pairs(schedule, config.join_half_width_s, pairs);
+  report.epsilon =
+      report.exact_pairs == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(report.reported_pairs) /
+                      static_cast<double>(report.exact_pairs);
+  return report;
+}
+
+}  // namespace dsjoin::runtime

@@ -1,0 +1,174 @@
+#include "dsjoin/runtime/mesh_transport.hpp"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
+
+#include "dsjoin/common/log.hpp"
+#include "dsjoin/common/strformat.hpp"
+
+namespace dsjoin::runtime {
+
+namespace {
+
+common::Status fail(const char* what, const std::string& detail) {
+  return common::Status(common::ErrorCode::kUnavailable,
+                        common::str_format("%s: %s", what, detail.c_str()));
+}
+
+}  // namespace
+
+MeshTransport::MeshTransport(net::NodeId self, std::size_t nodes,
+                             net::UniqueFd listener,
+                             std::vector<net::Endpoint> peers,
+                             MeshOptions options)
+    : self_(self),
+      nodes_(nodes),
+      listener_(std::move(listener)),
+      peers_(std::move(peers)),
+      options_(options),
+      peer_fds_(nodes),
+      alive_(nodes) {
+  send_mutexes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    send_mutexes_.push_back(std::make_unique<std::mutex>());
+    alive_[i].store(false);
+  }
+}
+
+MeshTransport::~MeshTransport() { shutdown(); }
+
+void MeshTransport::register_handler(net::NodeId node,
+                                     net::DeliveryHandler handler) {
+  // This transport IS node `self`; there is nobody else in-process.
+  if (node == self_) handler_ = std::move(handler);
+}
+
+common::Status MeshTransport::connect_mesh() {
+  if (nodes_ < 2 || self_ >= nodes_ || peers_.size() != nodes_) {
+    return common::Status(common::ErrorCode::kInvalidArgument,
+                          "bad mesh geometry");
+  }
+  // Dial every higher-numbered peer; it identifies us by the u32 id we
+  // send first. Retry with backoff: the peer's daemon may not be up yet.
+  for (net::NodeId peer = self_ + 1; peer < nodes_; ++peer) {
+    auto fd = net::tcp_connect_retry(peers_[peer], options_.connect_timeout_s,
+                                     options_.dial_base_delay_s,
+                                     options_.dial_max_delay_s);
+    if (!fd) return fd.status();
+    const std::uint32_t id = self_;
+    if (!net::write_all(fd.value().get(),
+                        reinterpret_cast<const std::uint8_t*>(&id), 4)) {
+      return fail("mesh hello", "write to peer " + std::to_string(peer));
+    }
+    peer_fds_[peer] = std::move(fd).value();
+  }
+  // Accept every lower-numbered peer (they dial us), identified by the id
+  // they send. Arrival order is arbitrary.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(options_.connect_timeout_s);
+  for (net::NodeId remaining = self_; remaining > 0; --remaining) {
+    const double left =
+        std::chrono::duration<double>(deadline - std::chrono::steady_clock::now())
+            .count();
+    if (left <= 0.0) {
+      return fail("mesh accept", "timed out waiting for lower-numbered peers");
+    }
+    auto fd = net::tcp_accept(listener_.get(), left);
+    if (!fd) return fd.status();
+    std::uint32_t id = 0;
+    if (!net::read_exact(fd.value().get(), reinterpret_cast<std::uint8_t*>(&id),
+                         4)) {
+      return fail("mesh hello", "read from dialing peer");
+    }
+    if (id >= self_ || peer_fds_[id].valid()) {
+      return fail("mesh hello", "unexpected peer id " + std::to_string(id));
+    }
+    peer_fds_[id] = std::move(fd).value();
+  }
+  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
+    if (peer == self_) continue;
+    alive_[peer].store(true);
+  }
+  receivers_.reserve(nodes_ - 1);
+  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
+    if (peer == self_) continue;
+    receivers_.emplace_back([this, peer] { receiver_loop(peer); });
+  }
+  return common::Status::ok();
+}
+
+common::Status MeshTransport::send(net::Frame frame) {
+  const net::NodeId to = frame.to;
+  if (to >= nodes_ || to == self_ || frame.from != self_) {
+    return common::Status(common::ErrorCode::kInvalidArgument,
+                          "bad frame address");
+  }
+  if (!alive_[to].load()) {
+    return common::Status(common::ErrorCode::kUnavailable,
+                          "peer " + std::to_string(to) + " is down");
+  }
+  const auto buffer = net::encode_wire_frame(frame);
+  {
+    std::lock_guard lock(*send_mutexes_[to]);
+    if (!net::write_all(peer_fds_[to].get(), buffer.data(), buffer.size())) {
+      // A send failing is how WE discover a peer died mid-write; the
+      // receiver loop (EOF) handles the callback, we just stop sending.
+      alive_[to].store(false);
+      return common::Status(common::ErrorCode::kUnavailable,
+                            "write to peer " + std::to_string(to) + " failed");
+    }
+  }
+  {
+    std::lock_guard lock(totals_mutex_);
+    totals_.record(frame);
+  }
+  return common::Status::ok();
+}
+
+void MeshTransport::mark_peer_dead(net::NodeId peer) noexcept {
+  if (peer < nodes_ && peer != self_) alive_[peer].store(false);
+}
+
+void MeshTransport::receiver_loop(net::NodeId peer) {
+  const int fd = peer_fds_[peer].get();
+  net::Frame frame;
+  while (running_.load()) {
+    if (!net::read_wire_frame(fd, &frame)) break;
+    if (handler_) handler_(std::move(frame));
+    frame = net::Frame{};
+  }
+  // EOF/error outside shutdown means the peer process died (or closed its
+  // end). Fire the callback after the last delivered frame so the daemon
+  // sees death ordered behind everything the peer managed to send. Each
+  // peer has exactly one receiver thread, so at-most-once is structural —
+  // even if a failed send (or a DRAIN dead list) cleared alive_ first.
+  if (running_.load()) {
+    alive_[peer].store(false);
+    DSJOIN_LOG_INFO("node %u: peer %u data link down", self_, peer);
+    if (peer_down_) peer_down_(peer);
+  }
+}
+
+void MeshTransport::shutdown() {
+  const bool was_running = running_.exchange(false);
+  if (was_running) {
+    for (net::NodeId peer = 0; peer < nodes_; ++peer) {
+      if (peer_fds_[peer].valid()) {
+        ::shutdown(peer_fds_[peer].get(), SHUT_RDWR);
+      }
+    }
+    if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+  }
+  for (auto& thread : receivers_) {
+    if (thread.joinable()) thread.join();
+  }
+  receivers_.clear();
+  if (was_running) {
+    for (auto& fd : peer_fds_) fd.reset();
+    listener_.reset();
+  }
+}
+
+}  // namespace dsjoin::runtime

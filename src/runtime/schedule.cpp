@@ -1,0 +1,124 @@
+#include "dsjoin/runtime/schedule.hpp"
+
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/core/oracle.hpp"
+#include "dsjoin/stream/generator.hpp"
+
+namespace dsjoin::runtime {
+
+ArrivalSchedule ArrivalSchedule::build(const core::SystemConfig& config) {
+  stream::WorkloadParams params;
+  params.nodes = config.nodes;
+  params.regions = config.regions;
+  params.domain = config.domain;
+  params.locality = config.locality;
+  params.noise = config.noise;
+  params.seed = config.seed;
+  auto workload = stream::make_workload(config.workload, params);
+
+  // Same rng tree as DspSystem: root seeded seed ^ 0xa771'7a1e, one fork
+  // per (node, side) slot, in slot order.
+  common::Xoshiro256 root(config.seed ^ 0xa771'7a1eULL);
+  std::vector<common::Xoshiro256> rngs;
+  const std::size_t slots = static_cast<std::size_t>(config.nodes) * 2;
+  rngs.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) rngs.push_back(root.fork());
+
+  // Per-slot arrival times: exponential inter-arrivals from t = 0. Each
+  // slot's sequence is independent, so generating slot-by-slot draws the
+  // same variates the simulator draws interleaved.
+  std::vector<std::vector<double>> times(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    times[s].reserve(config.tuples_per_node);
+    double t = 0.0;
+    for (std::uint64_t i = 0; i < config.tuples_per_node; ++i) {
+      t += rngs[s].next_exponential(config.arrivals_per_second);
+      times[s].push_back(t);
+    }
+  }
+
+  // Global merge in (time, slot) order. Ids are dense from 1 in merge
+  // order; keys are drawn here so each slot's workload rng is consumed in
+  // its own time order, matching the simulator's per-slot call sequence.
+  struct HeapItem {
+    double time;
+    std::size_t slot;
+    std::size_t index;
+  };
+  auto later = [](const HeapItem& a, const HeapItem& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.slot > b.slot;
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(later)> heap(
+      later);
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (!times[s].empty()) heap.push({times[s][0], s, 0});
+  }
+
+  ArrivalSchedule schedule;
+  schedule.tuples.reserve(slots * config.tuples_per_node);
+  std::uint64_t next_id = 1;
+  while (!heap.empty()) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    const auto node = static_cast<net::NodeId>(item.slot / 2);
+    const auto side = static_cast<stream::StreamSide>(item.slot % 2);
+    stream::Tuple tuple;
+    tuple.id = next_id++;
+    tuple.key = workload->next_key(node, side, item.time);
+    tuple.timestamp = item.time;
+    tuple.origin = node;
+    tuple.side = side;
+    schedule.tuples.push_back(tuple);
+    schedule.makespan_s = item.time;
+    if (item.index + 1 < times[item.slot].size()) {
+      heap.push({times[item.slot][item.index + 1], item.slot, item.index + 1});
+    }
+  }
+  return schedule;
+}
+
+std::vector<stream::Tuple> ArrivalSchedule::for_node(net::NodeId node) const {
+  std::vector<stream::Tuple> mine;
+  for (const auto& tuple : tuples) {
+    if (tuple.origin == node) mine.push_back(tuple);
+  }
+  return mine;
+}
+
+std::uint64_t exact_pairs(const ArrivalSchedule& schedule, double half_width) {
+  core::ExactJoinOracle oracle(half_width);
+  for (const auto& tuple : schedule.tuples) oracle.observe(tuple);
+  return oracle.total_pairs();
+}
+
+std::uint64_t count_false_pairs(const ArrivalSchedule& schedule,
+                                double half_width,
+                                std::span<const stream::ResultPair> pairs) {
+  std::unordered_map<std::uint64_t, const stream::Tuple*> by_id;
+  by_id.reserve(schedule.tuples.size());
+  for (const auto& tuple : schedule.tuples) by_id.emplace(tuple.id, &tuple);
+
+  std::uint64_t false_pairs = 0;
+  for (const auto& pair : pairs) {
+    const auto r_it = by_id.find(pair.r_id);
+    const auto s_it = by_id.find(pair.s_id);
+    if (r_it == by_id.end() || s_it == by_id.end()) {
+      ++false_pairs;
+      continue;
+    }
+    const stream::Tuple& r = *r_it->second;
+    const stream::Tuple& s = *s_it->second;
+    const bool genuine = r.side == stream::StreamSide::kR &&
+                         s.side == stream::StreamSide::kS && r.key == s.key &&
+                         std::abs(r.timestamp - s.timestamp) <= half_width;
+    if (!genuine) ++false_pairs;
+  }
+  return false_pairs;
+}
+
+}  // namespace dsjoin::runtime

@@ -1,7 +1,6 @@
 #include "dsjoin/net/tcp_transport.hpp"
 
 #include <gtest/gtest.h>
-#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -12,30 +11,10 @@
 namespace dsjoin::net {
 namespace {
 
-// Ports are offset per test to avoid TIME_WAIT collisions across cases,
-// and per process (ctest runs each case in its own process, in parallel)
-// so concurrent test processes bind disjoint ranges. The whole range stays
-// below the kernel's ephemeral port floor (32768) so previous rounds'
-// outgoing connections can never squat a port a later round listens on.
-std::uint16_t next_base_port() {
-  static std::atomic<std::uint16_t> port{static_cast<std::uint16_t>(
-      10000 + (::getpid() % 1000) * 20)};
-  const std::uint16_t p = port.fetch_add(20);
-  return p < 31000 ? p : static_cast<std::uint16_t>(10000 + p % 1000);
-}
-
-// Binding can still collide with an unrelated process; construction is not
-// what these tests probe, so retry on a fresh block before giving up.
-TcpTransport make_transport(std::size_t nodes) {
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    try {
-      return TcpTransport(nodes, next_base_port());
-    } catch (const std::runtime_error&) {
-      if (attempt == 3) throw;
-    }
-  }
-  __builtin_unreachable();
-}
+// Every transport binds ephemeral listeners (base_port 0): no fixed port
+// ranges, so parallel test processes — or several transports in this one —
+// can never collide, and nothing needs retry logic.
+TcpTransport make_transport(std::size_t nodes) { return TcpTransport(nodes); }
 
 Frame make_frame(NodeId from, NodeId to, std::uint32_t tag) {
   Frame f;
@@ -200,6 +179,112 @@ TEST(TcpTransport, StartStopStress) {
       for (std::uint8_t byte : f.payload) ASSERT_EQ(byte, expected);
     }
   }
+}
+
+TEST(TcpTransport, ConcurrentTransportsCoexist) {
+  // Two independent meshes in one process: ephemeral binding means they
+  // can never fight over ports, and frames stay inside their own mesh.
+  TcpTransport first = make_transport(2);
+  TcpTransport second = make_transport(2);
+  Collector first_at1, second_at1;
+  first.register_handler(0, [](Frame&&) {});
+  first.register_handler(1, [&](Frame&& f) { first_at1.add(std::move(f)); });
+  second.register_handler(0, [](Frame&&) {});
+  second.register_handler(1, [&](Frame&& f) { second_at1.add(std::move(f)); });
+  ASSERT_TRUE(first.send(make_frame(0, 1, 11)));
+  ASSERT_TRUE(second.send(make_frame(0, 1, 22)));
+  ASSERT_TRUE(first_at1.wait_for(1, std::chrono::seconds(5)));
+  ASSERT_TRUE(second_at1.wait_for(1, std::chrono::seconds(5)));
+  EXPECT_EQ(first_at1.take()[0].piggyback_bytes, 11u);
+  EXPECT_EQ(second_at1.take()[0].piggyback_bytes, 22u);
+  first.shutdown();
+  second.shutdown();
+}
+
+TEST(TcpTransport, ExplicitPortCollisionFallsBackToEphemeral) {
+  // Squat one port of an explicit base range with an unrelated listener;
+  // the transport must come up anyway, with the squatted node falling
+  // back to an ephemeral port (visible via listen_port). The squatter
+  // itself binds ephemeral so this test never fights other processes.
+  auto squatter = tcp_listen(0, 4);
+  ASSERT_TRUE(squatter.is_ok());
+  auto squatted = bound_port(squatter.value().get());
+  ASSERT_TRUE(squatted.is_ok());
+
+  // base_port such that node 1 wants exactly the squatted port.
+  const std::uint16_t base = static_cast<std::uint16_t>(squatted.value() - 1);
+  TcpTransport transport(2, base);
+  EXPECT_NE(transport.listen_port(1), squatted.value());
+  EXPECT_NE(transport.listen_port(1), 0);
+
+  // And the mesh still works end to end.
+  Collector at1;
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [&](Frame&& f) { at1.add(std::move(f)); });
+  ASSERT_TRUE(transport.send(make_frame(0, 1, 5)));
+  ASSERT_TRUE(at1.wait_for(1, std::chrono::seconds(5)));
+  transport.shutdown();
+}
+
+TEST(TcpTransport, BacklogDisabledReadsZero) {
+  TcpTransport transport = make_transport(2);  // link rate 0 = no model
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [](Frame&&) {});
+  ASSERT_TRUE(transport.send(make_frame(0, 1, 1)));
+  EXPECT_EQ(transport.send_backlog_seconds(0), 0.0);
+  EXPECT_EQ(transport.send_backlog_seconds(1), 0.0);
+  transport.shutdown();
+}
+
+TEST(TcpTransport, BacklogTracksConfiguredLinkRate) {
+  // 1000 B/s links: one ~1000-wire-byte frame queues ~1s of backlog on
+  // the sender's worst link, which then drains at the modeled rate.
+  constexpr double kRate = 1000.0;
+  TcpTransport transport(2, 0, kRate);
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [](Frame&&) {});
+
+  Frame big;
+  big.from = 0;
+  big.to = 1;
+  big.kind = FrameKind::kTuple;
+  // encode_wire_frame adds the length prefix + header; aim near 1000.
+  big.payload.assign(980, 0xab);
+  ASSERT_TRUE(transport.send(big));
+
+  const double just_after = transport.send_backlog_seconds(0);
+  EXPECT_GT(just_after, 0.7);
+  EXPECT_LE(just_after, 1.1);
+  // The receiving side queued nothing.
+  EXPECT_EQ(transport.send_backlog_seconds(1), 0.0);
+
+  // The modeled queue drains over wall time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const double later = transport.send_backlog_seconds(0);
+  EXPECT_LT(later, just_after);
+
+  transport.shutdown();
+}
+
+TEST(TcpTransport, BacklogAccumulatesAcrossSends) {
+  constexpr double kRate = 1000.0;
+  TcpTransport transport(2, 0, kRate);
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [](Frame&&) {});
+  Frame big;
+  big.from = 0;
+  big.to = 1;
+  big.kind = FrameKind::kTuple;
+  big.payload.assign(980, 0xcd);
+  ASSERT_TRUE(transport.send(big));
+  ASSERT_TRUE(transport.send(big));
+  ASSERT_TRUE(transport.send(big));
+  // Three ~1s frames back to back: roughly 3s queued (minus the sliver
+  // drained between the sends).
+  const double backlog = transport.send_backlog_seconds(0);
+  EXPECT_GT(backlog, 2.5);
+  EXPECT_LE(backlog, 3.2);
+  transport.shutdown();
 }
 
 TEST(TcpTransport, RegisterHandlerWhileTrafficFlows) {

@@ -1,0 +1,197 @@
+#include "dsjoin/runtime/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace dsjoin::runtime {
+namespace {
+
+TEST(ControlCodec, HelloRoundTrip) {
+  HelloMsg msg;
+  msg.protocol = kProtocolVersion;
+  msg.data_endpoint = {"192.168.7.41", 45123};
+  const auto bytes = msg.encode();
+  const auto decoded = HelloMsg::decode(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().protocol, kProtocolVersion);
+  EXPECT_EQ(decoded.value().data_endpoint, msg.data_endpoint);
+}
+
+TEST(ControlCodec, HelloRejectsTruncation) {
+  const auto bytes = HelloMsg{}.encode();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const auto decoded =
+        HelloMsg::decode(std::span(bytes.data(), cut));
+    EXPECT_FALSE(decoded.is_ok()) << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(ControlCodec, ConfigRoundTripCarriesFullSystemConfig) {
+  ConfigMsg msg;
+  msg.node_id = 3;
+  msg.config.nodes = 7;
+  msg.config.seed = 0xfeedULL;
+  msg.config.workload = "NWRK";
+  msg.config.policy = core::PolicyKind::kBloom;
+  msg.config.tuples_per_node = 12345;
+  msg.config.arrivals_per_second = 33.5;
+  msg.config.join_half_width_s = 4.25;
+  msg.config.throttle = 0.75;
+  msg.config.dft_window = 1024;
+  msg.config.kappa = 128.0;
+  msg.peers = {{"10.0.0.1", 1111}, {"10.0.0.2", 2222}, {"10.0.0.3", 3333}};
+  msg.heartbeat_period_s = 0.5;
+  msg.mesh_timeout_s = 12.0;
+
+  const auto bytes = msg.encode();
+  const auto decoded = ConfigMsg::decode(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const ConfigMsg& got = decoded.value();
+  EXPECT_EQ(got.node_id, 3u);
+  EXPECT_EQ(got.config.nodes, 7u);
+  EXPECT_EQ(got.config.seed, 0xfeedULL);
+  EXPECT_EQ(got.config.workload, "NWRK");
+  EXPECT_EQ(got.config.policy, core::PolicyKind::kBloom);
+  EXPECT_EQ(got.config.tuples_per_node, 12345u);
+  EXPECT_DOUBLE_EQ(got.config.arrivals_per_second, 33.5);
+  EXPECT_DOUBLE_EQ(got.config.join_half_width_s, 4.25);
+  EXPECT_DOUBLE_EQ(got.config.throttle, 0.75);
+  EXPECT_EQ(got.config.dft_window, 1024u);
+  EXPECT_DOUBLE_EQ(got.config.kappa, 128.0);
+  ASSERT_EQ(got.peers.size(), 3u);
+  EXPECT_EQ(got.peers[1], msg.peers[1]);
+  EXPECT_DOUBLE_EQ(got.heartbeat_period_s, 0.5);
+  EXPECT_DOUBLE_EQ(got.mesh_timeout_s, 12.0);
+}
+
+TEST(ControlCodec, ConfigRejectsEveryTruncation) {
+  ConfigMsg msg;
+  msg.peers = {{"127.0.0.1", 1}, {"127.0.0.1", 2}};
+  const auto bytes = msg.encode();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const auto decoded = ConfigMsg::decode(std::span(bytes.data(), cut));
+    EXPECT_FALSE(decoded.is_ok()) << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(ControlCodec, ConfigRejectsImplausiblePeerCount) {
+  // Corrupt the peer count to a huge value: the decoder must reject it
+  // instead of attempting a giant reserve. The count sits right after the
+  // serialized config, so re-encode with zero peers and patch the u32.
+  ConfigMsg msg;
+  auto bytes = msg.encode();
+  // Zero peers: the last 20 bytes are count(4) + two f64 knobs(16).
+  ASSERT_GE(bytes.size(), 20u);
+  const std::size_t count_at = bytes.size() - 20;
+  const std::uint32_t huge = 0xffff0000u;
+  std::memcpy(bytes.data() + count_at, &huge, sizeof(huge));
+  const auto decoded = ConfigMsg::decode(bytes);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), common::ErrorCode::kDataLoss);
+}
+
+TEST(ControlCodec, HeartbeatRoundTrip) {
+  HeartbeatMsg msg;
+  msg.node_id = 9;
+  msg.state = DaemonState::kDraining;
+  msg.local_tuples = 4096;
+  msg.pairs_discovered = 777;
+  const auto decoded = HeartbeatMsg::decode(msg.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().node_id, 9u);
+  EXPECT_EQ(decoded.value().state, DaemonState::kDraining);
+  EXPECT_EQ(decoded.value().local_tuples, 4096u);
+  EXPECT_EQ(decoded.value().pairs_discovered, 777u);
+}
+
+TEST(ControlCodec, HeartbeatRejectsOutOfRangeState) {
+  HeartbeatMsg msg;
+  auto bytes = msg.encode();
+  bytes[4] = 0x2a;  // state byte follows the u32 node id
+  const auto decoded = HeartbeatMsg::decode(bytes);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), common::ErrorCode::kDataLoss);
+}
+
+TEST(ControlCodec, MetricsReportRoundTrip) {
+  MetricsReportMsg msg;
+  msg.node_id = 2;
+  msg.local_tuples = 500;
+  msg.received_tuples = 321;
+  msg.decode_failures = 1;
+  net::Frame sample;
+  sample.kind = net::FrameKind::kTuple;
+  sample.payload.assign(26, 0);
+  sample.piggyback_bytes = 12;
+  msg.traffic.record(sample);
+  msg.pairs = {{1, 2}, {3, 4}, {1000000007, 42}};
+
+  const auto decoded = MetricsReportMsg::decode(msg.encode());
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const MetricsReportMsg& got = decoded.value();
+  EXPECT_EQ(got.node_id, 2u);
+  EXPECT_EQ(got.local_tuples, 500u);
+  EXPECT_EQ(got.received_tuples, 321u);
+  EXPECT_EQ(got.decode_failures, 1u);
+  EXPECT_EQ(got.traffic.frames(net::FrameKind::kTuple), 1u);
+  EXPECT_EQ(got.traffic.piggyback_bytes, 12u);
+  ASSERT_EQ(got.pairs.size(), 3u);
+  EXPECT_EQ(got.pairs[2], (stream::ResultPair{1000000007, 42}));
+}
+
+TEST(ControlCodec, MetricsReportRejectsPairCountMismatch) {
+  MetricsReportMsg msg;
+  msg.pairs = {{1, 2}, {3, 4}};
+  auto bytes = msg.encode();
+  // The pair count is the u64 right before the 2 * 16 pair bytes.
+  const std::size_t count_at = bytes.size() - 2 * 16 - 8;
+  const std::uint64_t lying = 3;
+  std::memcpy(bytes.data() + count_at, &lying, sizeof(lying));
+  const auto decoded = MetricsReportMsg::decode(bytes);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), common::ErrorCode::kDataLoss);
+
+  // Truncating mid-pair must fail the same way, not return fewer pairs.
+  auto honest = msg.encode();
+  honest.resize(honest.size() - 7);
+  EXPECT_FALSE(MetricsReportMsg::decode(honest).is_ok());
+}
+
+TEST(ControlCodec, DrainRoundTripAndValidation) {
+  DrainMsg msg;
+  msg.dead_nodes = {1, 5, 9};
+  const auto decoded = DrainMsg::decode(msg.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().dead_nodes, (std::vector<net::NodeId>{1, 5, 9}));
+
+  const auto empty = DrainMsg::decode(DrainMsg{}.encode());
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_TRUE(empty.value().dead_nodes.empty());
+
+  auto bytes = msg.encode();
+  bytes.push_back(0);  // trailing garbage breaks count * 4 == remaining
+  EXPECT_FALSE(DrainMsg::decode(bytes).is_ok());
+}
+
+TEST(ControlCodec, EndpointHelpersRoundTrip) {
+  common::BufferWriter out(32);
+  serialize_endpoint({"host.example", 65535}, out);
+  const auto bytes = std::move(out).take();
+  common::BufferReader in(bytes);
+  const auto decoded = deserialize_endpoint(in);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().host, "host.example");
+  EXPECT_EQ(decoded.value().port, 65535);
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(ControlCodec, ToStringCoversAllValues) {
+  EXPECT_STREQ(to_string(ControlType::kHello), "HELLO");
+  EXPECT_STREQ(to_string(ControlType::kBye), "BYE");
+  EXPECT_STREQ(to_string(DaemonState::kJoining), "JOINING");
+  EXPECT_STREQ(to_string(DaemonState::kDraining), "DRAINING");
+}
+
+}  // namespace
+}  // namespace dsjoin::runtime

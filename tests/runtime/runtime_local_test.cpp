@@ -1,0 +1,98 @@
+// End-to-end runtime tests: the full coordinator/daemon protocol with
+// daemons on threads (run_local) measured against the in-process
+// TcpTransport baseline (run_inprocess_tcp). The discovered-pair set is
+// order-insensitive for deterministic routing with full drain, so the two
+// modes must agree exactly — pair count, epsilon, and zero false pairs.
+#include "dsjoin/runtime/local.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsjoin::runtime {
+namespace {
+
+core::SystemConfig test_config(core::PolicyKind policy) {
+  core::SystemConfig config;
+  config.nodes = 3;
+  config.seed = 7;
+  config.workload = "ZIPF";
+  config.policy = policy;
+  config.tuples_per_node = 100;
+  config.arrivals_per_second = 50.0;
+  config.join_half_width_s = 2.0;
+  config.dft_window = 256;
+  config.kappa = 32.0;
+  config.summary_epoch_tuples = 64;
+  return config;
+}
+
+TEST(RuntimeLocal, RoundRobinMatchesInProcessBaseline) {
+  const auto config = test_config(core::PolicyKind::kRoundRobin);
+  const RunReport baseline = run_inprocess_tcp(config);
+  ASSERT_TRUE(baseline.clean) << baseline.error;
+  EXPECT_EQ(baseline.false_pairs, 0u);
+  EXPECT_GT(baseline.exact_pairs, 0u);
+
+  const RunReport distributed = run_local(config);
+  ASSERT_TRUE(distributed.clean) << distributed.error;
+  EXPECT_EQ(distributed.nodes_admitted, config.nodes);
+  EXPECT_EQ(distributed.nodes_failed, 0u);
+  EXPECT_EQ(distributed.total_arrivals,
+            std::uint64_t{2} * config.nodes * config.tuples_per_node);
+  EXPECT_EQ(distributed.false_pairs, 0u);
+
+  // The acceptance criterion: the distributed protocol reproduces the
+  // in-process transport's result exactly.
+  EXPECT_EQ(distributed.exact_pairs, baseline.exact_pairs);
+  EXPECT_EQ(distributed.reported_pairs, baseline.reported_pairs);
+  EXPECT_DOUBLE_EQ(distributed.epsilon, baseline.epsilon);
+}
+
+TEST(RuntimeLocal, BroadcastPolicyIsExact) {
+  // BASE broadcasts every tuple to every peer: nothing can be missed, so
+  // the distributed run must report epsilon exactly zero.
+  const auto config = test_config(core::PolicyKind::kBase);
+  const RunReport report = run_local(config);
+  ASSERT_TRUE(report.clean) << report.error;
+  EXPECT_EQ(report.nodes_failed, 0u);
+  EXPECT_EQ(report.false_pairs, 0u);
+  EXPECT_EQ(report.reported_pairs, report.exact_pairs);
+  EXPECT_DOUBLE_EQ(report.epsilon, 0.0);
+}
+
+TEST(RuntimeLocal, RunLocalIsRepeatable) {
+  // Two runs of the same config agree with each other (determinism of the
+  // schedule + order-insensitivity of the pair set across real-socket
+  // timing variation).
+  const auto config = test_config(core::PolicyKind::kRoundRobin);
+  const RunReport a = run_local(config);
+  const RunReport b = run_local(config);
+  ASSERT_TRUE(a.clean) << a.error;
+  ASSERT_TRUE(b.clean) << b.error;
+  EXPECT_EQ(a.reported_pairs, b.reported_pairs);
+  EXPECT_EQ(a.exact_pairs, b.exact_pairs);
+  EXPECT_DOUBLE_EQ(a.epsilon, b.epsilon);
+}
+
+TEST(RuntimeLocal, VerifyOffSkipsOracle) {
+  auto config = test_config(core::PolicyKind::kRoundRobin);
+  LocalOptions options;
+  options.verify = false;
+  const RunReport report = run_local(config, options);
+  ASSERT_TRUE(report.clean) << report.error;
+  EXPECT_GT(report.reported_pairs, 0u);  // dedup still runs
+  EXPECT_EQ(report.exact_pairs, 0u);     // oracle skipped
+  EXPECT_EQ(report.false_pairs, 0u);
+  EXPECT_DOUBLE_EQ(report.epsilon, 0.0);
+}
+
+TEST(RuntimeLocal, TwoNodeMinimumWorks) {
+  auto config = test_config(core::PolicyKind::kRoundRobin);
+  config.nodes = 2;
+  const RunReport report = run_local(config);
+  ASSERT_TRUE(report.clean) << report.error;
+  EXPECT_EQ(report.nodes_admitted, 2u);
+  EXPECT_EQ(report.false_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace dsjoin::runtime

@@ -1,0 +1,112 @@
+// Coordinator binary for the multi-process distributed runtime.
+//
+// Binds the control port, admits --nodes daemons (dsjoin_noded), runs one
+// experiment, and prints a human summary plus one machine-parseable
+// `REPORT key=value ...` line for scripts and the integration tests.
+// Exit code 0 means the protocol ran to completion — including degraded
+// runs where daemons died mid-stream; only setup failures exit nonzero.
+#include <cstdio>
+#include <string>
+
+#include "dsjoin/common/cli.hpp"
+#include "dsjoin/common/log.hpp"
+#include "dsjoin/runtime/coordinator.hpp"
+
+using namespace dsjoin;
+
+namespace {
+
+/// Publishes the bound control port for whoever spawned us: write to a
+/// temp file, then rename — readers polling the path never see a partial
+/// write.
+bool write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliFlags flags("dsjoin coordinator: drives one distributed run");
+  flags.add_int("port", 0, "control port (0 = ephemeral)")
+      .add_string("port-file", "", "write the bound control port to this file")
+      .add_int("nodes", 4, "number of daemons to admit")
+      .add_string("policy", "RR", "routing policy")
+      .add_string("workload", "ZIPF", "workload (UNI|ZIPF|FIN|NWRK)")
+      .add_int("tuples", 250, "tuples per node per stream side")
+      .add_double("rate", 50.0, "arrivals per node per side per second")
+      .add_double("half-width", 2.0, "join window half width (s)")
+      .add_double("throttle", 0.5, "policy forwarding aggressiveness [0,1]")
+      .add_int("seed", 7, "experiment seed")
+      .add_double("admit-timeout", 30.0, "seconds to wait for all daemons")
+      .add_double("run-timeout", 120.0, "ceiling on the ingest phase (s)")
+      .add_double("drain-timeout", 30.0, "ceiling on drain + reports (s)")
+      .add_bool("verify", true, "recompute the oracle for epsilon/false pairs")
+      .add_bool("verbose", false, "log protocol progress");
+  if (auto s = flags.parse(argc, argv); !s) {
+    return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
+  }
+  common::set_log_level(flags.get_bool("verbose") ? common::LogLevel::kInfo
+                                                  : common::LogLevel::kWarn);
+
+  runtime::CoordinatorOptions options;
+  options.port = static_cast<std::uint16_t>(flags.get_int("port"));
+  options.admit_timeout_s = flags.get_double("admit-timeout");
+  options.run_timeout_s = flags.get_double("run-timeout");
+  options.drain_timeout_s = flags.get_double("drain-timeout");
+  options.verify = flags.get_bool("verify");
+  options.config.nodes = static_cast<std::uint32_t>(flags.get_int("nodes"));
+  options.config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.config.policy = core::policy_from_string(flags.get_string("policy"));
+  options.config.workload = flags.get_string("workload");
+  options.config.tuples_per_node =
+      static_cast<std::uint64_t>(flags.get_int("tuples"));
+  options.config.arrivals_per_second = flags.get_double("rate");
+  options.config.join_half_width_s = flags.get_double("half-width");
+  options.config.throttle = flags.get_double("throttle");
+
+  runtime::Coordinator coordinator(options);
+  std::printf("coordinator: control port %u, waiting for %u daemons\n",
+              coordinator.port(), options.config.nodes);
+  std::fflush(stdout);
+  const std::string port_file = flags.get_string("port-file");
+  if (!port_file.empty() && !write_port_file(port_file, coordinator.port())) {
+    std::fprintf(stderr, "failed to write port file %s\n", port_file.c_str());
+    return 1;
+  }
+
+  const runtime::RunReport report = coordinator.run();
+
+  if (!report.clean) {
+    std::fprintf(stderr, "run failed: %s\n", report.error.c_str());
+    std::printf("REPORT clean=0 error=\"%s\"\n", report.error.c_str());
+    return 1;
+  }
+  std::printf("\nnodes: %u admitted, %u failed mid-run\n",
+              report.nodes_admitted, report.nodes_failed);
+  std::printf("arrivals ingested: %llu\n",
+              static_cast<unsigned long long>(report.total_arrivals));
+  std::printf("pairs: %llu reported (exact %llu, false %llu)  epsilon %.4f\n",
+              static_cast<unsigned long long>(report.reported_pairs),
+              static_cast<unsigned long long>(report.exact_pairs),
+              static_cast<unsigned long long>(report.false_pairs),
+              report.epsilon);
+  std::printf("traffic: %llu frames, %llu bytes\n",
+              static_cast<unsigned long long>(report.traffic.total_frames()),
+              static_cast<unsigned long long>(report.traffic.total_bytes()));
+  std::printf(
+      "REPORT clean=1 nodes=%u failed=%u arrivals=%llu exact=%llu "
+      "reported=%llu false=%llu epsilon=%.6f frames=%llu bytes=%llu\n",
+      report.nodes_admitted, report.nodes_failed,
+      static_cast<unsigned long long>(report.total_arrivals),
+      static_cast<unsigned long long>(report.exact_pairs),
+      static_cast<unsigned long long>(report.reported_pairs),
+      static_cast<unsigned long long>(report.false_pairs), report.epsilon,
+      static_cast<unsigned long long>(report.traffic.total_frames()),
+      static_cast<unsigned long long>(report.traffic.total_bytes()));
+  return 0;
+}

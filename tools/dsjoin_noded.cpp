@@ -1,0 +1,49 @@
+// Node daemon binary: hosts one core::Node of a distributed run.
+//
+// Dials the coordinator (dsjoin_coord), receives its node id, experiment
+// config and peer list, meshes with the other daemons over TCP, streams
+// its slice of the deterministic arrival schedule, and ships its
+// discovered pairs back. Exit code 0 on a clean BYE.
+#include <cstdio>
+
+#include "dsjoin/common/cli.hpp"
+#include "dsjoin/common/log.hpp"
+#include "dsjoin/runtime/daemon.hpp"
+
+using namespace dsjoin;
+
+int main(int argc, char** argv) {
+  common::CliFlags flags("dsjoin node daemon: one node of a distributed run");
+  flags.add_string("coord-host", "127.0.0.1", "coordinator host")
+      .add_int("coord-port", 0, "coordinator control port (required)")
+      .add_double("connect-timeout", 20.0,
+                  "seconds to keep dialing the coordinator")
+      .add_bool("pace", false, "replay arrivals in real time")
+      .add_bool("verbose", false, "log protocol progress");
+  if (auto s = flags.parse(argc, argv); !s) {
+    return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
+  }
+  common::set_log_level(flags.get_bool("verbose") ? common::LogLevel::kInfo
+                                                  : common::LogLevel::kWarn);
+  if (flags.get_int("coord-port") <= 0 || flags.get_int("coord-port") > 65535) {
+    std::fprintf(stderr, "--coord-port is required (1..65535)\n");
+    return 1;
+  }
+
+  runtime::DaemonOptions options;
+  options.coordinator.host = flags.get_string("coord-host");
+  options.coordinator.port =
+      static_cast<std::uint16_t>(flags.get_int("coord-port"));
+  options.connect_timeout_s = flags.get_double("connect-timeout");
+  options.pace = flags.get_bool("pace");
+
+  runtime::NodeDaemon daemon(options);
+  const auto status = daemon.run();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "daemon (node %u) failed: %s\n", daemon.node_id(),
+                 status.to_string().c_str());
+    return 1;
+  }
+  std::printf("daemon: node %u completed cleanly\n", daemon.node_id());
+  return 0;
+}
