@@ -10,9 +10,11 @@ int main(int argc, char** argv) {
   flags.add_int("tuples", 1200, "tuples per node per side");
   flags.add_double("throttle", 0.5, "fixed forwarding budget knob");
   bench::add_workers_flag(flags);
+  bench::add_backend_flag(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
+  const auto backend = bench::parse_backend_flag(flags);
   const auto tuples = static_cast<std::uint64_t>(flags.get_int("tuples"));
 
   common::TablePrinter table(
@@ -27,7 +29,7 @@ int main(int argc, char** argv) {
       config.policy = kind;
       config.throttle = flags.get_double("throttle");
       bench::apply_workers_flag(flags, config);
-      const auto result = core::run_experiment(config);
+      const auto result = bench::run_with_backend(backend, config);
       row.push_back(common::str_format("%.4f", result.epsilon));
     }
     table.add_row(std::move(row));

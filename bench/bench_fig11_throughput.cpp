@@ -15,9 +15,11 @@ int main(int argc, char** argv) {
   flags.add_int("calib_tuples", 800, "tuples per node per side (calibration)");
   flags.add_double("target_eps", 0.15, "calibrated error rate");
   bench::add_workers_flag(flags);
+  bench::add_backend_flag(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
+  const auto backend = bench::parse_backend_flag(flags);
   const auto tuples = static_cast<std::uint64_t>(flags.get_int("tuples"));
   const auto calib_tuples =
       static_cast<std::uint64_t>(flags.get_int("calib_tuples"));
@@ -39,7 +41,7 @@ int main(int argc, char** argv) {
             core::calibrate_throttle(calib_config, target, 0.025, 4);
         config.throttle = calibrated.throttle;
       }
-      const auto result = core::run_experiment(config);
+      const auto result = bench::run_with_backend(backend, config);
       table.add(n, core::to_string(kind), result.results_per_second,
                 result.epsilon, result.makespan_s, result.ingest_per_second);
     }

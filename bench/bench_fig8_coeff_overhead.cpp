@@ -13,9 +13,11 @@ int main(int argc, char** argv) {
   flags.add_int("tuples", 2000, "tuples per node per side");
   flags.add_double("throttle", 0.5, "forwarding budget knob");
   bench::add_workers_flag(flags);
+  bench::add_backend_flag(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
+  const auto backend = bench::parse_backend_flag(flags);
 
   common::TablePrinter table(
       "Figure 8: DFT coefficient bytes as % of net data (kappa=256, ZIPF)",
@@ -27,7 +29,7 @@ int main(int argc, char** argv) {
     config.policy = core::PolicyKind::kDft;
     config.throttle = flags.get_double("throttle");
     bench::apply_workers_flag(flags, config);
-    const auto result = core::run_experiment(config);
+    const auto result = bench::run_with_backend(backend, config);
     table.add(n, 100.0 * result.summary_byte_fraction,
               result.traffic.piggyback_bytes,
               result.traffic.frames(net::FrameKind::kSummary),

@@ -15,9 +15,11 @@ int main(int argc, char** argv) {
   flags.add_double("target_eps", 0.15, "calibrated error rate");
   flags.add_int("bisections", 5, "calibration bisection steps");
   bench::add_workers_flag(flags);
+  bench::add_backend_flag(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
+  const auto backend = bench::parse_backend_flag(flags);
   const auto tuples = static_cast<std::uint64_t>(flags.get_int("tuples"));
   const double target = flags.get_double("target_eps");
   const int bisections = static_cast<int>(flags.get_int("bisections"));
@@ -33,12 +35,19 @@ int main(int argc, char** argv) {
         auto config = bench::figure_config(workload, n, tuples);
         config.policy = kind;
         bench::apply_workers_flag(flags, config);
+        // Calibration always runs on the simulator (it needs the in-run
+        // oracle); the operating point is then measured on the chosen
+        // backplane — identical routing decisions, real sockets.
         const auto calibrated =
             core::calibrate_throttle(config, target, 0.02, bisections);
-        table.add(n, core::to_string(kind),
-                  calibrated.result.messages_per_result,
-                  calibrated.result.epsilon, calibrated.throttle,
-                  calibrated.result.traffic.total_frames(),
+        auto result = calibrated.result;
+        if (backend != core::Backend::kSim) {
+          config.throttle = calibrated.throttle;
+          result = bench::run_with_backend(backend, config);
+        }
+        table.add(n, core::to_string(kind), result.messages_per_result,
+                  result.epsilon, calibrated.throttle,
+                  result.traffic.total_frames(),
                   calibrated.converged ? "yes" : "no");
       }
     }

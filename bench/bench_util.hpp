@@ -15,6 +15,7 @@
 #include "dsjoin/common/table.hpp"
 #include "dsjoin/core/calibration.hpp"
 #include "dsjoin/core/system.hpp"
+#include "dsjoin/runtime/engine.hpp"
 
 namespace dsjoin::bench {
 
@@ -65,6 +66,37 @@ inline void apply_workers_flag(const common::CliFlags& flags,
     std::exit(1);
   }
   config.worker_threads = static_cast<std::uint32_t>(workers);
+}
+
+/// Declares the shared `--backend` flag (experiment engine backplane).
+inline void add_backend_flag(common::CliFlags& flags) {
+  flags.add_string(
+      "backend", "sim",
+      "execution backplane: sim | tcp-inprocess | multiprocess. sim is the "
+      "deterministic WAN simulator (virtual time); the socket backends run "
+      "the same experiment over real loopback TCP and measure wall-clock "
+      "time (see DESIGN.md section 10)");
+}
+
+/// Parses `--backend`, rejecting unknown names cleanly (the same treatment
+/// negative `--workers` gets): print the valid spellings and exit 1.
+inline core::Backend parse_backend_flag(const common::CliFlags& flags) {
+  const auto backend = core::backend_from_string(flags.get_string("backend"));
+  if (!backend) {
+    std::fprintf(stderr, "error: %s\n", backend.status().message().c_str());
+    std::exit(1);
+  }
+  return backend.value();
+}
+
+/// Runs one experiment on the chosen backplane. Calibration always happens
+/// on the simulator (it needs the in-run oracle and virtual time); this is
+/// the measurement run a figure reports.
+inline core::ExperimentResult run_with_backend(core::Backend backend,
+                                               const core::SystemConfig& config) {
+  runtime::EngineOptions options;
+  options.backend = backend;
+  return runtime::run_experiment(config, options);
 }
 
 /// Prints both renderings of a finished table.

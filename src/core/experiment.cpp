@@ -1,0 +1,83 @@
+#include "dsjoin/core/experiment.hpp"
+
+#include <algorithm>
+
+#include "dsjoin/core/config.hpp"
+#include "dsjoin/core/metrics.hpp"
+#include "dsjoin/core/schedule.hpp"
+
+namespace dsjoin::core {
+
+const char* to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kSim:
+      return "sim";
+    case Backend::kTcpInprocess:
+      return "tcp-inprocess";
+    case Backend::kMultiprocess:
+      return "multiprocess";
+  }
+  return "unknown";
+}
+
+common::Result<Backend> backend_from_string(const std::string& name) {
+  if (name == "sim") return Backend::kSim;
+  if (name == "tcp-inprocess") return Backend::kTcpInprocess;
+  if (name == "multiprocess") return Backend::kMultiprocess;
+  return common::Status(
+      common::ErrorCode::kInvalidArgument,
+      "unknown backend '" + name +
+          "' (expected sim | tcp-inprocess | multiprocess)");
+}
+
+std::vector<stream::ResultPair> aggregate_node_reports(
+    std::span<const NodeReport> reports, ExperimentResult* result,
+    bool merge_traffic) {
+  std::size_t nodes = reports.size();
+  for (const auto& report : reports) {
+    nodes = std::max(nodes, static_cast<std::size_t>(report.node_id) + 1);
+  }
+  MetricsCollector collector;
+  collector.set_node_count(nodes);
+  for (const auto& report : reports) {
+    result->total_arrivals += report.local_tuples;
+    result->decode_failures += report.decode_failures;
+    if (merge_traffic) result->traffic.merge(report.traffic);
+    for (const auto& pair : report.pairs) {
+      collector.record_pair(pair, report.node_id, 0.0);
+    }
+  }
+  result->reported_pairs = collector.distinct_pairs();
+  return collector.pairs();
+}
+
+void verify_against_schedule(const SystemConfig& config,
+                             std::span<const stream::ResultPair> pairs,
+                             ExperimentResult* result) {
+  const auto schedule = ArrivalSchedule::build(config);
+  result->exact_pairs = exact_pairs(schedule, config.join_half_width_s);
+  result->false_pairs =
+      count_false_pairs(schedule, config.join_half_width_s, pairs);
+}
+
+void finalize_derived_metrics(ExperimentResult* result) {
+  result->epsilon =
+      result->exact_pairs == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(result->reported_pairs) /
+                      static_cast<double>(result->exact_pairs);
+  result->messages_per_result =
+      result->reported_pairs == 0
+          ? static_cast<double>(result->traffic.total_frames())
+          : static_cast<double>(result->traffic.total_frames()) /
+                static_cast<double>(result->reported_pairs);
+  if (result->makespan_s > 0.0) {
+    result->results_per_second =
+        static_cast<double>(result->reported_pairs) / result->makespan_s;
+    result->ingest_per_second =
+        static_cast<double>(result->total_arrivals) / result->makespan_s;
+  }
+  result->summary_byte_fraction = result->traffic.summary_byte_fraction();
+}
+
+}  // namespace dsjoin::core

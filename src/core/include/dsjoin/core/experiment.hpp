@@ -1,0 +1,110 @@
+// The transport-agnostic experiment engine's shared vocabulary.
+//
+// Three execution backplanes can drive one experiment — the deterministic
+// WAN simulator (DspSystem), all nodes over the in-process loopback
+// TcpTransport, and one OS process per node speaking the coordinator
+// protocol. They differ only in how frames move and where nodes live;
+// everything a figure reads from a run is defined here, once:
+//
+//   * Backend        — which backplane executed the run;
+//   * NodeReport     — one node's final accounting (what a daemon ships
+//                      home in METRICS_REPORT, and what the in-process
+//                      backends assemble directly);
+//   * ExperimentResult — the single result struct every backend returns,
+//                      with the derived metrics (epsilon, messages per
+//                      result, throughput) computed by the same code
+//                      regardless of backplane.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsjoin/common/status.hpp"
+#include "dsjoin/net/frame.hpp"
+#include "dsjoin/net/stats.hpp"
+#include "dsjoin/stream/tuple.hpp"
+
+namespace dsjoin::core {
+
+struct SystemConfig;
+
+/// Execution backplanes of the experiment engine.
+enum class Backend : std::uint8_t {
+  kSim = 0,           ///< deterministic WAN simulator (virtual time)
+  kTcpInprocess = 1,  ///< all nodes in-process over loopback TcpTransport
+  kMultiprocess = 2,  ///< one forked process per node + coordinator protocol
+};
+
+/// CLI spelling: "sim" | "tcp-inprocess" | "multiprocess".
+const char* to_string(Backend backend) noexcept;
+
+/// Parses a backend name; kInvalidArgument (listing the valid spellings)
+/// for anything else. Every CLI site funnels --backend through this.
+common::Result<Backend> backend_from_string(const std::string& name);
+
+/// One node's final accounting — the per-node half of metrics assembly.
+/// NodeHost::report() produces it identically on every backplane; the
+/// multiprocess runtime ships it over the wire as METRICS_REPORT.
+struct NodeReport {
+  net::NodeId node_id = 0;
+  std::uint64_t local_tuples = 0;     ///< arrivals ingested from own source
+  std::uint64_t received_tuples = 0;  ///< forwarded tuples from peers
+  std::uint64_t decode_failures = 0;  ///< should be 0
+  net::TrafficCounters traffic;       ///< frames this node sent
+  std::vector<stream::ResultPair> pairs;  ///< locally discovered, deduplicated
+};
+
+/// Everything a figure needs from one run, whichever backend produced it.
+struct ExperimentResult {
+  // Outcome. The simulator always completes; socket backends may fail
+  // setup (clean = false, see error) or degrade (nodes_failed > 0).
+  bool clean = false;
+  std::string error;
+  Backend backend = Backend::kSim;
+  std::uint32_t nodes_admitted = 0;
+  std::uint32_t nodes_failed = 0;     ///< died after the run started
+
+  // Raw counts.
+  std::uint64_t exact_pairs = 0;      ///< |Psi| (oracle; 0 when verify off)
+  std::uint64_t reported_pairs = 0;   ///< |Psi-hat| (globally deduplicated)
+  std::uint64_t false_pairs = 0;      ///< reported but not in Psi (socket verify)
+  std::uint64_t total_arrivals = 0;
+  std::uint64_t decode_failures = 0;  ///< should be 0
+  net::TrafficCounters traffic;       ///< frames/bytes by kind
+  /// Simulator: virtual time to full drain. Socket backends: wall-clock
+  /// seconds from run start to drain complete (real throughput).
+  double makespan_s = 0.0;
+  bool fallback_engaged = false;      ///< any node in round-robin fallback
+
+  // Derived (finalize_derived_metrics).
+  double epsilon = 0.0;               ///< Eq. 1: missed-result fraction
+  double messages_per_result = 0.0;   ///< total frames / |Psi-hat|
+  double results_per_second = 0.0;    ///< |Psi-hat| / makespan
+  double ingest_per_second = 0.0;     ///< arrivals / makespan
+  double summary_byte_fraction = 0.0; ///< Figure 8's ratio
+};
+
+/// Folds per-node reports into `result` (sums arrivals and decode
+/// failures, merges traffic, deduplicates the pair sets globally) and
+/// returns the deduplicated pair list for oracle verification. Callers
+/// with a shared transport (one global counter, not per-node) pass
+/// `merge_traffic = false` and install the union themselves.
+std::vector<stream::ResultPair> aggregate_node_reports(
+    std::span<const NodeReport> reports, ExperimentResult* result,
+    bool merge_traffic = true);
+
+/// Recomputes the exact join from the deterministic arrival schedule and
+/// fills exact_pairs / false_pairs — how the socket backends (which have
+/// no in-run oracle) account epsilon honestly.
+void verify_against_schedule(const SystemConfig& config,
+                             std::span<const stream::ResultPair> pairs,
+                             ExperimentResult* result);
+
+/// Computes every derived metric from the raw counts. All backends call
+/// this — the coordinator's REPORT line and DspSystem::run() are the same
+/// arithmetic by construction.
+void finalize_derived_metrics(ExperimentResult* result);
+
+}  // namespace dsjoin::core

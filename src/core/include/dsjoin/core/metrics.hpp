@@ -38,15 +38,15 @@ class MetricsCollector {
   /// Distinct pairs reported by the system — |Psi-hat| of Eq. 1.
   std::uint64_t distinct_pairs() const noexcept { return reported_.size(); }
 
-  /// Snapshot of every distinct pair recorded so far (unspecified order).
-  /// This is the wire-metrics hook: a node daemon's local collector knows
-  /// only the pairs *it* discovered, so it ships this snapshot to the
-  /// coordinator, which feeds the pairs of all nodes through its own
-  /// collector to perform the global dedup the one-process experiments get
-  /// from sharing a single instance.
-  std::vector<stream::ResultPair> pairs() const {
-    return {reported_.begin(), reported_.end()};
-  }
+  /// Snapshot of every distinct pair recorded so far, sorted ascending by
+  /// (r_id, s_id) — NOT the hash set's iteration order, so the snapshot
+  /// (and anything serialized from it, like METRICS_REPORT) is identical
+  /// across runs and across processes. This is the wire-metrics hook: a
+  /// node daemon's local collector knows only the pairs *it* discovered,
+  /// so it ships this snapshot to the coordinator, which feeds the pairs
+  /// of all nodes through its own collector to perform the global dedup
+  /// the one-process experiments get from sharing a single instance.
+  std::vector<stream::ResultPair> pairs() const;
 
   /// Total (non-deduplicated) pair reports, for double-discovery diagnostics.
   std::uint64_t total_reports() const noexcept { return total_reports_; }

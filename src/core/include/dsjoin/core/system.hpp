@@ -13,30 +13,16 @@
 
 #include "dsjoin/common/thread_pool.hpp"
 #include "dsjoin/core/config.hpp"
+#include "dsjoin/core/experiment.hpp"
 #include "dsjoin/core/metrics.hpp"
 #include "dsjoin/core/node.hpp"
+#include "dsjoin/core/node_host.hpp"
 #include "dsjoin/core/oracle.hpp"
+#include "dsjoin/core/schedule.hpp"
 #include "dsjoin/net/event_queue.hpp"
 #include "dsjoin/net/sim_transport.hpp"
-#include "dsjoin/stream/generator.hpp"
 
 namespace dsjoin::core {
-
-/// Everything a figure needs from one run.
-struct ExperimentResult {
-  double epsilon = 0.0;                 ///< Eq. 1: missed-result fraction
-  double messages_per_result = 0.0;     ///< total frames / |Psi-hat|
-  double results_per_second = 0.0;      ///< |Psi-hat| / makespan
-  double ingest_per_second = 0.0;       ///< arrivals / makespan
-  double makespan_s = 0.0;              ///< virtual time to full drain
-  std::uint64_t exact_pairs = 0;        ///< |Psi| (oracle)
-  std::uint64_t reported_pairs = 0;     ///< |Psi-hat| (deduplicated)
-  std::uint64_t total_arrivals = 0;
-  net::TrafficCounters traffic;         ///< frames/bytes by kind
-  double summary_byte_fraction = 0.0;   ///< Figure 8's ratio
-  bool fallback_engaged = false;        ///< any node in round-robin fallback
-  std::uint64_t decode_failures = 0;    ///< should be 0
-};
 
 /// One experiment instance. Construct, run once, read the result.
 class DspSystem {
@@ -60,7 +46,7 @@ class DspSystem {
   std::uint64_t restarts_executed() const noexcept { return restarts_executed_; }
 
   /// Access for tests.
-  Node& node(net::NodeId id) { return *nodes_[id]; }
+  Node& node(net::NodeId id) { return hosts_[id]->node(); }
   const net::SimTransport& transport() const { return *transport_; }
   const MetricsCollector& metrics() const { return metrics_; }
   const ExactJoinOracle& oracle() const { return oracle_; }
@@ -107,12 +93,11 @@ class DspSystem {
   std::unique_ptr<net::SimTransport> transport_;
   MetricsCollector metrics_;
   ExactJoinOracle oracle_;
-  std::unique_ptr<stream::Workload> workload_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<common::Xoshiro256> arrival_rngs_;  // per (node, side)
-  std::vector<std::uint64_t> emitted_;            // per (node, side)
-  std::uint64_t next_tuple_id_ = 1;
-  std::uint64_t total_arrivals_ = 0;
+  /// Streaming arrival truth: rng tree, key streams, quotas and the dense
+  /// global tuple-id counter (ArrivalSchedule::build materializes the same
+  /// generator for the socket backends).
+  ArrivalSource source_;
+  std::vector<std::unique_ptr<NodeHost>> hosts_;
   std::vector<std::pair<net::NodeId, double>> pending_restarts_;
   std::uint64_t restarts_executed_ = 0;
   bool ran_ = false;

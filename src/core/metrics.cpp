@@ -1,5 +1,6 @@
 #include "dsjoin/core/metrics.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dsjoin::core {
@@ -26,6 +27,16 @@ void MetricsCollector::record_pair(const stream::ResultPair& pair,
   if (reported_.insert(pair).second && discoverer < per_node_.size()) {
     ++per_node_[discoverer];
   }
+}
+
+std::vector<stream::ResultPair> MetricsCollector::pairs() const {
+  std::vector<stream::ResultPair> snapshot(reported_.begin(), reported_.end());
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const stream::ResultPair& a, const stream::ResultPair& b) {
+              if (a.r_id != b.r_id) return a.r_id < b.r_id;
+              return a.s_id < b.s_id;
+            });
+  return snapshot;
 }
 
 void MetricsCollector::begin_epoch(std::size_t slots) {

@@ -1,0 +1,160 @@
+#include "dsjoin/core/node_host.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "dsjoin/common/log.hpp"
+#include "dsjoin/core/config.hpp"
+
+namespace dsjoin::core {
+
+namespace {
+constexpr std::uint8_t kFinMagic[8] = {'D', 'S', 'J', 'N', '-', 'F', 'I', 'N'};
+}  // namespace
+
+NodeHost::NodeHost(const SystemConfig& config, net::NodeId id,
+                   net::Transport& transport)
+    : id_(id),
+      nodes_(config.nodes),
+      transport_(&transport),
+      owned_metrics_(std::make_unique<MetricsCollector>()),
+      metrics_(owned_metrics_.get()) {
+  metrics_->set_node_count(nodes_);
+  node_ = std::make_unique<Node>(config, id_, *transport_, *metrics_);
+  fin1_seen_.assign(nodes_, false);
+  fin2_seen_.assign(nodes_, false);
+  peer_dead_.assign(nodes_, false);
+}
+
+NodeHost::NodeHost(const SystemConfig& config, net::NodeId id,
+                   net::Transport& transport, MetricsCollector& shared_metrics)
+    : id_(id),
+      nodes_(config.nodes),
+      transport_(&transport),
+      metrics_(&shared_metrics) {
+  node_ = std::make_unique<Node>(config, id_, *transport_, *metrics_);
+  fin1_seen_.assign(nodes_, false);
+  fin2_seen_.assign(nodes_, false);
+  peer_dead_.assign(nodes_, false);
+}
+
+void NodeHost::ingest(const stream::Tuple& tuple, double now) {
+  virtual_now_ = now;
+  node_->on_local_tuple(tuple, now);
+  ++arrivals_ingested_;
+}
+
+void NodeHost::deliver(net::Frame&& frame, double now) {
+  std::uint8_t phase = 0;
+  if (is_fin(frame, &phase)) {
+    handle_fin(frame.from, phase);
+    return;
+  }
+  node_->on_frame(std::move(frame), now);
+}
+
+void NodeHost::note_peer_dead(net::NodeId peer) {
+  if (peer >= nodes_ || peer == id_) return;
+  if (peer_death_hook_) peer_death_hook_(peer);
+  std::lock_guard lock(fin_mutex_);
+  if (!peer_dead_[peer]) {
+    DSJOIN_LOG_INFO("node %u: treating peer %u as dead", id_, peer);
+    peer_dead_[peer] = true;
+  }
+  advance_fin_locked();
+}
+
+void NodeHost::begin_drain(std::span<const net::NodeId> dead_peers) {
+  for (const auto dead : dead_peers) note_peer_dead(dead);
+  {
+    std::lock_guard lock(fin_mutex_);
+    fin1_sent_ = true;
+  }
+  send_fin(1);
+  std::lock_guard lock(fin_mutex_);
+  advance_fin_locked();
+}
+
+bool NodeHost::wait_drain(double timeout_s) {
+  std::unique_lock lock(fin_mutex_);
+  return fin_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                          [this] { return drain_complete_; });
+}
+
+bool NodeHost::drain_complete() const {
+  std::lock_guard lock(fin_mutex_);
+  return drain_complete_;
+}
+
+NodeReport NodeHost::report(net::TrafficCounters traffic) const {
+  NodeReport report;
+  report.node_id = id_;
+  report.local_tuples = node_->local_tuples();
+  report.received_tuples = node_->received_tuples();
+  report.decode_failures = node_->decode_failures();
+  report.traffic = traffic;
+  report.pairs = metrics_->pairs();
+  return report;
+}
+
+net::Frame NodeHost::make_fin(net::NodeId from, net::NodeId to,
+                              std::uint8_t phase) {
+  net::Frame frame;
+  frame.from = from;
+  frame.to = to;
+  frame.kind = net::FrameKind::kControl;
+  frame.payload.assign(std::begin(kFinMagic), std::end(kFinMagic));
+  frame.payload.push_back(phase);
+  return frame;
+}
+
+bool NodeHost::is_fin(const net::Frame& frame, std::uint8_t* phase) {
+  if (frame.kind != net::FrameKind::kControl) return false;
+  if (frame.payload.size() != sizeof(kFinMagic) + 1) return false;
+  if (std::memcmp(frame.payload.data(), kFinMagic, sizeof(kFinMagic)) != 0) {
+    return false;
+  }
+  *phase = frame.payload.back();
+  return true;
+}
+
+void NodeHost::handle_fin(net::NodeId peer, std::uint8_t phase) {
+  if (peer >= nodes_ || peer == id_) return;
+  std::lock_guard lock(fin_mutex_);
+  if (phase == 1) {
+    fin1_seen_[peer] = true;
+  } else if (phase == 2) {
+    fin2_seen_[peer] = true;
+  }
+  advance_fin_locked();
+}
+
+bool NodeHost::fin_phase_complete_locked(const std::vector<bool>& seen) const {
+  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
+    if (peer == id_) continue;
+    if (!seen[peer] && !peer_dead_[peer]) return false;
+  }
+  return true;
+}
+
+void NodeHost::advance_fin_locked() {
+  if (!fin1_sent_) return;
+  if (!fin2_sent_ && fin_phase_complete_locked(fin1_seen_)) {
+    fin2_sent_ = true;
+    send_fin(2);
+  }
+  if (fin2_sent_ && !drain_complete_ && fin_phase_complete_locked(fin2_seen_)) {
+    drain_complete_ = true;
+    fin_cv_.notify_all();
+  }
+}
+
+void NodeHost::send_fin(std::uint8_t phase) {
+  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
+    if (peer == id_) continue;
+    // A failed send means the peer just died; its EOF path marks it dead.
+    (void)transport_->send(make_fin(id_, peer, phase));
+  }
+}
+
+}  // namespace dsjoin::core

@@ -1,16 +1,21 @@
-#include "dsjoin/runtime/schedule.hpp"
+#include "dsjoin/core/schedule.hpp"
 
 #include <cmath>
 #include <queue>
 #include <unordered_map>
 
-#include "dsjoin/common/rng.hpp"
 #include "dsjoin/core/oracle.hpp"
-#include "dsjoin/stream/generator.hpp"
 
-namespace dsjoin::runtime {
+namespace dsjoin::core {
 
-ArrivalSchedule ArrivalSchedule::build(const core::SystemConfig& config) {
+namespace {
+std::size_t slot(net::NodeId node, stream::StreamSide side) {
+  return static_cast<std::size_t>(node) * 2 + static_cast<std::size_t>(side);
+}
+}  // namespace
+
+ArrivalSource::ArrivalSource(const SystemConfig& config)
+    : quota_(config.tuples_per_node), rate_(config.arrivals_per_second) {
   stream::WorkloadParams params;
   params.nodes = config.nodes;
   params.regions = config.regions;
@@ -18,32 +23,58 @@ ArrivalSchedule ArrivalSchedule::build(const core::SystemConfig& config) {
   params.locality = config.locality;
   params.noise = config.noise;
   params.seed = config.seed;
-  auto workload = stream::make_workload(config.workload, params);
+  workload_ = stream::make_workload(config.workload, params);
 
-  // Same rng tree as DspSystem: root seeded seed ^ 0xa771'7a1e, one fork
-  // per (node, side) slot, in slot order.
   common::Xoshiro256 root(config.seed ^ 0xa771'7a1eULL);
-  std::vector<common::Xoshiro256> rngs;
   const std::size_t slots = static_cast<std::size_t>(config.nodes) * 2;
-  rngs.reserve(slots);
-  for (std::size_t i = 0; i < slots; ++i) rngs.push_back(root.fork());
+  rngs_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) rngs_.push_back(root.fork());
+  emitted_.assign(slots, 0);
+}
+
+bool ArrivalSource::exhausted(net::NodeId node, stream::StreamSide side) const {
+  return emitted_[slot(node, side)] >= quota_;
+}
+
+double ArrivalSource::next_gap(net::NodeId node, stream::StreamSide side) {
+  return rngs_[slot(node, side)].next_exponential(rate_);
+}
+
+stream::Tuple ArrivalSource::emit(net::NodeId node, stream::StreamSide side,
+                                  double now) {
+  stream::Tuple tuple;
+  tuple.id = next_tuple_id_++;
+  tuple.key = workload_->next_key(node, side, now);
+  tuple.timestamp = now;
+  tuple.origin = node;
+  tuple.side = side;
+  ++emitted_[slot(node, side)];
+  ++total_emitted_;
+  return tuple;
+}
+
+ArrivalSchedule ArrivalSchedule::build(const SystemConfig& config) {
+  ArrivalSource source(config);
 
   // Per-slot arrival times: exponential inter-arrivals from t = 0. Each
-  // slot's sequence is independent, so generating slot-by-slot draws the
+  // slot's gap stream is independent, so generating slot-by-slot draws the
   // same variates the simulator draws interleaved.
+  const std::size_t slots = static_cast<std::size_t>(config.nodes) * 2;
   std::vector<std::vector<double>> times(slots);
   for (std::size_t s = 0; s < slots; ++s) {
+    const auto node = static_cast<net::NodeId>(s / 2);
+    const auto side = static_cast<stream::StreamSide>(s % 2);
     times[s].reserve(config.tuples_per_node);
     double t = 0.0;
     for (std::uint64_t i = 0; i < config.tuples_per_node; ++i) {
-      t += rngs[s].next_exponential(config.arrivals_per_second);
+      t += source.next_gap(node, side);
       times[s].push_back(t);
     }
   }
 
-  // Global merge in (time, slot) order. Ids are dense from 1 in merge
-  // order; keys are drawn here so each slot's workload rng is consumed in
-  // its own time order, matching the simulator's per-slot call sequence.
+  // Global merge in (time, slot) order. Emitting in merge order gives ids
+  // dense from 1 and consumes each slot's workload key stream in its own
+  // time order — the simulator's per-slot call sequence exactly.
   struct HeapItem {
     double time;
     std::size_t slot;
@@ -61,19 +92,12 @@ ArrivalSchedule ArrivalSchedule::build(const core::SystemConfig& config) {
 
   ArrivalSchedule schedule;
   schedule.tuples.reserve(slots * config.tuples_per_node);
-  std::uint64_t next_id = 1;
   while (!heap.empty()) {
     const HeapItem item = heap.top();
     heap.pop();
     const auto node = static_cast<net::NodeId>(item.slot / 2);
     const auto side = static_cast<stream::StreamSide>(item.slot % 2);
-    stream::Tuple tuple;
-    tuple.id = next_id++;
-    tuple.key = workload->next_key(node, side, item.time);
-    tuple.timestamp = item.time;
-    tuple.origin = node;
-    tuple.side = side;
-    schedule.tuples.push_back(tuple);
+    schedule.tuples.push_back(source.emit(node, side, item.time));
     schedule.makespan_s = item.time;
     if (item.index + 1 < times[item.slot].size()) {
       heap.push({times[item.slot][item.index + 1], item.slot, item.index + 1});
@@ -91,7 +115,7 @@ std::vector<stream::Tuple> ArrivalSchedule::for_node(net::NodeId node) const {
 }
 
 std::uint64_t exact_pairs(const ArrivalSchedule& schedule, double half_width) {
-  core::ExactJoinOracle oracle(half_width);
+  ExactJoinOracle oracle(half_width);
   for (const auto& tuple : schedule.tuples) oracle.observe(tuple);
   return oracle.total_pairs();
 }
@@ -121,4 +145,4 @@ std::uint64_t count_false_pairs(const ArrivalSchedule& schedule,
   return false_pairs;
 }
 
-}  // namespace dsjoin::runtime
+}  // namespace dsjoin::core

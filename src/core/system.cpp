@@ -5,55 +5,33 @@
 
 namespace dsjoin::core {
 
-namespace {
-std::size_t slot(net::NodeId node, stream::StreamSide side) {
-  return static_cast<std::size_t>(node) * 2 + static_cast<std::size_t>(side);
-}
-}  // namespace
-
 DspSystem::DspSystem(const SystemConfig& config)
-    : config_(config), oracle_(config.join_half_width_s) {
+    : config_(config), oracle_(config.join_half_width_s), source_(config) {
   if (config.nodes < 2) {
     throw std::invalid_argument("a distributed join needs at least 2 nodes");
   }
   transport_ = std::make_unique<net::SimTransport>(queue_, config.nodes,
                                                    config.wan, config.seed ^ 0x77);
 
-  stream::WorkloadParams params;
-  params.nodes = config.nodes;
-  params.regions = config.regions;
-  params.domain = config.domain;
-  params.locality = config.locality;
-  params.noise = config.noise;
-  params.seed = config.seed;
-  workload_ = stream::make_workload(config.workload, params);
-
   metrics_.set_node_count(config.nodes);
-  nodes_.resize(config.nodes);
+  hosts_.resize(config.nodes);
   arrival_scratch_.resize(config.nodes);
   for (net::NodeId id = 0; id < config.nodes; ++id) {
     install_node(id);
   }
-
-  common::Xoshiro256 root(config.seed ^ 0xa771'7a1eULL);
-  arrival_rngs_.reserve(static_cast<std::size_t>(config.nodes) * 2);
-  for (std::uint32_t i = 0; i < config.nodes * 2; ++i) {
-    arrival_rngs_.push_back(root.fork());
-  }
-  emitted_.assign(static_cast<std::size_t>(config.nodes) * 2, 0);
 }
 
 DspSystem::~DspSystem() = default;
 
 void DspSystem::install_node(net::NodeId id) {
-  nodes_[id] = std::make_unique<Node>(config_, id, *transport_, metrics_);
+  hosts_[id] = std::make_unique<NodeHost>(config_, id, *transport_, metrics_);
   transport_->register_handler(id, [this, id](net::Frame&& frame) {
-    // The node is re-resolved when the deferred work runs, so frames still
+    // The host is re-resolved when the deferred work runs, so frames still
     // in flight across a crash-and-restart reach the fresh instance.
     const double now = queue_.now();
     defer_node_task(id, now,
                     [this, id, now, f = std::move(frame)]() mutable {
-                      nodes_[id]->on_frame(std::move(f), now);
+                      hosts_[id]->deliver(std::move(f), now);
                     });
   });
 }
@@ -70,7 +48,7 @@ void DspSystem::defer_node_task(net::NodeId node, double when,
 void DspSystem::defer_arrival(net::NodeId node, double when,
                               const stream::Tuple& tuple) {
   if (!epoch_open_) {
-    nodes_[node]->on_local_tuple(tuple, when);
+    hosts_[node]->ingest(tuple, when);
     return;
   }
   epoch_tasks_.push_back(EpochTask{node, when, {}, true, tuple});
@@ -85,8 +63,7 @@ void DspSystem::schedule_restart(net::NodeId node, double at) {
 void DspSystem::schedule_arrival(net::NodeId node, stream::StreamSide side,
                                  double at) {
   queue_.schedule_at(at, [this, node, side] {
-    const std::size_t s = slot(node, side);
-    if (emitted_[s] >= config_.tuples_per_node) return;
+    if (source_.exhausted(node, side)) return;
 
     // Backpressure: a node whose outgoing links are saturated stalls its
     // source (bounded send queue). This is what lets BASE's O(N^2) traffic
@@ -100,14 +77,7 @@ void DspSystem::schedule_arrival(net::NodeId node, stream::StreamSide side,
       }
     }
 
-    stream::Tuple tuple;
-    tuple.id = next_tuple_id_++;
-    tuple.key = workload_->next_key(node, side, now);
-    tuple.timestamp = now;
-    tuple.origin = node;
-    tuple.side = side;
-    ++emitted_[s];
-    ++total_arrivals_;
+    const stream::Tuple tuple = source_.emit(node, side, now);
 
     // Arrival events fire in global time order, so the oracle sees tuples
     // in nondecreasing timestamp order. The oracle is global state and
@@ -116,9 +86,7 @@ void DspSystem::schedule_arrival(net::NodeId node, stream::StreamSide side,
     if (config_.oracle_enabled) oracle_.observe(tuple);
     defer_arrival(node, now, tuple);
 
-    auto& rng = arrival_rngs_[s];
-    schedule_arrival(node, side,
-                     now + rng.next_exponential(config_.arrivals_per_second));
+    schedule_arrival(node, side, now + source_.next_gap(node, side));
   });
 }
 
@@ -138,12 +106,10 @@ ExperimentResult DspSystem::run() {
     });
   }
   for (net::NodeId id = 0; id < config_.nodes; ++id) {
-    auto& rng_r = arrival_rngs_[slot(id, stream::StreamSide::kR)];
-    auto& rng_s = arrival_rngs_[slot(id, stream::StreamSide::kS)];
     schedule_arrival(id, stream::StreamSide::kR,
-                     rng_r.next_exponential(config_.arrivals_per_second));
+                     source_.next_gap(id, stream::StreamSide::kR));
     schedule_arrival(id, stream::StreamSide::kS,
-                     rng_s.next_exponential(config_.arrivals_per_second));
+                     source_.next_gap(id, stream::StreamSide::kS));
   }
   if (config_.worker_threads == 0) {
     queue_.run_all();
@@ -151,33 +117,22 @@ ExperimentResult DspSystem::run() {
     run_parallel();
   }
 
+  // The simulator needs no FIN handshake: the event queue running dry is
+  // an exact statement that every frame has been delivered and processed.
   ExperimentResult result;
+  result.clean = true;
+  result.backend = Backend::kSim;
+  result.nodes_admitted = config_.nodes;
   result.exact_pairs = oracle_.total_pairs();
   result.reported_pairs = metrics_.distinct_pairs();
-  result.total_arrivals = total_arrivals_;
+  result.total_arrivals = source_.total_emitted();
   result.makespan_s = queue_.now();
   result.traffic = transport_->stats();
-  result.summary_byte_fraction = result.traffic.summary_byte_fraction();
-  result.epsilon =
-      result.exact_pairs == 0
-          ? 0.0
-          : 1.0 - static_cast<double>(result.reported_pairs) /
-                      static_cast<double>(result.exact_pairs);
-  result.messages_per_result =
-      result.reported_pairs == 0
-          ? static_cast<double>(result.traffic.total_frames())
-          : static_cast<double>(result.traffic.total_frames()) /
-                static_cast<double>(result.reported_pairs);
-  if (result.makespan_s > 0.0) {
-    result.results_per_second =
-        static_cast<double>(result.reported_pairs) / result.makespan_s;
-    result.ingest_per_second =
-        static_cast<double>(result.total_arrivals) / result.makespan_s;
+  for (const auto& host : hosts_) {
+    result.fallback_engaged |= host->node().policy().fallback_active();
+    result.decode_failures += host->node().decode_failures();
   }
-  for (const auto& node : nodes_) {
-    result.fallback_engaged |= node->policy().fallback_active();
-    result.decode_failures += node->decode_failures();
-  }
+  finalize_derived_metrics(&result);
   return result;
 }
 
@@ -260,7 +215,7 @@ void DspSystem::execute_epoch(common::ThreadPool& pool,
           scratch.push_back(Node::LocalArrival{t.tuple, t.when});
           ++run_end;
         }
-        nodes_[node_id]->on_local_batch(
+        hosts_[node_id]->node().on_local_batch(
             scratch, [this, &list, li](std::size_t j) {
               const std::size_t idx = list[li + j];
               transport_->bind_epoch_slot(idx, epoch_tasks_[idx].when);

@@ -165,6 +165,28 @@ common::Result<HeartbeatMsg> HeartbeatMsg::decode(
   return msg;
 }
 
+MetricsReportMsg MetricsReportMsg::from_node_report(core::NodeReport report) {
+  MetricsReportMsg msg;
+  msg.node_id = report.node_id;
+  msg.local_tuples = report.local_tuples;
+  msg.received_tuples = report.received_tuples;
+  msg.decode_failures = report.decode_failures;
+  msg.traffic = report.traffic;
+  msg.pairs = std::move(report.pairs);
+  return msg;
+}
+
+core::NodeReport MetricsReportMsg::to_node_report() const {
+  core::NodeReport report;
+  report.node_id = node_id;
+  report.local_tuples = local_tuples;
+  report.received_tuples = received_tuples;
+  report.decode_failures = decode_failures;
+  report.traffic = traffic;
+  report.pairs = pairs;
+  return report;
+}
+
 std::vector<std::uint8_t> MetricsReportMsg::encode() const {
   common::BufferWriter out(64 + pairs.size() * 16);
   out.write_u32(node_id);

@@ -197,6 +197,9 @@ RunReport Coordinator::run() {
     (void)member.control.send_msg(
         static_cast<std::uint8_t>(ControlType::kStart), {});
   }
+  // Socket backends run in wall-clock time; makespan is START -> every
+  // live node reported (what the throughput figures divide by).
+  const auto started_at = Clock::now();
 
   // Ingest phase: run until every still-live daemon is DONE. Deaths here
   // degrade, not abort.
@@ -256,37 +259,26 @@ RunReport Coordinator::run() {
   for (auto& member : members) member.control.close();
 
   report.clean = true;
+  report.makespan_s = seconds_since(started_at);
   finalize(members, &report);
   return report;
 }
 
 void Coordinator::finalize(const std::vector<Member>& members,
                            RunReport* report) {
-  core::MetricsCollector collector;
-  collector.set_node_count(members.size());
+  std::vector<core::NodeReport> node_reports;
+  node_reports.reserve(members.size());
   for (std::size_t id = 0; id < members.size(); ++id) {
     const Member& member = members[id];
     if (!member.alive) ++report->nodes_failed;
     if (!member.reported) continue;
-    report->total_arrivals += member.report.local_tuples;
-    report->traffic.merge(member.report.traffic);
-    for (const auto& pair : member.report.pairs) {
-      collector.record_pair(pair, static_cast<net::NodeId>(id), 0.0);
-    }
+    node_reports.push_back(member.report.to_node_report());
   }
-  report->reported_pairs = collector.distinct_pairs();
-
-  if (!options_.verify) return;
-  const auto schedule = ArrivalSchedule::build(options_.config);
-  report->exact_pairs = exact_pairs(schedule, options_.config.join_half_width_s);
-  const auto pairs = collector.pairs();
-  report->false_pairs = count_false_pairs(
-      schedule, options_.config.join_half_width_s, pairs);
-  report->epsilon =
-      report->exact_pairs == 0
-          ? 0.0
-          : 1.0 - static_cast<double>(report->reported_pairs) /
-                      static_cast<double>(report->exact_pairs);
+  const auto pairs = core::aggregate_node_reports(node_reports, report);
+  if (options_.verify) {
+    core::verify_against_schedule(options_.config, pairs, report);
+  }
+  core::finalize_derived_metrics(report);
 }
 
 }  // namespace dsjoin::runtime

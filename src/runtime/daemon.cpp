@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstring>
 
 #include "dsjoin/common/log.hpp"
 #include "dsjoin/runtime/schedule.hpp"
@@ -10,34 +9,7 @@
 namespace dsjoin::runtime {
 
 namespace {
-
 using Clock = std::chrono::steady_clock;
-
-// FIN markers ride the data plane as kControl frames so they are ordered
-// against the tuple/result traffic of their link. core::Node ignores
-// kControl frames, so even a leaked FIN is harmless.
-constexpr std::uint8_t kFinMagic[8] = {'D', 'S', 'J', 'N', '-', 'F', 'I', 'N'};
-
-net::Frame make_fin(net::NodeId from, net::NodeId to, std::uint8_t phase) {
-  net::Frame frame;
-  frame.from = from;
-  frame.to = to;
-  frame.kind = net::FrameKind::kControl;
-  frame.payload.assign(std::begin(kFinMagic), std::end(kFinMagic));
-  frame.payload.push_back(phase);
-  return frame;
-}
-
-bool is_fin(const net::Frame& frame, std::uint8_t* phase) {
-  if (frame.kind != net::FrameKind::kControl) return false;
-  if (frame.payload.size() != sizeof(kFinMagic) + 1) return false;
-  if (std::memcmp(frame.payload.data(), kFinMagic, sizeof(kFinMagic)) != 0) {
-    return false;
-  }
-  *phase = frame.payload.back();
-  return true;
-}
-
 }  // namespace
 
 NodeDaemon::~NodeDaemon() { stop_threads(); }
@@ -77,11 +49,6 @@ common::Status NodeDaemon::run() {
   }
   DSJOIN_LOG_INFO("daemon: admitted as node %u of %u", node_id_, nodes_);
 
-  fin1_seen_.assign(nodes_, false);
-  fin2_seen_.assign(nodes_, false);
-  peer_dead_.assign(nodes_, false);
-  metrics_.set_node_count(nodes_);
-
   MeshOptions mesh_options;
   mesh_options.connect_timeout_s = assignment.mesh_timeout_s;
   mesh_ = std::make_unique<MeshTransport>(node_id_, nodes_,
@@ -98,7 +65,9 @@ common::Status NodeDaemon::run() {
     item.peer = peer;
     enqueue(std::move(item));
   });
-  node_ = std::make_unique<core::Node>(config_, node_id_, *mesh_, metrics_);
+  host_ = std::make_unique<core::NodeHost>(config_, node_id_, *mesh_);
+  host_->set_peer_death_hook(
+      [this](net::NodeId peer) { mesh_->mark_peer_dead(peer); });
 
   if (auto status = mesh_->connect_mesh(); !status.is_ok()) return status;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
@@ -127,38 +96,23 @@ common::Status NodeDaemon::run() {
           break;
         case ControlType::kDrain: {
           auto drain = DrainMsg::decode(message.value().payload);
-          if (drain) {
-            for (const auto dead : drain.value().dead_nodes) {
-              note_peer_dead(dead);
-            }
-          }
           // Arrivals are finished (the coordinator only drains once every
           // live node reported DONE); make sure ours joined.
           if (arrival_.joinable()) arrival_.join();
           state = DaemonState::kDraining;
           send_heartbeat(control, state);
-          {
-            std::lock_guard lock(fin_mutex_);
-            fin1_sent_ = true;
-          }
-          send_fin(1);
-          {
-            std::lock_guard lock(fin_mutex_);
-            advance_fin_locked();
-          }
-          {
-            std::unique_lock lock(fin_mutex_);
-            const bool flushed = fin_cv_.wait_for(
-                lock, std::chrono::duration<double>(options_.drain_timeout_s),
-                [this] { return drain_complete_; });
-            if (!flushed) {
-              DSJOIN_LOG_WARN(
-                  "node %u: drain timed out; reporting partial results",
-                  node_id_);
-            }
+          host_->begin_drain(drain ? std::span<const net::NodeId>(
+                                         drain.value().dead_nodes)
+                                   : std::span<const net::NodeId>());
+          if (!host_->wait_drain(options_.drain_timeout_s)) {
+            DSJOIN_LOG_WARN(
+                "node %u: drain timed out; reporting partial results",
+                node_id_);
           }
           {
-            const auto report = build_report();
+            std::lock_guard lock(node_mutex_);
+            const auto report = MetricsReportMsg::from_node_report(
+                host_->report(mesh_->stats_snapshot()));
             const auto encoded = report.encode();
             auto status = control.send_msg(
                 static_cast<std::uint8_t>(ControlType::kMetricsReport),
@@ -247,16 +201,11 @@ void NodeDaemon::dispatcher_loop() {
       queue_.pop_front();
     }
     if (item.peer_down) {
-      note_peer_dead(item.peer);
-      continue;
-    }
-    std::uint8_t phase = 0;
-    if (is_fin(item.frame, &phase)) {
-      handle_fin(item.frame.from, phase);
+      host_->note_peer_dead(item.peer);
       continue;
     }
     std::lock_guard lock(node_mutex_);
-    node_->on_frame(std::move(item.frame), virtual_now_);
+    host_->deliver(std::move(item.frame));
   }
 }
 
@@ -282,95 +231,23 @@ void NodeDaemon::arrival_loop() {
       if (stop_.load()) break;
     }
     std::lock_guard lock(node_mutex_);
-    virtual_now_ = tuple.timestamp;
-    node_->on_local_tuple(tuple, tuple.timestamp);
-    ++arrivals_ingested_;
+    host_->ingest(tuple, tuple.timestamp);
   }
   arrivals_done_.store(true);
-}
-
-void NodeDaemon::handle_fin(net::NodeId peer, std::uint8_t phase) {
-  if (peer >= nodes_ || peer == node_id_) return;
-  std::lock_guard lock(fin_mutex_);
-  if (phase == 1) {
-    fin1_seen_[peer] = true;
-  } else if (phase == 2) {
-    fin2_seen_[peer] = true;
-  }
-  advance_fin_locked();
-}
-
-void NodeDaemon::note_peer_dead(net::NodeId peer) {
-  if (peer >= nodes_ || peer == node_id_) return;
-  if (mesh_) mesh_->mark_peer_dead(peer);
-  std::lock_guard lock(fin_mutex_);
-  if (!peer_dead_[peer]) {
-    DSJOIN_LOG_INFO("node %u: treating peer %u as dead", node_id_, peer);
-    peer_dead_[peer] = true;
-  }
-  advance_fin_locked();
-}
-
-bool NodeDaemon::fin_phase1_complete_locked() const {
-  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
-    if (peer == node_id_) continue;
-    if (!fin1_seen_[peer] && !peer_dead_[peer]) return false;
-  }
-  return true;
-}
-
-bool NodeDaemon::fin_phase2_complete_locked() const {
-  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
-    if (peer == node_id_) continue;
-    if (!fin2_seen_[peer] && !peer_dead_[peer]) return false;
-  }
-  return true;
-}
-
-void NodeDaemon::advance_fin_locked() {
-  if (!fin1_sent_) return;
-  if (!fin2_sent_ && fin_phase1_complete_locked()) {
-    fin2_sent_ = true;
-    send_fin(2);
-  }
-  if (fin2_sent_ && !drain_complete_ && fin_phase2_complete_locked()) {
-    drain_complete_ = true;
-    fin_cv_.notify_all();
-  }
-}
-
-void NodeDaemon::send_fin(std::uint8_t phase) {
-  for (net::NodeId peer = 0; peer < nodes_; ++peer) {
-    if (peer == node_id_) continue;
-    // A failed send means the peer just died; its EOF path marks it dead.
-    (void)mesh_->send(make_fin(node_id_, peer, phase));
-  }
 }
 
 void NodeDaemon::send_heartbeat(net::MsgSocket& control, DaemonState state) {
   HeartbeatMsg beat;
   beat.node_id = node_id_;
   beat.state = state;
-  {
+  if (host_) {
     std::lock_guard lock(node_mutex_);
-    beat.local_tuples = arrivals_ingested_;
-    beat.pairs_discovered = metrics_.distinct_pairs();
+    beat.local_tuples = host_->arrivals_ingested();
+    beat.pairs_discovered = host_->pairs_discovered();
   }
   const auto encoded = beat.encode();
   (void)control.send_msg(static_cast<std::uint8_t>(ControlType::kHeartbeat),
                          encoded);
-}
-
-MetricsReportMsg NodeDaemon::build_report() {
-  MetricsReportMsg report;
-  report.node_id = node_id_;
-  std::lock_guard lock(node_mutex_);
-  report.local_tuples = node_->local_tuples();
-  report.received_tuples = node_->received_tuples();
-  report.decode_failures = node_->decode_failures();
-  report.traffic = mesh_->stats_snapshot();
-  report.pairs = metrics_.pairs();
-  return report;
 }
 
 void NodeDaemon::stop_threads() {

@@ -1,0 +1,90 @@
+#include "dsjoin/runtime/engine.hpp"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "dsjoin/common/log.hpp"
+#include "dsjoin/core/system.hpp"
+#include "dsjoin/runtime/coordinator.hpp"
+#include "dsjoin/runtime/daemon.hpp"
+#include "dsjoin/runtime/local.hpp"
+
+namespace dsjoin::runtime {
+
+namespace {
+
+// One OS process per node: fork (no exec) children that each run the full
+// NodeDaemon lifecycle against an in-process coordinator. The parent must
+// be effectively single-threaded at the fork points — the engine forks
+// before the coordinator accepts anything, and each previous backend run
+// joins all its threads before returning.
+core::ExperimentResult run_multiprocess(const core::SystemConfig& config,
+                                        bool verify) {
+  CoordinatorOptions coordinator_options;
+  coordinator_options.port = 0;
+  coordinator_options.config = config;
+  coordinator_options.verify = verify;
+  Coordinator coordinator(coordinator_options);
+
+  std::vector<pid_t> children;
+  children.reserve(config.nodes);
+  for (std::uint32_t i = 0; i < config.nodes; ++i) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      for (const pid_t child : children) {
+        kill(child, SIGKILL);
+        waitpid(child, nullptr, 0);
+      }
+      core::ExperimentResult result;
+      result.backend = core::Backend::kMultiprocess;
+      result.error = "fork failed";
+      return result;
+    }
+    if (pid == 0) {
+      DaemonOptions daemon_options;
+      daemon_options.coordinator = net::Endpoint{"127.0.0.1", coordinator.port()};
+      NodeDaemon daemon(daemon_options);
+      const auto status = daemon.run();
+      if (!status.is_ok()) {
+        DSJOIN_LOG_WARN("daemon process exited: %s",
+                        status.to_string().c_str());
+      }
+      // _exit, not exit: the child shares the parent's atexit state and
+      // inherited descriptors; only the daemon's outcome should escape.
+      _exit(status.is_ok() ? 0 : 1);
+    }
+    children.push_back(pid);
+  }
+
+  core::ExperimentResult result = coordinator.run();
+  result.backend = core::Backend::kMultiprocess;
+  for (const pid_t child : children) {
+    int wstatus = 0;
+    waitpid(child, &wstatus, 0);
+  }
+  return result;
+}
+
+}  // namespace
+
+core::ExperimentResult run_experiment(const core::SystemConfig& config,
+                                      const EngineOptions& options) {
+  switch (options.backend) {
+    case core::Backend::kSim:
+      return core::run_experiment(config);
+    case core::Backend::kTcpInprocess:
+      return run_inprocess_tcp(config);
+    case core::Backend::kMultiprocess:
+      return run_multiprocess(config, options.verify);
+  }
+  core::ExperimentResult result;
+  result.error = "unknown backend";
+  return result;
+}
+
+}  // namespace dsjoin::runtime

@@ -25,6 +25,7 @@
 
 #include "dsjoin/common/serialize.hpp"
 #include "dsjoin/core/config.hpp"
+#include "dsjoin/core/experiment.hpp"
 #include "dsjoin/net/channel.hpp"
 #include "dsjoin/net/stats.hpp"
 #include "dsjoin/stream/tuple.hpp"
@@ -90,11 +91,12 @@ struct HeartbeatMsg {
   static common::Result<HeartbeatMsg> decode(std::span<const std::uint8_t> bytes);
 };
 
-/// METRICS_REPORT: a daemon's final accounting. The pair list is the
-/// wire-metrics contract: every distinct (r_id, s_id) the node discovered,
-/// deduplicated locally; the coordinator performs the *global* dedup (a
-/// pair may be discovered at both owners) and computes epsilon against the
-/// oracle.
+/// METRICS_REPORT: a daemon's final accounting — core::NodeReport in wire
+/// form. The pair list is the wire-metrics contract: every distinct
+/// (r_id, s_id) the node discovered, deduplicated locally and sorted by
+/// (r_id, s_id) so the encoding is byte-identical across runs; the
+/// coordinator performs the *global* dedup (a pair may be discovered at
+/// both owners) and computes epsilon against the oracle.
 struct MetricsReportMsg {
   net::NodeId node_id = 0;
   std::uint64_t local_tuples = 0;
@@ -102,6 +104,9 @@ struct MetricsReportMsg {
   std::uint64_t decode_failures = 0;
   net::TrafficCounters traffic;  ///< frames this daemon sent, by kind
   std::vector<stream::ResultPair> pairs;
+
+  static MetricsReportMsg from_node_report(core::NodeReport report);
+  core::NodeReport to_node_report() const;
 
   std::vector<std::uint8_t> encode() const;
   static common::Result<MetricsReportMsg> decode(std::span<const std::uint8_t> bytes);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dsjoin/core/config.hpp"
+#include "dsjoin/core/experiment.hpp"
 #include "dsjoin/net/channel.hpp"
 #include "dsjoin/net/stats.hpp"
 #include "dsjoin/runtime/control.hpp"
@@ -49,24 +50,13 @@ struct CoordinatorOptions {
   bool verify = true;
 };
 
-/// Outcome of one distributed run.
-struct RunReport {
-  /// Protocol ran to completion — possibly degraded (nodes_failed > 0),
-  /// never crashed/hung. False means a setup-phase failure; see error.
-  bool clean = false;
-  std::string error;
-
-  std::uint32_t nodes_admitted = 0;
-  std::uint32_t nodes_failed = 0;     ///< died after START
-  std::uint64_t total_arrivals = 0;   ///< tuples ingested by reporting nodes
-
-  std::uint64_t exact_pairs = 0;      ///< oracle |Psi| (verify only)
-  std::uint64_t reported_pairs = 0;   ///< globally deduplicated |Psi-hat|
-  std::uint64_t false_pairs = 0;      ///< reported but not in Psi (verify only)
-  double epsilon = 0.0;               ///< 1 - |Psi-hat| / |Psi| (verify only)
-
-  net::TrafficCounters traffic;       ///< union of reporting nodes' sends
-};
+/// Outcome of one distributed run — the engine's unified result struct
+/// (the coordinator's REPORT line and DspSystem::run() are the same fields
+/// computed by the same core helpers). `clean` means the protocol ran to
+/// completion, possibly degraded (nodes_failed > 0); false means a
+/// setup-phase failure, see `error`. exact_pairs / false_pairs / epsilon
+/// are filled only when CoordinatorOptions::verify is set.
+using RunReport = core::ExperimentResult;
 
 class Coordinator {
  public:

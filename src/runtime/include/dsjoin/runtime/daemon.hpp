@@ -8,42 +8,34 @@
 //   -> ingest this node's slice of the deterministic arrival schedule
 //   -> heartbeat DONE -> DRAIN -> FIN handshake -> METRICS_REPORT -> BYE
 //
+// The per-node lifecycle itself — frame dispatch, arrival ingestion, the
+// two-phase FIN drain and the final NodeReport — lives in core::NodeHost,
+// shared with the other engine backends. What remains here is what only a
+// real daemon needs: the control-plane conversation and the threading.
+//
 // Threading. Four threads share the node:
 //   * mesh receiver threads (inside MeshTransport) only *enqueue* incoming
 //     frames — they never touch the node, so a peer blasting at us can
 //     never deadlock against our own blocked sends (the classic TCP
 //     full-mesh buffer deadlock);
-//   * a dispatcher thread drains that queue into node.on_frame under the
+//   * a dispatcher thread drains that queue into host.deliver under the
 //     node mutex;
-//   * an arrival thread feeds the local schedule via node.on_local_tuple
-//     under the same mutex;
+//   * an arrival thread feeds the local schedule via host.ingest under the
+//     same mutex;
 //   * the main thread runs the control loop (coordinator messages +
 //     heartbeats).
-//
-// Drain protocol (two-phase FIN over the data plane, FrameKind::kControl):
-// after DRAIN, the daemon sends FIN-1 to every live peer. Receiving FIN-1
-// from a peer means — per-link TCP FIFO — every tuple frame that peer sent
-// us has been processed, and symmetrically our FIN-1 tells the peer all our
-// tuples are in. A peer that has FIN-1 from everyone has also *sent* every
-// result frame it will ever send, so it then emits FIN-2; once we hold
-// FIN-2 from every live peer, every result frame addressed to us is in and
-// the pair set is complete. A dead peer counts as implicitly FINished, and
-// a timeout guard proceeds with whatever arrived — partial coverage,
-// never a hang.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <vector>
 
 #include "dsjoin/common/status.hpp"
-#include "dsjoin/core/metrics.hpp"
-#include "dsjoin/core/node.hpp"
+#include "dsjoin/core/node_host.hpp"
 #include "dsjoin/net/channel.hpp"
 #include "dsjoin/runtime/control.hpp"
 #include "dsjoin/runtime/mesh_transport.hpp"
@@ -90,16 +82,7 @@ class NodeDaemon {
   void dispatcher_loop();
   void arrival_loop();
   void enqueue(QueueItem item);
-  void handle_fin(net::NodeId peer, std::uint8_t phase);
-  void note_peer_dead(net::NodeId peer);
-  /// Sends FIN-2 once phase 1 completes; signals completion when phase 2
-  /// does. Call with fin_mutex_ held.
-  void advance_fin_locked();
-  bool fin_phase1_complete_locked() const;
-  bool fin_phase2_complete_locked() const;
-  void send_fin(std::uint8_t phase);
   void send_heartbeat(net::MsgSocket& control, DaemonState state);
-  MetricsReportMsg build_report();
   void stop_threads();
 
   DaemonOptions options_;
@@ -109,29 +92,16 @@ class NodeDaemon {
   double heartbeat_period_s_ = 0.2;
 
   std::unique_ptr<MeshTransport> mesh_;
-  core::MetricsCollector metrics_;
-  std::unique_ptr<core::Node> node_;
+  std::unique_ptr<core::NodeHost> host_;
 
-  // Node state shared by the arrival and dispatcher threads.
+  // Serializes node access between the arrival and dispatcher threads.
   std::mutex node_mutex_;
-  double virtual_now_ = 0.0;           // latest local arrival timestamp
-  std::uint64_t arrivals_ingested_ = 0;
 
   // Frame queue (mesh receivers -> dispatcher).
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<QueueItem> queue_;
   bool queue_stopped_ = false;
-
-  // FIN / drain state.
-  std::mutex fin_mutex_;
-  std::condition_variable fin_cv_;
-  std::vector<bool> fin1_seen_;
-  std::vector<bool> fin2_seen_;
-  std::vector<bool> peer_dead_;
-  bool fin1_sent_ = false;
-  bool fin2_sent_ = false;
-  bool drain_complete_ = false;
 
   std::atomic<bool> arrivals_done_{false};
   std::atomic<bool> stop_{false};

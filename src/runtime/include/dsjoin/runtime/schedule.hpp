@@ -1,49 +1,16 @@
-// Deterministic arrival schedule.
-//
-// The simulator generates arrivals on the fly from per-(node, side) rngs.
-// The distributed runtime cannot: every daemon must agree on the global
-// tuple ids (the metrics dedup key) and the coordinator's oracle needs the
-// full arrival sequence, yet each daemon only ever ingests its own node's
-// tuples. The schedule squares this by being a pure function of the
-// SystemConfig: any process can regenerate the identical global sequence
-// from the config alone and filter it down to one node. It mirrors the
-// simulator's seeding exactly (root rng seed ^ 0xa771'7a1e, one forked rng
-// per (node, side) slot, exponential inter-arrivals, workload-provided
-// keys) minus backpressure feedback, which a fixed schedule cannot model.
+// Forwarding header: the deterministic arrival schedule moved into core
+// (dsjoin/core/schedule.hpp) when the experiment engine unified the
+// backends — the simulator now draws from the same ArrivalSource the
+// schedule materializes. Runtime callers keep their spelling.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
-
-#include "dsjoin/core/config.hpp"
-#include "dsjoin/stream/tuple.hpp"
+#include "dsjoin/core/schedule.hpp"
 
 namespace dsjoin::runtime {
 
-struct ArrivalSchedule {
-  /// All arrivals of all nodes, in nondecreasing timestamp order (ties
-  /// broken by (node, side) slot), with dense globally unique ids from 1.
-  std::vector<stream::Tuple> tuples;
-  /// Virtual time of the last arrival.
-  double makespan_s = 0.0;
-
-  /// Builds the schedule for `config` (workload, seed, rate, count).
-  static ArrivalSchedule build(const core::SystemConfig& config);
-
-  /// The subsequence originating at `node`, in timestamp order.
-  std::vector<stream::Tuple> for_node(net::NodeId node) const;
-};
-
-/// Exact |Psi| for a schedule: distinct (r, s) pairs with equal keys and
-/// |r.ts - s.ts| <= half_width, over all nodes' arrivals.
-std::uint64_t exact_pairs(const ArrivalSchedule& schedule, double half_width);
-
-/// Counts reported pairs that are NOT true join results of the schedule —
-/// the graceful-degradation contract requires this to be zero even when
-/// peers die mid-run (a lost peer may lose results, never invent them).
-std::uint64_t count_false_pairs(const ArrivalSchedule& schedule,
-                                double half_width,
-                                std::span<const stream::ResultPair> pairs);
+using core::ArrivalSchedule;
+using core::ArrivalSource;
+using core::count_false_pairs;
+using core::exact_pairs;
 
 }  // namespace dsjoin::runtime

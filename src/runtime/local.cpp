@@ -7,8 +7,7 @@
 #include <vector>
 
 #include "dsjoin/common/log.hpp"
-#include "dsjoin/core/metrics.hpp"
-#include "dsjoin/core/node.hpp"
+#include "dsjoin/core/node_host.hpp"
 #include "dsjoin/net/tcp_transport.hpp"
 #include "dsjoin/runtime/daemon.hpp"
 #include "dsjoin/runtime/schedule.hpp"
@@ -43,86 +42,67 @@ RunReport run_local(const core::SystemConfig& config, LocalOptions options) {
 }
 
 RunReport run_inprocess_tcp(const core::SystemConfig& config) {
-  RunReport report;
-  report.nodes_admitted = config.nodes;
+  RunReport result;
+  result.backend = core::Backend::kTcpInprocess;
+  result.nodes_admitted = config.nodes;
 
-  const auto schedule = ArrivalSchedule::build(config);
+  const auto schedule = core::ArrivalSchedule::build(config);
 
   net::TcpTransport transport(config.nodes);
-  core::MetricsCollector metrics;
-  metrics.set_node_count(config.nodes);
-  std::vector<std::unique_ptr<core::Node>> nodes;
-  nodes.reserve(config.nodes);
+  std::vector<std::unique_ptr<core::NodeHost>> hosts;
+  hosts.reserve(config.nodes);
   // One coarse lock serializes all node work: receiver-thread deliveries
   // and the arrival loop below. Throughput is irrelevant here — this mode
   // exists as a correctness baseline.
   std::mutex mutex;
   for (net::NodeId id = 0; id < config.nodes; ++id) {
-    nodes.push_back(
-        std::make_unique<core::Node>(config, id, transport, metrics));
+    hosts.push_back(std::make_unique<core::NodeHost>(config, id, transport));
   }
   for (net::NodeId id = 0; id < config.nodes; ++id) {
-    core::Node* node = nodes[id].get();
-    transport.register_handler(id, [node, &mutex](net::Frame&& frame) {
+    core::NodeHost* host = hosts[id].get();
+    transport.register_handler(id, [host, &mutex](net::Frame&& frame) {
       std::lock_guard lock(mutex);
       // Forwarded work is timestamped with the tuple era it belongs to;
       // precise receive times only matter for reporting latency, which
       // this baseline does not measure.
-      node->on_frame(std::move(frame), 0.0);
+      host->deliver(std::move(frame), 0.0);
     });
   }
 
+  const auto started_at = std::chrono::steady_clock::now();
   for (const auto& tuple : schedule.tuples) {
     std::lock_guard lock(mutex);
-    nodes[tuple.origin]->on_local_tuple(tuple, tuple.timestamp);
+    hosts[tuple.origin]->ingest(tuple, tuple.timestamp);
   }
-  report.total_arrivals = schedule.tuples.size();
 
-  // Quiesce: frames are still in flight through kernel buffers and
-  // receiver threads. Settled = no observable progress for a while.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  auto observe = [&] {
-    std::lock_guard lock(mutex);
-    std::uint64_t progress = metrics.distinct_pairs();
-    for (const auto& node : nodes) {
-      progress += node->received_tuples() + node->decode_failures();
-    }
-    return progress;
-  };
-  auto last = observe();
-  auto last_change = std::chrono::steady_clock::now();
-  for (;;) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    const auto now_progress = observe();
-    const auto now = std::chrono::steady_clock::now();
-    if (now_progress != last) {
-      last = now_progress;
-      last_change = now;
-    } else if (now - last_change > std::chrono::milliseconds(300)) {
-      break;
-    }
-    if (now > deadline) {
-      report.error = "in-process run failed to quiesce";
-      transport.shutdown();
-      return report;
+  // Drain with the same two-phase FIN handshake the daemons use: each host
+  // announces its tuples are all sent (FIN-1), then that its results are
+  // all sent (FIN-2); per-link TCP FIFO makes both statements exact.
+  for (auto& host : hosts) host->begin_drain({});
+  result.clean = true;
+  for (auto& host : hosts) {
+    // Without the coarse lock: FIN frames must keep flowing to complete.
+    if (!host->wait_drain(30.0)) {
+      result.clean = false;
+      result.error = "in-process run failed to drain";
     }
   }
+  result.makespan_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started_at)
+                          .count();
   transport.shutdown();
 
-  report.clean = true;
-  report.reported_pairs = metrics.distinct_pairs();
-  report.traffic = transport.stats();
-  report.exact_pairs = exact_pairs(schedule, config.join_half_width_s);
-  const auto pairs = metrics.pairs();
-  report.false_pairs =
-      count_false_pairs(schedule, config.join_half_width_s, pairs);
-  report.epsilon =
-      report.exact_pairs == 0
-          ? 0.0
-          : 1.0 - static_cast<double>(report.reported_pairs) /
-                      static_cast<double>(report.exact_pairs);
-  return report;
+  std::vector<core::NodeReport> reports;
+  reports.reserve(hosts.size());
+  // The transport's counters are the global union already; per-host
+  // snapshots would double-count, so aggregation skips traffic merging.
+  for (const auto& host : hosts) reports.push_back(host->report({}));
+  const auto pairs = core::aggregate_node_reports(reports, &result,
+                                                  /*merge_traffic=*/false);
+  result.traffic = transport.stats();
+  core::verify_against_schedule(config, pairs, &result);
+  core::finalize_derived_metrics(&result);
+  return result;
 }
 
 }  // namespace dsjoin::runtime

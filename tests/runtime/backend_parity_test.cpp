@@ -1,0 +1,108 @@
+// Cross-backend parity: the same SystemConfig run through the simulator,
+// the in-process TCP harness, and the fork-based multiprocess driver must
+// produce the identical experiment result.
+//
+// This is the contract the engine refactor exists to keep: the three
+// backplanes share one NodeHost lifecycle, one ArrivalSource arrival truth
+// and one result-assembly path, so for deterministic-routing policies
+// (RR / BASE) with backpressure disabled they report the exact same pair
+// set — not just statistically similar output. Note: these tests fork()
+// (multiprocess backend), so they are filtered out of the TSan job next to
+// Multiprocess.* for the same reason.
+#include <gtest/gtest.h>
+
+#include "dsjoin/core/experiment.hpp"
+#include "dsjoin/core/system.hpp"
+#include "dsjoin/runtime/engine.hpp"
+
+namespace dsjoin {
+namespace {
+
+core::SystemConfig parity_config(core::PolicyKind policy) {
+  core::SystemConfig config;
+  config.nodes = 3;
+  config.seed = 7;
+  config.workload = "ZIPF";
+  config.policy = policy;
+  config.tuples_per_node = 100;
+  config.arrivals_per_second = 50.0;
+  config.join_half_width_s = 2.0;
+  config.dft_window = 256;
+  config.kappa = 32.0;
+  config.summary_epoch_tuples = 64;
+  // With backpressure off, the simulator's streamed arrivals equal the
+  // materialized ArrivalSchedule the socket backends ingest (PR 1 pins
+  // this bit-identically), so all backends see the same tuple sequence.
+  config.max_backlog_s = 0.0;
+  return config;
+}
+
+core::ExperimentResult run_backend(const core::SystemConfig& config,
+                                   core::Backend backend) {
+  runtime::EngineOptions options;
+  options.backend = backend;
+  return runtime::run_experiment(config, options);
+}
+
+void expect_parity(core::PolicyKind policy) {
+  const auto config = parity_config(policy);
+  const auto sim = run_backend(config, core::Backend::kSim);
+  const auto tcp = run_backend(config, core::Backend::kTcpInprocess);
+  const auto multi = run_backend(config, core::Backend::kMultiprocess);
+
+  for (const auto* result : {&sim, &tcp, &multi}) {
+    EXPECT_TRUE(result->clean) << result->error;
+    EXPECT_EQ(result->error, "");
+    EXPECT_EQ(result->nodes_admitted, config.nodes);
+    EXPECT_EQ(result->nodes_failed, 0u);
+    EXPECT_EQ(result->decode_failures, 0u);
+    EXPECT_EQ(result->false_pairs, 0u);
+    EXPECT_EQ(result->total_arrivals, 2 * config.nodes * config.tuples_per_node);
+  }
+  EXPECT_EQ(sim.backend, core::Backend::kSim);
+  EXPECT_EQ(tcp.backend, core::Backend::kTcpInprocess);
+  EXPECT_EQ(multi.backend, core::Backend::kMultiprocess);
+
+  // The headline numbers must agree exactly, not approximately.
+  EXPECT_EQ(sim.exact_pairs, tcp.exact_pairs);
+  EXPECT_EQ(sim.exact_pairs, multi.exact_pairs);
+  EXPECT_EQ(sim.reported_pairs, tcp.reported_pairs);
+  EXPECT_EQ(sim.reported_pairs, multi.reported_pairs);
+  EXPECT_EQ(sim.epsilon, tcp.epsilon);
+  EXPECT_EQ(sim.epsilon, multi.epsilon);
+  EXPECT_GT(sim.reported_pairs, 0u);
+}
+
+TEST(BackendParity, RoundRobinIdenticalAcrossBackends) {
+  expect_parity(core::PolicyKind::kRoundRobin);
+}
+
+TEST(BackendParity, BaseIdenticalAcrossBackends) {
+  expect_parity(core::PolicyKind::kBase);
+}
+
+TEST(BackendParity, SocketBackendsMeasureWallClockMakespan) {
+  const auto config = parity_config(core::PolicyKind::kRoundRobin);
+  const auto tcp = run_backend(config, core::Backend::kTcpInprocess);
+  ASSERT_TRUE(tcp.clean) << tcp.error;
+  // Wall-clock makespan: positive, and far below the ~4 s virtual-time
+  // span of the schedule (50 tuples/s, 100 tuples, loopback runs fast).
+  EXPECT_GT(tcp.makespan_s, 0.0);
+  EXPECT_GT(tcp.results_per_second, 0.0);
+}
+
+TEST(BackendParity, BackendNamesRoundTrip) {
+  for (const auto backend :
+       {core::Backend::kSim, core::Backend::kTcpInprocess,
+        core::Backend::kMultiprocess}) {
+    const auto parsed = core::backend_from_string(core::to_string(backend));
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(parsed.value(), backend);
+  }
+  const auto bogus = core::backend_from_string("quantum");
+  ASSERT_FALSE(bogus.is_ok());
+  EXPECT_EQ(bogus.status().code(), common::ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dsjoin

@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "dsjoin/core/metrics.hpp"
+
 namespace dsjoin::runtime {
 namespace {
 
@@ -138,6 +140,33 @@ TEST(ControlCodec, MetricsReportRoundTrip) {
   EXPECT_EQ(got.traffic.piggyback_bytes, 12u);
   ASSERT_EQ(got.pairs.size(), 3u);
   EXPECT_EQ(got.pairs[2], (stream::ResultPair{1000000007, 42}));
+}
+
+TEST(ControlCodec, MetricsReportEncodeIsInsertionOrderIndependent) {
+  // The wire report must be byte-identical no matter what order a node
+  // discovered its pairs in: MetricsCollector::pairs() is pinned to sort
+  // ascending by (r_id, s_id), and from_node_report carries that order
+  // onto the wire unchanged. This is what makes coordinator-side metrics
+  // (and the multiprocess golden runs) reproducible across schedules.
+  const std::vector<stream::ResultPair> forward{{1, 9}, {2, 4}, {2, 7}, {5, 1}};
+  core::MetricsCollector a;
+  core::MetricsCollector b;
+  a.set_node_count(1);
+  b.set_node_count(1);
+  for (const auto& pair : forward) a.record_pair(pair, 0, 0.0);
+  for (auto it = forward.rbegin(); it != forward.rend(); ++it) {
+    b.record_pair(*it, 0, 0.0);
+  }
+  EXPECT_EQ(a.pairs(), b.pairs());
+  EXPECT_EQ(a.pairs(), forward);  // already in (r_id, s_id) order
+
+  core::NodeReport report_a;
+  report_a.pairs = a.pairs();
+  core::NodeReport report_b;
+  report_b.pairs = b.pairs();
+  const auto bytes_a = MetricsReportMsg::from_node_report(report_a).encode();
+  const auto bytes_b = MetricsReportMsg::from_node_report(report_b).encode();
+  EXPECT_EQ(bytes_a, bytes_b);
 }
 
 TEST(ControlCodec, MetricsReportRejectsPairCountMismatch) {
