@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   flags.add_double("throttle", 0.5, "fixed forwarding budget knob");
   bench::add_workers_flag(flags);
   bench::add_backend_flag(flags);
+  bench::add_coalesce_flags(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
       config.policy = kind;
       config.throttle = flags.get_double("throttle");
       bench::apply_workers_flag(flags, config);
+      bench::apply_coalesce_flags(flags, config);
       const auto result = bench::run_with_backend(backend, config);
       row.push_back(common::str_format("%.4f", result.epsilon));
     }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   flags.add_double("target_eps", 0.15, "calibrated error rate");
   bench::add_workers_flag(flags);
   bench::add_backend_flag(flags);
+  bench::add_coalesce_flags(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
       auto config = bench::figure_config("ZIPF", n, tuples);
       config.policy = kind;
       bench::apply_workers_flag(flags, config);
+      bench::apply_coalesce_flags(flags, config);
       if (kind != core::PolicyKind::kBase) {
         auto calib_config = config;
         calib_config.tuples_per_node = calib_tuples;

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   flags.add_double("throttle", 0.5, "forwarding budget knob");
   bench::add_workers_flag(flags);
   bench::add_backend_flag(flags);
+  bench::add_coalesce_flags(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
     config.policy = core::PolicyKind::kDft;
     config.throttle = flags.get_double("throttle");
     bench::apply_workers_flag(flags, config);
+    bench::apply_coalesce_flags(flags, config);
     const auto result = bench::run_with_backend(backend, config);
     table.add(n, 100.0 * result.summary_byte_fraction,
               result.traffic.piggyback_bytes,

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   flags.add_int("bisections", 5, "calibration bisection steps");
   bench::add_workers_flag(flags);
   bench::add_backend_flag(flags);
+  bench::add_coalesce_flags(flags);
   if (auto s = flags.parse(argc, argv); !s) {
     return s.code() == common::ErrorCode::kFailedPrecondition ? 0 : 1;
   }
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
         auto config = bench::figure_config(workload, n, tuples);
         config.policy = kind;
         bench::apply_workers_flag(flags, config);
+        bench::apply_coalesce_flags(flags, config);
         // Calibration always runs on the simulator (it needs the in-run
         // oracle); the operating point is then measured on the chosen
         // backplane — identical routing decisions, real sockets.

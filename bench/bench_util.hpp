@@ -68,6 +68,39 @@ inline void apply_workers_flag(const common::CliFlags& flags,
   config.worker_threads = static_cast<std::uint32_t>(workers);
 }
 
+/// Declares the shared data-plane batching knobs (socket backends only;
+/// the simulator models links, not sockets — see DESIGN.md section 11).
+inline void add_coalesce_flags(common::CliFlags& flags) {
+  flags.add_int("coalesce-frames", 32,
+                "max logical frames per wire record on the socket backends "
+                "(1 = one record per frame, i.e. coalescing off; max 65535)");
+  flags.add_int("coalesce-bytes", 1 << 16,
+                "payload-byte budget per coalesced wire record; a link "
+                "buffer at or above this flushes immediately");
+}
+
+/// Applies the batching knobs, rejecting out-of-range values the same way
+/// a negative `--workers` is rejected: print the valid range and exit 1.
+inline void apply_coalesce_flags(const common::CliFlags& flags,
+                                 core::SystemConfig& config) {
+  const std::int64_t frames = flags.get_int("coalesce-frames");
+  if (frames < 1 || frames > 0xFFFF) {
+    std::fprintf(stderr,
+                 "error: --coalesce-frames must be in [1, 65535], got %lld\n",
+                 static_cast<long long>(frames));
+    std::exit(1);
+  }
+  const std::int64_t bytes = flags.get_int("coalesce-bytes");
+  if (bytes < 1 || bytes > (1 << 24)) {
+    std::fprintf(stderr,
+                 "error: --coalesce-bytes must be in [1, %d], got %lld\n",
+                 1 << 24, static_cast<long long>(bytes));
+    std::exit(1);
+  }
+  config.coalesce_frames = static_cast<std::uint32_t>(frames);
+  config.coalesce_bytes = static_cast<std::uint32_t>(bytes);
+}
+
 /// Declares the shared `--backend` flag (experiment engine backplane).
 inline void add_backend_flag(common::CliFlags& flags) {
   flags.add_string(

@@ -76,6 +76,9 @@ void serialize_config(const SystemConfig& config, common::BufferWriter& out) {
   out.write_f64(config.throttle);
   out.write_f64(config.uniform_detection_cv);
   out.write_f64(config.max_backlog_s);
+  out.write_u32(config.coalesce_frames);
+  out.write_u32(config.coalesce_bytes);
+  out.write_f64(config.coalesce_linger_s);
   out.write_u32(config.worker_threads);
   out.write_u8(config.oracle_enabled ? 1 : 0);
   out.write_f64(config.online_target_eps);
@@ -128,6 +131,9 @@ common::Result<SystemConfig> deserialize_config(common::BufferReader& in) {
   DSJOIN_READ(throttle, read_f64);
   DSJOIN_READ(uniform_detection_cv, read_f64);
   DSJOIN_READ(max_backlog_s, read_f64);
+  DSJOIN_READ(coalesce_frames, read_u32);
+  DSJOIN_READ(coalesce_bytes, read_u32);
+  DSJOIN_READ(coalesce_linger_s, read_f64);
   DSJOIN_READ(worker_threads, read_u32);
   {
     auto oracle = in.read_u8();

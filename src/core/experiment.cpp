@@ -30,9 +30,8 @@ common::Result<Backend> backend_from_string(const std::string& name) {
           "' (expected sim | tcp-inprocess | multiprocess)");
 }
 
-std::vector<stream::ResultPair> aggregate_node_reports(
-    std::span<const NodeReport> reports, ExperimentResult* result,
-    bool merge_traffic) {
+void aggregate_node_reports(std::span<const NodeReport> reports,
+                            ExperimentResult* result, bool merge_traffic) {
   std::size_t nodes = reports.size();
   for (const auto& report : reports) {
     nodes = std::max(nodes, static_cast<std::size_t>(report.node_id) + 1);
@@ -48,7 +47,7 @@ std::vector<stream::ResultPair> aggregate_node_reports(
     }
   }
   result->reported_pairs = collector.distinct_pairs();
-  return collector.pairs();
+  result->pairs = collector.pairs();
 }
 
 void verify_against_schedule(const SystemConfig& config,

@@ -89,6 +89,21 @@ struct SystemConfig {
   /// this (models a bounded send queue); 0 disables backpressure.
   double max_backlog_s = 10.0;
 
+  // Data-plane batching (socket backends only; the simulator models links,
+  // not sockets). Logical traffic accounting is unaffected by batching —
+  // these knobs change syscall count and header bytes, never frame counts.
+  /// Max logical frames coalesced into one wire record per directed link.
+  /// 1 = one record per frame (coalescing off); capped at 65535 (the batch
+  /// record's count field is a u16).
+  std::uint32_t coalesce_frames = 32;
+  /// Payload-byte budget per coalesced record; a buffer holding at least
+  /// this many pending payload bytes flushes immediately.
+  std::uint32_t coalesce_bytes = 1 << 16;
+  /// Max seconds the oldest buffered frame may wait before the next send
+  /// on its link triggers a flush (bounds staleness under slow traffic;
+  /// control frames always flush immediately regardless).
+  double coalesce_linger_s = 0.005;
+
   // Parallel execution.
   /// Execution strands for the simulator driver. 0 (default) runs every
   /// event on the caller's thread — the historical serial path. k >= 1

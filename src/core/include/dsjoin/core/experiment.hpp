@@ -73,6 +73,10 @@ struct ExperimentResult {
   std::uint64_t total_arrivals = 0;
   std::uint64_t decode_failures = 0;  ///< should be 0
   net::TrafficCounters traffic;       ///< frames/bytes by kind
+  /// The globally deduplicated pair set, sorted by (r_id, s_id) — what
+  /// verify_against_schedule audits and what the cross-backend parity
+  /// tests compare element-wise.
+  std::vector<stream::ResultPair> pairs;
   /// Simulator: virtual time to full drain. Socket backends: wall-clock
   /// seconds from run start to drain complete (real throughput).
   double makespan_s = 0.0;
@@ -86,14 +90,14 @@ struct ExperimentResult {
   double summary_byte_fraction = 0.0; ///< Figure 8's ratio
 };
 
-/// Folds per-node reports into `result` (sums arrivals and decode
-/// failures, merges traffic, deduplicates the pair sets globally) and
-/// returns the deduplicated pair list for oracle verification. Callers
-/// with a shared transport (one global counter, not per-node) pass
+/// Folds per-node reports into `result`: sums arrivals and decode
+/// failures, merges traffic, and deduplicates the pair sets globally into
+/// result->pairs (sorted — ready for oracle verification). Callers with a
+/// shared transport (one global counter, not per-node) pass
 /// `merge_traffic = false` and install the union themselves.
-std::vector<stream::ResultPair> aggregate_node_reports(
-    std::span<const NodeReport> reports, ExperimentResult* result,
-    bool merge_traffic = true);
+void aggregate_node_reports(std::span<const NodeReport> reports,
+                            ExperimentResult* result,
+                            bool merge_traffic = true);
 
 /// Recomputes the exact join from the deterministic arrival schedule and
 /// fills exact_pairs / false_pairs — how the socket backends (which have

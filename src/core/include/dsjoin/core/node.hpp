@@ -54,6 +54,12 @@ class Node {
   void on_local_batch(std::span<const LocalArrival> arrivals,
                       const std::function<void(std::size_t)>& bind_slot);
 
+  /// Batch form for arrivals whose event time is their own timestamp (the
+  /// socket drivers feed materialized ArrivalSchedule slices, where that
+  /// always holds) — same results as on_local_tuple per arrival, without
+  /// per-arrival scratch copies.
+  void on_local_batch(std::span<const stream::Tuple> tuples);
+
   /// A frame arrives from the network at virtual time `now`.
   void on_frame(net::Frame&& frame, double now);
 

@@ -66,6 +66,12 @@ class NodeHost {
   /// timestamp.
   void ingest(const stream::Tuple& tuple, double now);
 
+  /// Feeds a run of local arrivals in order with one call, each at its own
+  /// timestamp — equivalent to ingest(t, t.timestamp) per tuple. The
+  /// socket drivers use this to hand consecutive same-node slices of the
+  /// materialized ArrivalSchedule to Node::on_local_batch.
+  void ingest_batch(std::span<const stream::Tuple> tuples);
+
   /// Dispatches one incoming frame: FIN markers advance the drain state
   /// machine, everything else reaches the node at time `now`.
   void deliver(net::Frame&& frame, double now);
@@ -74,6 +80,13 @@ class NodeHost {
   /// wall-clock backend uses, where forwarded work is timestamped with the
   /// tuple era it belongs to.
   void deliver(net::Frame&& frame) { deliver(std::move(frame), virtual_now_); }
+
+  /// Dispatches every logical frame of one decoded wire record in order —
+  /// the batch-delivery counterpart of deliver(frame). Same threading
+  /// contract as deliver().
+  void deliver_batch(std::vector<net::Frame>&& frames) {
+    for (net::Frame& frame : frames) deliver(std::move(frame), virtual_now_);
+  }
 
   /// Invoked (outside the FIN lock) when a peer is declared dead, before
   /// the drain stops waiting on it — the daemon points this at

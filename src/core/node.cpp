@@ -116,6 +116,12 @@ void Node::on_local_batch(std::span<const LocalArrival> arrivals,
   }
 }
 
+void Node::on_local_batch(std::span<const stream::Tuple> tuples) {
+  for (const stream::Tuple& tuple : tuples) {
+    on_local_tuple(tuple, tuple.timestamp);
+  }
+}
+
 void Node::on_frame(net::Frame&& frame, double now) {
   switch (frame.kind) {
     case net::FrameKind::kTuple: {

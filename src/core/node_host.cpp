@@ -44,6 +44,13 @@ void NodeHost::ingest(const stream::Tuple& tuple, double now) {
   ++arrivals_ingested_;
 }
 
+void NodeHost::ingest_batch(std::span<const stream::Tuple> tuples) {
+  if (tuples.empty()) return;
+  virtual_now_ = tuples.back().timestamp;
+  node_->on_local_batch(tuples);
+  arrivals_ingested_ += tuples.size();
+}
+
 void NodeHost::deliver(net::Frame&& frame, double now) {
   std::uint8_t phase = 0;
   if (is_fin(frame, &phase)) {

@@ -125,6 +125,7 @@ ExperimentResult DspSystem::run() {
   result.nodes_admitted = config_.nodes;
   result.exact_pairs = oracle_.total_pairs();
   result.reported_pairs = metrics_.distinct_pairs();
+  result.pairs = metrics_.pairs();
   result.total_arrivals = source_.total_emitted();
   result.makespan_s = queue_.now();
   result.traffic = transport_->stats();

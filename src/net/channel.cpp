@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -21,6 +22,9 @@ namespace {
 constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 4 + 4 + 4;
 // Sanity cap on any length prefix read off the wire (64 MiB).
 constexpr std::uint32_t kMaxBodyBytes = 1u << 26;
+// First body byte of a coalesced multi-frame record; single-frame records
+// start with a FrameKind (0..3), so the two are unambiguous.
+constexpr std::uint8_t kBatchMarker = 0xFF;
 
 common::Status errno_status(const char* what) {
   return common::Status(
@@ -177,32 +181,146 @@ bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
 }
 
 std::vector<std::uint8_t> encode_wire_frame(const Frame& frame) {
-  std::vector<std::uint8_t> buffer(kFrameHeaderBytes + frame.payload.size());
-  put_u32(buffer.data(),
-          static_cast<std::uint32_t>(1 + 4 + 4 + 4 + frame.payload.size()));
-  buffer[4] = static_cast<std::uint8_t>(frame.kind);
-  put_u32(buffer.data() + 5, frame.from);
-  put_u32(buffer.data() + 9, frame.to);
-  put_u32(buffer.data() + 13, frame.piggyback_bytes);
-  if (!frame.payload.empty()) {
-    std::memcpy(buffer.data() + kFrameHeaderBytes, frame.payload.data(),
-                frame.payload.size());
-  }
+  std::vector<std::uint8_t> buffer;
+  encode_wire_frame(frame, &buffer);
   return buffer;
 }
 
+void encode_wire_frame(const Frame& frame, std::vector<std::uint8_t>* out) {
+  out->resize(kFrameHeaderBytes + frame.payload.size());
+  put_u32(out->data(),
+          static_cast<std::uint32_t>(1 + 4 + 4 + 4 + frame.payload.size()));
+  (*out)[4] = static_cast<std::uint8_t>(frame.kind);
+  put_u32(out->data() + 5, frame.from);
+  put_u32(out->data() + 9, frame.to);
+  put_u32(out->data() + 13, frame.piggyback_bytes);
+  if (!frame.payload.empty()) {
+    std::memcpy(out->data() + kFrameHeaderBytes, frame.payload.data(),
+                frame.payload.size());
+  }
+}
+
+std::uint64_t encode_wire_batch(std::span<const Frame> frames,
+                                std::vector<std::uint8_t>* out) {
+  if (frames.empty()) {
+    out->clear();
+    return 0;
+  }
+  if (frames.size() == 1) {
+    encode_wire_frame(frames[0], out);
+    return 0;
+  }
+  std::size_t payload_bytes = 0;
+  for (const Frame& f : frames) payload_bytes += f.payload.size();
+  const std::size_t body_len = 1 + 2 + 4 + 4 + frames.size() * 9 + payload_bytes;
+  out->resize(4 + body_len);
+  std::uint8_t* at = out->data();
+  put_u32(at, static_cast<std::uint32_t>(body_len));
+  at[4] = kBatchMarker;
+  const std::uint16_t count = static_cast<std::uint16_t>(frames.size());
+  std::memcpy(at + 5, &count, 2);
+  put_u32(at + 7, frames[0].from);
+  put_u32(at + 11, frames[0].to);
+  at += 15;
+  for (const Frame& f : frames) {
+    at[0] = static_cast<std::uint8_t>(f.kind);
+    put_u32(at + 1, f.piggyback_bytes);
+    put_u32(at + 5, static_cast<std::uint32_t>(f.payload.size()));
+    if (!f.payload.empty()) {
+      std::memcpy(at + 9, f.payload.data(), f.payload.size());
+    }
+    at += 9 + f.payload.size();
+  }
+  // Per-frame records would spend 17 header bytes each; the shared batch
+  // header spends 15 + 9 per frame.
+  return 8u * frames.size() - 15u;
+}
+
 bool read_wire_frame(int fd, Frame* out) {
+  std::uint8_t header[4 + 13];
+  if (!read_exact(fd, header, 4)) return false;
+  const std::uint32_t body_len = get_u32(header);
+  if (body_len < 13 || body_len > kMaxBodyBytes) return false;
+  if (!read_exact(fd, header + 4, 13)) return false;
+  if (header[4] == kBatchMarker) return false;  // coalesced record
+  out->kind = static_cast<FrameKind>(header[4]);
+  out->from = get_u32(header + 5);
+  out->to = get_u32(header + 9);
+  out->piggyback_bytes = get_u32(header + 13);
+  out->payload.resize(body_len - 13);
+  return out->payload.empty() ||
+         read_exact(fd, out->payload.data(), out->payload.size());
+}
+
+bool read_wire_frames(int fd, std::vector<Frame>* out,
+                      std::vector<std::uint8_t>* scratch) {
   std::uint8_t len_buf[4];
   if (!read_exact(fd, len_buf, 4)) return false;
   const std::uint32_t body_len = get_u32(len_buf);
   if (body_len < 13 || body_len > kMaxBodyBytes) return false;
-  std::vector<std::uint8_t> body(body_len);
-  if (!read_exact(fd, body.data(), body_len)) return false;
-  out->kind = static_cast<FrameKind>(body[0]);
-  out->from = get_u32(body.data() + 1);
-  out->to = get_u32(body.data() + 5);
-  out->piggyback_bytes = get_u32(body.data() + 9);
-  out->payload.assign(body.begin() + 13, body.end());
+  scratch->resize(body_len);
+  if (!read_exact(fd, scratch->data(), body_len)) return false;
+  const std::uint8_t* body = scratch->data();
+  if (body[0] != kBatchMarker) {  // plain single-frame record
+    Frame frame;
+    frame.kind = static_cast<FrameKind>(body[0]);
+    frame.from = get_u32(body + 1);
+    frame.to = get_u32(body + 5);
+    frame.piggyback_bytes = get_u32(body + 9);
+    frame.payload.assign(body + 13, body + body_len);
+    out->push_back(std::move(frame));
+    return true;
+  }
+  if (body_len < 11) return false;  // marker + count + from + to
+  std::uint16_t count;
+  std::memcpy(&count, body + 1, 2);
+  if (count == 0) return false;
+  const NodeId from = get_u32(body + 3);
+  const NodeId to = get_u32(body + 7);
+  std::size_t offset = 11;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    if (offset + 9 > body_len) return false;
+    Frame frame;
+    frame.kind = static_cast<FrameKind>(body[offset]);
+    frame.from = from;
+    frame.to = to;
+    frame.piggyback_bytes = get_u32(body + offset + 1);
+    const std::uint32_t payload_len = get_u32(body + offset + 5);
+    offset += 9;
+    if (offset + payload_len > body_len) return false;
+    frame.payload.assign(body + offset, body + offset + payload_len);
+    offset += payload_len;
+    out->push_back(std::move(frame));
+  }
+  return offset == body_len;
+}
+
+SendBuffer::SendBuffer(CoalesceOptions options) : options_(options) {
+  if (options_.max_frames == 0) options_.max_frames = 1;
+  // The batch record's count field is a u16.
+  options_.max_frames = std::min<std::size_t>(options_.max_frames, 0xFFFF);
+}
+
+bool SendBuffer::push(Frame&& frame) {
+  if (pending_.empty()) oldest_ = std::chrono::steady_clock::now();
+  pending_payload_bytes_ += frame.payload.size();
+  const bool control = frame.kind == FrameKind::kControl;
+  pending_.push_back(std::move(frame));
+  if (control) return true;
+  if (pending_.size() >= options_.max_frames) return true;
+  if (pending_payload_bytes_ >= options_.max_bytes) return true;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       oldest_)
+             .count() >= options_.linger_s;
+}
+
+bool SendBuffer::flush(int fd, std::uint64_t* bytes_saved) {
+  if (pending_.empty()) return true;
+  const std::uint64_t saved = encode_wire_batch(pending_, &scratch_);
+  pending_.clear();
+  pending_payload_bytes_ = 0;
+  if (!write_all(fd, scratch_.data(), scratch_.size())) return false;
+  if (bytes_saved != nullptr) *bytes_saved += saved;
   return true;
 }
 

@@ -9,6 +9,7 @@
 // typed message socket for the control plane.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -90,15 +91,88 @@ bool read_exact(int fd, std::uint8_t* out, std::size_t n);
 
 // --- Data-plane frame codec ---
 //
-// Wire format per frame: u32 body length | u8 kind | u32 from | u32 to |
-// u32 piggyback_bytes | payload. Shared by the in-process transport and
-// the multi-process mesh so a frame written by either is readable by both.
+// Wire format per single frame: u32 body length | u8 kind | u32 from |
+// u32 to | u32 piggyback_bytes | payload. Shared by the in-process
+// transport and the multi-process mesh so a frame written by either is
+// readable by both.
+//
+// Coalesced record (many logical frames, one length header): the body
+// starts with marker byte 0xFF — unambiguous, since a single frame's
+// body starts with its FrameKind (0..3) — followed by
+//   u16 count | u32 from | u32 to |
+//   count x { u8 kind | u32 piggyback_bytes | u32 payload_len | payload }.
+// All frames in a record share one directed link, hence one (from, to).
+// Relative to `count` single-frame records the shared header saves
+// 8*count - 15 bytes (positive from count = 2 up).
 
 /// Serialized size prefix + body for one frame.
 std::vector<std::uint8_t> encode_wire_frame(const Frame& frame);
 
+/// Same encoding into a reused scratch buffer (overwritten, not appended).
+void encode_wire_frame(const Frame& frame, std::vector<std::uint8_t>* out);
+
+/// Encodes `frames` (all sharing frames[0]'s from/to) as one coalesced
+/// record into `out` (overwritten). A single frame uses the plain
+/// single-frame encoding. Returns the header bytes saved vs per-frame
+/// records (0 when frames.size() <= 1).
+std::uint64_t encode_wire_batch(std::span<const Frame> frames,
+                                std::vector<std::uint8_t>* out);
+
 /// Blocking read of one frame. False on EOF, error, or a corrupt length.
+/// The caller-provided `out->payload` is reused as the read buffer, so a
+/// receive loop that recycles one Frame performs no per-frame allocation
+/// at steady state. Rejects coalesced records (use read_wire_frames on
+/// links that may carry them).
 bool read_wire_frame(int fd, Frame* out);
+
+/// Blocking read of one wire record — single frame or coalesced batch —
+/// appending every decoded logical frame to `*out` in order. `*scratch`
+/// holds the record body between calls so steady-state reads allocate
+/// nothing. False on EOF, error, or a corrupt record.
+bool read_wire_frames(int fd, std::vector<Frame>* out,
+                      std::vector<std::uint8_t>* scratch);
+
+// --- Frame coalescing ---
+
+/// Flush budgets for a per-peer SendBuffer. A buffer flushes when it holds
+/// max_frames frames, its payload bytes reach max_bytes, the oldest
+/// pending frame is older than linger_s, or a kControl frame is appended
+/// (control frames order the drain protocol, so they must never sit in a
+/// buffer). max_frames = 1 degenerates to the per-frame wire path.
+struct CoalesceOptions {
+  std::size_t max_frames = 1;
+  std::size_t max_bytes = 1 << 16;
+  double linger_s = 0.005;
+};
+
+/// Accumulates frames bound for one directed peer link and writes them as
+/// coalesced wire records. Not thread-safe: the owning transport guards
+/// each instance with its per-peer send lock.
+class SendBuffer {
+ public:
+  SendBuffer() = default;
+  explicit SendBuffer(CoalesceOptions options);
+
+  /// Takes ownership of `frame`. Returns true if the buffer must be
+  /// flushed now (a budget tripped or the frame is kControl).
+  bool push(Frame&& frame);
+
+  bool empty() const noexcept { return pending_.empty(); }
+  std::size_t frame_count() const noexcept { return pending_.size(); }
+
+  /// Encodes all pending frames as one wire record (reusing internal
+  /// scratch) and writes it with a single write_all. No-op on an empty
+  /// buffer. On success adds the header bytes saved to *bytes_saved and
+  /// returns true; false on write error (buffer is cleared either way).
+  bool flush(int fd, std::uint64_t* bytes_saved);
+
+ private:
+  CoalesceOptions options_;
+  std::vector<Frame> pending_;
+  std::size_t pending_payload_bytes_ = 0;
+  std::chrono::steady_clock::time_point oldest_{};
+  std::vector<std::uint8_t> scratch_;
+};
 
 // --- Control-plane message socket ---
 

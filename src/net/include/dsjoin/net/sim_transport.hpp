@@ -66,7 +66,7 @@ class SimTransport final : public Transport {
 
   std::size_t node_count() const noexcept override { return handlers_.size(); }
   void register_handler(NodeId node, DeliveryHandler handler) override;
-  common::Status send(Frame frame) override;
+  common::Status send(Frame&& frame) override;
   const TrafficCounters& stats() const noexcept override { return totals_; }
   double send_backlog_seconds(NodeId node) const noexcept override;
 

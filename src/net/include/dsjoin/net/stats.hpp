@@ -18,6 +18,13 @@ struct TrafficCounters {
   std::array<std::uint64_t, 4> frames_by_kind{};  // indexed by FrameKind
   std::array<std::uint64_t, 4> bytes_by_kind{};
   std::uint64_t piggyback_bytes = 0;
+  // Physical wire records written by a socket transport. With coalescing a
+  // record carries many logical frames, so wire_records <= total_frames();
+  // header_bytes_saved is the header overhead the shared batch header
+  // avoided relative to one record per frame. Logical frame/byte counters
+  // above are unaffected by batching — that is the accounting contract.
+  std::uint64_t wire_records = 0;
+  std::uint64_t header_bytes_saved = 0;
 
   void record(const Frame& frame) noexcept {
     const auto k = static_cast<std::size_t>(frame.kind);
@@ -26,12 +33,21 @@ struct TrafficCounters {
     piggyback_bytes += frame.piggyback_bytes;
   }
 
+  /// One physical record flushed to a socket, carrying `frames` logical
+  /// frames and saving `bytes_saved` header bytes vs per-frame records.
+  void record_flush(std::uint64_t bytes_saved) noexcept {
+    ++wire_records;
+    header_bytes_saved += bytes_saved;
+  }
+
   void merge(const TrafficCounters& other) noexcept {
     for (std::size_t k = 0; k < frames_by_kind.size(); ++k) {
       frames_by_kind[k] += other.frames_by_kind[k];
       bytes_by_kind[k] += other.bytes_by_kind[k];
     }
     piggyback_bytes += other.piggyback_bytes;
+    wire_records += other.wire_records;
+    header_bytes_saved += other.header_bytes_saved;
   }
 
   std::uint64_t total_frames() const noexcept {

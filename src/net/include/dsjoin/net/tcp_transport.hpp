@@ -45,14 +45,37 @@ class TcpTransport final : public Transport {
   ///                   has no shaping, so backlog is tracked as a token
   ///                   bucket over queued wire bytes); 0 disables the
   ///                   model and backlog reads 0.
+  /// @param coalesce   per-link SendBuffer flush budgets; the default
+  ///                   (max_frames = 1) writes one wire record per frame.
   explicit TcpTransport(std::size_t nodes, std::uint16_t base_port = 0,
-                        double link_rate_bytes_per_s = 0.0);
+                        double link_rate_bytes_per_s = 0.0,
+                        CoalesceOptions coalesce = {});
   ~TcpTransport() override;
 
   std::size_t node_count() const noexcept override { return nodes_; }
   void register_handler(NodeId node, DeliveryHandler handler) override;
-  common::Status send(Frame frame) override;
+
+  /// Installs a whole-record delivery handler for a node; takes precedence
+  /// over the per-frame handler so a driver can amortize its delivery lock
+  /// across every frame of a coalesced record.
+  void register_batch_handler(NodeId node, BatchDeliveryHandler handler);
+
+  common::Status send(Frame&& frame) override;
   const TrafficCounters& stats() const noexcept override { return totals_; }
+
+  /// Race-free copy of the transport-wide counters.
+  TrafficCounters stats_snapshot() const {
+    std::lock_guard lock(totals_mutex_);
+    return totals_;
+  }
+
+  /// Race-free copy of the counters for traffic *sent by* `node` — the
+  /// per-node attribution run_inprocess_tcp feeds into NodeReports so the
+  /// engine can aggregate with merge_traffic = true.
+  TrafficCounters node_stats_snapshot(NodeId node) const {
+    std::lock_guard lock(*send_mutexes_[node]);
+    return node_totals_[node];
+  }
 
   /// Worst modeled backlog over `node`'s outgoing links, in seconds at the
   /// configured link rate (0 when no rate was configured) — the same
@@ -75,27 +98,32 @@ class TcpTransport final : public Transport {
   };
 
   void receiver_loop(NodeId node);
-  common::Status write_frame(int fd, const Frame& frame);
   /// Drains `backlog` at the link rate up to `now`, then returns it.
   double drained_bytes(LinkBacklog& backlog,
                        std::chrono::steady_clock::time_point now) const;
 
   std::size_t nodes_;
   double link_rate_bytes_per_s_;
+  CoalesceOptions coalesce_;
   std::atomic<bool> running_{true};
   // Written by register_handler while receiver threads are already polling,
   // so every access goes through handlers_mutex_ (receivers copy the
   // handler out under the lock, then invoke it unlocked).
   std::vector<DeliveryHandler> handlers_;
+  std::vector<BatchDeliveryHandler> batch_handlers_;
   std::mutex handlers_mutex_;
   std::vector<std::vector<UniqueFd>> peer_fds_;  // [node][peer] connected socket
   std::vector<std::unique_ptr<std::mutex>> send_mutexes_;  // per (node) sender
+  // [node][peer] pending coalesced frames, guarded by send_mutexes_[node].
+  std::vector<std::vector<SendBuffer>> send_buffers_;
   // [node][peer] modeled send-queue state, guarded by send_mutexes_[node].
   mutable std::vector<std::vector<LinkBacklog>> backlog_;
   std::vector<std::uint16_t> ports_;  // actual bound listener ports
   std::vector<std::thread> receivers_;
   TrafficCounters totals_;
-  std::mutex totals_mutex_;
+  mutable std::mutex totals_mutex_;
+  // Traffic sent by each node, guarded by that node's send mutex.
+  std::vector<TrafficCounters> node_totals_;
 };
 
 }  // namespace dsjoin::net

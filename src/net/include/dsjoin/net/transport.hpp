@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "dsjoin/common/status.hpp"
 #include "dsjoin/net/frame.hpp"
@@ -16,6 +17,12 @@ namespace dsjoin::net {
 
 /// Invoked at the destination when a frame arrives.
 using DeliveryHandler = std::function<void(Frame&&)>;
+
+/// Invoked at the destination with every logical frame decoded from one
+/// wire record, in send order. Socket transports prefer this over the
+/// per-frame handler when both are installed, so the receiving side can
+/// amortize its locking across a coalesced batch.
+using BatchDeliveryHandler = std::function<void(std::vector<Frame>&&)>;
 
 /// Point-to-point, ordered, reliable frame delivery between N nodes.
 class Transport {
@@ -33,9 +40,10 @@ class Transport {
   /// node before the first send to it.
   virtual void register_handler(NodeId node, DeliveryHandler handler) = 0;
 
-  /// Queues a frame for delivery. Returns kInvalidArgument for bad
+  /// Queues a frame for delivery, taking ownership of its payload (the
+  /// send path never copies it). Returns kInvalidArgument for bad
   /// addresses; transports never drop frames silently.
-  virtual common::Status send(Frame frame) = 0;
+  virtual common::Status send(Frame&& frame) = 0;
 
   /// System-wide traffic counters (frames recorded when sent).
   virtual const TrafficCounters& stats() const noexcept = 0;

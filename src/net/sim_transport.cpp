@@ -42,7 +42,7 @@ void SimTransport::register_handler(NodeId node, DeliveryHandler handler) {
   handlers_[node] = std::move(handler);
 }
 
-common::Status SimTransport::send(Frame frame) {
+common::Status SimTransport::send(Frame&& frame) {
   if (frame.from >= handlers_.size() || frame.to >= handlers_.size()) {
     return common::Status(common::ErrorCode::kInvalidArgument,
                           common::str_format("bad address %u -> %u", frame.from,

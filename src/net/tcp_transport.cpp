@@ -33,15 +33,24 @@ std::uint32_t get_u32(const std::uint8_t* at) {
 }  // namespace
 
 TcpTransport::TcpTransport(std::size_t nodes, std::uint16_t base_port,
-                           double link_rate_bytes_per_s)
+                           double link_rate_bytes_per_s,
+                           CoalesceOptions coalesce)
     : nodes_(nodes),
       link_rate_bytes_per_s_(link_rate_bytes_per_s),
+      coalesce_(coalesce),
       handlers_(nodes),
+      batch_handlers_(nodes),
       peer_fds_(nodes),
+      send_buffers_(nodes),
       backlog_(nodes),
-      ports_(nodes, 0) {
+      ports_(nodes, 0),
+      node_totals_(nodes) {
   for (auto& row : peer_fds_) row.resize(nodes);
   for (auto& row : backlog_) row.resize(nodes);
+  for (auto& row : send_buffers_) {
+    row.reserve(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) row.emplace_back(coalesce_);
+  }
   send_mutexes_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     send_mutexes_.push_back(std::make_unique<std::mutex>());
@@ -128,12 +137,10 @@ void TcpTransport::register_handler(NodeId node, DeliveryHandler handler) {
   handlers_[node] = std::move(handler);
 }
 
-common::Status TcpTransport::write_frame(int fd, const Frame& frame) {
-  const auto buffer = encode_wire_frame(frame);
-  if (!write_all(fd, buffer.data(), buffer.size())) {
-    return common::Status(common::ErrorCode::kUnavailable, "peer write failed");
-  }
-  return common::Status::ok();
+void TcpTransport::register_batch_handler(NodeId node,
+                                          BatchDeliveryHandler handler) {
+  std::lock_guard lock(handlers_mutex_);
+  batch_handlers_[node] = std::move(handler);
 }
 
 double TcpTransport::drained_bytes(
@@ -148,7 +155,7 @@ double TcpTransport::drained_bytes(
   return backlog.queued_bytes;
 }
 
-common::Status TcpTransport::send(Frame frame) {
+common::Status TcpTransport::send(Frame&& frame) {
   if (frame.from >= nodes_ || frame.to >= nodes_ || frame.from == frame.to) {
     return common::Status(common::ErrorCode::kInvalidArgument, "bad address");
   }
@@ -159,17 +166,31 @@ common::Status TcpTransport::send(Frame frame) {
     std::lock_guard lock(totals_mutex_);
     totals_.record(frame);
   }
-  std::lock_guard lock(*send_mutexes_[frame.from]);
+  const NodeId from = frame.from;
+  const NodeId to = frame.to;
+  std::lock_guard lock(*send_mutexes_[from]);
+  node_totals_[from].record(frame);
   if (link_rate_bytes_per_s_ > 0.0) {
-    auto& backlog = backlog_[frame.from][frame.to];
+    auto& backlog = backlog_[from][to];
     drained_bytes(backlog, std::chrono::steady_clock::now());
     backlog.queued_bytes += static_cast<double>(frame.wire_bytes());
   }
-  const int fd = peer_fds_[frame.from][frame.to].get();
+  const int fd = peer_fds_[from][to].get();
   if (fd < 0) {
     return common::Status(common::ErrorCode::kUnavailable, "no socket");
   }
-  return write_frame(fd, frame);
+  auto& buffer = send_buffers_[from][to];
+  if (buffer.push(std::move(frame))) {
+    std::uint64_t saved = 0;
+    if (!buffer.flush(fd, &saved)) {
+      return common::Status(common::ErrorCode::kUnavailable,
+                            "peer write failed");
+    }
+    node_totals_[from].record_flush(saved);
+    std::lock_guard tlock(totals_mutex_);
+    totals_.record_flush(saved);
+  }
+  return common::Status::ok();
 }
 
 double TcpTransport::send_backlog_seconds(NodeId node) const noexcept {
@@ -193,22 +214,31 @@ void TcpTransport::receiver_loop(NodeId node) {
       owners.push_back(peer);
     }
   }
+  std::vector<Frame> frames;
+  std::vector<std::uint8_t> scratch;
   while (running_.load(std::memory_order_relaxed)) {
     const int ready = ::poll(polled.data(), polled.size(), 100 /*ms*/);
     if (ready <= 0) continue;
     for (std::size_t i = 0; i < polled.size(); ++i) {
       if ((polled[i].revents & (POLLIN | POLLHUP)) == 0) continue;
-      Frame frame;
-      if (!read_wire_frame(polled[i].fd, &frame)) {
+      frames.clear();
+      if (!read_wire_frames(polled[i].fd, &frames, &scratch)) {
         polled[i].fd = -1;  // peer gone or corrupt stream; stop polling it
         continue;
       }
       DeliveryHandler handler;
+      BatchDeliveryHandler batch_handler;
       {
         std::lock_guard lock(handlers_mutex_);
         handler = handlers_[node];
+        batch_handler = batch_handlers_[node];
       }
-      if (handler) handler(std::move(frame));
+      if (batch_handler) {
+        batch_handler(std::move(frames));
+        frames = {};
+      } else if (handler) {
+        for (Frame& frame : frames) handler(std::move(frame));
+      }
     }
   }
 }

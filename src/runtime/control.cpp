@@ -9,6 +9,8 @@ void serialize_traffic(const net::TrafficCounters& traffic,
   for (auto f : traffic.frames_by_kind) out.write_u64(f);
   for (auto b : traffic.bytes_by_kind) out.write_u64(b);
   out.write_u64(traffic.piggyback_bytes);
+  out.write_u64(traffic.wire_records);
+  out.write_u64(traffic.header_bytes_saved);
 }
 
 common::Result<net::TrafficCounters> deserialize_traffic(
@@ -27,6 +29,12 @@ common::Result<net::TrafficCounters> deserialize_traffic(
   auto piggyback = in.read_u64();
   if (!piggyback) return piggyback.status();
   traffic.piggyback_bytes = piggyback.value();
+  auto records = in.read_u64();
+  if (!records) return records.status();
+  traffic.wire_records = records.value();
+  auto saved = in.read_u64();
+  if (!saved) return saved.status();
+  traffic.header_bytes_saved = saved.value();
   return traffic;
 }
 

@@ -274,9 +274,9 @@ void Coordinator::finalize(const std::vector<Member>& members,
     if (!member.reported) continue;
     node_reports.push_back(member.report.to_node_report());
   }
-  const auto pairs = core::aggregate_node_reports(node_reports, report);
+  core::aggregate_node_reports(node_reports, report);
   if (options_.verify) {
-    core::verify_against_schedule(options_.config, pairs, report);
+    core::verify_against_schedule(options_.config, report->pairs, report);
   }
   core::finalize_derived_metrics(report);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <span>
 
 #include "dsjoin/common/log.hpp"
 #include "dsjoin/runtime/schedule.hpp"
@@ -51,12 +52,15 @@ common::Status NodeDaemon::run() {
 
   MeshOptions mesh_options;
   mesh_options.connect_timeout_s = assignment.mesh_timeout_s;
+  mesh_options.coalesce.max_frames = config_.coalesce_frames;
+  mesh_options.coalesce.max_bytes = config_.coalesce_bytes;
+  mesh_options.coalesce.linger_s = config_.coalesce_linger_s;
   mesh_ = std::make_unique<MeshTransport>(node_id_, nodes_,
                                           std::move(listener).value(),
                                           assignment.peers, mesh_options);
-  mesh_->register_handler(node_id_, [this](net::Frame&& frame) {
+  mesh_->set_batch_handler([this](std::vector<net::Frame>&& frames) {
     QueueItem item;
-    item.frame = std::move(frame);
+    item.frames = std::move(frames);
     enqueue(std::move(item));
   });
   mesh_->set_peer_down([this](net::NodeId peer) {
@@ -205,7 +209,7 @@ void NodeDaemon::dispatcher_loop() {
       continue;
     }
     std::lock_guard lock(node_mutex_);
-    host_->deliver(std::move(item.frame));
+    host_->deliver_batch(std::move(item.frames));
   }
 }
 
@@ -215,21 +219,34 @@ void NodeDaemon::arrival_loop() {
   const auto schedule = ArrivalSchedule::build(config_);
   const auto mine = schedule.for_node(node_id_);
   const auto start = Clock::now();
+  if (!options_.pace) {
+    // As-fast-as-possible replay: hand the slice to the node in
+    // coalesce-sized batches — one lock acquisition and one
+    // Node::on_local_batch call per chunk (stop_ is honored between
+    // chunks, so shutdown still interrupts promptly).
+    const std::size_t chunk =
+        std::max<std::size_t>(std::size_t{1}, config_.coalesce_frames);
+    for (std::size_t i = 0; i < mine.size() && !stop_.load(); i += chunk) {
+      const std::size_t n = std::min(chunk, mine.size() - i);
+      std::lock_guard lock(node_mutex_);
+      host_->ingest_batch(std::span<const stream::Tuple>(mine.data() + i, n));
+    }
+    arrivals_done_.store(true);
+    return;
+  }
   for (const auto& tuple : mine) {
     if (stop_.load()) break;
-    if (options_.pace) {
-      // Sleep toward the tuple's virtual time in short slices so shutdown
-      // (or a dead coordinator) interrupts promptly.
-      const auto due = start + std::chrono::duration<double>(tuple.timestamp);
-      while (!stop_.load()) {
-        const auto now = Clock::now();
-        if (now >= due) break;
-        const auto nap = std::min(std::chrono::duration<double>(due - now),
-                                  std::chrono::duration<double>(0.05));
-        std::this_thread::sleep_for(nap);
-      }
-      if (stop_.load()) break;
+    // Sleep toward the tuple's virtual time in short slices so shutdown
+    // (or a dead coordinator) interrupts promptly.
+    const auto due = start + std::chrono::duration<double>(tuple.timestamp);
+    while (!stop_.load()) {
+      const auto now = Clock::now();
+      if (now >= due) break;
+      const auto nap = std::min(std::chrono::duration<double>(due - now),
+                                std::chrono::duration<double>(0.05));
+      std::this_thread::sleep_for(nap);
     }
+    if (stop_.load()) break;
     std::lock_guard lock(node_mutex_);
     host_->ingest(tuple, tuple.timestamp);
   }

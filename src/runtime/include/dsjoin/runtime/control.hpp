@@ -32,7 +32,7 @@
 
 namespace dsjoin::runtime {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class ControlType : std::uint8_t {
   kHello = 1,

@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "dsjoin/common/status.hpp"
 #include "dsjoin/core/node_host.hpp"
@@ -70,12 +71,15 @@ class NodeDaemon {
   net::NodeId node_id() const noexcept { return node_id_; }
 
  private:
-  /// One ordered unit of data-plane input: a frame, or a peer-death marker
-  /// queued by the mesh after the peer's last frame.
+  /// One ordered unit of data-plane input: every logical frame of one
+  /// decoded wire record (in send order), or a peer-death marker queued by
+  /// the mesh after the peer's last frame. Enqueuing whole records keeps
+  /// queue traffic and dispatcher lock acquisitions per record, not per
+  /// frame.
   struct QueueItem {
     bool peer_down = false;
     net::NodeId peer = 0;
-    net::Frame frame;
+    std::vector<net::Frame> frames;
   };
 
   common::Status handshake(net::MsgSocket& control, ConfigMsg* out);

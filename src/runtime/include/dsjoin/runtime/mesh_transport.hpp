@@ -36,6 +36,9 @@ struct MeshOptions {
   double connect_timeout_s = 20.0;
   double dial_base_delay_s = 0.05;
   double dial_max_delay_s = 1.0;
+  /// Per-peer SendBuffer flush budgets; the default (max_frames = 1)
+  /// writes one wire record per frame.
+  net::CoalesceOptions coalesce;
 };
 
 /// One node's end of a multi-process full TCP mesh.
@@ -64,7 +67,15 @@ class MeshTransport final : public net::Transport {
 
   std::size_t node_count() const noexcept override { return nodes_; }
   void register_handler(net::NodeId node, net::DeliveryHandler handler) override;
-  common::Status send(net::Frame frame) override;
+
+  /// Installs a whole-record delivery handler (preferred over the
+  /// per-frame one when both are set): the daemon enqueues a coalesced
+  /// record as one dispatcher item instead of one item per frame.
+  void set_batch_handler(net::BatchDeliveryHandler handler) {
+    batch_handler_ = std::move(handler);
+  }
+
+  common::Status send(net::Frame&& frame) override;
   const net::TrafficCounters& stats() const noexcept override { return totals_; }
 
   /// Race-free copy of the counters (stats() hands out the live object,
@@ -99,10 +110,12 @@ class MeshTransport final : public net::Transport {
   MeshOptions options_;
   std::function<void(net::NodeId)> peer_down_;
   net::DeliveryHandler handler_;
+  net::BatchDeliveryHandler batch_handler_;
 
   std::atomic<bool> running_{true};
   std::vector<net::UniqueFd> peer_fds_;                     // by peer id
   std::vector<std::unique_ptr<std::mutex>> send_mutexes_;   // by peer id
+  std::vector<net::SendBuffer> send_buffers_;               // by peer id
   mutable std::vector<std::atomic<bool>> alive_;            // by peer id
   std::vector<std::thread> receivers_;
   net::TrafficCounters totals_;

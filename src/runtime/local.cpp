@@ -3,6 +3,7 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -48,36 +49,77 @@ RunReport run_inprocess_tcp(const core::SystemConfig& config) {
 
   const auto schedule = core::ArrivalSchedule::build(config);
 
-  net::TcpTransport transport(config.nodes);
+  // coalesce_frames <= 1 is the per-tuple baseline bench_wire_throughput
+  // measures against: one wire record and one handler invocation per frame,
+  // one ingest call (and one lock acquisition) per tuple.
+  const bool batched = config.coalesce_frames > 1;
+  net::CoalesceOptions coalesce;
+  coalesce.max_frames = batched ? config.coalesce_frames : 1;
+  coalesce.max_bytes = config.coalesce_bytes;
+  coalesce.linger_s = config.coalesce_linger_s;
+  net::TcpTransport transport(config.nodes, /*base_port=*/0,
+                              /*link_rate_bytes_per_s=*/0.0, coalesce);
   std::vector<std::unique_ptr<core::NodeHost>> hosts;
   hosts.reserve(config.nodes);
   // One coarse lock serializes all node work: receiver-thread deliveries
-  // and the arrival loop below. Throughput is irrelevant here — this mode
-  // exists as a correctness baseline.
+  // and the arrival loop below. Batching amortizes it — one acquisition
+  // covers a whole decoded wire record or a whole ingest slice.
   std::mutex mutex;
   for (net::NodeId id = 0; id < config.nodes; ++id) {
     hosts.push_back(std::make_unique<core::NodeHost>(config, id, transport));
   }
   for (net::NodeId id = 0; id < config.nodes; ++id) {
     core::NodeHost* host = hosts[id].get();
-    transport.register_handler(id, [host, &mutex](net::Frame&& frame) {
-      std::lock_guard lock(mutex);
-      // Forwarded work is timestamped with the tuple era it belongs to;
-      // precise receive times only matter for reporting latency, which
-      // this baseline does not measure.
-      host->deliver(std::move(frame), 0.0);
-    });
+    // Forwarded work is timestamped with the tuple era it belongs to;
+    // precise receive times only matter for reporting latency, which
+    // this backend does not measure.
+    if (batched) {
+      transport.register_batch_handler(
+          id, [host, &mutex](std::vector<net::Frame>&& frames) {
+            std::lock_guard lock(mutex);
+            for (net::Frame& frame : frames) {
+              host->deliver(std::move(frame), 0.0);
+            }
+          });
+    } else {
+      transport.register_handler(id, [host, &mutex](net::Frame&& frame) {
+        std::lock_guard lock(mutex);
+        host->deliver(std::move(frame), 0.0);
+      });
+    }
   }
 
   const auto started_at = std::chrono::steady_clock::now();
-  for (const auto& tuple : schedule.tuples) {
-    std::lock_guard lock(mutex);
-    hosts[tuple.origin]->ingest(tuple, tuple.timestamp);
+  if (batched) {
+    // Group consecutive same-origin arrivals into one ingest_batch call.
+    // The schedule's global arrival order is preserved exactly; the cap
+    // keeps any one locked section short so receiver deliveries interleave.
+    const auto& tuples = schedule.tuples;
+    const std::size_t max_run = config.coalesce_frames;
+    std::size_t i = 0;
+    while (i < tuples.size()) {
+      std::size_t j = i + 1;
+      while (j < tuples.size() && tuples[j].origin == tuples[i].origin &&
+             j - i < max_run) {
+        ++j;
+      }
+      std::lock_guard lock(mutex);
+      hosts[tuples[i].origin]->ingest_batch(
+          std::span<const stream::Tuple>(tuples.data() + i, j - i));
+      i = j;
+    }
+  } else {
+    for (const auto& tuple : schedule.tuples) {
+      std::lock_guard lock(mutex);
+      hosts[tuple.origin]->ingest(tuple, tuple.timestamp);
+    }
   }
 
   // Drain with the same two-phase FIN handshake the daemons use: each host
   // announces its tuples are all sent (FIN-1), then that its results are
-  // all sent (FIN-2); per-link TCP FIFO makes both statements exact.
+  // all sent (FIN-2); per-link TCP FIFO makes both statements exact. FINs
+  // are control frames, so they flush every coalescing buffer ahead of
+  // themselves — no frame can outlive the drain in a SendBuffer.
   for (auto& host : hosts) host->begin_drain({});
   result.clean = true;
   for (auto& host : hosts) {
@@ -94,13 +136,15 @@ RunReport run_inprocess_tcp(const core::SystemConfig& config) {
 
   std::vector<core::NodeReport> reports;
   reports.reserve(hosts.size());
-  // The transport's counters are the global union already; per-host
-  // snapshots would double-count, so aggregation skips traffic merging.
-  for (const auto& host : hosts) reports.push_back(host->report({}));
-  const auto pairs = core::aggregate_node_reports(reports, &result,
-                                                  /*merge_traffic=*/false);
-  result.traffic = transport.stats();
-  core::verify_against_schedule(config, pairs, &result);
+  // Per-node traffic attribution: each host reports the counters for the
+  // frames it sent (tracked per sender under that sender's send lock), so
+  // aggregation merges them like every other backend — their union equals
+  // the transport's global counters.
+  for (const auto& host : hosts) {
+    reports.push_back(host->report(transport.node_stats_snapshot(host->id())));
+  }
+  core::aggregate_node_reports(reports, &result, /*merge_traffic=*/true);
+  core::verify_against_schedule(config, result.pairs, &result);
   core::finalize_derived_metrics(&result);
   return result;
 }

@@ -31,8 +31,10 @@ MeshTransport::MeshTransport(net::NodeId self, std::size_t nodes,
       peer_fds_(nodes),
       alive_(nodes) {
   send_mutexes_.reserve(nodes);
+  send_buffers_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     send_mutexes_.push_back(std::make_unique<std::mutex>());
+    send_buffers_.emplace_back(options_.coalesce);
     alive_[i].store(false);
   }
 }
@@ -99,7 +101,7 @@ common::Status MeshTransport::connect_mesh() {
   return common::Status::ok();
 }
 
-common::Status MeshTransport::send(net::Frame frame) {
+common::Status MeshTransport::send(net::Frame&& frame) {
   const net::NodeId to = frame.to;
   if (to >= nodes_ || to == self_ || frame.from != self_) {
     return common::Status(common::ErrorCode::kInvalidArgument,
@@ -109,20 +111,29 @@ common::Status MeshTransport::send(net::Frame frame) {
     return common::Status(common::ErrorCode::kUnavailable,
                           "peer " + std::to_string(to) + " is down");
   }
-  const auto buffer = net::encode_wire_frame(frame);
-  {
-    std::lock_guard lock(*send_mutexes_[to]);
-    if (!net::write_all(peer_fds_[to].get(), buffer.data(), buffer.size())) {
-      // A send failing is how WE discover a peer died mid-write; the
-      // receiver loop (EOF) handles the callback, we just stop sending.
-      alive_[to].store(false);
-      return common::Status(common::ErrorCode::kUnavailable,
-                            "write to peer " + std::to_string(to) + " failed");
-    }
-  }
   {
     std::lock_guard lock(totals_mutex_);
     totals_.record(frame);
+  }
+  bool flushed = false;
+  std::uint64_t saved = 0;
+  {
+    std::lock_guard lock(*send_mutexes_[to]);
+    if (send_buffers_[to].push(std::move(frame))) {
+      flushed = true;
+      if (!send_buffers_[to].flush(peer_fds_[to].get(), &saved)) {
+        // A send failing is how WE discover a peer died mid-write; the
+        // receiver loop (EOF) handles the callback, we just stop sending.
+        alive_[to].store(false);
+        return common::Status(
+            common::ErrorCode::kUnavailable,
+            "write to peer " + std::to_string(to) + " failed");
+      }
+    }
+  }
+  if (flushed) {
+    std::lock_guard lock(totals_mutex_);
+    totals_.record_flush(saved);
   }
   return common::Status::ok();
 }
@@ -133,11 +144,17 @@ void MeshTransport::mark_peer_dead(net::NodeId peer) noexcept {
 
 void MeshTransport::receiver_loop(net::NodeId peer) {
   const int fd = peer_fds_[peer].get();
-  net::Frame frame;
+  std::vector<net::Frame> frames;
+  std::vector<std::uint8_t> scratch;
   while (running_.load()) {
-    if (!net::read_wire_frame(fd, &frame)) break;
-    if (handler_) handler_(std::move(frame));
-    frame = net::Frame{};
+    frames.clear();
+    if (!net::read_wire_frames(fd, &frames, &scratch)) break;
+    if (batch_handler_) {
+      batch_handler_(std::move(frames));
+      frames = {};
+    } else if (handler_) {
+      for (net::Frame& frame : frames) handler_(std::move(frame));
+    }
   }
   // EOF/error outside shutdown means the peer process died (or closed its
   // end). Fire the callback after the last delivered frame so the daemon

@@ -1,0 +1,198 @@
+// Wire-level tests for the coalesced batch record and the SendBuffer flush
+// policy (DESIGN.md section 11). These run over a socketpair, below any
+// transport: the codec contract must hold for every socket backend.
+#include "dsjoin/net/channel.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <thread>
+
+namespace dsjoin::net {
+namespace {
+
+/// A connected AF_UNIX stream pair; index 0 writes, index 1 reads.
+struct SocketPair {
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = UniqueFd(fds[0]);
+    b = UniqueFd(fds[1]);
+  }
+  UniqueFd a, b;
+};
+
+Frame make_frame(NodeId from, NodeId to, FrameKind kind, std::uint32_t tag,
+                 std::size_t payload_bytes) {
+  Frame f;
+  f.from = from;
+  f.to = to;
+  f.kind = kind;
+  f.piggyback_bytes = tag;
+  f.payload.assign(payload_bytes, static_cast<std::uint8_t>(tag));
+  return f;
+}
+
+TEST(WireBatch, SingleFrameUsesLegacyEncodingAndSavesNothing) {
+  const Frame frame = make_frame(1, 2, FrameKind::kTuple, 7, 24);
+  std::vector<std::uint8_t> batch;
+  const auto saved = encode_wire_batch({&frame, 1}, &batch);
+  EXPECT_EQ(saved, 0u);
+  EXPECT_EQ(batch, encode_wire_frame(frame));
+}
+
+TEST(WireBatch, RoundTripsManyFramesThroughOneRecord) {
+  std::vector<Frame> frames;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    frames.push_back(make_frame(3, 1, i % 2 ? FrameKind::kTuple
+                                            : FrameKind::kResult,
+                                i, 10 + i * 3));
+  }
+  std::vector<std::uint8_t> record;
+  const auto saved = encode_wire_batch(frames, &record);
+  // 8 bytes per extra per-frame header, minus the batch preamble overhead.
+  EXPECT_EQ(saved, 8u * frames.size() - 15u);
+
+  SocketPair pair;
+  ASSERT_TRUE(write_all(pair.a.get(), record.data(), record.size()));
+  std::vector<Frame> decoded;
+  std::vector<std::uint8_t> scratch;
+  ASSERT_TRUE(read_wire_frames(pair.b.get(), &decoded, &scratch));
+  ASSERT_EQ(decoded.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(decoded[i].from, frames[i].from);
+    EXPECT_EQ(decoded[i].to, frames[i].to);
+    EXPECT_EQ(decoded[i].kind, frames[i].kind);
+    EXPECT_EQ(decoded[i].piggyback_bytes, frames[i].piggyback_bytes);
+    EXPECT_EQ(decoded[i].payload, frames[i].payload);
+  }
+}
+
+TEST(WireBatch, ReadWireFramesAcceptsSingleFrameRecords) {
+  // A mixed stream — legacy single-frame records interleaved with batch
+  // records — decodes in order through the one batch-aware reader.
+  const Frame solo = make_frame(0, 1, FrameKind::kSummary, 42, 16);
+  std::vector<Frame> pairs{make_frame(0, 1, FrameKind::kTuple, 1, 8),
+                           make_frame(0, 1, FrameKind::kTuple, 2, 8)};
+  std::vector<std::uint8_t> bytes = encode_wire_frame(solo);
+  std::vector<std::uint8_t> batch;
+  encode_wire_batch(pairs, &batch);
+  bytes.insert(bytes.end(), batch.begin(), batch.end());
+
+  SocketPair pair;
+  ASSERT_TRUE(write_all(pair.a.get(), bytes.data(), bytes.size()));
+  std::vector<Frame> decoded;
+  std::vector<std::uint8_t> scratch;
+  ASSERT_TRUE(read_wire_frames(pair.b.get(), &decoded, &scratch));
+  ASSERT_TRUE(read_wire_frames(pair.b.get(), &decoded, &scratch));
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].kind, FrameKind::kSummary);
+  EXPECT_EQ(decoded[1].piggyback_bytes, 1u);
+  EXPECT_EQ(decoded[2].piggyback_bytes, 2u);
+}
+
+TEST(WireBatch, SingleFrameReaderRejectsBatchRecords) {
+  std::vector<Frame> frames{make_frame(0, 1, FrameKind::kTuple, 1, 8),
+                            make_frame(0, 1, FrameKind::kTuple, 2, 8)};
+  std::vector<std::uint8_t> record;
+  encode_wire_batch(frames, &record);
+  SocketPair pair;
+  ASSERT_TRUE(write_all(pair.a.get(), record.data(), record.size()));
+  Frame out;
+  EXPECT_FALSE(read_wire_frame(pair.b.get(), &out));
+}
+
+TEST(WireBatch, RejectsTruncatedAndOversizedRecords) {
+  // Truncated batch preamble: marker present but the body ends before the
+  // declared entries.
+  std::vector<Frame> frames{make_frame(0, 1, FrameKind::kTuple, 1, 64),
+                            make_frame(0, 1, FrameKind::kTuple, 2, 64)};
+  std::vector<std::uint8_t> record;
+  encode_wire_batch(frames, &record);
+  {
+    SocketPair pair;
+    // Lie: shrink the length prefix so the entry table overruns the body.
+    std::vector<std::uint8_t> bad = record;
+    bad[0] = 20;  // body_len low byte (little-endian), far too small
+    bad[1] = bad[2] = bad[3] = 0;
+    ASSERT_TRUE(write_all(pair.a.get(), bad.data(), bad.size()));
+    std::vector<Frame> decoded;
+    std::vector<std::uint8_t> scratch;
+    EXPECT_FALSE(read_wire_frames(pair.b.get(), &decoded, &scratch));
+  }
+  {
+    SocketPair pair;
+    // Declared body length over the hard cap is rejected before any read.
+    std::array<std::uint8_t, 4> huge{0xff, 0xff, 0xff, 0x7f};
+    ASSERT_TRUE(write_all(pair.a.get(), huge.data(), huge.size()));
+    std::vector<Frame> decoded;
+    std::vector<std::uint8_t> scratch;
+    EXPECT_FALSE(read_wire_frames(pair.b.get(), &decoded, &scratch));
+  }
+}
+
+TEST(SendBuffer, FlushesOnFrameBudget) {
+  CoalesceOptions options;
+  options.max_frames = 3;
+  options.linger_s = 3600.0;  // never trip on age in this test
+  SendBuffer buffer(options);
+  EXPECT_FALSE(buffer.push(make_frame(0, 1, FrameKind::kTuple, 1, 8)));
+  EXPECT_FALSE(buffer.push(make_frame(0, 1, FrameKind::kTuple, 2, 8)));
+  EXPECT_TRUE(buffer.push(make_frame(0, 1, FrameKind::kTuple, 3, 8)));
+  EXPECT_EQ(buffer.frame_count(), 3u);
+
+  SocketPair pair;
+  std::uint64_t saved = 0;
+  ASSERT_TRUE(buffer.flush(pair.a.get(), &saved));
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(saved, 8u * 3 - 15u);
+  std::vector<Frame> decoded;
+  std::vector<std::uint8_t> scratch;
+  ASSERT_TRUE(read_wire_frames(pair.b.get(), &decoded, &scratch));
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[2].piggyback_bytes, 3u);
+}
+
+TEST(SendBuffer, FlushesOnByteBudgetAndOnControlFrames) {
+  CoalesceOptions options;
+  options.max_frames = 100;
+  options.max_bytes = 64;
+  options.linger_s = 3600.0;
+  SendBuffer buffer(options);
+  EXPECT_FALSE(buffer.push(make_frame(0, 1, FrameKind::kTuple, 1, 32)));
+  // 64 pending payload bytes reach the budget.
+  EXPECT_TRUE(buffer.push(make_frame(0, 1, FrameKind::kTuple, 2, 32)));
+
+  SocketPair pair;
+  std::uint64_t saved = 0;
+  ASSERT_TRUE(buffer.flush(pair.a.get(), &saved));
+
+  // Control frames must never wait in a buffer: the drain handshake relies
+  // on FIN ordering behind all previously sent frames.
+  EXPECT_FALSE(buffer.push(make_frame(0, 1, FrameKind::kTuple, 3, 8)));
+  EXPECT_TRUE(buffer.push(make_frame(0, 1, FrameKind::kControl, 4, 8)));
+  ASSERT_TRUE(buffer.flush(pair.a.get(), &saved));
+
+  std::vector<Frame> decoded;
+  std::vector<std::uint8_t> scratch;
+  ASSERT_TRUE(read_wire_frames(pair.b.get(), &decoded, &scratch));
+  ASSERT_TRUE(read_wire_frames(pair.b.get(), &decoded, &scratch));
+  ASSERT_EQ(decoded.size(), 4u);
+  EXPECT_EQ(decoded[3].kind, FrameKind::kControl);
+}
+
+TEST(SendBuffer, LingerAgeTripsTheNextPush) {
+  CoalesceOptions options;
+  options.max_frames = 100;
+  options.linger_s = 0.01;
+  SendBuffer buffer(options);
+  EXPECT_FALSE(buffer.push(make_frame(0, 1, FrameKind::kTuple, 1, 8)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The next push sees the oldest pending frame over the linger budget.
+  EXPECT_TRUE(buffer.push(make_frame(0, 1, FrameKind::kTuple, 2, 8)));
+}
+
+}  // namespace
+}  // namespace dsjoin::net

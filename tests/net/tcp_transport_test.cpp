@@ -250,7 +250,7 @@ TEST(TcpTransport, BacklogTracksConfiguredLinkRate) {
   big.kind = FrameKind::kTuple;
   // encode_wire_frame adds the length prefix + header; aim near 1000.
   big.payload.assign(980, 0xab);
-  ASSERT_TRUE(transport.send(big));
+  ASSERT_TRUE(transport.send(std::move(big)));
 
   const double just_after = transport.send_backlog_seconds(0);
   EXPECT_GT(just_after, 0.7);
@@ -276,14 +276,105 @@ TEST(TcpTransport, BacklogAccumulatesAcrossSends) {
   big.to = 1;
   big.kind = FrameKind::kTuple;
   big.payload.assign(980, 0xcd);
-  ASSERT_TRUE(transport.send(big));
-  ASSERT_TRUE(transport.send(big));
-  ASSERT_TRUE(transport.send(big));
+  ASSERT_TRUE(transport.send(Frame(big)));
+  ASSERT_TRUE(transport.send(Frame(big)));
+  ASSERT_TRUE(transport.send(std::move(big)));
   // Three ~1s frames back to back: roughly 3s queued (minus the sliver
   // drained between the sends).
   const double backlog = transport.send_backlog_seconds(0);
   EXPECT_GT(backlog, 2.5);
   EXPECT_LE(backlog, 3.2);
+  transport.shutdown();
+}
+
+TEST(TcpTransport, PerNodeStatsSumToTransportTotals) {
+  // The per-node attribution contract: the union of every node's sent
+  // counters is the transport's global counters — what lets the engine
+  // aggregate NodeReports with merge_traffic = true on this backend.
+  constexpr std::size_t kNodes = 3;
+  TcpTransport transport = make_transport(kNodes);
+  std::vector<Collector> collectors(kNodes);
+  for (NodeId id = 0; id < kNodes; ++id) {
+    transport.register_handler(
+        id, [&collectors, id](Frame&& f) { collectors[id].add(std::move(f)); });
+  }
+  // Uneven per-node loads so a symmetric bug cannot hide.
+  std::size_t expected_total = 0;
+  for (NodeId from = 0; from < kNodes; ++from) {
+    for (std::uint32_t i = 0; i <= from * 3; ++i) {
+      const NodeId to = (from + 1 + i % (kNodes - 1)) % kNodes;
+      ASSERT_TRUE(transport.send(make_frame(from, to, i)));
+      ++expected_total;
+    }
+  }
+  const auto totals = transport.stats_snapshot();
+  EXPECT_EQ(totals.total_frames(), expected_total);
+  TrafficCounters summed;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    summed.merge(transport.node_stats_snapshot(id));
+  }
+  EXPECT_EQ(summed.frames_by_kind, totals.frames_by_kind);
+  EXPECT_EQ(summed.bytes_by_kind, totals.bytes_by_kind);
+  EXPECT_EQ(summed.piggyback_bytes, totals.piggyback_bytes);
+  EXPECT_EQ(summed.wire_records, totals.wire_records);
+  EXPECT_EQ(summed.header_bytes_saved, totals.header_bytes_saved);
+  // Coalescing off (default options): one wire record per logical frame.
+  EXPECT_EQ(totals.wire_records, expected_total);
+  EXPECT_EQ(totals.header_bytes_saved, 0u);
+  transport.shutdown();
+}
+
+TEST(TcpTransport, CoalescedSendsPreserveOrderAndSaveHeaderBytes) {
+  CoalesceOptions coalesce;
+  coalesce.max_frames = 8;
+  coalesce.linger_s = 3600.0;  // only the frame budget flushes here
+  TcpTransport transport(2, 0, 0.0, coalesce);
+  Collector at1;
+  transport.register_handler(0, [](Frame&&) {});
+  // A batch handler receives whole decoded records; frames stay in order.
+  transport.register_batch_handler(1, [&](std::vector<Frame>&& frames) {
+    for (Frame& f : frames) at1.add(std::move(f));
+  });
+  constexpr std::uint32_t kCount = 64;
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(transport.send(make_frame(0, 1, i)));
+  }
+  ASSERT_TRUE(at1.wait_for(kCount, std::chrono::seconds(10)));
+  const auto frames = at1.take();
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(frames[i].piggyback_bytes, i);
+  }
+  const auto stats = transport.stats_snapshot();
+  // Logical accounting is batching-blind; the physical record count is not.
+  EXPECT_EQ(stats.total_frames(), kCount);
+  EXPECT_EQ(stats.wire_records, kCount / 8);
+  EXPECT_EQ(stats.header_bytes_saved, (kCount / 8) * (8u * 8u - 15u));
+  transport.shutdown();
+}
+
+TEST(TcpTransport, ControlFramesFlushPendingCoalescedFrames) {
+  CoalesceOptions coalesce;
+  coalesce.max_frames = 100;
+  coalesce.linger_s = 3600.0;  // frames would wait forever without the FIN
+  TcpTransport transport(2, 0, 0.0, coalesce);
+  Collector at1;
+  transport.register_handler(0, [](Frame&&) {});
+  transport.register_handler(1, [&](Frame&& f) { at1.add(std::move(f)); });
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(transport.send(make_frame(0, 1, i)));
+  }
+  Frame fin = make_frame(0, 1, 99);
+  fin.kind = FrameKind::kControl;
+  ASSERT_TRUE(transport.send(std::move(fin)));
+  // The control frame forced the buffer out: all six frames arrive, the
+  // five buffered tuples strictly before it.
+  ASSERT_TRUE(at1.wait_for(6, std::chrono::seconds(5)));
+  const auto frames = at1.take();
+  ASSERT_EQ(frames.size(), 6u);
+  EXPECT_EQ(frames[5].kind, FrameKind::kControl);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(frames[i].piggyback_bytes, i);
+  }
   transport.shutdown();
 }
 

@@ -1,0 +1,146 @@
+// Batching-transparency parity: coalescing wire frames must change syscall
+// counts and header bytes only — never which pairs a run reports, its
+// epsilon, or its *logical* traffic accounting. The same config runs with
+// coalescing off (coalesce_frames = 1) and on (32) across the simulator,
+// the in-process TCP harness, and the fork-based multiprocess driver, and
+// every observable except the physical wire-record counters must match
+// element-wise.
+//
+// Policies under test: RR (deterministic routing by construction) and DFTT
+// in a "bootstrap-deterministic" configuration — summary_epoch_tuples is
+// set above each node's total local arrivals, so no epoch ever completes,
+// no coefficients publish, and routing stays at its bootstrap scores. That
+// makes a DFT-family policy's pair set a pure function of the arrival
+// schedule, i.e. comparable exactly across backends and batching modes
+// (full timing-dependent summary parity is ROADMAP item 3, out of scope
+// here).
+//
+// What is compared: the pair set (element-wise), epsilon, kTuple/kSummary
+// logical frame+byte counters, and kControl counters among the socket
+// backends (the simulator sends no FIN frames). kResult frame counts are
+// excluded: remote matches are grouped into result frames per delivery
+// slice, so their *count* (not their content) is interleaving-dependent.
+// These tests fork() via the multiprocess backend, so they are filtered
+// out of the TSan job next to Multiprocess.* / BackendParity.*.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsjoin/core/experiment.hpp"
+#include "dsjoin/core/system.hpp"
+#include "dsjoin/runtime/engine.hpp"
+
+namespace dsjoin {
+namespace {
+
+core::SystemConfig batched_parity_config(core::PolicyKind policy,
+                                         std::uint32_t coalesce_frames) {
+  core::SystemConfig config;
+  config.nodes = 3;
+  config.seed = 7;
+  config.workload = "ZIPF";
+  config.policy = policy;
+  config.tuples_per_node = 100;
+  config.arrivals_per_second = 50.0;
+  config.join_half_width_s = 2.0;
+  config.dft_window = 256;
+  config.kappa = 32.0;
+  // Above 2 * tuples_per_node (both stream sides): no summary epoch ever
+  // completes, so summary-driven policies route deterministically on their
+  // bootstrap state and send zero kSummary frames / piggyback bytes.
+  config.summary_epoch_tuples = 1024;
+  config.max_backlog_s = 0.0;  // keep sim arrivals == materialized schedule
+  config.coalesce_frames = coalesce_frames;
+  return config;
+}
+
+core::ExperimentResult run_backend(const core::SystemConfig& config,
+                                   core::Backend backend) {
+  runtime::EngineOptions options;
+  options.backend = backend;
+  return runtime::run_experiment(config, options);
+}
+
+void expect_same_logical_traffic(const core::ExperimentResult& a,
+                                 const core::ExperimentResult& b,
+                                 bool compare_control) {
+  using net::FrameKind;
+  for (const auto kind : {FrameKind::kTuple, FrameKind::kSummary}) {
+    EXPECT_EQ(a.traffic.frames(kind), b.traffic.frames(kind))
+        << "frame kind " << static_cast<int>(kind);
+    EXPECT_EQ(a.traffic.bytes(kind), b.traffic.bytes(kind))
+        << "frame kind " << static_cast<int>(kind);
+  }
+  EXPECT_EQ(a.traffic.piggyback_bytes, b.traffic.piggyback_bytes);
+  if (compare_control) {
+    EXPECT_EQ(a.traffic.frames(FrameKind::kControl),
+              b.traffic.frames(FrameKind::kControl));
+  }
+}
+
+void expect_batching_transparent(core::PolicyKind policy) {
+  const core::Backend backends[] = {core::Backend::kSim,
+                                    core::Backend::kTcpInprocess,
+                                    core::Backend::kMultiprocess};
+  std::vector<core::ExperimentResult> off, on;
+  for (const auto backend : backends) {
+    off.push_back(run_backend(batched_parity_config(policy, 1), backend));
+    on.push_back(run_backend(batched_parity_config(policy, 32), backend));
+  }
+
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    for (const auto* result : {&off[i], &on[i]}) {
+      ASSERT_TRUE(result->clean) << result->error;
+      EXPECT_EQ(result->decode_failures, 0u);
+      EXPECT_EQ(result->false_pairs, 0u);
+      EXPECT_GT(result->reported_pairs, 0u);
+      // Bootstrap-deterministic configs publish nothing.
+      EXPECT_EQ(result->traffic.frames(net::FrameKind::kSummary), 0u);
+      EXPECT_EQ(result->traffic.piggyback_bytes, 0u);
+    }
+  }
+
+  // Reference observables: the coalescing-off simulator run.
+  const auto& reference = off[0];
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    for (const auto* result : {&off[i], &on[i]}) {
+      EXPECT_EQ(result->pairs, reference.pairs)
+          << "backend " << core::to_string(result->backend);
+      EXPECT_EQ(result->epsilon, reference.epsilon);
+      EXPECT_EQ(result->reported_pairs, reference.reported_pairs);
+      EXPECT_EQ(result->exact_pairs, reference.exact_pairs);
+      const bool socket_pair = result->backend != core::Backend::kSim;
+      expect_same_logical_traffic(*result, reference,
+                                  /*compare_control=*/false);
+      if (socket_pair) {
+        // FIN counts agree among the socket backends (the simulator's
+        // drain needs no control frames).
+        expect_same_logical_traffic(*result, off[1], /*compare_control=*/true);
+      }
+    }
+  }
+
+  // The physical layer is where batching is allowed — required, even — to
+  // differ: coalesced socket runs must actually share headers.
+  for (std::size_t i = 1; i < std::size(backends); ++i) {
+    EXPECT_EQ(off[i].traffic.header_bytes_saved, 0u)
+        << core::to_string(backends[i]);
+    EXPECT_EQ(off[i].traffic.wire_records, off[i].traffic.total_frames())
+        << core::to_string(backends[i]);
+    EXPECT_GT(on[i].traffic.header_bytes_saved, 0u)
+        << core::to_string(backends[i]);
+    EXPECT_LT(on[i].traffic.wire_records, on[i].traffic.total_frames())
+        << core::to_string(backends[i]);
+  }
+}
+
+TEST(BatchedWireParity, RoundRobinTransparentAcrossBackends) {
+  expect_batching_transparent(core::PolicyKind::kRoundRobin);
+}
+
+TEST(BatchedWireParity, BootstrapDfttTransparentAcrossBackends) {
+  expect_batching_transparent(core::PolicyKind::kDftt);
+}
+
+}  // namespace
+}  // namespace dsjoin

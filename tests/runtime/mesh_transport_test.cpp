@@ -235,7 +235,7 @@ TEST(MeshTransport, WireFormatMatchesTcpTransportCodec) {
   frame.kind = net::FrameKind::kSummary;
   frame.piggyback_bytes = 99;
   frame.payload = {0x00, 0xff, 0x10, 0x20, 0x30};
-  ASSERT_TRUE(meshes[0]->send(frame));
+  ASSERT_TRUE(meshes[0]->send(net::Frame(frame)));
   ASSERT_TRUE(at1.wait_for(1, 5000ms));
   const auto got = at1.take();
   EXPECT_EQ(got[0].kind, net::FrameKind::kSummary);

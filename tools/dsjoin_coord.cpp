@@ -45,6 +45,11 @@ int main(int argc, char** argv) {
       .add_double("admit-timeout", 30.0, "seconds to wait for all daemons")
       .add_double("run-timeout", 120.0, "ceiling on the ingest phase (s)")
       .add_double("drain-timeout", 30.0, "ceiling on drain + reports (s)")
+      .add_int("coalesce-frames", 32,
+               "max logical frames per data-plane wire record (1 = one "
+               "record per frame; max 65535)")
+      .add_int("coalesce-bytes", 1 << 16,
+               "payload-byte budget per coalesced wire record")
       .add_bool("verify", true, "recompute the oracle for epsilon/false pairs")
       .add_bool("verbose", false, "log protocol progress");
   if (auto s = flags.parse(argc, argv); !s) {
@@ -68,6 +73,23 @@ int main(int argc, char** argv) {
   options.config.arrivals_per_second = flags.get_double("rate");
   options.config.join_half_width_s = flags.get_double("half-width");
   options.config.throttle = flags.get_double("throttle");
+  const std::int64_t coalesce_frames = flags.get_int("coalesce-frames");
+  if (coalesce_frames < 1 || coalesce_frames > 0xFFFF) {
+    std::fprintf(stderr,
+                 "error: --coalesce-frames must be in [1, 65535], got %lld\n",
+                 static_cast<long long>(coalesce_frames));
+    return 1;
+  }
+  const std::int64_t coalesce_bytes = flags.get_int("coalesce-bytes");
+  if (coalesce_bytes < 1 || coalesce_bytes > (1 << 24)) {
+    std::fprintf(stderr,
+                 "error: --coalesce-bytes must be in [1, %d], got %lld\n",
+                 1 << 24, static_cast<long long>(coalesce_bytes));
+    return 1;
+  }
+  options.config.coalesce_frames =
+      static_cast<std::uint32_t>(coalesce_frames);
+  options.config.coalesce_bytes = static_cast<std::uint32_t>(coalesce_bytes);
 
   runtime::Coordinator coordinator(options);
   std::printf("coordinator: control port %u, waiting for %u daemons\n",
