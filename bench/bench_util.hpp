@@ -77,6 +77,11 @@ inline void add_coalesce_flags(common::CliFlags& flags) {
   flags.add_int("coalesce-bytes", 1 << 16,
                 "payload-byte budget per coalesced wire record; a link "
                 "buffer at or above this flushes immediately");
+  flags.add_double("summary-sync-epoch", 0.25,
+                   "visibility grid (seconds, virtual time) for stamped "
+                   "summary exchange; summaries apply at the next grid "
+                   "point after emit + min link latency on every backend "
+                   "(DESIGN.md section 12)");
 }
 
 /// Applies the batching knobs, rejecting out-of-range values the same way
@@ -99,6 +104,14 @@ inline void apply_coalesce_flags(const common::CliFlags& flags,
   }
   config.coalesce_frames = static_cast<std::uint32_t>(frames);
   config.coalesce_bytes = static_cast<std::uint32_t>(bytes);
+  const double sync_epoch = flags.get_double("summary-sync-epoch");
+  if (!(sync_epoch > 0.0) || sync_epoch > 3600.0) {
+    std::fprintf(stderr,
+                 "error: --summary-sync-epoch must be in (0, 3600], got %g\n",
+                 sync_epoch);
+    std::exit(1);
+  }
+  config.summary_sync_epoch_s = sync_epoch;
 }
 
 /// Declares the shared `--backend` flag (experiment engine backplane).

@@ -68,6 +68,7 @@ void serialize_config(const SystemConfig& config, common::BufferWriter& out) {
   out.write_u32(config.dft_window);
   out.write_f64(config.kappa);
   out.write_u32(config.summary_epoch_tuples);
+  out.write_f64(config.summary_sync_epoch_s);
   out.write_u32(config.stale_flush_epochs);
   out.write_u32(config.piggyback_max_coeffs);
   out.write_i64(config.membership_tolerance);
@@ -114,6 +115,12 @@ common::Result<SystemConfig> deserialize_config(common::BufferReader& in) {
   DSJOIN_READ(dft_window, read_u32);
   DSJOIN_READ(kappa, read_f64);
   DSJOIN_READ(summary_epoch_tuples, read_u32);
+  DSJOIN_READ(summary_sync_epoch_s, read_f64);
+  if (!std::isfinite(config.summary_sync_epoch_s) ||
+      config.summary_sync_epoch_s <= 0.0) {
+    return common::Status(common::ErrorCode::kDataLoss,
+                          "summary sync epoch out of range");
+  }
   DSJOIN_READ(stale_flush_epochs, read_u32);
   DSJOIN_READ(piggyback_max_coeffs, read_u32);
   DSJOIN_READ(membership_tolerance, read_i64);

@@ -41,6 +41,7 @@ void aggregate_node_reports(std::span<const NodeReport> reports,
   for (const auto& report : reports) {
     result->total_arrivals += report.local_tuples;
     result->decode_failures += report.decode_failures;
+    result->late_summaries += report.late_summaries;
     if (merge_traffic) result->traffic.merge(report.traffic);
     for (const auto& pair : report.pairs) {
       collector.record_pair(pair, report.node_id, 0.0);

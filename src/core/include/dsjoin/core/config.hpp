@@ -6,6 +6,7 @@
 // hands them to DspSystem.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -57,6 +58,12 @@ struct SystemConfig {
   std::uint32_t dft_window = 2048;    ///< W: values per per-side sliding DFT
   double kappa = 256.0;               ///< compression factor W/K
   std::uint32_t summary_epoch_tuples = 256;  ///< tuples between summary flushes
+  /// Virtual-time grid (seconds) on which stamped summaries become visible
+  /// to receivers. A summary emitted at virtual time tau is applied by the
+  /// receiver at the first grid multiple strictly greater than
+  /// tau + wan.latency_min_s (see summary_visible_time), on every backend.
+  /// Must be > 0.
+  double summary_sync_epoch_s = 0.25;
   /// Peers that received no tuple (hence no piggybacked update) for this
   /// many epochs get a standalone summary frame. Kept lazy: coefficient
   /// updates ride almost entirely on tuple traffic (Figure 7 line 5), so
@@ -143,6 +150,17 @@ struct SystemConfig {
 
   /// Retained coefficient count K for the DFT policies.
   std::size_t dft_retained() const noexcept { return summary_budget_bytes() / 16; }
+
+  /// Virtual time at which a summary stamped with `emit_time` becomes
+  /// visible to its receiver: the first summary_sync_epoch_s multiple
+  /// strictly greater than emit_time + wan.latency_min_s. Strictly greater
+  /// keeps the parallel simulator driver deterministic — a summary emitted
+  /// inside epoch [W, W + w) becomes visible only after W + w, i.e. never
+  /// within the epoch that emitted it (this also holds when w == 0).
+  double summary_visible_time(double emit_time) const noexcept {
+    const double grid = summary_sync_epoch_s;
+    return grid * (std::floor((emit_time + wan.latency_min_s) / grid) + 1.0);
+  }
 };
 
 /// Wire encoding of a complete SystemConfig (every field, WAN profile

@@ -52,6 +52,9 @@ struct NodeReport {
   std::uint64_t local_tuples = 0;     ///< arrivals ingested from own source
   std::uint64_t received_tuples = 0;  ///< forwarded tuples from peers
   std::uint64_t decode_failures = 0;  ///< should be 0
+  /// Summaries applied after their virtual-time visibility boundary had
+  /// already passed (should be 0; non-zero voids exact parity).
+  std::uint64_t late_summaries = 0;
   net::TrafficCounters traffic;       ///< frames this node sent
   std::vector<stream::ResultPair> pairs;  ///< locally discovered, deduplicated
 };
@@ -72,6 +75,9 @@ struct ExperimentResult {
   std::uint64_t false_pairs = 0;      ///< reported but not in Psi (socket verify)
   std::uint64_t total_arrivals = 0;
   std::uint64_t decode_failures = 0;  ///< should be 0
+  /// Sum of per-node late summary applications (0 = routing state was a
+  /// pure function of virtual time; cross-backend parity holds).
+  std::uint64_t late_summaries = 0;
   net::TrafficCounters traffic;       ///< frames/bytes by kind
   /// The globally deduplicated pair set, sorted by (r_id, s_id) — what
   /// verify_against_schedule audits and what the cross-backend parity

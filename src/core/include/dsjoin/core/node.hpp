@@ -16,6 +16,7 @@
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "dsjoin/core/config.hpp"
 #include "dsjoin/core/metrics.hpp"
@@ -63,6 +64,21 @@ class Node {
   /// A frame arrives from the network at virtual time `now`.
   void on_frame(net::Frame&& frame, double now);
 
+  /// When enabled, on_frame ignores summary content (piggyback blocks and
+  /// kSummary frames): an external feed (the simulator's virtual-time tee)
+  /// delivers summaries via queue_summary instead, exactly once, without
+  /// transport latency deciding the application point.
+  void set_external_summary_feed(bool enabled) noexcept {
+    external_summary_feed_ = enabled;
+  }
+
+  /// Buffers a stamped summary from `from` until its visibility boundary
+  /// (SystemConfig::summary_visible_time). A summary whose boundary already
+  /// passed locally is applied immediately and counted late — the flag that
+  /// cross-backend parity is no longer guaranteed.
+  void queue_summary(net::NodeId from, const SummaryStamp& stamp,
+                     SummaryBlock block);
+
   RoutingPolicy& policy() noexcept { return *policy_; }
   const RoutingPolicy& policy() const noexcept { return *policy_; }
 
@@ -72,6 +88,9 @@ class Node {
   std::uint64_t received_tuples() const noexcept { return received_tuples_; }
   /// Frames that failed to decode (should stay 0 in healthy runs).
   std::uint64_t decode_failures() const noexcept { return decode_failures_; }
+  /// Summaries that arrived after their visibility boundary had already
+  /// passed (should stay 0 when the driver's watermarks are working).
+  std::uint64_t late_summaries() const noexcept { return late_summaries_; }
 
   /// Online controller diagnostics (meaningful when online_target_eps >= 0).
   double current_throttle() const noexcept { return throttle_; }
@@ -87,7 +106,11 @@ class Node {
       std::vector<stream::ResultPair>* shipped,
       std::map<net::NodeId, std::vector<stream::ResultPair>>* by_origin);
   void evict(double now);
-  void send_summary(net::NodeId peer, SummaryBlock block);
+  void send_summary(net::NodeId peer, SummaryBlock block, double now);
+  /// Applies every pending summary whose visibility boundary is <= now, in
+  /// the canonical (visible_time, sender, seq) order. Advances the local
+  /// summary frontier to `now` first.
+  void apply_due_summaries(double now);
   /// Records a locally originated tuple's controller class (audit/regular).
   void track_sent(std::uint64_t id, bool audited);
   /// Attributes shipped result pairs to the controller classes.
@@ -105,6 +128,22 @@ class Node {
   std::uint64_t local_tuples_ = 0;
   std::uint64_t received_tuples_ = 0;
   std::uint64_t decode_failures_ = 0;
+  std::uint64_t late_summaries_ = 0;
+
+  // Virtual-time summary synchronization (see DESIGN.md §12).
+  struct PendingSummary {
+    double visible;      // visibility boundary (grid multiple)
+    std::uint32_t seq;   // per-link emission counter
+    net::NodeId from;
+    SummaryBlock block;
+  };
+  std::vector<PendingSummary> pending_summaries_;
+  /// Latest local-arrival virtual time; summaries visible at or before it
+  /// have been applied.
+  double summary_frontier_;
+  /// Per-destination emission counters for outgoing stamps.
+  std::vector<std::uint32_t> summary_seq_;
+  bool external_summary_feed_ = false;
 
   // Online controller state.
   common::Xoshiro256 audit_rng_;

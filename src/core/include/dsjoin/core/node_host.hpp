@@ -126,8 +126,45 @@ class NodeHost {
                              std::uint8_t phase);
   static bool is_fin(const net::Frame& frame, std::uint8_t* phase);
 
+  // --- Virtual-time summary watermarks (socket backends; DESIGN.md §12).
+  //
+  // The wall-clock backends cannot rely on transport latency to order
+  // summary application, so each node announces how far its own virtual
+  // clock (and therefore any future summary emission) has advanced, and a
+  // driver about to ingest arrivals in visibility epoch k first waits until
+  // every peer's announcement covers that epoch. Announcements are
+  // quantized to the visibility grid so their count is a pure function of
+  // the arrival schedule — identical across socket drivers, keeping
+  // kControl frame counts comparable.
+
+  /// Turns the watermark protocol on (summary-driven policies only; BASE
+  /// and RR runs skip it entirely).
+  void enable_summary_watermarks();
+
+  /// Announces that every summary this node emits from now on has
+  /// emit_time >= `own_watermark`: one threshold frame per newly covered
+  /// grid point goes to every peer. Pass +infinity once the local arrival
+  /// schedule is exhausted (sent once).
+  void announce_summary_watermark(double own_watermark);
+
+  /// Blocks until every live peer's announced watermark covers the
+  /// visibility epoch containing `ts` — after which no summary that must
+  /// apply before the epoch's end can still be in flight. Returns false on
+  /// timeout or cancellation (the run degrades to counted late summaries,
+  /// never a hang). Call WITHOUT the caller's node lock; `cancelled`, if
+  /// set, is polled ~10x per second.
+  bool await_summary_cover(double ts, double timeout_s,
+                           const std::function<bool()>& cancelled = {});
+
+  /// Watermark wire format, exposed for tests: 8-byte magic + f64 value in
+  /// a FrameKind::kControl payload (distinct length from FIN frames).
+  static net::Frame make_watermark(net::NodeId from, net::NodeId to,
+                                   double value);
+  static bool is_watermark(const net::Frame& frame, double* value);
+
  private:
   void handle_fin(net::NodeId peer, std::uint8_t phase);
+  void handle_watermark(net::NodeId peer, double value);
   /// Sends FIN-2 once phase 1 completes; signals completion when phase 2
   /// does. Call with fin_mutex_ held.
   void advance_fin_locked();
@@ -155,6 +192,17 @@ class NodeHost {
   bool fin1_sent_ = false;
   bool fin2_sent_ = false;
   bool drain_complete_ = false;
+
+  // Summary watermark state (internally synchronized; lock order is the
+  // caller's node lock, then wm_mutex_ — never the reverse).
+  mutable std::mutex wm_mutex_;
+  std::condition_variable wm_cv_;
+  bool wm_enabled_ = false;
+  double wm_sync_epoch_s_;  // SystemConfig::summary_sync_epoch_s
+  double wm_sync_lead_s_;   // wan.latency_min_s
+  std::vector<double> wm_peer_;       // highest announcement per peer
+  std::uint64_t wm_announced_k_ = 0;  // grid points already announced
+  bool wm_final_sent_ = false;
 };
 
 }  // namespace dsjoin::core

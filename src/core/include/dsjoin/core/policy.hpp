@@ -75,6 +75,12 @@ class RoutingPolicy {
   /// True while the uniform-worst-case fallback (round-robin) is engaged.
   virtual bool fallback_active() const noexcept { return false; }
 
+  /// True when routing consults peer summary state (DFT/DFTT/BLOOM/SKCH/
+  /// SPEC). Drivers use this to decide whether virtual-time summary
+  /// synchronization (watermarks, visibility buffering) is needed at all;
+  /// BASE/RR runs pay zero overhead.
+  virtual bool uses_summaries() const noexcept { return false; }
+
   /// Current p_{i,j} estimates indexed by peer id (self entry = 0), for
   /// diagnostics and tests. Empty if the policy has no such notion.
   virtual std::vector<double> flow_probabilities() const { return {}; }

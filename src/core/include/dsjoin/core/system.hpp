@@ -54,6 +54,11 @@ class DspSystem {
  private:
   void schedule_arrival(net::NodeId node, stream::StreamSide side, double at);
   void install_node(net::NodeId id);
+  /// SimTransport summary-sink target: decodes a committed summary-bearing
+  /// frame and hands the block to the receiving node's virtual-time buffer
+  /// (Node::queue_summary). The receiver's on_frame path is suppressed via
+  /// set_external_summary_feed, so each block applies exactly once.
+  void tee_summary(const net::Frame& frame);
 
   // --- Parallel epoch execution (worker_threads >= 1) ---
   //

@@ -12,6 +12,14 @@
 //
 // A summary block is opaque to the node: only the emitting policy reads it.
 //
+// Every summary exchange carries a SummaryStamp: the virtual time of the
+// local tuple whose processing emitted it plus a per-link sequence number.
+// Receivers buffer stamped summaries and apply them at the stamp's
+// visibility boundary (SystemConfig::summary_visible_time), so routing
+// state is a pure function of virtual time, never of transport latency.
+// Tuple frames carry the stamp only when a piggyback block rides along —
+// plain tuple traffic pays zero bytes for it.
+//
 // Every payload carries a trailing 32-bit checksum; decoders verify it, so
 // in-flight corruption is always detected (kDataLoss) rather than
 // interpreted as a different tuple or coefficient.
@@ -34,10 +42,25 @@ struct SummaryBlock {
   std::size_t size() const noexcept { return bytes.size(); }
 };
 
+/// Version byte prefixed to every encoded SummaryStamp; decoders reject
+/// stamps from a different stamp format outright.
+inline constexpr std::uint8_t kSummaryStampVersion = 1;
+
+/// Virtual-time stamp on a summary exchange.
+struct SummaryStamp {
+  /// Timestamp of the local tuple whose processing emitted the summary —
+  /// backend-independent by construction. Must be finite and >= 0.
+  double emit_time = 0.0;
+  /// Emission counter per (sender -> receiver) link; orders same-boundary
+  /// summaries from one peer canonically.
+  std::uint32_t seq = 0;
+};
+
 /// Tuple frame body.
 struct TuplePayload {
   stream::Tuple tuple;
   SummaryBlock piggyback;  ///< may be empty
+  SummaryStamp stamp;      ///< on the wire only when piggyback is non-empty
 
   std::vector<std::uint8_t> encode() const;
   static common::Result<TuplePayload> decode(
@@ -47,6 +70,7 @@ struct TuplePayload {
 /// Standalone summary frame body.
 struct SummaryPayload {
   SummaryBlock block;
+  SummaryStamp stamp;
 
   std::vector<std::uint8_t> encode() const;
   static common::Result<SummaryPayload> decode(

@@ -1,6 +1,7 @@
 #include "dsjoin/core/node.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <unordered_map>
 
@@ -23,7 +24,9 @@ Node::Node(const SystemConfig& config, net::NodeId self, net::Transport& transpo
     : config_(config), self_(self), transport_(transport), metrics_(metrics),
       policy_(RoutingPolicy::create(config, self)),
       audit_rng_(config.seed ^ (0xadd17000ULL + self)),
-      throttle_(config.throttle) {}
+      throttle_(config.throttle),
+      summary_frontier_(-std::numeric_limits<double>::infinity()),
+      summary_seq_(config.nodes, 0) {}
 
 void Node::join_and_report(const stream::Tuple& tuple,
                            const stream::TupleStore& store, double now,
@@ -43,6 +46,9 @@ void Node::join_and_report(const stream::Tuple& tuple,
 }
 
 void Node::on_local_tuple(const stream::Tuple& tuple, double now) {
+  // Summary state advances on the local virtual clock, never on frame
+  // arrival: everything visible by `now` must inform this tuple's routing.
+  apply_due_summaries(now);
   ++local_tuples_;
   const auto side = static_cast<std::size_t>(tuple.side);
   const auto opposite = 1 - side;
@@ -89,6 +95,10 @@ void Node::on_local_tuple(const stream::Tuple& tuple, double now) {
     TuplePayload payload;
     payload.tuple = tuple;
     payload.piggyback = policy_->piggyback_for(dest);
+    if (!payload.piggyback.empty()) {
+      payload.stamp.emit_time = now;
+      payload.stamp.seq = summary_seq_[dest]++;
+    }
     net::Frame frame;
     frame.from = self_;
     frame.to = dest;
@@ -99,7 +109,7 @@ void Node::on_local_tuple(const stream::Tuple& tuple, double now) {
   }
 
   for (auto& summary : policy_->maintenance(now)) {
-    send_summary(summary.peer, std::move(summary.block));
+    send_summary(summary.peer, std::move(summary.block), now);
   }
 
   if (controller_on && local_tuples_ % config_.controller_interval_tuples == 0) {
@@ -131,8 +141,9 @@ void Node::on_frame(net::Frame&& frame, double now) {
         return;
       }
       const stream::Tuple& tuple = payload.value().tuple;
-      if (!payload.value().piggyback.empty()) {
-        policy_->on_summary(frame.from, payload.value().piggyback);
+      if (!payload.value().piggyback.empty() && !external_summary_feed_) {
+        queue_summary(frame.from, payload.value().stamp,
+                      std::move(payload.value().piggyback));
       }
       ++received_tuples_;
       const auto side = static_cast<std::size_t>(tuple.side);
@@ -170,7 +181,10 @@ void Node::on_frame(net::Frame&& frame, double now) {
         ++decode_failures_;
         return;
       }
-      policy_->on_summary(frame.from, payload.value().block);
+      if (!external_summary_feed_) {
+        queue_summary(frame.from, payload.value().stamp,
+                      std::move(payload.value().block));
+      }
       break;
     }
     case net::FrameKind::kResult: {
@@ -257,9 +271,46 @@ void Node::run_controller() {
   regular_matches_ *= 0.7;
 }
 
-void Node::send_summary(net::NodeId peer, SummaryBlock block) {
+void Node::queue_summary(net::NodeId from, const SummaryStamp& stamp,
+                         SummaryBlock block) {
+  const double visible = config_.summary_visible_time(stamp.emit_time);
+  if (visible <= summary_frontier_) {
+    // The boundary already passed on the local clock — exact application
+    // order is unrecoverable. Apply now, flag the run.
+    ++late_summaries_;
+    policy_->on_summary(from, block);
+    return;
+  }
+  pending_summaries_.push_back(
+      PendingSummary{visible, stamp.seq, from, std::move(block)});
+}
+
+void Node::apply_due_summaries(double now) {
+  if (now > summary_frontier_) summary_frontier_ = now;
+  if (pending_summaries_.empty()) return;
+  const auto due = std::partition(
+      pending_summaries_.begin(), pending_summaries_.end(),
+      [&](const PendingSummary& p) { return p.visible > summary_frontier_; });
+  if (due == pending_summaries_.end()) return;
+  // (visible, sender, seq) is a strict total order over pending entries, so
+  // the application sequence is independent of arrival interleaving.
+  std::sort(due, pending_summaries_.end(),
+            [](const PendingSummary& a, const PendingSummary& b) {
+              if (a.visible != b.visible) return a.visible < b.visible;
+              if (a.from != b.from) return a.from < b.from;
+              return a.seq < b.seq;
+            });
+  for (auto it = due; it != pending_summaries_.end(); ++it) {
+    policy_->on_summary(it->from, it->block);
+  }
+  pending_summaries_.erase(due, pending_summaries_.end());
+}
+
+void Node::send_summary(net::NodeId peer, SummaryBlock block, double now) {
   SummaryPayload payload;
   payload.block = std::move(block);
+  payload.stamp.emit_time = now;
+  payload.stamp.seq = summary_seq_[peer]++;
   net::Frame frame;
   frame.from = self_;
   frame.to = peer;

@@ -71,6 +71,7 @@ class DftFamilyPolicy : public RoutingPolicy {
   std::vector<OutboundSummary> maintenance(double now) override;
   void set_throttle(double throttle) override { throttle_ = throttle; }
   bool fallback_active() const noexcept override { return fallback_; }
+  bool uses_summaries() const noexcept override { return true; }
   std::vector<double> flow_probabilities() const override { return last_probs_; }
 
  private:
@@ -140,6 +141,7 @@ class BloomPolicy final : public RoutingPolicy {
   void on_summary(net::NodeId peer, const SummaryBlock& block) override;
   std::vector<OutboundSummary> maintenance(double now) override;
   void set_throttle(double throttle) override { throttle_ = throttle; }
+  bool uses_summaries() const noexcept override { return true; }
   std::vector<double> flow_probabilities() const override { return last_probs_; }
 
  private:
@@ -182,6 +184,7 @@ class SketchPolicy final : public RoutingPolicy {
   void on_summary(net::NodeId peer, const SummaryBlock& block) override;
   std::vector<OutboundSummary> maintenance(double now) override;
   void set_throttle(double throttle) override { throttle_ = throttle; }
+  bool uses_summaries() const noexcept override { return true; }
   std::vector<double> flow_probabilities() const override { return last_probs_; }
 
  private:
@@ -230,6 +233,7 @@ class SpectrumPolicy final : public RoutingPolicy {
   void on_summary(net::NodeId peer, const SummaryBlock& block) override;
   std::vector<OutboundSummary> maintenance(double now) override;
   void set_throttle(double throttle) override { throttle_ = throttle; }
+  bool uses_summaries() const noexcept override { return true; }
   std::vector<double> flow_probabilities() const override { return last_probs_; }
 
  private:

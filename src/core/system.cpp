@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "dsjoin/core/wire.hpp"
+
 namespace dsjoin::core {
 
 DspSystem::DspSystem(const SystemConfig& config)
@@ -12,6 +14,8 @@ DspSystem::DspSystem(const SystemConfig& config)
   }
   transport_ = std::make_unique<net::SimTransport>(queue_, config.nodes,
                                                    config.wan, config.seed ^ 0x77);
+  transport_->set_summary_sink(
+      [this](const net::Frame& frame) { tee_summary(frame); });
 
   metrics_.set_node_count(config.nodes);
   hosts_.resize(config.nodes);
@@ -25,6 +29,10 @@ DspSystem::~DspSystem() = default;
 
 void DspSystem::install_node(net::NodeId id) {
   hosts_[id] = std::make_unique<NodeHost>(config_, id, *transport_, metrics_);
+  // Summary content reaches the node through the transport's summary sink
+  // (virtual-time plane); the arrival-time frame path must not apply it a
+  // second time.
+  hosts_[id]->node().set_external_summary_feed(true);
   transport_->register_handler(id, [this, id](net::Frame&& frame) {
     // The host is re-resolved when the deferred work runs, so frames still
     // in flight across a crash-and-restart reach the fresh instance.
@@ -34,6 +42,24 @@ void DspSystem::install_node(net::NodeId id) {
                       hosts_[id]->deliver(std::move(f), now);
                     });
   });
+}
+
+void DspSystem::tee_summary(const net::Frame& frame) {
+  // Hosts are re-resolved per call so blocks committed across a
+  // crash-and-restart reach the live instance. Decode failures (corruption
+  // injection) are counted by the receiver's frame path, not here.
+  if (frame.kind == net::FrameKind::kSummary) {
+    auto payload = SummaryPayload::decode(frame.payload);
+    if (!payload) return;
+    hosts_[frame.to]->node().queue_summary(frame.from, payload.value().stamp,
+                                           std::move(payload.value().block));
+  } else if (frame.kind == net::FrameKind::kTuple) {
+    auto payload = TuplePayload::decode(frame.payload);
+    if (!payload || payload.value().piggyback.empty()) return;
+    hosts_[frame.to]->node().queue_summary(
+        frame.from, payload.value().stamp,
+        std::move(payload.value().piggyback));
+  }
 }
 
 void DspSystem::defer_node_task(net::NodeId node, double when,
@@ -132,6 +158,7 @@ ExperimentResult DspSystem::run() {
   for (const auto& host : hosts_) {
     result.fallback_engaged |= host->node().policy().fallback_active();
     result.decode_failures += host->node().decode_failures();
+    result.late_summaries += host->node().late_summaries();
   }
   finalize_derived_metrics(&result);
   return result;

@@ -1,5 +1,7 @@
 #include "dsjoin/core/wire.hpp"
 
+#include <cmath>
+
 namespace dsjoin::core {
 
 using common::BufferReader;
@@ -48,13 +50,43 @@ Result<std::span<const std::uint8_t>> unseal(std::span<const std::uint8_t> bytes
   return body;
 }
 
+void write_stamp(const SummaryStamp& stamp, BufferWriter& out) {
+  out.write_u8(kSummaryStampVersion);
+  out.write_f64(stamp.emit_time);
+  out.write_u32(stamp.seq);
+}
+
+Result<SummaryStamp> read_stamp(BufferReader& in) {
+  auto version = in.read_u8();
+  if (!version) return version.status();
+  if (version.value() != kSummaryStampVersion) {
+    return Status(ErrorCode::kDataLoss, "unsupported summary stamp version");
+  }
+  auto emit = in.read_f64();
+  if (!emit) return emit.status();
+  if (!std::isfinite(emit.value()) || emit.value() < 0.0) {
+    return Status(ErrorCode::kDataLoss, "summary stamp emit time out of range");
+  }
+  auto seq = in.read_u32();
+  if (!seq) return seq.status();
+  SummaryStamp stamp;
+  stamp.emit_time = emit.value();
+  stamp.seq = seq.value();
+  return stamp;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> TuplePayload::encode() const {
-  BufferWriter out(52 + piggyback.size());
+  BufferWriter out(64 + piggyback.size());
   tuple.serialize(out);
   out.write_u32(static_cast<std::uint32_t>(piggyback.bytes.size()));
-  out.write_raw(piggyback.bytes);
+  // The stamp rides only alongside a piggybacked summary: tuple frames
+  // without one carry zero stamp bytes (the bench acceptance bar).
+  if (!piggyback.bytes.empty()) {
+    write_stamp(stamp, out);
+    out.write_raw(piggyback.bytes);
+  }
   return seal(std::move(out));
 }
 
@@ -66,20 +98,28 @@ Result<TuplePayload> TuplePayload::decode(std::span<const std::uint8_t> bytes) {
   if (!tuple) return tuple.status();
   auto piggy_len = in.read_u32();
   if (!piggy_len) return piggy_len.status();
-  if (in.remaining() < piggy_len.value()) {
-    return Status(ErrorCode::kDataLoss, "truncated piggyback block");
-  }
   TuplePayload out;
   out.tuple = tuple.value();
-  out.piggyback.bytes.resize(piggy_len.value());
-  for (auto& b : out.piggyback.bytes) {
-    b = in.read_u8().value();  // length checked above
+  if (piggy_len.value() > 0) {
+    auto stamp = read_stamp(in);
+    if (!stamp) return stamp.status();
+    out.stamp = stamp.value();
+    if (in.remaining() < piggy_len.value()) {
+      return Status(ErrorCode::kDataLoss, "truncated piggyback block");
+    }
+    out.piggyback.bytes.resize(piggy_len.value());
+    for (auto& b : out.piggyback.bytes) {
+      b = in.read_u8().value();  // length checked above
+    }
   }
   return out;
 }
 
 std::vector<std::uint8_t> SummaryPayload::encode() const {
-  BufferWriter out(12 + block.size());
+  BufferWriter out(25 + block.size());
+  // Stamp first: the virtual-time header sits at a fixed offset so tooling
+  // (and the fuzz corpus) can patch it without re-parsing the block.
+  write_stamp(stamp, out);
   out.write_u32(static_cast<std::uint32_t>(block.bytes.size()));
   out.write_raw(block.bytes);
   return seal(std::move(out));
@@ -89,12 +129,15 @@ Result<SummaryPayload> SummaryPayload::decode(std::span<const std::uint8_t> byte
   auto body = unseal(bytes);
   if (!body) return body.status();
   BufferReader in(body.value());
+  auto stamp = read_stamp(in);
+  if (!stamp) return stamp.status();
   auto len = in.read_u32();
   if (!len) return len.status();
   if (in.remaining() < len.value()) {
     return Status(ErrorCode::kDataLoss, "truncated summary block");
   }
   SummaryPayload out;
+  out.stamp = stamp.value();
   out.block.bytes.resize(len.value());
   for (auto& b : out.block.bytes) b = in.read_u8().value();
   return out;

@@ -12,6 +12,7 @@
 //    frame draws a smaller latency.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -77,6 +78,17 @@ class SimTransport final : public Transport {
   std::uint64_t dropped_frames() const noexcept { return dropped_; }
   std::uint64_t corrupted_frames() const noexcept { return corrupted_; }
 
+  /// Observes every summary-bearing frame (kSummary, or kTuple with a
+  /// piggyback block) the instant its delivery is committed: after the
+  /// drop/corrupt draws, before the latency-delayed handler fires. The
+  /// simulator's owner uses this as a virtual-time summary plane — the
+  /// receiving node buffers the block by its stamp instead of by arrival.
+  /// In the parallel driver the sink runs at the epoch barrier, in slot
+  /// order, so serial and parallel runs observe the identical sequence.
+  void set_summary_sink(std::function<void(const Frame&)> sink) {
+    summary_sink_ = std::move(sink);
+  }
+
   // --- Parallel-epoch support (the deterministic multi-core driver) ---
   //
   // While an epoch is open, send() still applies every *sender-owned*
@@ -132,6 +144,7 @@ class SimTransport final : public Transport {
 
   EventQueue& queue_;
   WanProfile profile_;
+  std::function<void(const Frame&)> summary_sink_;
   std::vector<DeliveryHandler> handlers_;
   std::vector<Link> links_;  // N*N, row-major by sender
   std::vector<Sender> senders_;

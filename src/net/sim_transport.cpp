@@ -17,6 +17,11 @@ struct EpochBinding {
   SimTime event_time = 0.0;
 };
 thread_local EpochBinding tls_epoch_binding;
+
+bool summary_bearing(const Frame& frame) noexcept {
+  return frame.kind == FrameKind::kSummary ||
+         (frame.kind == FrameKind::kTuple && frame.piggyback_bytes > 0);
+}
 }  // namespace
 
 const char* to_string(FrameKind kind) noexcept {
@@ -130,6 +135,9 @@ common::Status SimTransport::send(Frame&& frame) {
         PendingSend{std::move(frame), arrival, true, false, corrupted});
     return common::Status::ok();
   }
+  // Delivery is committed: tee summary content to the virtual-time plane
+  // (post-corruption, so a mangled block still fails its checksum there).
+  if (summary_sink_ && summary_bearing(frame)) summary_sink_(frame);
   DeliveryHandler& handler = handlers_[frame.to];
   queue_.schedule_at(arrival,
                      [&handler, f = std::move(frame)]() mutable { handler(std::move(f)); });
@@ -158,6 +166,9 @@ void SimTransport::end_epoch() {
       if (pending.dropped) ++dropped_;
       if (pending.corrupted) ++corrupted_;
       if (pending.deliver) {
+        if (summary_sink_ && summary_bearing(pending.frame)) {
+          summary_sink_(pending.frame);
+        }
         DeliveryHandler& handler = handlers_[pending.frame.to];
         queue_.schedule_at(pending.arrival,
                            [&handler, f = std::move(pending.frame)]() mutable {

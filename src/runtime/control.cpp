@@ -179,6 +179,7 @@ MetricsReportMsg MetricsReportMsg::from_node_report(core::NodeReport report) {
   msg.local_tuples = report.local_tuples;
   msg.received_tuples = report.received_tuples;
   msg.decode_failures = report.decode_failures;
+  msg.late_summaries = report.late_summaries;
   msg.traffic = report.traffic;
   msg.pairs = std::move(report.pairs);
   return msg;
@@ -190,6 +191,7 @@ core::NodeReport MetricsReportMsg::to_node_report() const {
   report.local_tuples = local_tuples;
   report.received_tuples = received_tuples;
   report.decode_failures = decode_failures;
+  report.late_summaries = late_summaries;
   report.traffic = traffic;
   report.pairs = pairs;
   return report;
@@ -201,6 +203,7 @@ std::vector<std::uint8_t> MetricsReportMsg::encode() const {
   out.write_u64(local_tuples);
   out.write_u64(received_tuples);
   out.write_u64(decode_failures);
+  out.write_u64(late_summaries);
   serialize_traffic(traffic, out);
   out.write_u64(pairs.size());
   for (const auto& pair : pairs) {
@@ -226,6 +229,9 @@ common::Result<MetricsReportMsg> MetricsReportMsg::decode(
   auto failures = in.read_u64();
   if (!failures) return failures.status();
   msg.decode_failures = failures.value();
+  auto late = in.read_u64();
+  if (!late) return late.status();
+  msg.late_summaries = late.value();
   auto traffic = deserialize_traffic(in);
   if (!traffic) return traffic.status();
   msg.traffic = traffic.value();

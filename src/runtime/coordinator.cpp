@@ -73,8 +73,17 @@ std::string Coordinator::admit(std::vector<Member>* members) {
     auto hello = HelloMsg::decode(message.value().payload);
     if (!hello) return "bad HELLO: " + hello.status().message();
     if (hello.value().protocol != kProtocolVersion) {
-      return common::str_format("protocol mismatch: daemon speaks v%u, we v%u",
-                                hello.value().protocol, kProtocolVersion);
+      // Fail fast on BOTH sides: tell the daemon why it is being rejected
+      // (BYE with a reason payload) instead of letting it block on a CONFIG
+      // that will never come, then abort the run.
+      const std::string reason =
+          common::str_format("protocol mismatch: daemon speaks v%u, we v%u",
+                             hello.value().protocol, kProtocolVersion);
+      std::vector<std::uint8_t> payload(reason.begin(), reason.end());
+      (void)control.send_msg(static_cast<std::uint8_t>(ControlType::kBye),
+                             payload);
+      control.close();
+      return reason;
     }
     Member member;
     member.control = std::move(control);

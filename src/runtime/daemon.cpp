@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <span>
+#include <string>
 
 #include "dsjoin/common/log.hpp"
 #include "dsjoin/runtime/schedule.hpp"
@@ -72,6 +75,9 @@ common::Status NodeDaemon::run() {
   host_ = std::make_unique<core::NodeHost>(config_, node_id_, *mesh_);
   host_->set_peer_death_hook(
       [this](net::NodeId peer) { mesh_->mark_peer_dead(peer); });
+  if (host_->node().policy().uses_summaries()) {
+    host_->enable_summary_watermarks();
+  }
 
   if (auto status = mesh_->connect_mesh(); !status.is_ok()) return status;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
@@ -129,13 +135,19 @@ common::Status NodeDaemon::run() {
           }
           break;
         }
-        case ControlType::kBye:
+        case ControlType::kBye: {
           stop_threads();
           if (!reported) {
-            return common::Status(common::ErrorCode::kUnavailable,
-                                  "coordinator hung up before drain");
+            // A BYE before drain may carry the coordinator's reason (e.g. a
+            // protocol-version rejection) — surface it verbatim.
+            const auto& payload = message.value().payload;
+            const std::string reason(payload.begin(), payload.end());
+            return common::Status(
+                common::ErrorCode::kUnavailable,
+                reason.empty() ? "coordinator hung up before drain" : reason);
           }
           return common::Status::ok();
+        }
         default:
           DSJOIN_LOG_WARN("node %u: unexpected control message type %u",
                           node_id_, message.value().type);
@@ -174,6 +186,15 @@ common::Status NodeDaemon::handshake(net::MsgSocket& control, ConfigMsg* out) {
                               "coordinator closed during admission");
       }
       continue;
+    }
+    if (static_cast<ControlType>(message.value().type) == ControlType::kBye) {
+      // The coordinator refused admission (protocol-version mismatch or a
+      // full cluster); fail fast with its reason instead of timing out.
+      const auto& payload = message.value().payload;
+      const std::string reason(payload.begin(), payload.end());
+      return common::Status(
+          common::ErrorCode::kFailedPrecondition,
+          reason.empty() ? "coordinator rejected admission" : reason);
     }
     if (static_cast<ControlType>(message.value().type) != ControlType::kConfig) {
       continue;  // stray message; CONFIG must come first
@@ -219,6 +240,30 @@ void NodeDaemon::arrival_loop() {
   const auto schedule = ArrivalSchedule::build(config_);
   const auto mine = schedule.for_node(node_id_);
   const auto start = Clock::now();
+
+  // Virtual-time summary sync (summary-driven policies; DESIGN.md §12):
+  // announce the own arrival clock before waiting on anyone (announce-
+  // before-wait keeps the mesh deadlock-free), wait for peer cover before
+  // each chunk, and never let a chunk span a visibility epoch boundary.
+  const bool sync = host_->node().policy().uses_summaries();
+  const double sync_epoch = config_.summary_sync_epoch_s;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const auto cancelled = [this] { return stop_.load(); };
+  if (sync) {
+    host_->announce_summary_watermark(mine.empty() ? kInf
+                                                   : mine.front().timestamp);
+  }
+  // `next` = index of the first not-yet-ingested arrival.
+  const auto after_chunk = [&](std::size_t next) {
+    if (!sync) return;
+    if (next < mine.size()) {
+      host_->announce_summary_watermark(mine[next].timestamp);
+    } else {
+      host_->announce_summary_watermark(mine.back().timestamp);
+      host_->announce_summary_watermark(kInf);
+    }
+  };
+
   if (!options_.pace) {
     // As-fast-as-possible replay: hand the slice to the node in
     // coalesce-sized batches — one lock acquisition and one
@@ -226,14 +271,31 @@ void NodeDaemon::arrival_loop() {
     // chunks, so shutdown still interrupts promptly).
     const std::size_t chunk =
         std::max<std::size_t>(std::size_t{1}, config_.coalesce_frames);
-    for (std::size_t i = 0; i < mine.size() && !stop_.load(); i += chunk) {
-      const std::size_t n = std::min(chunk, mine.size() - i);
-      std::lock_guard lock(node_mutex_);
-      host_->ingest_batch(std::span<const stream::Tuple>(mine.data() + i, n));
+    std::size_t i = 0;
+    while (i < mine.size() && !stop_.load()) {
+      std::size_t n = std::min(chunk, mine.size() - i);
+      if (sync) {
+        const double epoch = std::floor(mine[i].timestamp / sync_epoch);
+        std::size_t j = i + 1;
+        while (j < i + n &&
+               std::floor(mine[j].timestamp / sync_epoch) == epoch) {
+          ++j;
+        }
+        n = j - i;
+        // Without node_mutex_: cover frames arrive on the dispatcher.
+        host_->await_summary_cover(mine[i].timestamp, 30.0, cancelled);
+      }
+      {
+        std::lock_guard lock(node_mutex_);
+        host_->ingest_batch(std::span<const stream::Tuple>(mine.data() + i, n));
+      }
+      i += n;
+      after_chunk(i);
     }
     arrivals_done_.store(true);
     return;
   }
+  std::size_t ingested = 0;
   for (const auto& tuple : mine) {
     if (stop_.load()) break;
     // Sleep toward the tuple's virtual time in short slices so shutdown
@@ -247,8 +309,13 @@ void NodeDaemon::arrival_loop() {
       std::this_thread::sleep_for(nap);
     }
     if (stop_.load()) break;
-    std::lock_guard lock(node_mutex_);
-    host_->ingest(tuple, tuple.timestamp);
+    if (sync) host_->await_summary_cover(tuple.timestamp, 30.0, cancelled);
+    {
+      std::lock_guard lock(node_mutex_);
+      host_->ingest(tuple, tuple.timestamp);
+    }
+    ++ingested;
+    after_chunk(ingested);
   }
   arrivals_done_.store(true);
 }

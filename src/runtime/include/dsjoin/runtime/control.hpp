@@ -32,7 +32,9 @@
 
 namespace dsjoin::runtime {
 
-inline constexpr std::uint32_t kProtocolVersion = 2;
+// v3: SystemConfig grew summary_sync_epoch_s, summary frames carry a
+// virtual-time stamp, and METRICS_REPORT carries late_summaries.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 enum class ControlType : std::uint8_t {
   kHello = 1,
@@ -102,6 +104,7 @@ struct MetricsReportMsg {
   std::uint64_t local_tuples = 0;
   std::uint64_t received_tuples = 0;
   std::uint64_t decode_failures = 0;
+  std::uint64_t late_summaries = 0;
   net::TrafficCounters traffic;  ///< frames this daemon sent, by kind
   std::vector<stream::ResultPair> pairs;
 

@@ -1,6 +1,8 @@
 #include "dsjoin/runtime/local.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -89,29 +91,81 @@ RunReport run_inprocess_tcp(const core::SystemConfig& config) {
     }
   }
 
+  // Virtual-time summary sync (summary-driven policies only; DESIGN.md
+  // §12): every host announces how far its own arrival clock will have
+  // advanced before its next ingest, and each ingest first waits until all
+  // peers' announcements cover its visibility epoch — after which no
+  // summary that must apply before the chunk's end can still be in flight.
+  // BASE/RR runs skip all of it (no watermark frames, no waits).
+  const bool sync = hosts[0]->node().policy().uses_summaries();
+  const double sync_epoch = config.summary_sync_epoch_s;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> arrival_times(config.nodes);
+  std::vector<std::size_t> cursor(config.nodes, 0);
+  if (sync) {
+    for (const auto& tuple : schedule.tuples) {
+      arrival_times[tuple.origin].push_back(tuple.timestamp);
+    }
+    for (auto& host : hosts) host->enable_summary_watermarks();
+    for (net::NodeId id = 0; id < config.nodes; ++id) {
+      hosts[id]->announce_summary_watermark(
+          arrival_times[id].empty() ? kInf : arrival_times[id].front());
+    }
+  }
+  // Post-chunk announcement: the next own arrival bounds every future
+  // emission; an exhausted schedule announces its last arrival and then
+  // infinity (one frame), the same sequence the node daemon produces.
+  const auto after_chunk = [&](net::NodeId id, std::size_t count) {
+    if (!sync) return;
+    cursor[id] += count;
+    const auto& times = arrival_times[id];
+    if (cursor[id] < times.size()) {
+      hosts[id]->announce_summary_watermark(times[cursor[id]]);
+    } else {
+      hosts[id]->announce_summary_watermark(times.back());
+      hosts[id]->announce_summary_watermark(kInf);
+    }
+  };
+
   const auto started_at = std::chrono::steady_clock::now();
   if (batched) {
     // Group consecutive same-origin arrivals into one ingest_batch call.
     // The schedule's global arrival order is preserved exactly; the cap
     // keeps any one locked section short so receiver deliveries interleave.
+    // Under summary sync a chunk additionally never spans a visibility
+    // epoch boundary (the cover wait is per-epoch).
     const auto& tuples = schedule.tuples;
     const std::size_t max_run = config.coalesce_frames;
     std::size_t i = 0;
     while (i < tuples.size()) {
+      const double epoch = std::floor(tuples[i].timestamp / sync_epoch);
       std::size_t j = i + 1;
       while (j < tuples.size() && tuples[j].origin == tuples[i].origin &&
-             j - i < max_run) {
+             j - i < max_run &&
+             (!sync ||
+              std::floor(tuples[j].timestamp / sync_epoch) == epoch)) {
         ++j;
       }
-      std::lock_guard lock(mutex);
-      hosts[tuples[i].origin]->ingest_batch(
-          std::span<const stream::Tuple>(tuples.data() + i, j - i));
+      if (sync) {
+        // Without the coarse lock: cover frames arrive on receiver threads.
+        hosts[tuples[i].origin]->await_summary_cover(tuples[i].timestamp, 30.0);
+      }
+      {
+        std::lock_guard lock(mutex);
+        hosts[tuples[i].origin]->ingest_batch(
+            std::span<const stream::Tuple>(tuples.data() + i, j - i));
+      }
+      after_chunk(tuples[i].origin, j - i);
       i = j;
     }
   } else {
     for (const auto& tuple : schedule.tuples) {
-      std::lock_guard lock(mutex);
-      hosts[tuple.origin]->ingest(tuple, tuple.timestamp);
+      if (sync) hosts[tuple.origin]->await_summary_cover(tuple.timestamp, 30.0);
+      {
+        std::lock_guard lock(mutex);
+        hosts[tuple.origin]->ingest(tuple, tuple.timestamp);
+      }
+      after_chunk(tuple.origin, 1);
     }
   }
 

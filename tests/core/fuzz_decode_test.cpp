@@ -4,6 +4,10 @@
 // clean accepts) are allowed.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
+#include <limits>
+
 #include "dsjoin/common/rng.hpp"
 #include "dsjoin/core/summary_state.hpp"
 #include "dsjoin/core/wire.hpp"
@@ -17,6 +21,8 @@ std::vector<std::uint8_t> sample_tuple_payload() {
   payload.tuple.key = 12345;
   payload.tuple.timestamp = 9.5;
   payload.tuple.side = stream::StreamSide::kR;
+  payload.stamp.emit_time = 9.5;
+  payload.stamp.seq = 17;
   payload.piggyback.bytes = {1, 2, 3, 4, 5, 6, 7, 8};
   return payload.encode();
 }
@@ -26,8 +32,36 @@ std::vector<std::uint8_t> sample_summary_payload() {
   summary_codec::encode_dft(w, stream::StreamSide::kS, 256, 8,
                             {{dsp::CoeffDelta{3, dsp::Complex(1, 2)}}});
   SummaryPayload payload;
+  payload.stamp.emit_time = 123.25;
+  payload.stamp.seq = 9;
   payload.block.bytes = std::move(w).take();
   return payload.encode();
+}
+
+// Overwrite bytes at `at` and re-seal so the checksum passes: what reaches
+// the stamp validator is exactly the patched content, not a checksum error.
+std::vector<std::uint8_t> patch_and_reseal(std::vector<std::uint8_t> bytes,
+                                           std::size_t at,
+                                           std::span<const std::uint8_t> with) {
+  for (std::size_t i = 0; i < with.size(); ++i) bytes[at + i] = with[i];
+  bytes.resize(bytes.size() - 4);
+  const std::uint32_t sum = payload_checksum(bytes);
+  bytes.push_back(static_cast<std::uint8_t>(sum));
+  bytes.push_back(static_cast<std::uint8_t>(sum >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(sum >> 16));
+  bytes.push_back(static_cast<std::uint8_t>(sum >> 24));
+  return bytes;
+}
+
+std::array<std::uint8_t, 8> f64_le_bytes(double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::array<std::uint8_t, 8> out;
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+  return out;
 }
 
 std::vector<std::uint8_t> sample_result_payload() {
@@ -86,6 +120,99 @@ TEST(FuzzDecode, ResultPayload) {
   ASSERT_TRUE(ResultPayload::decode(clean).is_ok());
   fuzz_decoder(clean,
                [](const auto& b) { return ResultPayload::decode(b).is_ok(); }, 3);
+}
+
+// Targeted stamp attacks. These are distinct from random mutation: the
+// payloads below re-seal the checksum, so only the stamp validator itself
+// stands between the bytes and the policy layer. SummaryPayload puts the
+// stamp at offset 0 precisely to make this patching trivial.
+TEST(FuzzDecode, SummaryStampVersionMismatchRejected) {
+  const auto clean = sample_summary_payload();
+  for (std::uint8_t version : {std::uint8_t{0}, std::uint8_t{2},
+                               std::uint8_t{0xff}}) {
+    const std::uint8_t patch[] = {version};
+    const auto bytes = patch_and_reseal(clean, 0, patch);
+    const auto decoded = SummaryPayload::decode(bytes);
+    ASSERT_FALSE(decoded.is_ok());
+    EXPECT_NE(decoded.status().message().find("stamp version"),
+              std::string::npos);
+  }
+}
+
+TEST(FuzzDecode, SummaryStampOutOfRangeEmitTimeRejected) {
+  const auto clean = sample_summary_payload();
+  const double bad[] = {-1.0, std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::quiet_NaN()};
+  for (double value : bad) {
+    const auto patch = f64_le_bytes(value);
+    // emit_time sits right after the one-byte stamp version.
+    const auto bytes = patch_and_reseal(clean, 1, patch);
+    const auto decoded = SummaryPayload::decode(bytes);
+    ASSERT_FALSE(decoded.is_ok()) << "accepted emit_time " << value;
+    EXPECT_NE(decoded.status().message().find("out of range"),
+              std::string::npos);
+  }
+}
+
+TEST(FuzzDecode, TupleStampOutOfRangeEmitTimeRejected) {
+  const auto clean = sample_tuple_payload();
+  // Layout from the back: checksum(4), piggyback(8), stamp(13) — so the
+  // stamp's emit_time field starts 24 bytes from the end, after the
+  // version byte at 25.
+  ASSERT_GE(clean.size(), 25u);
+  const std::size_t stamp_at = clean.size() - 4 - 8 - 13;
+  const std::uint8_t bad_version[] = {7};
+  const auto version_patch = patch_and_reseal(clean, stamp_at, bad_version);
+  EXPECT_FALSE(TuplePayload::decode(version_patch).is_ok());
+  const auto nan_patch = patch_and_reseal(
+      clean, stamp_at + 1,
+      f64_le_bytes(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(TuplePayload::decode(nan_patch).is_ok());
+}
+
+TEST(FuzzDecode, SummaryStampTruncationsRejected) {
+  // A summary whose sealed body ends inside the stamp (or inside the block
+  // length that follows it) must be a clean kDataLoss, never a crash. Build
+  // truncated bodies directly and re-seal each so the checksum is valid and
+  // the reader's bounds checks are what reject them.
+  const auto clean = sample_summary_payload();
+  for (std::size_t body_len = 0; body_len < 17; ++body_len) {
+    std::vector<std::uint8_t> bytes(clean.begin(), clean.begin() + body_len);
+    const std::uint32_t sum = payload_checksum(bytes);
+    bytes.push_back(static_cast<std::uint8_t>(sum));
+    bytes.push_back(static_cast<std::uint8_t>(sum >> 8));
+    bytes.push_back(static_cast<std::uint8_t>(sum >> 16));
+    bytes.push_back(static_cast<std::uint8_t>(sum >> 24));
+    EXPECT_FALSE(SummaryPayload::decode(bytes).is_ok())
+        << "accepted a stamp truncated at body length " << body_len;
+  }
+}
+
+TEST(FuzzDecode, StampRoundTripsExactly) {
+  const auto tuple = TuplePayload::decode(sample_tuple_payload());
+  ASSERT_TRUE(tuple.is_ok());
+  EXPECT_EQ(tuple.value().stamp.emit_time, 9.5);
+  EXPECT_EQ(tuple.value().stamp.seq, 17u);
+  const auto summary = SummaryPayload::decode(sample_summary_payload());
+  ASSERT_TRUE(summary.is_ok());
+  EXPECT_EQ(summary.value().stamp.emit_time, 123.25);
+  EXPECT_EQ(summary.value().stamp.seq, 9u);
+}
+
+TEST(FuzzDecode, BareTupleCarriesNoStampBytes) {
+  // The acceptance bar for the bench: a tuple frame without a piggybacked
+  // summary is byte-identical to the pre-stamp encoding — zero overhead on
+  // the per-tuple hot path.
+  TuplePayload with_stamp;
+  with_stamp.tuple.id = 7;
+  with_stamp.tuple.key = 99;
+  with_stamp.tuple.timestamp = 1.5;
+  with_stamp.stamp.emit_time = 555.0;  // must not serialize
+  with_stamp.stamp.seq = 1234;
+  TuplePayload plain;
+  plain.tuple = with_stamp.tuple;
+  EXPECT_EQ(with_stamp.encode(), plain.encode());
 }
 
 TEST(FuzzDecode, SummaryBlockCodecsNeverCrash) {

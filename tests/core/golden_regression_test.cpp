@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "dsjoin/core/system.hpp"
+#include "dsjoin/net/frame.hpp"
 
 namespace dsjoin::core {
 namespace {
@@ -19,25 +20,33 @@ struct Golden {
   std::uint64_t exact_pairs;
   std::uint64_t reported_pairs;
   std::uint64_t total_frames;
+  std::uint64_t summary_frames;   ///< dedicated kSummary frames sent
+  std::uint64_t piggyback_bytes;  ///< summary bytes riding on tuple frames
   double epsilon;
   double messages_per_result;
 };
 
 // Regenerate by running this config per policy and printing with %.17g.
+// The summary columns pin the coefficient-exchange plane itself: the DFT
+// family piggybacks coefficients on tuple frames (zero dedicated summary
+// frames, nonzero piggyback bytes) while BLOOM/SKCH/SPEC ship epoch blocks
+// as dedicated frames — a regression in either channel shows up here even
+// when pairs and epsilon happen to survive it.
 constexpr Golden kGoldens[] = {
-    {PolicyKind::kBase, 6622ull, 6622ull, 13330ull, 0.0, 2.0129870129870131},
-    {PolicyKind::kRoundRobin, 6622ull, 6182ull, 9055ull, 0.066445182724252483,
-     1.464736331284374},
-    {PolicyKind::kDft, 6622ull, 6070ull, 7434ull, 0.083358501963153087,
-     1.2247116968698517},
-    {PolicyKind::kDftt, 6622ull, 6231ull, 6061ull, 0.059045605557233483,
-     0.97271705986198043},
-    {PolicyKind::kBloom, 6622ull, 6006ull, 5965ull, 0.093023255813953543,
-     0.99317349317349313},
-    {PolicyKind::kSketch, 6622ull, 5958ull, 7722ull, 0.1002718212020538,
-     1.2960725075528701},
-    {PolicyKind::kSpectrum, 6622ull, 6241ull, 8372ull, 0.057535487768045956,
-     1.3414516904342253},
+    {PolicyKind::kBase, 6622ull, 6622ull, 13330ull, 0ull, 0ull, 0.0,
+     2.0129870129870131},
+    {PolicyKind::kRoundRobin, 6622ull, 6182ull, 9055ull, 0ull, 0ull,
+     0.066445182724252483, 1.464736331284374},
+    {PolicyKind::kDft, 6622ull, 6129ull, 7575ull, 0ull, 12880ull,
+     0.07444880700694656, 1.2359275575134605},
+    {PolicyKind::kDftt, 6622ull, 6234ull, 6083ull, 0ull, 13064ull,
+     0.058592570220477147, 0.97577799165864609},
+    {PolicyKind::kBloom, 6622ull, 6059ull, 5933ull, 36ull, 0ull,
+     0.085019631531259465, 0.97920448918963521},
+    {PolicyKind::kSketch, 6622ull, 5975ull, 7664ull, 36ull, 0ull,
+     0.097704620960434863, 1.2826778242677823},
+    {PolicyKind::kSpectrum, 6622ull, 6230ull, 8344ull, 36ull, 0ull,
+     0.059196617336152224, 1.3393258426966292},
 };
 
 SystemConfig golden_config(PolicyKind kind) {
@@ -58,8 +67,14 @@ TEST_P(GoldenRegression, PinnedMetricsUnchanged) {
   EXPECT_EQ(result.exact_pairs, golden.exact_pairs);
   EXPECT_EQ(result.reported_pairs, golden.reported_pairs);
   EXPECT_EQ(result.traffic.total_frames(), golden.total_frames);
+  EXPECT_EQ(result.traffic.frames(net::FrameKind::kSummary),
+            golden.summary_frames);
+  EXPECT_EQ(result.traffic.piggyback_bytes, golden.piggyback_bytes);
   EXPECT_DOUBLE_EQ(result.epsilon, golden.epsilon);
   EXPECT_DOUBLE_EQ(result.messages_per_result, golden.messages_per_result);
+  // Virtual-time stamping buffers early summaries instead of dropping any:
+  // in the simulator nothing is ever late.
+  EXPECT_EQ(result.late_summaries, 0u);
 }
 
 TEST_P(GoldenRegression, ParallelDriverMatchesGoldens) {
@@ -69,7 +84,11 @@ TEST_P(GoldenRegression, ParallelDriverMatchesGoldens) {
   const auto result = run_experiment(config);
   EXPECT_EQ(result.reported_pairs, GetParam().reported_pairs);
   EXPECT_EQ(result.traffic.total_frames(), GetParam().total_frames);
+  EXPECT_EQ(result.traffic.frames(net::FrameKind::kSummary),
+            GetParam().summary_frames);
+  EXPECT_EQ(result.traffic.piggyback_bytes, GetParam().piggyback_bytes);
   EXPECT_DOUBLE_EQ(result.epsilon, GetParam().epsilon);
+  EXPECT_EQ(result.late_summaries, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, GoldenRegression,

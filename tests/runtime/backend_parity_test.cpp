@@ -4,15 +4,28 @@
 //
 // This is the contract the engine refactor exists to keep: the three
 // backplanes share one NodeHost lifecycle, one ArrivalSource arrival truth
-// and one result-assembly path, so for deterministic-routing policies
-// (RR / BASE) with backpressure disabled they report the exact same pair
-// set — not just statistically similar output. Note: these tests fork()
-// (multiprocess backend), so they are filtered out of the TSan job next to
-// Multiprocess.* for the same reason.
+// and one result-assembly path. Since summary exchanges became virtual-time
+// stamped (DESIGN.md §12), the contract covers EVERY policy — summary-driven
+// routing included — because a summary's application point is a pure
+// function of (stamp, config), not of transport latency. The matrix below
+// pins it: {BASE, DFT, DFTT, BLOOM, SKCH} × {sim, tcp-inprocess,
+// multiprocess} × coalescing {off, on}, asserting identical pair sets,
+// epsilon and logical traffic counters everywhere.
+//
+// Suites and sanitizer jobs: BackendParityMatrix covers all three backends
+// and therefore fork()s — it is filtered out of the TSan job next to
+// Multiprocess.*. SummarySyncParity runs the same matrix over the two
+// in-process backends only, so the watermark handshake and the pending-
+// summary store do get TSan coverage (the suite name deliberately does not
+// start with "BackendParity": gtest filters treat '.' as a wildcard).
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
 
 #include "dsjoin/core/experiment.hpp"
 #include "dsjoin/core/system.hpp"
+#include "dsjoin/net/frame.hpp"
 #include "dsjoin/runtime/engine.hpp"
 
 namespace dsjoin {
@@ -80,6 +93,157 @@ TEST(BackendParity, RoundRobinIdenticalAcrossBackends) {
 TEST(BackendParity, BaseIdenticalAcrossBackends) {
   expect_parity(core::PolicyKind::kBase);
 }
+
+// ---------------------------------------------------------------------------
+// The full parity matrix.
+
+struct MatrixCase {
+  core::PolicyKind policy;
+  std::uint32_t coalesce_frames;  ///< 1 = per-frame wire records, >1 = batched
+  bool summary_driven;            ///< expects summary traffic on the wire
+};
+
+constexpr MatrixCase kMatrix[] = {
+    {core::PolicyKind::kBase, 1, false},
+    {core::PolicyKind::kBase, 32, false},
+    {core::PolicyKind::kDft, 1, true},
+    {core::PolicyKind::kDft, 32, true},
+    {core::PolicyKind::kDftt, 1, true},
+    {core::PolicyKind::kDftt, 32, true},
+    {core::PolicyKind::kBloom, 1, true},
+    {core::PolicyKind::kBloom, 32, true},
+    {core::PolicyKind::kSketch, 1, true},
+    {core::PolicyKind::kSketch, 32, true},
+};
+
+std::string matrix_case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  return std::string(core::to_string(info.param.policy)) +
+         (info.param.coalesce_frames > 1 ? "_Coalesced" : "_PerFrame");
+}
+
+core::SystemConfig matrix_config(const MatrixCase& matrix_case) {
+  auto config = parity_config(matrix_case.policy);
+  config.coalesce_frames = matrix_case.coalesce_frames;
+  return config;
+}
+
+void expect_same_logical_traffic(const core::ExperimentResult& a,
+                                 const core::ExperimentResult& b,
+                                 bool compare_control) {
+  using net::FrameKind;
+  for (const auto kind : {FrameKind::kTuple, FrameKind::kSummary}) {
+    EXPECT_EQ(a.traffic.frames(kind), b.traffic.frames(kind))
+        << "frame kind " << static_cast<int>(kind);
+    EXPECT_EQ(a.traffic.bytes(kind), b.traffic.bytes(kind))
+        << "frame kind " << static_cast<int>(kind);
+  }
+  EXPECT_EQ(a.traffic.piggyback_bytes, b.traffic.piggyback_bytes);
+  if (compare_control) {
+    // Watermark announcements are quantized to the visibility grid, so
+    // their count is chunking-invariant and must agree across the socket
+    // backends exactly (the simulator sends no control frames at all).
+    EXPECT_EQ(a.traffic.frames(FrameKind::kControl),
+              b.traffic.frames(FrameKind::kControl));
+  }
+}
+
+/// Runs one matrix cell over `backends` and checks every backend against
+/// the simulator run element-wise. kResult frames are excluded throughout:
+/// remote matches are grouped into result frames per delivery slice, so
+/// their count (not their content) is interleaving-dependent.
+void expect_matrix_parity(const MatrixCase& matrix_case,
+                          const std::vector<core::Backend>& backends) {
+  const auto config = matrix_config(matrix_case);
+  std::vector<core::ExperimentResult> results;
+  results.reserve(backends.size());
+  for (const auto backend : backends) {
+    results.push_back(run_backend(config, backend));
+  }
+
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.clean) << result.error;
+    EXPECT_EQ(result.nodes_failed, 0u);
+    EXPECT_EQ(result.decode_failures, 0u);
+    EXPECT_EQ(result.false_pairs, 0u);
+    // The virtual-time plane buffers early summaries; a late one would mean
+    // a watermark cover was violated (or timed out) somewhere.
+    EXPECT_EQ(result.late_summaries, 0u)
+        << core::to_string(result.backend);
+    EXPECT_EQ(result.total_arrivals,
+              2 * config.nodes * config.tuples_per_node);
+    if (matrix_case.summary_driven) {
+      // The cell must actually exercise the summary plane, or the parity
+      // assertions below are vacuous.
+      EXPECT_GT(result.traffic.bytes(net::FrameKind::kSummary) +
+                    result.traffic.piggyback_bytes,
+                0u)
+          << core::to_string(result.backend);
+    } else {
+      // No summaries -> no stamps, no watermark sync, no new wire bytes:
+      // the BASE/RR hot path stays byte-identical to the pre-stamp format.
+      // (Socket backends still send kControl FIN frames during drain; the
+      // cross-backend count equality below pins that no *additional*
+      // watermark frames appeared.)
+      EXPECT_EQ(result.traffic.frames(net::FrameKind::kSummary), 0u);
+      EXPECT_EQ(result.traffic.piggyback_bytes, 0u);
+    }
+  }
+
+  const auto& reference = results.front();  // the simulator run
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto& result = results[i];
+    EXPECT_EQ(result.pairs, reference.pairs)
+        << core::to_string(result.backend);
+    EXPECT_EQ(result.reported_pairs, reference.reported_pairs);
+    EXPECT_EQ(result.exact_pairs, reference.exact_pairs);
+    EXPECT_EQ(result.epsilon, reference.epsilon)
+        << core::to_string(result.backend);
+    expect_same_logical_traffic(result, reference, /*compare_control=*/false);
+  }
+  // kControl parity holds among the socket backends (FIN handshake plus,
+  // for summary policies, the quantized watermark announcements).
+  for (std::size_t i = 2; i < results.size(); ++i) {
+    expect_same_logical_traffic(results[i], results[1],
+                                /*compare_control=*/true);
+  }
+  EXPECT_GT(reference.reported_pairs, 0u);
+
+  if (matrix_case.coalesce_frames > 1) {
+    // Physical counters are where coalescing must show: the logical parity
+    // above is only meaningful if batching actually happened.
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      EXPECT_GT(results[i].traffic.header_bytes_saved, 0u)
+          << core::to_string(results[i].backend);
+      EXPECT_LT(results[i].traffic.wire_records,
+                results[i].traffic.total_frames())
+          << core::to_string(results[i].backend);
+    }
+  }
+}
+
+/// All three backends; fork()s, so TSan filters this suite out.
+class BackendParityMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(BackendParityMatrix, IdenticalAcrossAllBackends) {
+  expect_matrix_parity(GetParam(),
+                       {core::Backend::kSim, core::Backend::kTcpInprocess,
+                        core::Backend::kMultiprocess});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, BackendParityMatrix,
+                         ::testing::ValuesIn(kMatrix), matrix_case_name);
+
+/// Simulator + in-process TCP only: no fork, safe under TSan, and the
+/// pair that actually exercises the cross-thread watermark handshake.
+class SummarySyncParity : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(SummarySyncParity, SimAndInprocessTcpAgree) {
+  expect_matrix_parity(GetParam(),
+                       {core::Backend::kSim, core::Backend::kTcpInprocess});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SummarySyncParity,
+                         ::testing::ValuesIn(kMatrix), matrix_case_name);
 
 TEST(BackendParity, SocketBackendsMeasureWallClockMakespan) {
   const auto config = parity_config(core::PolicyKind::kRoundRobin);

@@ -1,0 +1,95 @@
+// Protocol-version fail-fast: a coordinator and daemon built from
+// different protocol revisions must discover the mismatch at HELLO — the
+// first message either side sends — and both fail with a clear error,
+// instead of the daemon blocking on a CONFIG that will never come while
+// the coordinator burns its admission budget.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "dsjoin/net/channel.hpp"
+#include "dsjoin/runtime/coordinator.hpp"
+#include "dsjoin/runtime/daemon.hpp"
+
+namespace dsjoin::runtime {
+namespace {
+
+CoordinatorOptions small_cluster_options() {
+  CoordinatorOptions options;
+  options.port = 0;
+  options.config.nodes = 2;
+  options.config.tuples_per_node = 10;
+  options.admit_timeout_s = 30.0;
+  return options;
+}
+
+TEST(HelloVersion, CoordinatorRejectsStaleDaemonWithByeAndReason) {
+  Coordinator coordinator(small_cluster_options());
+  RunReport report;
+  std::thread runner([&] { report = coordinator.run(); });
+
+  // Speak the previous protocol revision by hand.
+  auto fd = net::tcp_connect({"127.0.0.1", coordinator.port()});
+  ASSERT_TRUE(fd.is_ok()) << fd.status().to_string();
+  net::MsgSocket control(std::move(fd).value());
+  HelloMsg hello;
+  hello.protocol = kProtocolVersion - 1;
+  hello.data_endpoint = {"127.0.0.1", 12345};
+  ASSERT_TRUE(control
+                  .send_msg(static_cast<std::uint8_t>(ControlType::kHello),
+                            hello.encode())
+                  .is_ok());
+
+  // The coordinator must answer with BYE carrying the reason — not drop
+  // the socket silently, not stall until the admission timeout.
+  auto reply = control.recv_msg(10.0);
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(static_cast<ControlType>(reply.value().type), ControlType::kBye);
+  const std::string reason(reply.value().payload.begin(),
+                           reply.value().payload.end());
+  EXPECT_NE(reason.find("protocol mismatch"), std::string::npos) << reason;
+  control.close();
+
+  runner.join();
+  EXPECT_FALSE(report.clean);
+  EXPECT_NE(report.error.find("protocol mismatch"), std::string::npos)
+      << report.error;
+}
+
+TEST(HelloVersion, DaemonSurfacesRejectionReasonFromBye) {
+  // Fake coordinator: accept the daemon's HELLO, reject it with BYE the way
+  // a version-skewed coordinator would.
+  auto listener = net::tcp_listen(0, 4);
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+  auto port = net::bound_port(listener.value().get());
+  ASSERT_TRUE(port.is_ok());
+
+  const std::string reason = "protocol mismatch: daemon speaks v3, we v4";
+  std::thread rejecter([&] {
+    auto fd = net::tcp_accept(listener.value().get(), 10.0);
+    if (!fd.is_ok()) return;
+    net::MsgSocket control(std::move(fd).value());
+    auto hello = control.recv_msg(5.0);
+    if (!hello.is_ok()) return;
+    std::vector<std::uint8_t> payload(reason.begin(), reason.end());
+    (void)control.send_msg(static_cast<std::uint8_t>(ControlType::kBye),
+                           payload);
+    control.close();
+  });
+
+  DaemonOptions options;
+  options.coordinator = {"127.0.0.1", port.value()};
+  options.connect_timeout_s = 10.0;
+  NodeDaemon daemon(options);
+  const auto status = daemon.run();
+  rejecter.join();
+
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), common::ErrorCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("protocol mismatch"), std::string::npos)
+      << status.to_string();
+}
+
+}  // namespace
+}  // namespace dsjoin::runtime

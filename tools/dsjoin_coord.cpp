@@ -50,6 +50,9 @@ int main(int argc, char** argv) {
                "record per frame; max 65535)")
       .add_int("coalesce-bytes", 1 << 16,
                "payload-byte budget per coalesced wire record")
+      .add_double("summary-sync-epoch", 0.25,
+                  "visibility grid (s, virtual time) for stamped summary "
+                  "exchange (DESIGN.md section 12)")
       .add_bool("verify", true, "recompute the oracle for epsilon/false pairs")
       .add_bool("verbose", false, "log protocol progress");
   if (auto s = flags.parse(argc, argv); !s) {
@@ -90,6 +93,14 @@ int main(int argc, char** argv) {
   options.config.coalesce_frames =
       static_cast<std::uint32_t>(coalesce_frames);
   options.config.coalesce_bytes = static_cast<std::uint32_t>(coalesce_bytes);
+  const double sync_epoch = flags.get_double("summary-sync-epoch");
+  if (!(sync_epoch > 0.0) || sync_epoch > 3600.0) {
+    std::fprintf(stderr,
+                 "error: --summary-sync-epoch must be in (0, 3600], got %g\n",
+                 sync_epoch);
+    return 1;
+  }
+  options.config.summary_sync_epoch_s = sync_epoch;
 
   runtime::Coordinator coordinator(options);
   std::printf("coordinator: control port %u, waiting for %u daemons\n",
