@@ -1,27 +1,39 @@
-// Scalar vs. batch ingestion cost for every hot-path operator (sliding DFT,
-// AGMS / Fast-AGMS sketches, counting Bloom filter, window stores).
+// Scalar vs. batch vs. SIMD ingestion cost for every hot-path operator
+// (sliding DFT, AGMS / Fast-AGMS sketches, counting Bloom filter, window
+// stores).
 //
-// Each operator runs the same value/key stream through its tuple-at-a-time
-// reference path and through the vectorized batch path (batches of
-// kBatchSize, the default summary epoch length), and reports ns per item
-// plus the scalar/batch speedup. Results go to stdout as an aligned table
-// and to BENCH_hotpath.json (one entry per operator per config) so later
-// PRs have a machine-readable perf trajectory.
+// Each operator runs the same value/key stream through three paths:
+//   scalar  the tuple-at-a-time reference path
+//   batch   the batch API with the simd:: kernels forced to their scalar
+//           level — i.e. the PR-2 batch path, kept comparable across PRs
+//   simd    the batch API at the best kernel level the host dispatches
+//           (avx512 / avx2 / neon; identical bits by construction)
+// and reports ns per item plus the scalar/batch and batch/simd speedups.
+// Results go to stdout as an aligned table and to BENCH_hotpath.json (one
+// entry per operator per config) so later PRs have a machine-readable perf
+// trajectory. Operators without dedicated kernels (counting_bloom,
+// count_window, tuple_store) run the same code in both batch and simd
+// columns.
 //
 // Flags:
 //   --quick      fewer configs, shorter timing windows (CI smoke)
 //   --check      exit 1 if any operator's batch path is >10% slower than
-//                scalar (regression guard, not an absolute-speed gate)
+//                scalar, or a kernel-backed operator's simd path is >10%
+//                slower than batch (regression guard, not an absolute-speed
+//                gate; operators without kernels time identical code in
+//                both columns, so their ratio is noise and is not gated)
 //   --out=PATH   JSON output path (default BENCH_hotpath.json)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dsjoin/common/rng.hpp"
+#include "dsjoin/common/simd.hpp"
 #include "dsjoin/dsp/sliding_dft.hpp"
 #include "dsjoin/sketch/agms.hpp"
 #include "dsjoin/sketch/bloom.hpp"
@@ -40,10 +52,17 @@ struct Entry {
   std::string op;      // operator name
   std::string config;  // human-readable config, e.g. "W=2048 K=32"
   double scalar_ns = 0.0;
-  double batch_ns = 0.0;
+  double batch_ns = 0.0;  // batch API, kernels forced scalar (PR-2 path)
+  double simd_ns = 0.0;   // batch API at the dispatched kernel level
+  // Whether the operator has a dedicated simd:: kernel. When false the
+  // batch and simd columns time identical code (counting Bloom stays on
+  // the per-key path at every level — it is touch-bound, DESIGN.md §13),
+  // so their ratio is pure measurement noise and --check must not gate it.
+  bool has_kernel = false;
   std::size_t batch_size = kBatchSize;
 
   double speedup() const { return batch_ns > 0.0 ? scalar_ns / batch_ns : 0.0; }
+  double simd_speedup() const { return simd_ns > 0.0 ? batch_ns / simd_ns : 0.0; }
 };
 
 /// Runs fn() (which processes `items` items per call) repeatedly for at
@@ -67,6 +86,21 @@ double measure_ns_per_item(std::size_t items, double min_time_s, F&& fn) {
     best = std::min(best, ns);
   }
   return best;
+}
+
+/// Measures one batch-path lambda twice: once with the kernels forced to
+/// scalar (the `batch` column) and once at the default dispatched level
+/// (the `simd` column). `make_fresh` re-creates operator state between the
+/// two so neither measurement runs on the other's warmed allocations.
+template <typename MakeFresh, typename Run>
+void measure_batch_and_simd(Entry& e, std::size_t items, double min_time_s,
+                            MakeFresh&& make_fresh, Run&& run) {
+  make_fresh();
+  common::simd::force_level(common::simd::Level::kScalar);
+  e.batch_ns = measure_ns_per_item(items, min_time_s, run);
+  common::simd::reset_level();
+  make_fresh();
+  e.simd_ns = measure_ns_per_item(items, min_time_s, run);
 }
 
 std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
@@ -102,6 +136,7 @@ Entry bench_sliding_dft(std::size_t window, std::size_t retained,
                         double min_time_s) {
   Entry e;
   e.op = "sliding_dft";
+  e.has_kernel = true;
   e.config = "W=" + std::to_string(window) + " K=" + std::to_string(retained);
   const auto values = random_values(4 * kBatchSize, 11);
 
@@ -110,12 +145,15 @@ Entry bench_sliding_dft(std::size_t window, std::size_t retained,
     for (double v : values) scalar.push(v);
   });
 
-  dsp::SlidingDft batch(window, retained);
-  e.batch_ns = measure_ns_per_item(values.size(), min_time_s, [&] {
-    for (std::size_t base = 0; base < values.size(); base += kBatchSize) {
-      batch.push_batch(std::span<const double>(values).subspan(base, kBatchSize));
-    }
-  });
+  std::optional<dsp::SlidingDft> batch;
+  measure_batch_and_simd(
+      e, values.size(), min_time_s, [&] { batch.emplace(window, retained); },
+      [&] {
+        for (std::size_t base = 0; base < values.size(); base += kBatchSize) {
+          batch->push_batch(
+              std::span<const double>(values).subspan(base, kBatchSize));
+        }
+      });
   return e;
 }
 
@@ -123,6 +161,7 @@ Entry bench_agms(std::size_t budget_counters, double min_time_s) {
   Entry e;
   const auto shape = sketch::AgmsShape::for_budget(budget_counters);
   e.op = "agms";
+  e.has_kernel = true;
   e.config = "s0=" + std::to_string(shape.s0) + " s1=" + std::to_string(shape.s1);
   const auto keys = random_keys(4 * kBatchSize, 12);
 
@@ -131,13 +170,15 @@ Entry bench_agms(std::size_t budget_counters, double min_time_s) {
     for (std::uint64_t k : keys) scalar.update(k, +1);
   });
 
-  sketch::AgmsSketch batch(shape, 42);
-  e.batch_ns = measure_ns_per_item(keys.size(), min_time_s, [&] {
-    for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
-      batch.update_batch(
-          std::span<const std::uint64_t>(keys).subspan(base, kBatchSize), +1);
-    }
-  });
+  std::optional<sketch::AgmsSketch> batch;
+  measure_batch_and_simd(
+      e, keys.size(), min_time_s, [&] { batch.emplace(shape, 42); },
+      [&] {
+        for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
+          batch->update_batch(
+              std::span<const std::uint64_t>(keys).subspan(base, kBatchSize), +1);
+        }
+      });
   return e;
 }
 
@@ -145,6 +186,7 @@ Entry bench_fast_agms(std::uint32_t rows, std::uint32_t buckets,
                       double min_time_s) {
   Entry e;
   e.op = "fast_agms";
+  e.has_kernel = true;
   e.config =
       "rows=" + std::to_string(rows) + " buckets=" + std::to_string(buckets);
   const auto keys = random_keys(4 * kBatchSize, 13);
@@ -154,13 +196,15 @@ Entry bench_fast_agms(std::uint32_t rows, std::uint32_t buckets,
     for (std::uint64_t k : keys) scalar.update(k, +1);
   });
 
-  sketch::FastAgmsSketch batch(rows, buckets, 42);
-  e.batch_ns = measure_ns_per_item(keys.size(), min_time_s, [&] {
-    for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
-      batch.update_batch(
-          std::span<const std::uint64_t>(keys).subspan(base, kBatchSize), +1);
-    }
-  });
+  std::optional<sketch::FastAgmsSketch> batch;
+  measure_batch_and_simd(
+      e, keys.size(), min_time_s, [&] { batch.emplace(rows, buckets, 42); },
+      [&] {
+        for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
+          batch->update_batch(
+              std::span<const std::uint64_t>(keys).subspan(base, kBatchSize), +1);
+        }
+      });
   return e;
 }
 
@@ -180,17 +224,20 @@ Entry bench_counting_bloom(std::size_t counters, std::size_t expected_keys,
     for (std::uint64_t k : keys) scalar.erase(k);
   });
 
-  sketch::CountingBloomFilter batch(counters, hashes, 42);
-  e.batch_ns = measure_ns_per_item(2 * keys.size(), min_time_s, [&] {
-    for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
-      batch.insert_batch(
-          std::span<const std::uint64_t>(keys).subspan(base, kBatchSize));
-    }
-    for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
-      batch.erase_batch(
-          std::span<const std::uint64_t>(keys).subspan(base, kBatchSize));
-    }
-  });
+  std::optional<sketch::CountingBloomFilter> batch;
+  measure_batch_and_simd(
+      e, 2 * keys.size(), min_time_s,
+      [&] { batch.emplace(counters, hashes, 42); },
+      [&] {
+        for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
+          batch->insert_batch(
+              std::span<const std::uint64_t>(keys).subspan(base, kBatchSize));
+        }
+        for (std::size_t base = 0; base < keys.size(); base += kBatchSize) {
+          batch->erase_batch(
+              std::span<const std::uint64_t>(keys).subspan(base, kBatchSize));
+        }
+      });
   return e;
 }
 
@@ -205,16 +252,18 @@ Entry bench_count_window(std::size_t capacity, double min_time_s) {
     for (const auto& t : tuples) (void)scalar.insert(t);
   });
 
-  stream::CountWindow batch(capacity);
+  std::optional<stream::CountWindow> batch;
   std::vector<stream::Tuple> evicted;
-  e.batch_ns = measure_ns_per_item(tuples.size(), min_time_s, [&] {
-    for (std::size_t base = 0; base < tuples.size(); base += kBatchSize) {
-      evicted.clear();
-      batch.insert_batch(
-          std::span<const stream::Tuple>(tuples).subspan(base, kBatchSize),
-          evicted);
-    }
-  });
+  measure_batch_and_simd(
+      e, tuples.size(), min_time_s, [&] { batch.emplace(capacity); },
+      [&] {
+        for (std::size_t base = 0; base < tuples.size(); base += kBatchSize) {
+          evicted.clear();
+          batch->insert_batch(
+              std::span<const stream::Tuple>(tuples).subspan(base, kBatchSize),
+              evicted);
+        }
+      });
   return e;
 }
 
@@ -231,15 +280,18 @@ Entry bench_tuple_store(double min_time_s) {
     scalar.evict_before(horizon);
   });
 
-  stream::TupleStore batch;
-  e.batch_ns = measure_ns_per_item(tuples.size(), min_time_s, [&] {
-    batch.insert_batch(tuples);
-    batch.evict_before(horizon);
-  });
+  std::optional<stream::TupleStore> batch;
+  measure_batch_and_simd(
+      e, tuples.size(), min_time_s, [&] { batch.emplace(); },
+      [&] {
+        batch->insert_batch(tuples);
+        batch->evict_before(horizon);
+      });
   return e;
 }
 
 void write_json(const std::vector<Entry>& entries, const std::string& path) {
+  const char* level = common::simd::level_name(common::simd::detected_level());
   std::ofstream out(path);
   out << "[\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -248,9 +300,13 @@ void write_json(const std::vector<Entry>& entries, const std::string& path) {
     std::snprintf(buf, sizeof buf,
                   "  {\"operator\": \"%s\", \"config\": \"%s\", "
                   "\"scalar_ns_per_item\": %.2f, \"batch_ns_per_item\": %.2f, "
-                  "\"speedup\": %.3f, \"batch_size\": %zu}%s\n",
+                  "\"simd_ns_per_item\": %.2f, \"speedup\": %.3f, "
+                  "\"simd_speedup\": %.3f, \"simd_level\": \"%s\", "
+                  "\"has_kernel\": %s, \"batch_size\": %zu}%s\n",
                   e.op.c_str(), e.config.c_str(), e.scalar_ns, e.batch_ns,
-                  e.speedup(), e.batch_size, i + 1 < entries.size() ? "," : "");
+                  e.simd_ns, e.speedup(), e.simd_speedup(), level,
+                  e.has_kernel ? "true" : "false", e.batch_size,
+                  i + 1 < entries.size() ? "," : "");
     out << buf;
   }
   out << "]\n";
@@ -277,7 +333,10 @@ int main(int argc, char** argv) {
   }
 
   const double min_time_s = quick ? 0.05 : 0.2;
-  std::puts("Hot-path ingestion: scalar (tuple-at-a-time reference) vs batch.");
+  std::printf(
+      "Hot-path ingestion: scalar vs batch (kernels forced scalar) vs simd "
+      "(dispatched level: %s).\n",
+      common::simd::level_name(common::simd::detected_level()));
   std::vector<Entry> entries;
 
   if (quick) {
@@ -305,13 +364,16 @@ int main(int argc, char** argv) {
     entries.push_back(bench_tuple_store(min_time_s));
   }
 
-  std::printf("%-16s %-22s %12s %12s %9s\n", "operator", "config",
-              "scalar ns/it", "batch ns/it", "speedup");
+  std::printf("%-16s %-22s %12s %12s %12s %9s %9s\n", "operator", "config",
+              "scalar ns/it", "batch ns/it", "simd ns/it", "speedup",
+              "simd spd");
   bool regression = false;
   for (const Entry& e : entries) {
-    std::printf("%-16s %-22s %12.2f %12.2f %8.2fx\n", e.op.c_str(),
-                e.config.c_str(), e.scalar_ns, e.batch_ns, e.speedup());
+    std::printf("%-16s %-22s %12.2f %12.2f %12.2f %8.2fx %8.2fx\n",
+                e.op.c_str(), e.config.c_str(), e.scalar_ns, e.batch_ns,
+                e.simd_ns, e.speedup(), e.simd_speedup());
     if (e.speedup() < 0.9) regression = true;
+    if (e.has_kernel && e.simd_speedup() < 0.9) regression = true;
   }
   write_json(entries, out_path);
   std::printf("\nwrote %s (%zu entries, batch size %zu)\n", out_path.c_str(),
@@ -319,8 +381,8 @@ int main(int argc, char** argv) {
 
   if (check && regression) {
     std::fprintf(stderr,
-                 "FAIL: batch path >10%% slower than scalar on at least one "
-                 "operator\n");
+                 "FAIL: batch path >10%% slower than scalar, or simd path "
+                 ">10%% slower than batch, on at least one operator\n");
     return 1;
   }
   return 0;

@@ -114,6 +114,28 @@ inline void apply_coalesce_flags(const common::CliFlags& flags,
   config.summary_sync_epoch_s = sync_epoch;
 }
 
+/// Declares the shared `--quant-bits` flag (quantized coefficient wire
+/// format, DESIGN.md section 13).
+inline void add_quant_flag(common::CliFlags& flags) {
+  flags.add_int("quant-bits", 0,
+                "preferred mantissa width for coefficient summaries: 0 = "
+                "f64 (off), 8 or 16 = fixed-point with per-block scale and "
+                "automatic escalation to the next width when the predicted "
+                "reconstruction MSE would breach the Section 5.3 budget");
+}
+
+/// Applies `--quant-bits`, rejecting widths outside {0, 8, 16}.
+inline void apply_quant_flag(const common::CliFlags& flags,
+                             core::SystemConfig& config) {
+  const std::int64_t bits = flags.get_int("quant-bits");
+  if (bits != 0 && bits != 8 && bits != 16) {
+    std::fprintf(stderr, "error: --quant-bits must be 0, 8 or 16, got %lld\n",
+                 static_cast<long long>(bits));
+    std::exit(1);
+  }
+  config.summary_quant_bits = static_cast<std::uint32_t>(bits);
+}
+
 /// Declares the shared `--backend` flag (experiment engine backplane).
 inline void add_backend_flag(common::CliFlags& flags) {
   flags.add_string(

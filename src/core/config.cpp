@@ -86,6 +86,7 @@ void serialize_config(const SystemConfig& config, common::BufferWriter& out) {
   out.write_f64(config.audit_probability);
   out.write_f64(config.controller_gain);
   out.write_u32(config.controller_interval_tuples);
+  out.write_u32(config.summary_quant_bits);
 }
 
 common::Result<SystemConfig> deserialize_config(common::BufferReader& in) {
@@ -151,6 +152,12 @@ common::Result<SystemConfig> deserialize_config(common::BufferReader& in) {
   DSJOIN_READ(audit_probability, read_f64);
   DSJOIN_READ(controller_gain, read_f64);
   DSJOIN_READ(controller_interval_tuples, read_u32);
+  DSJOIN_READ(summary_quant_bits, read_u32);
+  if (config.summary_quant_bits != 0 && config.summary_quant_bits != 8 &&
+      config.summary_quant_bits != 16) {
+    return common::Status(common::ErrorCode::kDataLoss,
+                          "summary quant bits must be 0, 8 or 16");
+  }
 #undef DSJOIN_READ
   return config;
 }

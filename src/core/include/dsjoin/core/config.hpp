@@ -78,6 +78,14 @@ struct SystemConfig {
   /// Coefficient-change threshold for piggybacked deltas, as a fraction of
   /// sqrt(spectral energy / W) (adaptive to signal scale).
   double coeff_delta_threshold = 0.05;
+  /// Preferred fixed-point mantissa width for coefficient summaries
+  /// (wire format v4): 0 disables quantization (coefficients ship as f64,
+  /// the historical format), 8 or 16 quantize each coefficient block to
+  /// int8/int16 mantissas behind one f64 scale. The encoder escalates
+  /// 8 -> 16 -> f64 per block whenever the predicted added reconstruction
+  /// MSE would exceed dsp::kQuantMseBudget, so the paper's Section 5.3
+  /// lossless-after-rounding bound is never at risk.
+  std::uint32_t summary_quant_bits = 0;
 
   // Policy under test.
   PolicyKind policy = PolicyKind::kDftt;

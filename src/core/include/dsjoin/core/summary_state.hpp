@@ -34,11 +34,26 @@ inline constexpr std::uint8_t kTagDft = 'D';
 inline constexpr std::uint8_t kTagBloom = 'B';
 inline constexpr std::uint8_t kTagSketch = 'K';
 inline constexpr std::uint8_t kTagHistSpectrum = 'H';
+// Quantized counterparts (lowercase of the f64 tags, wire format v4): one
+// f64 per-block scale plus int8/int16 mantissas and u16 coefficient
+// indices. Decoding dequantizes and invokes the same visitor callbacks as
+// the f64 forms, so receivers are format-agnostic.
+inline constexpr std::uint8_t kTagDftQuant = 'd';
+inline constexpr std::uint8_t kTagHistSpectrumQuant = 'h';
 
 /// Appends a DFT coefficient-delta sub-block for one stream side.
 void encode_dft(common::BufferWriter& out, stream::StreamSide side,
                 std::uint32_t window, std::uint32_t retained,
                 std::span<const dsp::CoeffDelta> deltas);
+
+/// Appends a quantized DFT coefficient-delta sub-block: per-block f64
+/// scale, u16 indices, int8/int16 component mantissas. `bits` must be 8 or
+/// 16 (callers pick it via dsp::choose_quant_bits) and every delta index
+/// must fit a u16; encode_dft is the fallback when either fails.
+void encode_dft_quant(common::BufferWriter& out, stream::StreamSide side,
+                      std::uint32_t window, std::uint32_t retained,
+                      std::span<const dsp::CoeffDelta> deltas, unsigned bits,
+                      double scale);
 
 /// Appends a Bloom snapshot sub-block for one stream side.
 void encode_bloom(common::BufferWriter& out, stream::StreamSide side,
@@ -53,6 +68,13 @@ void encode_sketch(common::BufferWriter& out, stream::StreamSide side,
 void encode_hist_spectrum(common::BufferWriter& out, stream::StreamSide side,
                           std::uint32_t buckets,
                           std::span<const dsp::Complex> coeffs);
+
+/// Quantized histogram-spectrum sub-block (dense: no indices, mantissa
+/// pairs in coefficient order). `bits` must be 8 or 16.
+void encode_hist_spectrum_quant(common::BufferWriter& out,
+                                stream::StreamSide side, std::uint32_t buckets,
+                                std::span<const dsp::Complex> coeffs,
+                                unsigned bits, double scale);
 
 /// Callbacks invoked per decoded sub-block.
 struct Visitor {

@@ -115,10 +115,32 @@ SummaryBlock DftFamilyPolicy::block_for(net::NodeId peer,
   for (std::size_t side = 0; side < 2; ++side) {
     const auto deltas = deltas_for(peer, side, max_entries_per_side);
     if (deltas.empty()) continue;
-    summary_codec::encode_dft(writer, static_cast<stream::StreamSide>(side),
-                              static_cast<std::uint32_t>(config_.dft_window),
-                              static_cast<std::uint32_t>(config_.dft_retained()),
-                              deltas);
+    const auto side_tag = static_cast<stream::StreamSide>(side);
+    const auto window = static_cast<std::uint32_t>(config_.dft_window);
+    const auto retained = static_cast<std::uint32_t>(config_.dft_retained());
+    // Quantized encoding when enabled and safe: indices must fit the u16
+    // wire field, and the width escalation must find one whose predicted
+    // added reconstruction MSE stays within budget (f64 fallback otherwise).
+    // synced[] keeps the exact published values either way — the receiver
+    // holds dequantized coefficients with a bounded, budgeted error, and
+    // comparing published vs synced exactly avoids a resend loop.
+    unsigned bits = 0;
+    double scale = 0.0;
+    if (config_.summary_quant_bits != 0 && retained <= 0x10000) {
+      std::vector<dsp::Complex> values;
+      values.reserve(deltas.size());
+      for (const auto& d : deltas) values.push_back(d.value);
+      scale = dsp::quant_scale(values);
+      bits = dsp::choose_quant_bits(scale, config_.dft_retained(),
+                                    config_.dft_window,
+                                    config_.summary_quant_bits);
+    }
+    if (bits != 0) {
+      summary_codec::encode_dft_quant(writer, side_tag, window, retained,
+                                      deltas, bits, scale);
+    } else {
+      summary_codec::encode_dft(writer, side_tag, window, retained, deltas);
+    }
   }
   return SummaryBlock{std::move(writer).take()};
 }

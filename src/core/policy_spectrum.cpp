@@ -72,9 +72,24 @@ std::vector<OutboundSummary> SpectrumPolicy::maintenance(double /*now*/) {
   last_broadcast_tuple_ = local_tuples_;
   common::BufferWriter writer;
   for (std::size_t side = 0; side < 2; ++side) {
-    summary_codec::encode_hist_spectrum(writer,
-                                        static_cast<stream::StreamSide>(side),
-                                        buckets_, local_[side].coefficients());
+    const auto side_tag = static_cast<stream::StreamSide>(side);
+    const auto coeffs = local_[side].coefficients();
+    // Quantized encoding when enabled: the histogram spectrum reconstructs
+    // bucket counts through a length-buckets_ inverse transform, so the
+    // same MSE model applies with W = buckets_ and K = |coeffs|.
+    unsigned bits = 0;
+    double scale = 0.0;
+    if (config_.summary_quant_bits != 0) {
+      scale = dsp::quant_scale(coeffs);
+      bits = dsp::choose_quant_bits(scale, coeffs.size(), buckets_,
+                                    config_.summary_quant_bits);
+    }
+    if (bits != 0) {
+      summary_codec::encode_hist_spectrum_quant(writer, side_tag, buckets_,
+                                                coeffs, bits, scale);
+    } else {
+      summary_codec::encode_hist_spectrum(writer, side_tag, buckets_, coeffs);
+    }
   }
   SummaryBlock block{std::move(writer).take()};
   std::vector<OutboundSummary> out;

@@ -1,6 +1,7 @@
 #include "dsjoin/core/summary_state.hpp"
 
 #include <cassert>
+#include <cmath>
 
 namespace dsjoin::core {
 
@@ -18,6 +19,33 @@ void encode_dft(common::BufferWriter& out, stream::StreamSide side,
     out.write_u32(d.index);
     out.write_f64(d.value.real());
     out.write_f64(d.value.imag());
+  }
+}
+
+void encode_dft_quant(common::BufferWriter& out, stream::StreamSide side,
+                      std::uint32_t window, std::uint32_t retained,
+                      std::span<const dsp::CoeffDelta> deltas, unsigned bits,
+                      double scale) {
+  assert(bits == 8 || bits == 16);
+  out.write_u8(kTagDftQuant);
+  out.write_u8(static_cast<std::uint8_t>(side));
+  out.write_u32(window);
+  out.write_u32(retained);
+  out.write_u8(static_cast<std::uint8_t>(bits));
+  out.write_f64(scale);
+  out.write_u16(static_cast<std::uint16_t>(deltas.size()));
+  for (const auto& d : deltas) {
+    assert(d.index <= 0xffff);
+    out.write_u16(static_cast<std::uint16_t>(d.index));
+    const std::int32_t re = dsp::quantize_component(d.value.real(), scale, bits);
+    const std::int32_t im = dsp::quantize_component(d.value.imag(), scale, bits);
+    if (bits == 8) {
+      out.write_u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(re)));
+      out.write_u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(im)));
+    } else {
+      out.write_u16(static_cast<std::uint16_t>(static_cast<std::int16_t>(re)));
+      out.write_u16(static_cast<std::uint16_t>(static_cast<std::int16_t>(im)));
+    }
   }
 }
 
@@ -53,6 +81,79 @@ void encode_hist_spectrum(common::BufferWriter& out, stream::StreamSide side,
   }
 }
 
+void encode_hist_spectrum_quant(common::BufferWriter& out,
+                                stream::StreamSide side, std::uint32_t buckets,
+                                std::span<const dsp::Complex> coeffs,
+                                unsigned bits, double scale) {
+  assert(bits == 8 || bits == 16);
+  out.write_u8(kTagHistSpectrumQuant);
+  out.write_u8(static_cast<std::uint8_t>(side));
+  out.write_u32(buckets);
+  out.write_u8(static_cast<std::uint8_t>(bits));
+  out.write_f64(scale);
+  out.write_u16(static_cast<std::uint16_t>(coeffs.size()));
+  for (const auto& c : coeffs) {
+    const std::int32_t re = dsp::quantize_component(c.real(), scale, bits);
+    const std::int32_t im = dsp::quantize_component(c.imag(), scale, bits);
+    if (bits == 8) {
+      out.write_u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(re)));
+      out.write_u8(static_cast<std::uint8_t>(static_cast<std::int8_t>(im)));
+    } else {
+      out.write_u16(static_cast<std::uint16_t>(static_cast<std::int16_t>(re)));
+      out.write_u16(static_cast<std::uint16_t>(static_cast<std::int16_t>(im)));
+    }
+  }
+}
+
+namespace {
+
+// Shared validation for the quantized sub-blocks: width and scale must be
+// plausible before any mantissa is trusted (a hostile scale would otherwise
+// smuggle inf/NaN into the coefficient stores past the f64 path's checks).
+common::Status read_quant_header(common::BufferReader& in, unsigned& bits,
+                                 double& scale) {
+  auto b = in.read_u8();
+  if (!b) return b.status();
+  if (b.value() != 8 && b.value() != 16) {
+    return common::Status(common::ErrorCode::kDataLoss,
+                          "bad quantization width");
+  }
+  auto s = in.read_f64();
+  if (!s) return s.status();
+  if (!std::isfinite(s.value()) || s.value() < 0.0) {
+    return common::Status(common::ErrorCode::kDataLoss,
+                          "bad quantization scale");
+  }
+  bits = b.value();
+  scale = s.value();
+  return common::Status::ok();
+}
+
+// Reads one mantissa pair and dequantizes it.
+common::Result<dsp::Complex> read_quant_pair(common::BufferReader& in,
+                                             unsigned bits, double scale) {
+  std::int32_t re = 0, im = 0;
+  if (bits == 8) {
+    auto r = in.read_u8();
+    if (!r) return r.status();
+    auto i = in.read_u8();
+    if (!i) return i.status();
+    re = static_cast<std::int8_t>(r.value());
+    im = static_cast<std::int8_t>(i.value());
+  } else {
+    auto r = in.read_u16();
+    if (!r) return r.status();
+    auto i = in.read_u16();
+    if (!i) return i.status();
+    re = static_cast<std::int16_t>(r.value());
+    im = static_cast<std::int16_t>(i.value());
+  }
+  return dsp::Complex(dsp::dequantize_component(re, scale, bits),
+                      dsp::dequantize_component(im, scale, bits));
+}
+
+}  // namespace
+
 common::Status decode_blocks(const SummaryBlock& block, const Visitor& visitor) {
   common::BufferReader in(block.bytes);
   while (!in.exhausted()) {
@@ -84,6 +185,30 @@ common::Status decode_blocks(const SummaryBlock& block, const Visitor& visitor) 
           if (!im) return im.status();
           deltas.push_back(dsp::CoeffDelta{
               idx.value(), dsp::Complex(re.value(), im.value())});
+        }
+        if (visitor.on_dft) {
+          visitor.on_dft(side, window.value(), retained.value(), deltas);
+        }
+        break;
+      }
+      case kTagDftQuant: {
+        auto window = in.read_u32();
+        if (!window) return window.status();
+        auto retained = in.read_u32();
+        if (!retained) return retained.status();
+        unsigned bits = 0;
+        double scale = 0.0;
+        if (auto st = read_quant_header(in, bits, scale); !st.is_ok()) return st;
+        auto count = in.read_u16();
+        if (!count) return count.status();
+        std::vector<dsp::CoeffDelta> deltas;
+        deltas.reserve(count.value());
+        for (std::uint16_t i = 0; i < count.value(); ++i) {
+          auto idx = in.read_u16();
+          if (!idx) return idx.status();
+          auto v = read_quant_pair(in, bits, scale);
+          if (!v) return v.status();
+          deltas.push_back(dsp::CoeffDelta{idx.value(), v.value()});
         }
         if (visitor.on_dft) {
           visitor.on_dft(side, window.value(), retained.value(), deltas);
@@ -135,6 +260,26 @@ common::Status decode_blocks(const SummaryBlock& block, const Visitor& visitor) 
           auto im = in.read_f64();
           if (!im) return im.status();
           coeffs.emplace_back(re.value(), im.value());
+        }
+        if (visitor.on_hist_spectrum) {
+          visitor.on_hist_spectrum(side, buckets.value(), std::move(coeffs));
+        }
+        break;
+      }
+      case kTagHistSpectrumQuant: {
+        auto buckets = in.read_u32();
+        if (!buckets) return buckets.status();
+        unsigned bits = 0;
+        double scale = 0.0;
+        if (auto st = read_quant_header(in, bits, scale); !st.is_ok()) return st;
+        auto count = in.read_u16();
+        if (!count) return count.status();
+        std::vector<dsp::Complex> coeffs;
+        coeffs.reserve(count.value());
+        for (std::uint16_t i = 0; i < count.value(); ++i) {
+          auto v = read_quant_pair(in, bits, scale);
+          if (!v) return v.status();
+          coeffs.push_back(v.value());
         }
         if (visitor.on_hist_spectrum) {
           visitor.on_hist_spectrum(side, buckets.value(), std::move(coeffs));

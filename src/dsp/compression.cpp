@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace dsjoin::dsp {
 
@@ -104,6 +105,60 @@ double recommend_kappa(std::span<const double> signal, double mse_bound,
     }
   }
   return best;
+}
+
+std::int32_t quant_mantissa_max(unsigned bits) noexcept {
+  return bits == 8 ? 127 : 32767;
+}
+
+double quant_scale(std::span<const Complex> values) noexcept {
+  double scale = 0.0;
+  for (const Complex& v : values) {
+    const double re = std::abs(v.real());
+    const double im = std::abs(v.imag());
+    // NaN components must poison the scale so choose_quant_bits falls back
+    // to f64; max() alone would silently drop them.
+    if (!(re <= scale)) scale = re;
+    if (!(im <= scale)) scale = im;
+    if (std::isnan(re) || std::isnan(im)) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return scale;
+}
+
+double predicted_quant_mse(double scale, std::size_t retained,
+                           std::size_t window, unsigned bits) noexcept {
+  if (window == 0) return std::numeric_limits<double>::infinity();
+  const double q = static_cast<double>(quant_mantissa_max(bits));
+  const double per_coeff = scale / (static_cast<double>(window) * q);
+  return 2.0 / 3.0 * static_cast<double>(retained) * per_coeff * per_coeff;
+}
+
+unsigned choose_quant_bits(double scale, std::size_t retained,
+                           std::size_t window, unsigned preferred_bits) noexcept {
+  if (preferred_bits == 0) return 0;
+  if (!std::isfinite(scale)) return 0;
+  for (unsigned bits = preferred_bits; bits <= 16; bits *= 2) {
+    if (predicted_quant_mse(scale, retained, window, bits) <= kQuantMseBudget) {
+      return bits;
+    }
+  }
+  return 0;
+}
+
+std::int32_t quantize_component(double v, double scale, unsigned bits) noexcept {
+  if (scale <= 0.0) return 0;
+  const std::int32_t q = quant_mantissa_max(bits);
+  const long m = std::lround(v / scale * static_cast<double>(q));
+  return static_cast<std::int32_t>(
+      std::clamp(m, static_cast<long>(-q), static_cast<long>(q)));
+}
+
+double dequantize_component(std::int32_t m, double scale, unsigned bits) noexcept {
+  if (scale <= 0.0) return 0.0;
+  return static_cast<double>(m) *
+         (scale / static_cast<double>(quant_mantissa_max(bits)));
 }
 
 }  // namespace dsjoin::dsp

@@ -75,4 +75,54 @@ double lossless_fraction(std::span<const double> original,
 double recommend_kappa(std::span<const double> signal, double mse_bound,
                        const Fft& fft);
 
+// ---------------------------------------------------------------------------
+// Fixed-point coefficient quantization (wire format v4).
+//
+// A coefficient block travels as one f64 scale plus int8/int16 mantissas:
+// m = lround(v / s * Q) with Q = 127 or 32767, decoded as m * (s / Q). The
+// scale is the block's max |component|, so every ratio lies in [-1, 1] and
+// the absolute error per component is at most s / (2Q).
+//
+// Section 5.3 calls a reconstruction lossless when E[MSE] < 0.25 (every
+// rounded value within 0.5). Quantization must not consume that budget:
+// with independent rounding errors (uniform on +/- s/2Q, variance
+// s^2/12Q^2) across K complex coefficients, each mirrored once in the
+// length-W inverse transform, the added reconstruction MSE is
+//   E[dx^2] = (4 / W^2) * K * 2 * s^2 / (12 Q^2) = 2 K s^2 / (3 W^2 Q^2).
+// The encoder picks the narrowest width whose predicted MSE stays below
+// kQuantMseBudget (a quarter of the paper's 0.25 bound) and escalates
+// int8 -> int16 -> f64 otherwise, so quantization can never push a
+// reconstruction that was lossless at f64 past the rounding criterion.
+// ---------------------------------------------------------------------------
+
+/// Added-MSE budget granted to quantization: a quarter of the paper's 0.25
+/// lossless-after-rounding bound.
+inline constexpr double kQuantMseBudget = 0.0625;
+
+/// Mantissa magnitude for a width: 127 (int8) or 32767 (int16).
+std::int32_t quant_mantissa_max(unsigned bits) noexcept;
+
+/// Per-block scale: max |component| over real and imaginary parts.
+/// All-zero blocks give 0.0; non-finite components give +inf (forcing the
+/// f64 fallback in choose_quant_bits).
+double quant_scale(std::span<const Complex> values) noexcept;
+
+/// Predicted reconstruction MSE added by quantizing K retained coefficients
+/// of a length-W window at the given width (see the model above).
+double predicted_quant_mse(double scale, std::size_t retained,
+                           std::size_t window, unsigned bits) noexcept;
+
+/// Narrowest width in {preferred_bits, ..., 16} whose predicted added MSE
+/// stays below kQuantMseBudget; 0 means "ship f64". preferred_bits of 0
+/// disables quantization outright.
+unsigned choose_quant_bits(double scale, std::size_t retained,
+                           std::size_t window, unsigned preferred_bits) noexcept;
+
+/// Deterministic component quantization: lround(v / scale * Q), clamped to
+/// [-Q, Q]. scale == 0 encodes as 0.
+std::int32_t quantize_component(double v, double scale, unsigned bits) noexcept;
+
+/// Inverse map m * (scale / Q); exact zero for scale == 0.
+double dequantize_component(std::int32_t m, double scale, unsigned bits) noexcept;
+
 }  // namespace dsjoin::dsp

@@ -1,6 +1,8 @@
 #include "dsjoin/dsp/sliding_dft.hpp"
 
 #include <algorithm>
+
+#include "dsjoin/common/simd.hpp"
 #include <cassert>
 #include <cmath>
 #include <numbers>
@@ -132,34 +134,21 @@ void SlidingDft::push_batch(std::span<const double> values) {
     ring_[ring_pos_] = value;
     const double delta = value - old;
     const bool wrap = ring_pos_ + 1 == window_;
-    // One fused pass: coefficient delta-accumulation and phasor advance
-    // touch each of the four SoA arrays once. The component formulas are
-    // the scalar path's std::complex operations spelled out, so results
-    // stay bit-identical while the loop auto-vectorizes.
+    // One fused pass per push: coefficient delta-accumulation and phasor
+    // advance touch each of the four SoA arrays once, via the runtime-
+    // dispatched simd:: kernels. The kernel lanes evaluate the scalar
+    // path's std::complex component formulas in the same operation order
+    // with no FMA contraction, so results stay bit-identical at every
+    // dispatch level (pinned by tests/core/batch_identity_test.cpp).
     if (delta != 0.0) {
       if (wrap) {
-        for (std::size_t k = 0; k < k_count; ++k) {
-          cr[k] += delta * pr[k];
-          ci[k] += delta * pi[k];
-        }
+        common::simd::dft_accum(cr, ci, pr, pi, k_count, delta);
       } else {
-        for (std::size_t k = 0; k < k_count; ++k) {
-          cr[k] += delta * pr[k];
-          ci[k] += delta * pi[k];
-          const double npr = pr[k] * ur[k] - pi[k] * ui[k];
-          const double npi = pr[k] * ui[k] + pi[k] * ur[k];
-          pr[k] = npr;
-          pi[k] = npi;
-        }
+        common::simd::dft_accum_rotate(cr, ci, pr, pi, ur, ui, k_count, delta);
       }
       view_dirty_ = true;
     } else if (!wrap) {
-      for (std::size_t k = 0; k < k_count; ++k) {
-        const double npr = pr[k] * ur[k] - pi[k] * ui[k];
-        const double npi = pr[k] * ui[k] + pi[k] * ur[k];
-        pr[k] = npr;
-        pi[k] = npi;
-      }
+      common::simd::dft_rotate(pr, pi, ur, ui, k_count);
     }
     sum_ += delta;
     sum_sq_ += value * value - old * old;

@@ -34,7 +34,9 @@ namespace dsjoin::runtime {
 
 // v3: SystemConfig grew summary_sync_epoch_s, summary frames carry a
 // virtual-time stamp, and METRICS_REPORT carries late_summaries.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+// v4: SystemConfig grew summary_quant_bits and summary blocks may carry
+// quantized coefficient sub-blocks (tags 'd' and 'h').
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 enum class ControlType : std::uint8_t {
   kHello = 1,

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsjoin/common/simd.hpp"
+
 namespace dsjoin::sketch {
 
 namespace {
@@ -43,27 +45,24 @@ void AgmsSketch::update(std::uint64_t key, std::int64_t weight) {
 void AgmsSketch::update_batch(std::span<const std::uint64_t> keys,
                               std::int64_t weight) {
   // Pass 1 per chunk: reduce each key to its powers mod 2^61-1 once,
-  // instead of once per counter. Pass 2 sweeps the counter grid in the
-  // outer loop so each counter is read and written exactly once per chunk;
-  // the per-counter sign total accumulates in a register. Integer addition
-  // commutes, so this reordering reproduces the scalar path's counters
-  // exactly.
+  // instead of once per counter (SoA layout for the simd:: kernels).
+  // Pass 2 sweeps the counter grid in the outer loop so each counter is
+  // read and written exactly once per chunk; the per-counter sign total is
+  // the branchless parity sum sum_j sign_j == 2 * sum_j bit_j - n, with
+  // the bit count produced by the dispatched kernel (exact canonical
+  // residues, so identical at every level). Integer addition commutes, so
+  // this reordering reproduces the scalar path's counters exactly.
   for (std::size_t base = 0; base < keys.size(); base += kBatchChunk) {
     const std::size_t n = std::min(kBatchChunk, keys.size() - base);
-    powers_scratch_.resize(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      powers_scratch_[j] = KeyPowers::of(keys[base + j]);
-    }
+    x1_scratch_.resize(n);
+    x2_scratch_.resize(n);
+    x3_scratch_.resize(n);
+    common::simd::m61_key_powers(keys.data() + base, n, x1_scratch_.data(),
+                                 x2_scratch_.data(), x3_scratch_.data());
     for (std::size_t i = 0; i < counters_.size(); ++i) {
-      const FourWiseHash& h = xi_[i];
-      // Branchless sign sum: sign_j = 2*bit_j - 1 (odd hash -> +1), so
-      // sum_j sign_j == 2 * sum_j bit_j - n exactly (int64 arithmetic).
-      // Accumulating the parity bit keeps the loop free of selects, which
-      // gcc -O3 otherwise turns into a ~3x slower cmov/blend chain.
-      std::uint64_t bits = 0;
-      for (std::size_t j = 0; j < n; ++j) {
-        bits += h.eval_powers(powers_scratch_[j]) & 1u;
-      }
+      const std::uint64_t bits = common::simd::m61_poly_parity_sum(
+          xi_[i].coefficients().data(), x1_scratch_.data(), x2_scratch_.data(),
+          x3_scratch_.data(), n);
       counters_[i] += weight * (2 * static_cast<std::int64_t>(bits) -
                                 static_cast<std::int64_t>(n));
     }
@@ -129,7 +128,7 @@ void AgmsSketch::set_counters(std::vector<std::int64_t> counters) {
 
 FastAgmsSketch::FastAgmsSketch(std::uint32_t rows, std::uint32_t buckets,
                                std::uint64_t seed)
-    : rows_(rows), buckets_(buckets), seed_(seed), buckets_mod_(buckets),
+    : rows_(rows), buckets_(buckets), seed_(seed),
       counters_(static_cast<std::size_t>(rows) * buckets, 0) {
   if (rows == 0 || buckets == 0) {
     throw std::invalid_argument("FastAgms shape must be positive");
@@ -155,31 +154,25 @@ void FastAgmsSketch::update_batch(std::span<const std::uint64_t> keys,
                                   std::int64_t weight) {
   // Pass 1 per chunk: reduce each key to its powers mod 2^61-1 once,
   // shared by both hash families across every row. Pass 2 sweeps rows in
-  // the outer loop: the row's hash coefficients stay in registers and its
-  // 8*buckets-byte counter segment stays cache-resident. The scalar path
-  // applies per key with rows inner; all touches are exact integer adds,
-  // which commute, so the row-major order is bit-identical. The sign is
-  // applied as 2*weight*parity - weight (== weight * sign(), odd hash ->
-  // +1) to keep the loop free of selects, which gcc -O3 turns into a slow
-  // blend chain.
-  const std::int64_t w2 = 2 * weight;
+  // the outer loop through the fused row kernel: both polynomial hashes,
+  // the bucket reduction, and the signed delta evaluate vectorized, with
+  // only the duplicate-prone counter adds themselves scalar. The scalar
+  // path applies per key with rows inner; all touches are exact integer
+  // adds, which commute, so the row-major order is bit-identical at every
+  // dispatch level.
   for (std::size_t base = 0; base < keys.size(); base += kBatchChunk) {
     const std::size_t n = std::min(kBatchChunk, keys.size() - base);
-    powers_scratch_.resize(n);
-    for (std::size_t j = 0; j < n; ++j) {
-      powers_scratch_[j] = KeyPowers::of(keys[base + j]);
-    }
+    x1_scratch_.resize(n);
+    x2_scratch_.resize(n);
+    x3_scratch_.resize(n);
+    common::simd::m61_key_powers(keys.data() + base, n, x1_scratch_.data(),
+                                 x2_scratch_.data(), x3_scratch_.data());
     for (std::uint32_t r = 0; r < rows_; ++r) {
-      const FourWiseHash& bucket_hash = bucket_hash_[r];
-      const FourWiseHash& sign_hash = sign_hash_[r];
-      std::int64_t* row = counters_.data() +
-                          static_cast<std::size_t>(r) * buckets_;
-      for (std::size_t j = 0; j < n; ++j) {
-        const KeyPowers& p = powers_scratch_[j];
-        const std::uint64_t b = buckets_mod_.mod(bucket_hash.eval_powers(p));
-        row[b] += w2 * static_cast<std::int64_t>(sign_hash.eval_powers(p) & 1u) -
-                  weight;
-      }
+      common::simd::fast_agms_update_row(
+          bucket_hash_[r].coefficients().data(),
+          sign_hash_[r].coefficients().data(), x1_scratch_.data(),
+          x2_scratch_.data(), x3_scratch_.data(), n, buckets_, weight,
+          counters_.data() + static_cast<std::size_t>(r) * buckets_);
     }
   }
 }

@@ -1,5 +1,6 @@
 #include "dsjoin/sketch/bloom.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -124,12 +125,35 @@ void CountingBloomFilter::erase(std::uint64_t key) {
   }
 }
 
+void CountingBloomFilter::insert_keys_scalar(const std::uint64_t* keys,
+                                             std::size_t n) {
+  constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
+  for (std::size_t j = 0; j < n; ++j) {
+    const DoubleHash::Prepared p = hash_.prepare(keys[j]);
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      auto& c = counters_[p.index(i, counters_mod_)];
+      if (c != kMax) ++c;  // saturate
+    }
+  }
+}
+
+void CountingBloomFilter::erase_keys_scalar(const std::uint64_t* keys,
+                                            std::size_t n) {
+  constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
+  for (std::size_t j = 0; j < n; ++j) {
+    const DoubleHash::Prepared p = hash_.prepare(keys[j]);
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      auto& c = counters_[p.index(i, counters_mod_)];
+      if (c != 0 && c != kMax) --c;  // pinned / refuse wrap, as erase()
+    }
+  }
+}
+
 void CountingBloomFilter::apply_batch(std::span<const std::uint64_t> keys,
                                       std::span<const std::int32_t> deltas) {
-  // Per key: the two SplitMix mixes are computed once and reused by every
-  // probe (the scalar path recomputes both per probe). Counters are touched
-  // directly in (key, probe) order — exactly the scalar interleaving, which
-  // the saturate/pin clamps make significant.
+  // Mixed inserts and erases do NOT commute (a decrement can be absorbed at
+  // zero before an increment lands), so touches keep strict (key, probe)
+  // order: state after the call is bit-identical to per-key insert()/erase().
   assert(keys.size() == deltas.size());
   constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
   for (std::size_t j = 0; j < keys.size(); ++j) {
@@ -149,25 +173,11 @@ void CountingBloomFilter::apply_batch(std::span<const std::uint64_t> keys,
 }
 
 void CountingBloomFilter::insert_batch(std::span<const std::uint64_t> keys) {
-  constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
-  for (const std::uint64_t key : keys) {
-    const DoubleHash::Prepared p = hash_.prepare(key);
-    for (std::uint32_t i = 0; i < hashes_; ++i) {
-      auto& c = counters_[p.index(i, counters_mod_)];
-      if (c != kMax) ++c;  // saturate
-    }
-  }
+  insert_keys_scalar(keys.data(), keys.size());
 }
 
 void CountingBloomFilter::erase_batch(std::span<const std::uint64_t> keys) {
-  constexpr auto kMax = std::numeric_limits<std::uint16_t>::max();
-  for (const std::uint64_t key : keys) {
-    const DoubleHash::Prepared p = hash_.prepare(key);
-    for (std::uint32_t i = 0; i < hashes_; ++i) {
-      auto& c = counters_[p.index(i, counters_mod_)];
-      if (c != 0 && c != kMax) --c;  // pinned / refuse wrap, as erase()
-    }
-  }
+  erase_keys_scalar(keys.data(), keys.size());
 }
 
 bool CountingBloomFilter::contains(std::uint64_t key) const {

@@ -91,7 +91,9 @@ class AgmsSketch {
   std::uint64_t seed_;
   std::vector<FourWiseHash> xi_;         // one per (row, column)
   std::vector<std::int64_t> counters_;   // row-major s0 x s1
-  std::vector<KeyPowers> powers_scratch_;        // batch pass 1 output
+  // Batch pass 1 output: key powers mod 2^61-1 in structure-of-arrays
+  // form, the layout the simd:: kernels consume.
+  std::vector<std::uint64_t> x1_scratch_, x2_scratch_, x3_scratch_;
   mutable std::vector<double> estimate_scratch_; // row means, reused
 };
 
@@ -130,11 +132,12 @@ class FastAgmsSketch {
   std::uint32_t rows_;
   std::uint32_t buckets_;
   std::uint64_t seed_;
-  RangeReducer buckets_mod_;               // exact `% buckets_` for batches
   std::vector<FourWiseHash> bucket_hash_;  // one per row
   std::vector<FourWiseHash> sign_hash_;    // one per row
   std::vector<std::int64_t> counters_;     // row-major rows x buckets
-  std::vector<KeyPowers> powers_scratch_;        // batch pass 1 output
+  // Batch pass 1 output (SoA key powers) consumed by the fused per-row
+  // simd:: kernel; the counter scatter itself stays scalar inside it.
+  std::vector<std::uint64_t> x1_scratch_, x2_scratch_, x3_scratch_;
   mutable std::vector<double> estimate_scratch_; // row products, reused
 };
 

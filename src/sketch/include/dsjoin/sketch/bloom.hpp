@@ -73,16 +73,25 @@ class CountingBloomFilter {
 
   /// Applies one insert (+1) or erase (-1) per key, strictly in key order.
   /// Each key's two SplitMix mixes are computed once and shared by all of
-  /// its probes (the scalar path recomputes both per probe). Because the
-  /// saturate/pin clamps make counter updates order-dependent, touches keep
-  /// the exact scalar (key, probe) interleaving — state after the call is
-  /// bit-identical to per-key insert()/erase() calls.
+  /// its probes (the tuple-at-a-time path recomputes both per probe).
+  /// Mixed inserts and erases make counter updates order-dependent under
+  /// the saturate/pin clamps, so touches keep the exact (key, probe)
+  /// interleaving — state after the call is bit-identical to per-key
+  /// insert()/erase() calls.
+  ///
+  /// Batches stay on the per-key path at every SIMD level: the operator is
+  /// bound by the k random counter touches per key, and staging
+  /// vector-hashed probe indices through a table costs more memory traffic
+  /// than the hashing saves while breaking the hash/touch latency overlap
+  /// the per-key order gets for free (DESIGN.md section 13).
   void apply_batch(std::span<const std::uint64_t> keys,
                    std::span<const std::int32_t> deltas);
 
-  /// apply_batch with all +1 deltas.
+  /// apply_batch with all +1 deltas (saturating counters reach
+  /// min(c + count, max) regardless of order, so any order is exact).
   void insert_batch(std::span<const std::uint64_t> keys);
-  /// apply_batch with all -1 deltas.
+  /// apply_batch with all -1 deltas (pinned counters stay pinned, the rest
+  /// reach max(c - count, 0)).
   void erase_batch(std::span<const std::uint64_t> keys);
 
   std::size_t counter_count() const noexcept { return counters_.size(); }
@@ -94,6 +103,10 @@ class CountingBloomFilter {
   BloomFilter snapshot() const;
 
  private:
+  /// Per-key batch bodies: one Prepared per key, probes in key order.
+  void insert_keys_scalar(const std::uint64_t* keys, std::size_t n);
+  void erase_keys_scalar(const std::uint64_t* keys, std::size_t n);
+
   std::uint32_t hashes_;
   std::uint64_t seed_;
   DoubleHash hash_;

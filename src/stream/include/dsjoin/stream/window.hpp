@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -69,8 +70,18 @@ class TupleStore {
   // Min-heap on timestamp, maintained with the <algorithm> heap primitives
   // directly (rather than std::priority_queue) so insert_batch can append
   // the whole batch and re-heapify once.
-  std::unordered_map<std::int64_t, std::deque<StoredTuple>> by_key_;
+  //
+  // Buckets are vectors, not deques: a libstdc++ deque allocates a 512-byte
+  // chunk up front, and under Zipf keys most buckets hold a handful of
+  // tuples — the per-key allocation churn dominated this store's profile.
+  // Eviction erases near the front; buckets are short enough that the shift
+  // is cheaper than the deque's memory traffic.
+  std::unordered_map<std::int64_t, std::vector<StoredTuple>> by_key_;
   std::vector<HeapEntry> eviction_;
+  // Largest timestamp ever inserted. An arriving element at or above this
+  // can be appended to the heap as a leaf with no sift (see insert_batch).
+  // Eviction never lowers it — stale-high is conservative, never wrong.
+  double max_timestamp_ = -std::numeric_limits<double>::infinity();
   std::size_t size_ = 0;
 };
 
@@ -122,7 +133,7 @@ class LandmarkWindow {
 
  private:
   double landmark_;
-  std::unordered_map<std::int64_t, std::deque<StoredTuple>> by_key_;
+  std::unordered_map<std::int64_t, std::vector<StoredTuple>> by_key_;
   std::size_t size_ = 0;
 };
 

@@ -5,28 +5,57 @@
 
 namespace dsjoin::stream {
 
+namespace {
+
+// First insert into a bucket reserves a few slots so the 1 -> 2 -> 4
+// growth reallocations never happen for the typical short bucket.
+void bucket_push(std::vector<StoredTuple>& bucket, const Tuple& tuple) {
+  if (bucket.capacity() == 0) bucket.reserve(4);
+  bucket.push_back(StoredTuple{tuple.id, tuple.timestamp, tuple.origin});
+}
+
+}  // namespace
+
 void TupleStore::insert(const Tuple& tuple) {
-  by_key_[tuple.key].push_back(StoredTuple{tuple.id, tuple.timestamp, tuple.origin});
+  bucket_push(by_key_[tuple.key], tuple);
   eviction_.push_back(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
   std::push_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
+  if (tuple.timestamp > max_timestamp_) max_timestamp_ = tuple.timestamp;
   ++size_;
 }
 
 void TupleStore::insert_batch(std::span<const Tuple> tuples) {
   if (tuples.empty()) return;
   eviction_.reserve(eviction_.size() + tuples.size());
-  // A full O(m) heapify only pays off when the batch rivals the heap in
-  // size; for the common small-batch-into-big-store case, per-element
-  // sift-ups are O(n log m) << O(m). Either way the heap's internal layout
-  // is unobservable: eviction removes tuples by unique id.
-  const bool bulk = tuples.size() >= eviction_.size() / 4;
-  for (const Tuple& tuple : tuples) {
-    by_key_[tuple.key].push_back(
-        StoredTuple{tuple.id, tuple.timestamp, tuple.origin});
+  // Arrivals are usually in (nearly) timestamp order. An element at or
+  // above every timestamp already in the heap can be appended as a leaf
+  // with no sift at all — its parent is necessarily <= it. Fall back to
+  // per-element sift-ups on the first out-of-order element (the appended
+  // prefix is a valid heap, so push_heap continues correctly), or to one
+  // O(m) heapify when the disordered remainder rivals the heap in size.
+  // Either way the heap's internal layout is unobservable: eviction
+  // removes tuples by unique id, and bucket contents do not depend on the
+  // order equal-timestamp entries pop.
+  std::size_t i = 0;
+  for (; i < tuples.size() && tuples[i].timestamp >= max_timestamp_; ++i) {
+    const Tuple& tuple = tuples[i];
+    bucket_push(by_key_[tuple.key], tuple);
     eviction_.push_back(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
-    if (!bulk) std::push_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
+    max_timestamp_ = tuple.timestamp;
   }
-  if (bulk) std::make_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
+  if (i < tuples.size()) {
+    const bool bulk = tuples.size() - i >= eviction_.size() / 4;
+    for (; i < tuples.size(); ++i) {
+      const Tuple& tuple = tuples[i];
+      bucket_push(by_key_[tuple.key], tuple);
+      eviction_.push_back(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
+      if (!bulk) {
+        std::push_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
+      }
+      if (tuple.timestamp > max_timestamp_) max_timestamp_ = tuple.timestamp;
+    }
+    if (bulk) std::make_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
+  }
   size_ += tuples.size();
 }
 
@@ -37,16 +66,18 @@ void TupleStore::evict_before(double min_timestamp) {
     eviction_.pop_back();
     auto it = by_key_.find(entry.key);
     assert(it != by_key_.end());
-    auto& deque = it->second;
+    auto& bucket = it->second;
     // The heap pops in global timestamp order, so the matching element is at
-    // (or very near, under out-of-order inserts) the front of its deque.
-    for (auto dit = deque.begin(); dit != deque.end(); ++dit) {
-      if (dit->id == entry.id) {
-        deque.erase(dit);
+    // (or very near, under out-of-order inserts) the front of its bucket.
+    // The erase shifts the tail down one slot, preserving timestamp order
+    // (match iteration order is observable through for_each_match).
+    for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
+      if (bit->id == entry.id) {
+        bucket.erase(bit);
         break;
       }
     }
-    if (deque.empty()) by_key_.erase(it);
+    if (bucket.empty()) by_key_.erase(it);
     --size_;
   }
 }
@@ -122,7 +153,7 @@ LandmarkWindow::LandmarkWindow(double landmark_time) : landmark_(landmark_time) 
 
 bool LandmarkWindow::insert(const Tuple& tuple) {
   if (tuple.timestamp < landmark_) return false;
-  by_key_[tuple.key].push_back(StoredTuple{tuple.id, tuple.timestamp, tuple.origin});
+  bucket_push(by_key_[tuple.key], tuple);
   ++size_;
   return true;
 }
@@ -130,13 +161,13 @@ bool LandmarkWindow::insert(const Tuple& tuple) {
 void LandmarkWindow::reset_landmark(double landmark_time) {
   landmark_ = landmark_time;
   for (auto it = by_key_.begin(); it != by_key_.end();) {
-    auto& deque = it->second;
-    const auto before = deque.size();
-    std::erase_if(deque, [&](const StoredTuple& st) {
+    auto& bucket = it->second;
+    const auto before = bucket.size();
+    std::erase_if(bucket, [&](const StoredTuple& st) {
       return st.timestamp < landmark_;
     });
-    size_ -= before - deque.size();
-    it = deque.empty() ? by_key_.erase(it) : std::next(it);
+    size_ -= before - bucket.size();
+    it = bucket.empty() ? by_key_.erase(it) : std::next(it);
   }
 }
 

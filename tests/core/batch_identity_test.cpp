@@ -14,9 +14,11 @@
 #include <gtest/gtest.h>
 
 #include "dsjoin/common/rng.hpp"
+#include "dsjoin/common/simd.hpp"
 #include "dsjoin/dsp/sliding_dft.hpp"
 #include "dsjoin/sketch/agms.hpp"
 #include "dsjoin/sketch/bloom.hpp"
+#include "dsjoin/sketch/hash.hpp"
 #include "dsjoin/stream/window.hpp"
 
 namespace dsjoin {
@@ -324,6 +326,280 @@ TEST(BatchIdentity, PhasorDriftStaysBoundedBelowResetThreshold) {
   ASSERT_GE(dft.phase_steps(), dsp::SlidingDft::kPhaseResetSteps);
   dft.renormalize();
   EXPECT_EQ(dft.phase_steps(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD == scalar == serial: the dispatched kernels must be bit-identical to
+// the forced-scalar reference at EVERY level the host supports (DESIGN.md
+// section 13). The operator tests above already pin batch == serial at the
+// default (best) level; these pin each level against scalar directly, both
+// at the raw-kernel surface and through the operators.
+// ---------------------------------------------------------------------------
+
+namespace simd = common::simd;
+
+std::vector<simd::Level> supported_levels() {
+  std::vector<simd::Level> out{simd::Level::kScalar};
+  for (const simd::Level level :
+       {simd::Level::kNeon, simd::Level::kAvx2, simd::Level::kAvx512}) {
+    // Forcing an unsupported-on-this-arch tier (e.g. kNeon on x86) is legal
+    // and falls back to scalar; including every tier up to the detected one
+    // exercises those fallbacks too.
+    if (level <= simd::detected_level()) out.push_back(level);
+  }
+  return out;
+}
+
+struct ForcedLevel {
+  explicit ForcedLevel(simd::Level level) { simd::force_level(level); }
+  ~ForcedLevel() { simd::reset_level(); }
+};
+
+/// Keys hitting every M61 reduction edge: zero, the prime itself and its
+/// neighbors, 32-bit limb boundaries, and the top of the u64 range.
+std::vector<std::uint64_t> m61_edge_keys() {
+  constexpr std::uint64_t kP = sketch::kMersenne61;
+  return {0,      1,        kP - 1,   kP,      kP + 1,  (1ull << 32) - 1,
+          1ull << 32, 1ull << 61, 1ull << 62, ~0ull,   ~0ull - 1, 0xdeadbeefULL};
+}
+
+TEST(SimdIdentity, M61KernelsMatchScalarAtEveryLevel) {
+  common::Xoshiro256 rng(kSeeds[1]);
+  std::vector<std::uint64_t> keys = m61_edge_keys();
+  while (keys.size() < 4003) keys.push_back(rng.next());  // full u64 range
+  const std::size_t n = keys.size();  // odd: exercises every tail length
+
+  sketch::FourWiseHash hash(rng);
+
+  std::vector<std::uint64_t> sx1(n), sx2(n), sx3(n), seval(n);
+  std::uint64_t sparity = 0;
+  {
+    ForcedLevel scalar(simd::Level::kScalar);
+    simd::m61_key_powers(keys.data(), n, sx1.data(), sx2.data(), sx3.data());
+    simd::m61_poly_eval(hash.coefficients().data(), sx1.data(), sx2.data(),
+                        sx3.data(), n, seval.data());
+    sparity = simd::m61_poly_parity_sum(hash.coefficients().data(), sx1.data(),
+                                        sx2.data(), sx3.data(), n);
+  }
+  // The scalar kernel restates KeyPowers::of / eval_powers; pin that too.
+  for (std::size_t j = 0; j < n; ++j) {
+    const sketch::KeyPowers p = sketch::KeyPowers::of(keys[j]);
+    ASSERT_EQ(sx1[j], p.x1) << "j=" << j;
+    ASSERT_EQ(sx2[j], p.x2) << "j=" << j;
+    ASSERT_EQ(sx3[j], p.x3) << "j=" << j;
+    ASSERT_EQ(seval[j], hash.eval_powers(p)) << "j=" << j;
+  }
+
+  for (const simd::Level level : supported_levels()) {
+    ForcedLevel forced(level);
+    std::vector<std::uint64_t> x1(n), x2(n), x3(n), eval(n);
+    simd::m61_key_powers(keys.data(), n, x1.data(), x2.data(), x3.data());
+    EXPECT_EQ(sx1, x1) << simd::level_name(level);
+    EXPECT_EQ(sx2, x2) << simd::level_name(level);
+    EXPECT_EQ(sx3, x3) << simd::level_name(level);
+    simd::m61_poly_eval(hash.coefficients().data(), x1.data(), x2.data(),
+                        x3.data(), n, eval.data());
+    EXPECT_EQ(seval, eval) << simd::level_name(level);
+    // Every tail length in [0, 17] plus the full batch.
+    for (std::size_t len = 0; len <= 17; ++len) {
+      EXPECT_EQ(simd::m61_poly_parity_sum(hash.coefficients().data(), x1.data(),
+                                          x2.data(), x3.data(), len),
+                simd::m61_poly_parity_sum(hash.coefficients().data(), sx1.data(),
+                                          sx2.data(), sx3.data(), len))
+          << simd::level_name(level) << " len=" << len;
+    }
+    EXPECT_EQ(sparity, simd::m61_poly_parity_sum(hash.coefficients().data(),
+                                                 x1.data(), x2.data(), x3.data(), n))
+        << simd::level_name(level);
+  }
+}
+
+TEST(SimdIdentity, FastAgmsRowKernelMatchesSerialAtEveryLevel) {
+  common::Xoshiro256 rng(kSeeds[3]);
+  std::vector<std::uint64_t> keys = m61_edge_keys();
+  while (keys.size() < 1031) keys.push_back(rng.next());  // odd: tail shapes
+  const std::size_t n = keys.size();
+
+  sketch::FourWiseHash bucket_hash(rng);
+  sketch::FourWiseHash sign_hash(rng);
+  std::vector<std::uint64_t> x1(n), x2(n), x3(n);
+  {
+    ForcedLevel scalar(simd::Level::kScalar);
+    simd::m61_key_powers(keys.data(), n, x1.data(), x2.data(), x3.data());
+  }
+
+  // Pow2 buckets exercise the vector mask path; non-pow2 the `%` fallback.
+  for (const std::uint64_t buckets : {std::uint64_t{256}, std::uint64_t{250}}) {
+    for (const std::int64_t weight : {std::int64_t{1}, std::int64_t{-3}}) {
+      // Serial reference straight off the hash objects (the update() path).
+      std::vector<std::int64_t> want(buckets, 0);
+      for (const std::uint64_t key : keys) {
+        want[bucket_hash.bucket(key, buckets)] += weight * sign_hash.sign(key);
+      }
+      // Forced-scalar references for every tail length in [0, 17].
+      std::vector<std::vector<std::int64_t>> tail_refs;
+      {
+        ForcedLevel scalar(simd::Level::kScalar);
+        for (std::size_t len = 0; len <= 17; ++len) {
+          std::vector<std::int64_t> ref(buckets, 0);
+          simd::fast_agms_update_row(bucket_hash.coefficients().data(),
+                                     sign_hash.coefficients().data(), x1.data(),
+                                     x2.data(), x3.data(), len, buckets, weight,
+                                     ref.data());
+          tail_refs.push_back(std::move(ref));
+        }
+      }
+      for (const simd::Level level : supported_levels()) {
+        ForcedLevel forced(level);
+        std::vector<std::int64_t> row(buckets, 0);
+        simd::fast_agms_update_row(bucket_hash.coefficients().data(),
+                                   sign_hash.coefficients().data(), x1.data(),
+                                   x2.data(), x3.data(), n, buckets, weight,
+                                   row.data());
+        EXPECT_EQ(want, row) << simd::level_name(level) << " buckets=" << buckets
+                             << " weight=" << weight;
+        for (std::size_t len = 0; len <= 17; ++len) {
+          std::vector<std::int64_t> got(buckets, 0);
+          simd::fast_agms_update_row(bucket_hash.coefficients().data(),
+                                     sign_hash.coefficients().data(), x1.data(),
+                                     x2.data(), x3.data(), len, buckets, weight,
+                                     got.data());
+          EXPECT_EQ(tail_refs[len], got)
+              << simd::level_name(level) << " len=" << len
+              << " buckets=" << buckets;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdIdentity, DftKernelsMatchScalarAtEveryLevel) {
+  common::Xoshiro256 rng(kSeeds[2]);
+  const std::size_t n = 1027;  // odd: vector body plus every tail shape
+  std::vector<double> cr0(n), ci0(n), pr0(n), pi0(n), ur(n), ui(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cr0[k] = rng.next_double_in(-1e6, 1e6);
+    ci0[k] = rng.next_double_in(-1e6, 1e6);
+    pr0[k] = rng.next_double_in(-1.0, 1.0);
+    pi0[k] = rng.next_double_in(-1.0, 1.0);
+    ur[k] = rng.next_double_in(-1.0, 1.0);
+    ui[k] = rng.next_double_in(-1.0, 1.0);
+  }
+  const double delta = rng.next_double_in(-100.0, 100.0);
+
+  auto scr = cr0, sci = ci0, spr = pr0, spi = pi0;
+  {
+    ForcedLevel scalar(simd::Level::kScalar);
+    simd::dft_accum_rotate(scr.data(), sci.data(), spr.data(), spi.data(),
+                           ur.data(), ui.data(), n, delta);
+    simd::dft_accum(scr.data(), sci.data(), spr.data(), spi.data(), n, delta);
+    simd::dft_rotate(spr.data(), spi.data(), ur.data(), ui.data(), n);
+  }
+  for (const simd::Level level : supported_levels()) {
+    ForcedLevel forced(level);
+    auto cr = cr0, ci = ci0, pr = pr0, pi = pi0;
+    simd::dft_accum_rotate(cr.data(), ci.data(), pr.data(), pi.data(),
+                           ur.data(), ui.data(), n, delta);
+    simd::dft_accum(cr.data(), ci.data(), pr.data(), pi.data(), n, delta);
+    simd::dft_rotate(pr.data(), pi.data(), ur.data(), ui.data(), n);
+    EXPECT_EQ(scr, cr) << simd::level_name(level);
+    EXPECT_EQ(sci, ci) << simd::level_name(level);
+    EXPECT_EQ(spr, pr) << simd::level_name(level);
+    EXPECT_EQ(spi, pi) << simd::level_name(level);
+  }
+}
+
+TEST(SimdIdentity, DoubleHashKernelsMatchScalarAtEveryLevel) {
+  common::Xoshiro256 rng(kSeeds[0]);
+  const sketch::DoubleHash hash(rng);
+  std::vector<std::uint64_t> keys(2053);
+  for (auto& k : keys) k = rng.next();
+  const std::size_t n = keys.size();
+
+  std::vector<std::uint64_t> sh1(n), sh2(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto p = hash.prepare(keys[j]);
+    sh1[j] = p.h1;
+    sh2[j] = p.h2;
+  }
+  constexpr std::uint32_t kProbes = 5;
+  for (const simd::Level level : supported_levels()) {
+    ForcedLevel forced(level);
+    std::vector<std::uint64_t> h1(n), h2(n);
+    hash.prepare_batch(keys.data(), n, h1.data(), h2.data());
+    EXPECT_EQ(sh1, h1) << simd::level_name(level);
+    EXPECT_EQ(sh2, h2) << simd::level_name(level);
+    for (const std::uint64_t range : {std::uint64_t{384}, std::uint64_t{1024},
+                                      std::uint64_t{1} << 20}) {
+      const sketch::RangeReducer reducer(range);
+      std::vector<std::uint32_t> idx(n * kProbes);
+      ASSERT_TRUE(simd::double_hash_indices(h1.data(), h2.data(), n, kProbes,
+                                            range, idx.data()));
+      for (std::uint32_t i = 0; i < kProbes; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const sketch::DoubleHash::Prepared prepared{h1[j], h2[j]};
+          ASSERT_EQ(idx[i * n + j], prepared.index(i, reducer))
+              << simd::level_name(level) << " range=" << range << " i=" << i
+              << " j=" << j;
+        }
+      }
+    }
+    // Oversized geometry: the u32 index table is refused at every level.
+    std::uint32_t unused;
+    EXPECT_FALSE(simd::double_hash_indices(h1.data(), h2.data(), 0, 0,
+                                           (std::uint64_t{1} << 32) + 1,
+                                           &unused));
+  }
+}
+
+TEST(SimdIdentity, OperatorsMatchSerialAtEveryLevel) {
+  for (const simd::Level level : supported_levels()) {
+    ForcedLevel forced(level);
+    common::Xoshiro256 rng(kSeeds[2]);
+    const auto values = random_values(1500, rng);
+    const auto keys = random_keys(1500, rng);
+
+    // The per-tuple paths (push / update / insert) never touch the simd::
+    // kernels, so the serial twin is the fixed reference at every level.
+    dsp::SlidingDft dft_serial(128, 16), dft_batched(128, 16);
+    for (const double v : values) dft_serial.push(v);
+    dft_batched.push_batch(values);
+    const auto sc = dft_serial.coefficients();
+    const auto bc = dft_batched.coefficients();
+    ASSERT_EQ(sc.size(), bc.size());
+    for (std::size_t k = 0; k < sc.size(); ++k) {
+      EXPECT_EQ(sc[k], bc[k]) << simd::level_name(level) << " k=" << k;
+    }
+
+    sketch::AgmsSketch agms_serial(sketch::AgmsShape{10, 2}, 42);
+    sketch::AgmsSketch agms_batched(sketch::AgmsShape{10, 2}, 42);
+    for (const std::uint64_t k : keys) agms_serial.update(k, +1);
+    agms_batched.update_batch(keys, +1);
+    EXPECT_EQ(agms_serial.counters(), agms_batched.counters())
+        << simd::level_name(level);
+
+    sketch::FastAgmsSketch fast_serial(5, 96, 42), fast_batched(5, 96, 42);
+    for (const std::uint64_t k : keys) fast_serial.update(k, +1);
+    fast_batched.update_batch(keys, +1);
+    EXPECT_EQ(fast_serial.counters(), fast_batched.counters())
+        << simd::level_name(level);
+
+    sketch::CountingBloomFilter bloom_serial(384, 4, 42);
+    sketch::CountingBloomFilter bloom_batched(384, 4, 42);
+    for (const std::uint64_t k : keys) bloom_serial.insert(k);
+    bloom_batched.insert_batch(keys);
+    EXPECT_EQ(bloom_serial.counters(), bloom_batched.counters())
+        << simd::level_name(level);
+  }
+}
+
+TEST(SimdIdentity, ForceLevelClampsToDetected) {
+  simd::force_level(simd::Level::kAvx512);
+  EXPECT_LE(simd::active_level(), simd::detected_level());
+  simd::reset_level();
+  EXPECT_EQ(simd::active_level(), simd::detected_level());
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx512), "avx512");
 }
 
 }  // namespace

@@ -38,6 +38,22 @@ std::vector<std::uint8_t> sample_summary_payload() {
   return payload.encode();
 }
 
+std::vector<std::uint8_t> sample_quant_summary_payload(unsigned bits) {
+  common::BufferWriter w;
+  const std::vector<dsp::CoeffDelta> deltas{
+      {0, dsp::Complex(800.0, -3.5)}, {7, dsp::Complex(-12.25, 640.0)}};
+  summary_codec::encode_dft_quant(w, stream::StreamSide::kS, 256, 8, deltas,
+                                  bits, 800.0);
+  summary_codec::encode_hist_spectrum_quant(
+      w, stream::StreamSide::kR, 512,
+      std::vector<dsp::Complex>{{96.0, -8.0}, {1.0, 0.5}}, bits, 96.0);
+  SummaryPayload payload;
+  payload.stamp.emit_time = 55.5;
+  payload.stamp.seq = 21;
+  payload.block.bytes = std::move(w).take();
+  return payload.encode();
+}
+
 // Overwrite bytes at `at` and re-seal so the checksum passes: what reaches
 // the stamp validator is exactly the patched content, not a checksum error.
 std::vector<std::uint8_t> patch_and_reseal(std::vector<std::uint8_t> bytes,
@@ -113,6 +129,22 @@ TEST(FuzzDecode, SummaryPayload) {
   ASSERT_TRUE(SummaryPayload::decode(clean).is_ok());
   fuzz_decoder(clean,
                [](const auto& b) { return SummaryPayload::decode(b).is_ok(); }, 2);
+}
+
+TEST(FuzzDecode, QuantSummaryPayload) {
+  // The quantized frames go through the same sweep at both widths: every
+  // sub-block decode also runs the codec layer because decoding stops at
+  // the payload envelope otherwise.
+  for (unsigned bits : {8u, 16u}) {
+    const auto clean = sample_quant_summary_payload(bits);
+    const auto decode = [](const auto& b) {
+      auto payload = SummaryPayload::decode(b);
+      if (!payload.is_ok()) return false;
+      return summary_codec::decode_blocks(payload.value().block, {}).is_ok();
+    };
+    ASSERT_TRUE(decode(clean));
+    fuzz_decoder(clean, decode, 40 + bits);
+  }
 }
 
 TEST(FuzzDecode, ResultPayload) {
@@ -213,6 +245,42 @@ TEST(FuzzDecode, BareTupleCarriesNoStampBytes) {
   TuplePayload plain;
   plain.tuple = with_stamp.tuple;
   EXPECT_EQ(with_stamp.encode(), plain.encode());
+}
+
+TEST(FuzzDecode, QuantSummaryHostileFieldsRejected) {
+  // Version-patch attacks past the checksum, mirroring the stamp tests: the
+  // re-sealed frame reaches the codec with a hostile width or scale, and the
+  // codec's own validation is all that stands before the coefficient store.
+  const auto clean = sample_quant_summary_payload(16);
+  const auto decode = [](const auto& b) {
+    auto payload = SummaryPayload::decode(b);
+    if (!payload.is_ok()) return false;
+    return summary_codec::decode_blocks(payload.value().block, {}).is_ok();
+  };
+  ASSERT_TRUE(decode(clean));
+  // Envelope: stamp(13) + block length(4); first sub-block is the quant DFT
+  // with tag(1) side(1) window(4) retained(4) bits(1) scale(8) count(2).
+  constexpr std::size_t kBlockAt = 13 + 4;
+  constexpr std::size_t kBitsAt = kBlockAt + 10;
+  constexpr std::size_t kScaleAt = kBitsAt + 1;
+
+  for (std::uint8_t bad_bits : {std::uint8_t{0}, std::uint8_t{12},
+                                std::uint8_t{32}, std::uint8_t{0xff}}) {
+    const std::uint8_t patch[] = {bad_bits};
+    EXPECT_FALSE(decode(patch_and_reseal(clean, kBitsAt, patch)))
+        << "accepted width " << int(bad_bits);
+  }
+  for (double bad_scale : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(), -1.0}) {
+    EXPECT_FALSE(
+        decode(patch_and_reseal(clean, kScaleAt, f64_le_bytes(bad_scale))))
+        << "accepted scale " << bad_scale;
+  }
+  // A count larger than the bytes behind it must be clean kDataLoss. The
+  // count field follows the scale.
+  const std::uint8_t huge_count[] = {0xff, 0xff};
+  EXPECT_FALSE(decode(patch_and_reseal(clean, kScaleAt + 8, huge_count)));
 }
 
 TEST(FuzzDecode, SummaryBlockCodecsNeverCrash) {

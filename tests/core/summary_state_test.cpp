@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <numbers>
 
 #include "dsjoin/dsp/fft.hpp"
@@ -65,6 +67,129 @@ TEST(SummaryCodec, MultipleSubBlocksDecodeInOrder) {
   EXPECT_EQ(dft, 1);
   EXPECT_EQ(bloom, 1);
   EXPECT_EQ(sk, 1);
+}
+
+TEST(SummaryCodec, QuantDftRoundTripWithinStepBound) {
+  // Encode at both widths; decoded values must sit within half a
+  // quantization step of the originals and re-encoding must be
+  // byte-identical (determinism is what backend parity rests on).
+  std::vector<dsp::CoeffDelta> deltas{
+      {0, dsp::Complex(1200.5, -300.25)},
+      {3, dsp::Complex(0.0, 987.125)},
+      {65535, dsp::Complex(-1250.0, 1.0)}};
+  std::vector<dsp::Complex> values;
+  for (const auto& d : deltas) values.push_back(d.value);
+  const double scale = dsp::quant_scale(values);
+  for (unsigned bits : {8u, 16u}) {
+    const double step = scale / dsp::quant_mantissa_max(bits);
+    common::BufferWriter w;
+    summary_codec::encode_dft_quant(w, StreamSide::kR, 2048, 8, deltas, bits,
+                                    scale);
+    const auto bytes = std::move(w).take();
+    // 10-byte header + u8 bits + f64 scale + u16 count, then
+    // (u16 index + 2 mantissas) per delta.
+    const std::size_t per = 2 + 2 * (bits / 8);
+    EXPECT_EQ(bytes.size(), 1 + 1 + 4 + 4 + 1 + 8 + 2 + deltas.size() * per);
+
+    common::BufferWriter again;
+    summary_codec::encode_dft_quant(again, StreamSide::kR, 2048, 8, deltas,
+                                    bits, scale);
+    EXPECT_EQ(bytes, std::move(again).take());
+
+    bool visited = false;
+    summary_codec::Visitor visitor;
+    visitor.on_dft = [&](StreamSide side, std::uint32_t window,
+                         std::uint32_t retained,
+                         const std::vector<dsp::CoeffDelta>& decoded) {
+      visited = true;
+      EXPECT_EQ(side, StreamSide::kR);
+      EXPECT_EQ(window, 2048u);
+      EXPECT_EQ(retained, 8u);
+      ASSERT_EQ(decoded.size(), deltas.size());
+      for (std::size_t i = 0; i < deltas.size(); ++i) {
+        EXPECT_EQ(decoded[i].index, deltas[i].index);
+        EXPECT_LE(std::abs(decoded[i].value.real() - deltas[i].value.real()),
+                  0.5 * step * (1 + 1e-9));
+        EXPECT_LE(std::abs(decoded[i].value.imag() - deltas[i].value.imag()),
+                  0.5 * step * (1 + 1e-9));
+      }
+    };
+    ASSERT_TRUE(summary_codec::decode_blocks(SummaryBlock{bytes}, visitor));
+    EXPECT_TRUE(visited);
+  }
+}
+
+TEST(SummaryCodec, QuantHistSpectrumRoundTrip) {
+  std::vector<dsp::Complex> coeffs{{512.0, -64.0}, {0.0, 0.0}, {-17.5, 3.25}};
+  const double scale = dsp::quant_scale(coeffs);
+  for (unsigned bits : {8u, 16u}) {
+    const double step = scale / dsp::quant_mantissa_max(bits);
+    common::BufferWriter w;
+    summary_codec::encode_hist_spectrum_quant(w, StreamSide::kS, 4096, coeffs,
+                                              bits, scale);
+    bool visited = false;
+    summary_codec::Visitor visitor;
+    visitor.on_hist_spectrum = [&](StreamSide side, std::uint32_t buckets,
+                                   std::vector<dsp::Complex> decoded) {
+      visited = true;
+      EXPECT_EQ(side, StreamSide::kS);
+      EXPECT_EQ(buckets, 4096u);
+      ASSERT_EQ(decoded.size(), coeffs.size());
+      for (std::size_t i = 0; i < coeffs.size(); ++i) {
+        EXPECT_LE(std::abs(decoded[i] - coeffs[i]),
+                  std::sqrt(2.0) * 0.5 * step * (1 + 1e-9));
+      }
+    };
+    ASSERT_TRUE(
+        summary_codec::decode_blocks(SummaryBlock{std::move(w).take()}, visitor));
+    EXPECT_TRUE(visited);
+  }
+}
+
+TEST(SummaryCodec, QuantZeroScaleDecodesToExactZeros) {
+  std::vector<dsp::CoeffDelta> deltas{{2, dsp::Complex(0.0, 0.0)}};
+  common::BufferWriter w;
+  summary_codec::encode_dft_quant(w, StreamSide::kR, 64, 4, deltas, 16, 0.0);
+  summary_codec::Visitor visitor;
+  visitor.on_dft = [&](StreamSide, std::uint32_t, std::uint32_t,
+                       const std::vector<dsp::CoeffDelta>& decoded) {
+    ASSERT_EQ(decoded.size(), 1u);
+    EXPECT_EQ(decoded[0].value, dsp::Complex(0.0, 0.0));
+  };
+  ASSERT_TRUE(
+      summary_codec::decode_blocks(SummaryBlock{std::move(w).take()}, visitor));
+}
+
+TEST(SummaryCodec, QuantRejectsBadWidthAndScale) {
+  // Valid frame, then surgically corrupt the width / scale fields.
+  std::vector<dsp::CoeffDelta> deltas{{1, dsp::Complex(2.0, -2.0)}};
+  common::BufferWriter w;
+  summary_codec::encode_dft_quant(w, StreamSide::kR, 64, 4, deltas, 8, 2.0);
+  const auto clean = std::move(w).take();
+  constexpr std::size_t kBitsOff = 1 + 1 + 4 + 4;  // tag, side, window, retained
+  constexpr std::size_t kScaleOff = kBitsOff + 1;
+
+  auto bad_bits = clean;
+  bad_bits[kBitsOff] = 12;
+  EXPECT_FALSE(summary_codec::decode_blocks(SummaryBlock{bad_bits}, {}).is_ok());
+
+  for (double bad : {std::nan(""), -1.0,
+                     std::numeric_limits<double>::infinity()}) {
+    auto bad_scale = clean;
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, &bad, sizeof(raw));
+    for (std::size_t b = 0; b < 8; ++b) {
+      bad_scale[kScaleOff + b] = static_cast<std::uint8_t>(raw >> (8 * b));
+    }
+    EXPECT_FALSE(
+        summary_codec::decode_blocks(SummaryBlock{bad_scale}, {}).is_ok())
+        << "scale=" << bad;
+  }
+
+  auto truncated = clean;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(
+      summary_codec::decode_blocks(SummaryBlock{truncated}, {}).is_ok());
 }
 
 TEST(SummaryCodec, RejectsUnknownTag) {

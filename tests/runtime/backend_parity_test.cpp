@@ -101,6 +101,7 @@ struct MatrixCase {
   core::PolicyKind policy;
   std::uint32_t coalesce_frames;  ///< 1 = per-frame wire records, >1 = batched
   bool summary_driven;            ///< expects summary traffic on the wire
+  std::uint32_t quant_bits = 0;   ///< summary_quant_bits (0 = f64 coefficients)
 };
 
 constexpr MatrixCase kMatrix[] = {
@@ -108,8 +109,11 @@ constexpr MatrixCase kMatrix[] = {
     {core::PolicyKind::kBase, 32, false},
     {core::PolicyKind::kDft, 1, true},
     {core::PolicyKind::kDft, 32, true},
+    {core::PolicyKind::kDft, 32, true, 8},
+    {core::PolicyKind::kDft, 32, true, 16},
     {core::PolicyKind::kDftt, 1, true},
     {core::PolicyKind::kDftt, 32, true},
+    {core::PolicyKind::kDftt, 32, true, 16},
     {core::PolicyKind::kBloom, 1, true},
     {core::PolicyKind::kBloom, 32, true},
     {core::PolicyKind::kSketch, 1, true},
@@ -117,13 +121,18 @@ constexpr MatrixCase kMatrix[] = {
 };
 
 std::string matrix_case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
-  return std::string(core::to_string(info.param.policy)) +
-         (info.param.coalesce_frames > 1 ? "_Coalesced" : "_PerFrame");
+  std::string name = std::string(core::to_string(info.param.policy)) +
+                     (info.param.coalesce_frames > 1 ? "_Coalesced" : "_PerFrame");
+  if (info.param.quant_bits != 0) {
+    name += "_Quant" + std::to_string(info.param.quant_bits);
+  }
+  return name;
 }
 
 core::SystemConfig matrix_config(const MatrixCase& matrix_case) {
   auto config = parity_config(matrix_case.policy);
   config.coalesce_frames = matrix_case.coalesce_frames;
+  config.summary_quant_bits = matrix_case.quant_bits;
   return config;
 }
 

@@ -53,6 +53,9 @@ int main(int argc, char** argv) {
       .add_double("summary-sync-epoch", 0.25,
                   "visibility grid (s, virtual time) for stamped summary "
                   "exchange (DESIGN.md section 12)")
+      .add_int("quant-bits", 0,
+               "preferred mantissa width for coefficient summaries (0 = f64, "
+               "8 or 16 = fixed-point with per-block scale)")
       .add_bool("verify", true, "recompute the oracle for epsilon/false pairs")
       .add_bool("verbose", false, "log protocol progress");
   if (auto s = flags.parse(argc, argv); !s) {
@@ -101,6 +104,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   options.config.summary_sync_epoch_s = sync_epoch;
+  const std::int64_t quant_bits = flags.get_int("quant-bits");
+  if (quant_bits != 0 && quant_bits != 8 && quant_bits != 16) {
+    std::fprintf(stderr, "error: --quant-bits must be 0, 8 or 16, got %lld\n",
+                 static_cast<long long>(quant_bits));
+    return 1;
+  }
+  options.config.summary_quant_bits = static_cast<std::uint32_t>(quant_bits);
 
   runtime::Coordinator coordinator(options);
   std::printf("coordinator: control port %u, waiting for %u daemons\n",
