@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "dsjoin/core/experiment.hpp"
 #include "dsjoin/core/system.hpp"
 #include "dsjoin/runtime/engine.hpp"
@@ -94,7 +95,9 @@ Entry run_one(core::PolicyKind policy, core::Backend backend, bool quick) {
 
 void write_json(const std::vector<Entry>& entries, const std::string& path) {
   std::ofstream out(path);
-  out << "[\n";
+  // Every backend contributes rows; the per-row "backend" field names it.
+  out << "{\n  \"meta\": " << bench::json_meta("all")
+      << ",\n  \"entries\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     char buf[512];
@@ -112,7 +115,7 @@ void write_json(const std::vector<Entry>& entries, const std::string& path) {
         e.results_per_second, i + 1 < entries.size() ? "," : "");
     out << buf;
   }
-  out << "]\n";
+  out << "  ]\n}\n";
 }
 
 }  // namespace

@@ -127,9 +127,11 @@ int main(int argc, char** argv) {
 
   std::ofstream out("BENCH_quant.json");
   char buf[256];
+  out << "{\n  \"meta\": " << bench::json_meta(core::to_string(backend))
+      << ",\n";
   // Pure per-coefficient payload (index + components, no block header):
   // u32 + 2 f64 = 20 bytes at f64; u16 + 2 mantissas = 6 (int16) / 4 (int8).
-  out << "{\n  \"payload_bytes_per_coeff\": "
+  out << "  \"payload_bytes_per_coeff\": "
          "{\"f64\": 20, \"int16\": 6, \"int8\": 4},\n"
          "  \"payload_reduction\": {\"int16\": 3.33, \"int8\": 5.0},\n";
   // Header-amortized sub-block bytes per coefficient at a full K=8 flush

@@ -25,6 +25,8 @@
 //   --out=PATH   JSON output path (default BENCH_hotpath.json)
 #include <algorithm>
 #include <chrono>
+
+#include "bench_util.hpp"
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -293,7 +295,9 @@ Entry bench_tuple_store(double min_time_s) {
 void write_json(const std::vector<Entry>& entries, const std::string& path) {
   const char* level = common::simd::level_name(common::simd::detected_level());
   std::ofstream out(path);
-  out << "[\n";
+  // Kernel micro-bench: no engine backplane behind these numbers.
+  out << "{\n  \"meta\": " << bench::json_meta("none")
+      << ",\n  \"entries\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     char buf[512];
@@ -309,7 +313,7 @@ void write_json(const std::vector<Entry>& entries, const std::string& path) {
                   i + 1 < entries.size() ? "," : "");
     out << buf;
   }
-  out << "]\n";
+  out << "  ]\n}\n";
 }
 
 }  // namespace

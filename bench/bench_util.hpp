@@ -12,20 +12,41 @@
 #include <vector>
 
 #include "dsjoin/common/cli.hpp"
+#include "dsjoin/common/simd.hpp"
 #include "dsjoin/common/table.hpp"
 #include "dsjoin/core/calibration.hpp"
 #include "dsjoin/core/system.hpp"
 #include "dsjoin/runtime/engine.hpp"
 
+// Stamped into every BENCH_*.json by json_meta(); the build injects the
+// real short hash via target_compile_definitions in bench/CMakeLists.txt.
+#ifndef DSJOIN_GIT_HASH
+#define DSJOIN_GIT_HASH "unknown"
+#endif
+
 namespace dsjoin::bench {
 
-/// The algorithm set of Section 6, in the paper's presentation order.
+/// The algorithm set of Section 6, in the paper's presentation order,
+/// plus the sampling-based SMPL policy (DESIGN.md section 14).
 inline const std::vector<core::PolicyKind>& evaluated_policies() {
   static const std::vector<core::PolicyKind> kPolicies{
-      core::PolicyKind::kDftt, core::PolicyKind::kDft,
-      core::PolicyKind::kBloom, core::PolicyKind::kSketch,
-      core::PolicyKind::kBase};
+      core::PolicyKind::kDftt,   core::PolicyKind::kDft,
+      core::PolicyKind::kBloom,  core::PolicyKind::kSketch,
+      core::PolicyKind::kSample, core::PolicyKind::kBase};
   return kPolicies;
+}
+
+/// One-line run-provenance object for BENCH_*.json artifacts: which build,
+/// which SIMD dispatch level, and which engine backplane produced the
+/// numbers. Comparing two artifacts starts with comparing these.
+inline std::string json_meta(const std::string& backend) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"git_hash\": \"%s\", \"simd\": \"%s\", \"backend\": \"%s\"}",
+                DSJOIN_GIT_HASH,
+                common::simd::level_name(common::simd::active_level()),
+                backend.c_str());
+  return buf;
 }
 
 /// Baseline experiment configuration shared by the system-level figures.
@@ -134,6 +155,37 @@ inline void apply_quant_flag(const common::CliFlags& flags,
     std::exit(1);
   }
   config.summary_quant_bits = static_cast<std::uint32_t>(bits);
+}
+
+/// Declares the shared sampling knobs (SMPL policy, DESIGN.md section 14).
+inline void add_sample_flags(common::CliFlags& flags) {
+  flags.add_int("sample-capacity", 0,
+                "reservoir capacity per (node, side) for the SMPL policy "
+                "(0 = derive from the summary byte budget; max 32768)");
+  flags.add_int("sample-strata", 8,
+                "hash strata per reservoir for the SMPL policy (1..4096)");
+}
+
+/// Applies the sampling knobs with the same reject-and-exit treatment the
+/// other shared flags get; the ranges mirror deserialize_config.
+inline void apply_sample_flags(const common::CliFlags& flags,
+                               core::SystemConfig& config) {
+  const std::int64_t capacity = flags.get_int("sample-capacity");
+  if (capacity < 0 || capacity > (1 << 15)) {
+    std::fprintf(stderr,
+                 "error: --sample-capacity must be in [0, %d], got %lld\n",
+                 1 << 15, static_cast<long long>(capacity));
+    std::exit(1);
+  }
+  const std::int64_t strata = flags.get_int("sample-strata");
+  if (strata < 1 || strata > 4096) {
+    std::fprintf(stderr,
+                 "error: --sample-strata must be in [1, 4096], got %lld\n",
+                 static_cast<long long>(strata));
+    std::exit(1);
+  }
+  config.sample_capacity = static_cast<std::uint32_t>(capacity);
+  config.sample_strata = static_cast<std::uint32_t>(strata);
 }
 
 /// Declares the shared `--backend` flag (experiment engine backplane).

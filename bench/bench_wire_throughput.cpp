@@ -59,7 +59,8 @@ Entry run_mode(core::SystemConfig config, const std::string& mode) {
 void write_json(const std::vector<Entry>& entries, double speedup,
                 const std::string& path) {
   std::ofstream out(path);
-  out << "{\n  \"runs\": [\n";
+  out << "{\n  \"meta\": " << bench::json_meta("tcp-inprocess")
+      << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     char buf[512];

@@ -7,6 +7,7 @@
 // tuple, and throughput — the paper's three headline metrics (Section 6).
 #include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 
 #include "dsjoin/common/cli.hpp"
 #include "dsjoin/common/table.hpp"
@@ -20,7 +21,7 @@ int main(int argc, char** argv) {
       "dsjoin quickstart: one approximate distributed window join vs BASE");
   flags.add_int("nodes", 6, "number of processing nodes")
       .add_string("workload", "ZIPF", "UNI | ZIPF | FIN | NWRK")
-      .add_string("policy", "DFTT", "BASE | RR | DFT | DFTT | BLOOM | SKCH")
+      .add_string("policy", "DFTT", core::policy_names_csv())
       .add_int("tuples", 3000, "tuples per node per stream side")
       .add_double("throttle", 0.5, "forwarding budget knob in [0,1]")
       .add_int("kappa", 256, "DFT compression factor")
@@ -42,7 +43,12 @@ int main(int argc, char** argv) {
   core::SystemConfig config;
   config.nodes = static_cast<std::uint32_t>(flags.get_int("nodes"));
   config.workload = flags.get_string("workload");
-  config.policy = core::policy_from_string(flags.get_string("policy"));
+  try {
+    config.policy = core::policy_from_string(flags.get_string("policy"));
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 1;
+  }
   config.tuples_per_node = static_cast<std::uint64_t>(flags.get_int("tuples"));
   config.throttle = flags.get_double("throttle");
   config.kappa = static_cast<double>(flags.get_int("kappa"));

@@ -9,6 +9,7 @@
 // deduplication — exactly the protocol the dsjoin_coord / dsjoin_noded
 // binaries speak across processes.
 #include <cstdio>
+#include <stdexcept>
 
 #include "dsjoin/common/cli.hpp"
 #include "dsjoin/common/log.hpp"
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
   flags.add_int("nodes", 4, "number of daemon threads")
       .add_int("tuples", 400, "tuples per node per stream side")
       .add_double("rate", 120.0, "arrivals per node per side per second")
-      .add_string("policy", "DFTT", "routing policy")
+      .add_string("policy", "DFTT",
+                  "routing policy: " + core::policy_names_csv())
       .add_bool("pace", false, "replay arrivals in real time")
       .add_bool("verbose", false, "log protocol progress");
   if (auto s = flags.parse(argc, argv); !s) {
@@ -34,7 +36,12 @@ int main(int argc, char** argv) {
   core::SystemConfig config;
   config.nodes = static_cast<std::uint32_t>(flags.get_int("nodes"));
   config.regions = 2;
-  config.policy = core::policy_from_string(flags.get_string("policy"));
+  try {
+    config.policy = core::policy_from_string(flags.get_string("policy"));
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 1;
+  }
   config.workload = "ZIPF";
   config.tuples_per_node = static_cast<std::uint64_t>(flags.get_int("tuples"));
   config.arrivals_per_second = flags.get_double("rate");

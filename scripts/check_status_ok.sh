@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# common::Status spells its OK *factory* `Status::ok()` and its instance
+# *predicate* `is_ok()`. C++ happily calls a static member through an
+# instance, so `if (status.ok())` compiles — and is always true (it just
+# constructs a fresh OK status), silently disabling whatever validation it
+# was meant to gate. This lint bans the instance-call spelling outright;
+# the qualified factory spelling `Status::ok()` does not match the pattern.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if grep -rnE '(\.|->)ok\(\)' --include='*.cpp' --include='*.hpp' \
+    src tests bench tools examples; then
+  echo "error: static Status::ok() factory called through an instance" >&2
+  echo "(always true). Use is_ok() or the explicit operator bool." >&2
+  exit 1
+fi
+echo "OK: no instance calls of the static Status::ok() factory."

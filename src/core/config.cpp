@@ -87,6 +87,8 @@ void serialize_config(const SystemConfig& config, common::BufferWriter& out) {
   out.write_f64(config.controller_gain);
   out.write_u32(config.controller_interval_tuples);
   out.write_u32(config.summary_quant_bits);
+  out.write_u32(config.sample_capacity);
+  out.write_u32(config.sample_strata);
 }
 
 common::Result<SystemConfig> deserialize_config(common::BufferReader& in) {
@@ -157,6 +159,18 @@ common::Result<SystemConfig> deserialize_config(common::BufferReader& in) {
       config.summary_quant_bits != 16) {
     return common::Status(common::ErrorCode::kDataLoss,
                           "summary quant bits must be 0, 8 or 16");
+  }
+  DSJOIN_READ(sample_capacity, read_u32);
+  // The sample-summary wire format counts keys in a u16 and thinning can
+  // briefly hold ~2x capacity, so the live sample must stay under 32768.
+  if (config.sample_capacity > (1u << 15)) {
+    return common::Status(common::ErrorCode::kDataLoss,
+                          "sample capacity out of range");
+  }
+  DSJOIN_READ(sample_strata, read_u32);
+  if (config.sample_strata == 0 || config.sample_strata > 4096) {
+    return common::Status(common::ErrorCode::kDataLoss,
+                          "sample strata must be in [1, 4096]");
   }
 #undef DSJOIN_READ
   return config;

@@ -42,6 +42,8 @@ void aggregate_node_reports(std::span<const NodeReport> reports,
     result->total_arrivals += report.local_tuples;
     result->decode_failures += report.decode_failures;
     result->late_summaries += report.late_summaries;
+    result->predicted_missed_mass += report.predicted_missed_mass;
+    result->predicted_total_mass += report.predicted_total_mass;
     if (merge_traffic) result->traffic.merge(report.traffic);
     for (const auto& pair : report.pairs) {
       collector.record_pair(pair, report.node_id, 0.0);
@@ -66,6 +68,11 @@ void finalize_derived_metrics(ExperimentResult* result) {
           ? 0.0
           : 1.0 - static_cast<double>(result->reported_pairs) /
                       static_cast<double>(result->exact_pairs);
+  result->predicted_epsilon_bound =
+      result->predicted_total_mass > 0.0
+          ? std::min(1.0, std::max(0.0, result->predicted_missed_mass /
+                                            result->predicted_total_mass))
+          : -1.0;
   result->messages_per_result =
       result->reported_pairs == 0
           ? static_cast<double>(result->traffic.total_frames())

@@ -6,8 +6,10 @@
 // hands them to DspSystem.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "dsjoin/common/serialize.hpp"
@@ -26,7 +28,24 @@ enum class PolicyKind {
   kSketch,      ///< SKCH: flow weights from AGMS join-size estimates
   kSpectrum,    ///< SPEC (ours): flow weights from histogram-DFT join-size
                 ///< estimates — deterministic counterpart of SKCH (ablation A3)
+  kSample,      ///< SMPL (ours): stratified reservoir samples with
+                ///< Horvitz–Thompson join-size estimates and confidence
+                ///< bounds (the StreamApprox-style competitor)
 };
+
+/// One row of the policy registry: the enum value and its CLI spelling.
+struct PolicyName {
+  PolicyKind kind;
+  const char* name;
+};
+
+/// Every policy with its canonical CLI name, in enum order. The single
+/// source of truth for to_string / policy_from_string and for every CLI
+/// site's `--policy` help text, so a new policy appears everywhere at once.
+std::span<const PolicyName> policy_names() noexcept;
+
+/// "BASE | RR | DFT | ..." — the registry rendered for help/error text.
+std::string policy_names_csv();
 
 const char* to_string(PolicyKind kind) noexcept;
 PolicyKind policy_from_string(const std::string& name);
@@ -86,6 +105,16 @@ struct SystemConfig {
   /// MSE would exceed dsp::kQuantMseBudget, so the paper's Section 5.3
   /// lossless-after-rounding bound is never at risk.
   std::uint32_t summary_quant_bits = 0;
+
+  // Stratified sampling (SMPL policy only; DESIGN.md §14).
+  /// Target live sample size per stream side, split across strata. 0 keeps
+  /// the Section 6 equal-budget discipline: the capacity is derived from
+  /// summary_budget_bytes() so SMPL's wire summary costs what a DFT
+  /// coefficient summary costs (see sample_capacity_effective()).
+  std::uint32_t sample_capacity = 0;
+  /// Key strata (hash(key) mod strata) so hot keys cannot crowd the whole
+  /// sample; each stratum gets capacity/strata slots.
+  std::uint32_t sample_strata = 8;
 
   // Policy under test.
   PolicyKind policy = PolicyKind::kDftt;
@@ -158,6 +187,16 @@ struct SystemConfig {
 
   /// Retained coefficient count K for the DFT policies.
   std::size_t dft_retained() const noexcept { return summary_budget_bytes() / 16; }
+
+  /// Live sample size the SMPL policy targets per stream side: the explicit
+  /// knob when set, otherwise the summary byte budget divided by the
+  /// per-key wire cost (24 bytes: i64 key + f64 weight + f64 variance), so
+  /// a sample summary spends the same budget as a coefficient summary.
+  std::uint32_t sample_capacity_effective() const noexcept {
+    if (sample_capacity != 0) return sample_capacity;
+    const auto derived = static_cast<std::uint32_t>(summary_budget_bytes() / 24);
+    return std::max({derived, sample_strata, 2u});
+  }
 
   /// Virtual time at which a summary stamped with `emit_time` becomes
   /// visible to its receiver: the first summary_sync_epoch_s multiple

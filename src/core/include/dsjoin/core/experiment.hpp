@@ -55,6 +55,12 @@ struct NodeReport {
   /// Summaries applied after their virtual-time visibility boundary had
   /// already passed (should be 0; non-zero voids exact parity).
   std::uint64_t late_summaries = 0;
+  /// Predicted-epsilon bound terms accumulated by the node's routing
+  /// policy ({0, 0} for policies with no error model). Both travel in
+  /// METRICS_REPORT so the multiprocess coordinator aggregates the same
+  /// numbers the in-process backends do.
+  double predicted_missed_mass = 0.0;
+  double predicted_total_mass = 0.0;
   net::TrafficCounters traffic;       ///< frames this node sent
   std::vector<stream::ResultPair> pairs;  ///< locally discovered, deduplicated
 };
@@ -88,8 +94,17 @@ struct ExperimentResult {
   double makespan_s = 0.0;
   bool fallback_engaged = false;      ///< any node in round-robin fallback
 
+  /// Summed predicted-epsilon bound terms (see NodeReport).
+  double predicted_missed_mass = 0.0;
+  double predicted_total_mass = 0.0;
+
   // Derived (finalize_derived_metrics).
   double epsilon = 0.0;               ///< Eq. 1: missed-result fraction
+  /// Policy-reported upper confidence bound on epsilon, computed without
+  /// the oracle (missed/total mass, clamped to [0, 1]); -1 when the policy
+  /// has no error model (every policy but SMPL today). Acceptance target:
+  /// covers the oracle epsilon in >= 95% of seeded runs (DESIGN.md §14).
+  double predicted_epsilon_bound = -1.0;
   double messages_per_result = 0.0;   ///< total frames / |Psi-hat|
   double results_per_second = 0.0;    ///< |Psi-hat| / makespan
   double ingest_per_second = 0.0;     ///< arrivals / makespan

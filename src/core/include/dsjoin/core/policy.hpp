@@ -39,6 +39,17 @@ struct OutboundSummary {
   SummaryBlock block;
 };
 
+/// Accumulated terms for a run-level predicted epsilon upper bound
+/// (policies that can derive one; SMPL today). Per routed tuple the policy
+/// adds its confidence-inflated estimate of match mass it chose not to
+/// chase to `missed_mass` and its estimate of the total match mass in play
+/// to `total_mass`; the experiment engine aggregates both across nodes and
+/// reports missed/total as predicted_epsilon_bound (DESIGN.md §14).
+struct EpsilonBoundTerms {
+  double missed_mass = 0.0;
+  double total_mass = 0.0;
+};
+
 /// Per-node routing policy instance.
 class RoutingPolicy {
  public:
@@ -84,6 +95,10 @@ class RoutingPolicy {
   /// Current p_{i,j} estimates indexed by peer id (self entry = 0), for
   /// diagnostics and tests. Empty if the policy has no such notion.
   virtual std::vector<double> flow_probabilities() const { return {}; }
+
+  /// Accumulated predicted-epsilon bound terms ({0, 0} for policies with
+  /// no error model — the engine reports "no bound" for those runs).
+  virtual EpsilonBoundTerms epsilon_bound_terms() const noexcept { return {}; }
 
   /// Factory. `self` is this node's id.
   static std::unique_ptr<RoutingPolicy> create(const SystemConfig& config,

@@ -19,6 +19,7 @@
 #include "dsjoin/dsp/compression.hpp"
 #include "dsjoin/dsp/histogram_spectrum.hpp"
 #include "dsjoin/dsp/sliding_dft.hpp"
+#include "dsjoin/sampling/estimator.hpp"
 #include "dsjoin/sketch/agms.hpp"
 #include "dsjoin/sketch/bloom.hpp"
 #include "dsjoin/core/wire.hpp"
@@ -40,6 +41,12 @@ inline constexpr std::uint8_t kTagHistSpectrum = 'H';
 // the f64 forms, so receivers are format-agnostic.
 inline constexpr std::uint8_t kTagDftQuant = 'd';
 inline constexpr std::uint8_t kTagHistSpectrumQuant = 'h';
+// Stratified-sample summary (SMPL, wire format v5). Carries its own
+// version byte so the sample layout can evolve without a new tag.
+inline constexpr std::uint8_t kTagSample = 'S';
+
+/// Layout version inside a kTagSample sub-block.
+inline constexpr std::uint8_t kSampleSummaryVersion = 1;
 
 /// Appends a DFT coefficient-delta sub-block for one stream side.
 void encode_dft(common::BufferWriter& out, stream::StreamSide side,
@@ -76,6 +83,13 @@ void encode_hist_spectrum_quant(common::BufferWriter& out,
                                 std::span<const dsp::Complex> coeffs,
                                 unsigned bits, double scale);
 
+/// Appends a stratified-sample sub-block for one stream side: the sampling
+/// geometry plus per-key Horvitz–Thompson (weight, variance) masses in
+/// strictly ascending key order (the decoder rejects anything else). At
+/// most 65535 keys per sub-block (u16 count).
+void encode_sample(common::BufferWriter& out, stream::StreamSide side,
+                   const sampling::SampleSummary& summary);
+
 /// Callbacks invoked per decoded sub-block.
 struct Visitor {
   std::function<void(stream::StreamSide, std::uint32_t window,
@@ -87,6 +101,7 @@ struct Visitor {
   std::function<void(stream::StreamSide, std::uint32_t buckets,
                      std::vector<dsp::Complex>)>
       on_hist_spectrum;
+  std::function<void(stream::StreamSide, sampling::SampleSummary)> on_sample;
 };
 
 /// Decodes every sub-block in `block`; unknown tags abort with kDataLoss.
@@ -151,6 +166,21 @@ class SketchStore {
 
  private:
   std::optional<sketch::AgmsSketch> sketch_;
+};
+
+/// Latest remote stratified-sample summary per (peer, side).
+class SampleStore {
+ public:
+  void update(sampling::SampleSummary summary) {
+    summary_ = std::move(summary);
+  }
+  bool seeded() const noexcept { return summary_.has_value(); }
+  const sampling::SampleSummary* summary() const noexcept {
+    return summary_ ? &*summary_ : nullptr;
+  }
+
+ private:
+  std::optional<sampling::SampleSummary> summary_;
 };
 
 }  // namespace dsjoin::core

@@ -124,6 +124,9 @@ NodeReport NodeHost::report(net::TrafficCounters traffic) const {
   report.received_tuples = node_->received_tuples();
   report.decode_failures = node_->decode_failures();
   report.late_summaries = node_->late_summaries();
+  const auto bound = node_->policy().epsilon_bound_terms();
+  report.predicted_missed_mass = bound.missed_mass;
+  report.predicted_total_mass = bound.total_mass;
   report.traffic = traffic;
   report.pairs = metrics_->pairs();
   return report;

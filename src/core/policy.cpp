@@ -89,33 +89,49 @@ std::unique_ptr<RoutingPolicy> RoutingPolicy::create(const SystemConfig& config,
       return std::make_unique<SketchPolicy>(config, self);
     case PolicyKind::kSpectrum:
       return std::make_unique<SpectrumPolicy>(config, self);
+    case PolicyKind::kSample:
+      return std::make_unique<SamplePolicy>(config, self);
   }
   assert(false && "unknown policy kind");
   return nullptr;
 }
 
+namespace {
+
+// The one registry every name lookup and every CLI help string reads.
+constexpr PolicyName kPolicyNames[] = {
+    {PolicyKind::kBase, "BASE"},     {PolicyKind::kRoundRobin, "RR"},
+    {PolicyKind::kDft, "DFT"},       {PolicyKind::kDftt, "DFTT"},
+    {PolicyKind::kBloom, "BLOOM"},   {PolicyKind::kSketch, "SKCH"},
+    {PolicyKind::kSpectrum, "SPEC"}, {PolicyKind::kSample, "SMPL"},
+};
+
+}  // namespace
+
+std::span<const PolicyName> policy_names() noexcept { return kPolicyNames; }
+
+std::string policy_names_csv() {
+  std::string out;
+  for (const auto& entry : kPolicyNames) {
+    if (!out.empty()) out += " | ";
+    out += entry.name;
+  }
+  return out;
+}
+
 const char* to_string(PolicyKind kind) noexcept {
-  switch (kind) {
-    case PolicyKind::kBase: return "BASE";
-    case PolicyKind::kRoundRobin: return "RR";
-    case PolicyKind::kDft: return "DFT";
-    case PolicyKind::kDftt: return "DFTT";
-    case PolicyKind::kBloom: return "BLOOM";
-    case PolicyKind::kSketch: return "SKCH";
-    case PolicyKind::kSpectrum: return "SPEC";
+  for (const auto& entry : kPolicyNames) {
+    if (entry.kind == kind) return entry.name;
   }
   return "?";
 }
 
 PolicyKind policy_from_string(const std::string& name) {
-  if (name == "BASE") return PolicyKind::kBase;
-  if (name == "RR") return PolicyKind::kRoundRobin;
-  if (name == "DFT") return PolicyKind::kDft;
-  if (name == "DFTT") return PolicyKind::kDftt;
-  if (name == "BLOOM") return PolicyKind::kBloom;
-  if (name == "SKCH") return PolicyKind::kSketch;
-  if (name == "SPEC") return PolicyKind::kSpectrum;
-  throw std::invalid_argument("unknown policy: " + name);
+  for (const auto& entry : kPolicyNames) {
+    if (name == entry.name) return entry.kind;
+  }
+  throw std::invalid_argument("unknown policy: " + name +
+                              " (expected " + policy_names_csv() + ")");
 }
 
 BasePolicy::BasePolicy(const SystemConfig& config, net::NodeId self)

@@ -10,6 +10,7 @@
 #include "dsjoin/core/summary_state.hpp"
 #include "dsjoin/dsp/histogram_spectrum.hpp"
 #include "dsjoin/dsp/sliding_dft.hpp"
+#include "dsjoin/sampling/reservoir.hpp"
 #include "dsjoin/sketch/agms.hpp"
 #include "dsjoin/sketch/bloom.hpp"
 #include "dsjoin/stream/window.hpp"
@@ -257,6 +258,52 @@ class SpectrumPolicy final : public RoutingPolicy {
   std::uint64_t local_tuples_ = 0;
   std::uint64_t last_broadcast_tuple_ = 0;
   std::vector<double> last_probs_;
+};
+
+/// SMPL (ours): stratified sliding-window reservoir samples per side;
+/// periodic sample-summary broadcasts; per-key flow weights from
+/// Horvitz–Thompson match estimates against peers' opposite-side samples,
+/// plus an accumulated predicted-epsilon upper bound from the estimator's
+/// variance (DESIGN.md §14).
+class SamplePolicy final : public RoutingPolicy {
+ public:
+  SamplePolicy(const SystemConfig& config, net::NodeId self);
+
+  const char* name() const noexcept override { return "SMPL"; }
+  void observe_local(const stream::Tuple& tuple) override;
+  std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
+  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
+  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
+  std::vector<OutboundSummary> maintenance(double now) override;
+  void set_throttle(double throttle) override { throttle_ = throttle; }
+  bool uses_summaries() const noexcept override { return true; }
+  std::vector<double> flow_probabilities() const override { return last_probs_; }
+  EpsilonBoundTerms epsilon_bound_terms() const noexcept override {
+    return bound_;
+  }
+
+ private:
+  struct PeerState {
+    std::array<SampleStore, 2> remote;  // by remote side
+  };
+
+  /// Own sample aggregated for estimation, refreshed lazily per epoch
+  /// (route() consults the own opposite-side summary for the bound's
+  /// locally-found term).
+  const sampling::SampleSummary& own_summary(std::size_t side);
+
+  SystemConfig config_;
+  net::NodeId self_;
+  double throttle_;
+  std::array<sampling::StratifiedReservoir, 2> reservoir_;
+  std::array<sampling::SampleSummary, 2> own_;
+  std::array<bool, 2> own_dirty_{true, true};
+  std::vector<PeerState> peers_;
+  common::Xoshiro256 rng_;
+  std::uint64_t local_tuples_ = 0;
+  std::uint64_t last_broadcast_tuple_ = 0;
+  std::vector<double> last_probs_;
+  EpsilonBoundTerms bound_;
 };
 
 }  // namespace dsjoin::core

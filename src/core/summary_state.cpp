@@ -105,6 +105,23 @@ void encode_hist_spectrum_quant(common::BufferWriter& out,
   }
 }
 
+void encode_sample(common::BufferWriter& out, stream::StreamSide side,
+                   const sampling::SampleSummary& summary) {
+  assert(summary.keys.size() <= 0xffff);
+  out.write_u8(kTagSample);
+  out.write_u8(static_cast<std::uint8_t>(side));
+  out.write_u8(kSampleSummaryVersion);
+  out.write_u32(summary.strata);
+  out.write_u32(summary.capacity);
+  out.write_u64(summary.population);
+  out.write_u16(static_cast<std::uint16_t>(summary.keys.size()));
+  for (const auto& mass : summary.keys) {
+    out.write_i64(mass.key);
+    out.write_f64(mass.weight);
+    out.write_f64(mass.variance);
+  }
+}
+
 namespace {
 
 // Shared validation for the quantized sub-blocks: width and scale must be
@@ -284,6 +301,62 @@ common::Status decode_blocks(const SummaryBlock& block, const Visitor& visitor) 
         if (visitor.on_hist_spectrum) {
           visitor.on_hist_spectrum(side, buckets.value(), std::move(coeffs));
         }
+        break;
+      }
+      case kTagSample: {
+        auto version = in.read_u8();
+        if (!version) return version.status();
+        if (version.value() != kSampleSummaryVersion) {
+          return common::Status(common::ErrorCode::kDataLoss,
+                                "unsupported sample summary version");
+        }
+        sampling::SampleSummary summary;
+        auto strata = in.read_u32();
+        if (!strata) return strata.status();
+        auto capacity = in.read_u32();
+        if (!capacity) return capacity.status();
+        // Mirrors the deserialize_config ranges: a hostile geometry would
+        // otherwise poison downstream budget arithmetic.
+        if (strata.value() == 0 || strata.value() > 4096 ||
+            capacity.value() == 0 || capacity.value() > (1u << 15)) {
+          return common::Status(common::ErrorCode::kDataLoss,
+                                "implausible sample geometry");
+        }
+        auto population = in.read_u64();
+        if (!population) return population.status();
+        if (population.value() > (1ULL << 48)) {
+          return common::Status(common::ErrorCode::kDataLoss,
+                                "implausible sample population");
+        }
+        summary.strata = strata.value();
+        summary.capacity = capacity.value();
+        summary.population = population.value();
+        auto count = in.read_u16();
+        if (!count) return count.status();
+        summary.keys.reserve(count.value());
+        for (std::uint16_t i = 0; i < count.value(); ++i) {
+          auto key = in.read_i64();
+          if (!key) return key.status();
+          auto weight = in.read_f64();
+          if (!weight) return weight.status();
+          auto variance = in.read_f64();
+          if (!variance) return variance.status();
+          // Canonical form: strictly ascending keys, finite non-negative
+          // masses. estimate_key_count binary-searches the list, so an
+          // unsorted or NaN-carrying block must never reach a store.
+          if (!summary.keys.empty() && key.value() <= summary.keys.back().key) {
+            return common::Status(common::ErrorCode::kDataLoss,
+                                  "sample keys not strictly ascending");
+          }
+          if (!std::isfinite(weight.value()) || weight.value() < 0.0 ||
+              !std::isfinite(variance.value()) || variance.value() < 0.0) {
+            return common::Status(common::ErrorCode::kDataLoss,
+                                  "bad sample mass");
+          }
+          summary.keys.push_back(sampling::KeyMass{
+              key.value(), weight.value(), variance.value()});
+        }
+        if (visitor.on_sample) visitor.on_sample(side, std::move(summary));
         break;
       }
       default:

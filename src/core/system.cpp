@@ -159,6 +159,9 @@ ExperimentResult DspSystem::run() {
     result.fallback_engaged |= host->node().policy().fallback_active();
     result.decode_failures += host->node().decode_failures();
     result.late_summaries += host->node().late_summaries();
+    const auto bound = host->node().policy().epsilon_bound_terms();
+    result.predicted_missed_mass += bound.missed_mass;
+    result.predicted_total_mass += bound.total_mass;
   }
   finalize_derived_metrics(&result);
   return result;

@@ -180,6 +180,8 @@ MetricsReportMsg MetricsReportMsg::from_node_report(core::NodeReport report) {
   msg.received_tuples = report.received_tuples;
   msg.decode_failures = report.decode_failures;
   msg.late_summaries = report.late_summaries;
+  msg.predicted_missed_mass = report.predicted_missed_mass;
+  msg.predicted_total_mass = report.predicted_total_mass;
   msg.traffic = report.traffic;
   msg.pairs = std::move(report.pairs);
   return msg;
@@ -192,6 +194,8 @@ core::NodeReport MetricsReportMsg::to_node_report() const {
   report.received_tuples = received_tuples;
   report.decode_failures = decode_failures;
   report.late_summaries = late_summaries;
+  report.predicted_missed_mass = predicted_missed_mass;
+  report.predicted_total_mass = predicted_total_mass;
   report.traffic = traffic;
   report.pairs = pairs;
   return report;
@@ -204,6 +208,8 @@ std::vector<std::uint8_t> MetricsReportMsg::encode() const {
   out.write_u64(received_tuples);
   out.write_u64(decode_failures);
   out.write_u64(late_summaries);
+  out.write_f64(predicted_missed_mass);
+  out.write_f64(predicted_total_mass);
   serialize_traffic(traffic, out);
   out.write_u64(pairs.size());
   for (const auto& pair : pairs) {
@@ -232,6 +238,12 @@ common::Result<MetricsReportMsg> MetricsReportMsg::decode(
   auto late = in.read_u64();
   if (!late) return late.status();
   msg.late_summaries = late.value();
+  auto missed = in.read_f64();
+  if (!missed) return missed.status();
+  msg.predicted_missed_mass = missed.value();
+  auto total = in.read_f64();
+  if (!total) return total.status();
+  msg.predicted_total_mass = total.value();
   auto traffic = deserialize_traffic(in);
   if (!traffic) return traffic.status();
   msg.traffic = traffic.value();

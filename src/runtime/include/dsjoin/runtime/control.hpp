@@ -36,7 +36,10 @@ namespace dsjoin::runtime {
 // virtual-time stamp, and METRICS_REPORT carries late_summaries.
 // v4: SystemConfig grew summary_quant_bits and summary blocks may carry
 // quantized coefficient sub-blocks (tags 'd' and 'h').
-inline constexpr std::uint32_t kProtocolVersion = 4;
+// v5: SystemConfig grew sample_capacity/sample_strata, summary blocks may
+// carry stratified-sample sub-blocks (tag 'S'), and METRICS_REPORT carries
+// the predicted-epsilon bound masses.
+inline constexpr std::uint32_t kProtocolVersion = 5;
 
 enum class ControlType : std::uint8_t {
   kHello = 1,
@@ -107,6 +110,8 @@ struct MetricsReportMsg {
   std::uint64_t received_tuples = 0;
   std::uint64_t decode_failures = 0;
   std::uint64_t late_summaries = 0;
+  double predicted_missed_mass = 0.0;
+  double predicted_total_mass = 0.0;
   net::TrafficCounters traffic;  ///< frames this daemon sent, by kind
   std::vector<stream::ResultPair> pairs;
 

@@ -1,0 +1,58 @@
+#include "dsjoin/sampling/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsjoin::sampling {
+
+namespace {
+
+bool key_less(const KeyMass& mass, std::int64_t key) noexcept {
+  return mass.key < key;
+}
+
+}  // namespace
+
+Estimate estimate_key_count(const SampleSummary& summary, std::int64_t key,
+                            std::int64_t tolerance) noexcept {
+  if (tolerance < 0) tolerance = 0;
+  const auto first = std::lower_bound(summary.keys.begin(), summary.keys.end(),
+                                      key - tolerance, key_less);
+  Estimate out;
+  for (auto it = first; it != summary.keys.end() && it->key <= key + tolerance;
+       ++it) {
+    out.mean += it->weight;
+    out.variance += it->variance;
+  }
+  return out;
+}
+
+Estimate estimate_join_size(const SampleSummary& r,
+                            const SampleSummary& s) noexcept {
+  Estimate out;
+  auto ri = r.keys.begin();
+  auto si = s.keys.begin();
+  while (ri != r.keys.end() && si != s.keys.end()) {
+    if (ri->key < si->key) {
+      ++ri;
+    } else if (si->key < ri->key) {
+      ++si;
+    } else {
+      // Independent samples: Var(XY) = m_x^2 v_y + m_y^2 v_x + v_x v_y.
+      out.mean += ri->weight * si->weight;
+      out.variance += ri->weight * ri->weight * si->variance +
+                      si->weight * si->weight * ri->variance +
+                      ri->variance * si->variance;
+      ++ri;
+      ++si;
+    }
+  }
+  return out;
+}
+
+double upper_confidence(const Estimate& estimate, double z) noexcept {
+  const double variance = std::max(estimate.variance, 0.0);
+  return estimate.mean + z * std::sqrt(variance);
+}
+
+}  // namespace dsjoin::sampling

@@ -1,0 +1,66 @@
+// Horvitz–Thompson estimation over stratified reservoir samples (the SMPL
+// policy's math; StreamApprox-style bounded-error joins from samples).
+//
+// Every sampled item carries the inclusion probability p_i it was admitted
+// (and possibly later thinned) with. The HT estimator of the live-window
+// count of a key set S is sum_{i in sample, key_i in S} 1/p_i — unbiased
+// for any admission schedule as long as p_i is recorded honestly. Under
+// independent (Poisson-type) sampling its variance is
+// sum_{i in S} (1 - p_i)/p_i^2, which the summary aggregates per key so a
+// receiver can derive confidence bounds without the raw sample.
+//
+// Join sizes multiply two independent samples' counts: for X ~ (m_x, v_x)
+// and Y ~ (m_y, v_y) independent, Var(XY) = m_x^2 v_y + m_y^2 v_x + v_x v_y
+// (exact for independent X, Y). A one-sided normal bound mean + z*sd is the
+// bound the SMPL policy reports (DESIGN.md section 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsjoin::sampling {
+
+/// Aggregated HT mass for one join key: `weight` estimates the key's
+/// live-window count, `variance` its HT estimation variance.
+struct KeyMass {
+  std::int64_t key = 0;
+  double weight = 0.0;    ///< sum of 1/p_i over sampled items with this key
+  double variance = 0.0;  ///< sum of (1 - p_i)/p_i^2 over the same items
+};
+
+/// One stream side's sample, aggregated for the wire: what a peer needs to
+/// estimate join sizes against this node's window (plus the sampling
+/// geometry for diagnostics and decode validation).
+struct SampleSummary {
+  std::uint32_t strata = 0;
+  std::uint32_t capacity = 0;    ///< target live sample size (all strata)
+  std::uint64_t population = 0;  ///< live-window arrivals sampled from
+  std::vector<KeyMass> keys;     ///< strictly ascending by key
+};
+
+/// An estimate with its variance (both in squared-count units).
+struct Estimate {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// z for a one-sided 95% normal bound.
+inline constexpr double kZ95 = 1.6448536269514722;
+
+/// HT estimate of the number of live-window values in
+/// [key - tolerance, key + tolerance] (the membership-tolerance band the
+/// DFTT/BLOOM policies also use). Binary-searches the sorted key list.
+Estimate estimate_key_count(const SampleSummary& summary, std::int64_t key,
+                            std::int64_t tolerance) noexcept;
+
+/// HT estimate of the equi-join size between two independently sampled
+/// windows: sum over shared keys of the per-key count product, with the
+/// independent-product variance.
+Estimate estimate_join_size(const SampleSummary& r,
+                            const SampleSummary& s) noexcept;
+
+/// One-sided upper confidence bound mean + z * sqrt(variance), floored at
+/// the mean (variance is clamped to >= 0 against decode-time noise).
+double upper_confidence(const Estimate& estimate, double z = kZ95) noexcept;
+
+}  // namespace dsjoin::sampling

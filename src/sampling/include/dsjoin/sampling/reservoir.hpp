@@ -1,0 +1,89 @@
+// Stratified sliding-window reservoir (the SMPL policy's local state).
+//
+// Arrivals are partitioned into key strata (hash(key) mod strata) so a hot
+// key cannot evict the whole tail of the distribution from the sample —
+// the StreamApprox argument for stratification under skew. Each stratum
+// admits arrivals with probability p = min(1, capacity / live-population),
+// records p with the admitted item, and evicts items whose timestamp has
+// left the sliding window. The live population per stratum is tracked with
+// a coarse ring of time buckets (kPopulationBuckets per window), so memory
+// stays O(sample + buckets) rather than O(window).
+//
+// When a stratum's sample overshoots (the live population shrank after a
+// burst), it is Bernoulli-thinned: every item survives with q = cap/size
+// and a survivor's recorded inclusion probability becomes p_i * q — the
+// composition of two independent Bernoulli trials, so the Horvitz–Thompson
+// weights in estimator.hpp stay unbiased.
+//
+// All randomness comes from one seeded Xoshiro256 driven only by the
+// observe() sequence, so two nodes fed the same arrivals produce identical
+// samples on every backend (the cross-backend parity requirement).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dsjoin/common/rng.hpp"
+#include "dsjoin/sampling/estimator.hpp"
+
+namespace dsjoin::sampling {
+
+struct ReservoirOptions {
+  std::uint32_t capacity = 256;  ///< target live sample size across strata
+  std::uint32_t strata = 8;
+  double window_s = 60.0;        ///< sliding-window length being sampled
+};
+
+class StratifiedReservoir {
+ public:
+  StratifiedReservoir(const ReservoirOptions& options, std::uint64_t seed);
+
+  /// Feeds one arrival. `now` is the arrival's (virtual) timestamp and
+  /// must be non-decreasing across calls; eviction of expired sample items
+  /// and population buckets happens here.
+  void observe(std::int64_t key, double now);
+
+  /// Currently retained sample items (all strata).
+  std::size_t sample_size() const noexcept;
+
+  /// Estimated arrivals still inside the window (bucket-quantized).
+  std::uint64_t live_population() const noexcept;
+
+  const ReservoirOptions& options() const noexcept { return options_; }
+
+  /// Aggregates the current sample into per-key HT masses (sorted by key),
+  /// ready for the wire.
+  SampleSummary summary() const;
+
+ private:
+  struct Item {
+    std::int64_t key;
+    double timestamp;
+    double inclusion_p;
+  };
+  struct Bucket {
+    double start;
+    std::uint64_t count;
+  };
+  struct Stratum {
+    // Timestamp order (observe() is non-decreasing); evicted from the
+    // front via `head`, compacted when the dead prefix dominates.
+    std::vector<Item> items;
+    std::size_t head = 0;
+    std::deque<Bucket> buckets;  ///< coarse live-population history
+    std::uint64_t live = 0;      ///< sum of bucket counts
+  };
+
+  std::size_t stratum_of(std::int64_t key) const noexcept;
+  void evict(Stratum& stratum, double min_timestamp);
+  void thin(Stratum& stratum);
+
+  ReservoirOptions options_;
+  std::uint32_t per_stratum_cap_;
+  double bucket_width_s_;
+  std::vector<Stratum> strata_;
+  common::Xoshiro256 rng_;
+};
+
+}  // namespace dsjoin::sampling

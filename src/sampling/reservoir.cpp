@@ -1,0 +1,137 @@
+#include "dsjoin/sampling/reservoir.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dsjoin::sampling {
+
+namespace {
+
+// Buckets per window for the live-population ring. Coarse on purpose: the
+// population only scales inclusion probabilities, so quantization error
+// shifts p slightly but never biases the HT weights (p is recorded as
+// used).
+constexpr std::uint32_t kPopulationBuckets = 16;
+
+// Thinning engages when a stratum's sample overshoots its cap by this
+// factor (population shrank after the items were admitted).
+constexpr std::size_t kThinOvershoot = 2;
+
+}  // namespace
+
+StratifiedReservoir::StratifiedReservoir(const ReservoirOptions& options,
+                                         std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  if (options_.strata == 0) options_.strata = 1;
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (!(options_.window_s > 0.0)) options_.window_s = 1.0;
+  per_stratum_cap_ =
+      std::max<std::uint32_t>(1, options_.capacity / options_.strata);
+  bucket_width_s_ = options_.window_s / kPopulationBuckets;
+  strata_.resize(options_.strata);
+}
+
+std::size_t StratifiedReservoir::stratum_of(std::int64_t key) const noexcept {
+  std::uint64_t h = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h % options_.strata);
+}
+
+void StratifiedReservoir::evict(Stratum& stratum, double min_timestamp) {
+  while (!stratum.buckets.empty() &&
+         stratum.buckets.front().start + bucket_width_s_ <= min_timestamp) {
+    stratum.live -= stratum.buckets.front().count;
+    stratum.buckets.pop_front();
+  }
+  auto& items = stratum.items;
+  while (stratum.head < items.size() &&
+         items[stratum.head].timestamp < min_timestamp) {
+    ++stratum.head;
+  }
+  if (stratum.head > 64 && stratum.head * 2 > items.size()) {
+    items.erase(items.begin(),
+                items.begin() + static_cast<std::ptrdiff_t>(stratum.head));
+    stratum.head = 0;
+  }
+}
+
+void StratifiedReservoir::thin(Stratum& stratum) {
+  const std::size_t live_items = stratum.items.size() - stratum.head;
+  if (live_items <= kThinOvershoot * per_stratum_cap_) return;
+  const double q = static_cast<double>(per_stratum_cap_) /
+                   static_cast<double>(live_items);
+  std::vector<Item> kept;
+  kept.reserve(per_stratum_cap_ + 8);
+  for (std::size_t i = stratum.head; i < stratum.items.size(); ++i) {
+    if (rng_.next_bool(q)) {
+      Item item = stratum.items[i];
+      item.inclusion_p *= q;
+      kept.push_back(item);
+    }
+  }
+  stratum.items = std::move(kept);
+  stratum.head = 0;
+}
+
+void StratifiedReservoir::observe(std::int64_t key, double now) {
+  Stratum& stratum = strata_[stratum_of(key)];
+  evict(stratum, now - options_.window_s);
+
+  // Account the arrival in the population ring (quantized bucket starts so
+  // the ring layout is a pure function of the timestamps).
+  const double start =
+      std::floor(now / bucket_width_s_) * bucket_width_s_;
+  if (stratum.buckets.empty() || stratum.buckets.back().start < start) {
+    stratum.buckets.push_back(Bucket{start, 0});
+  }
+  ++stratum.buckets.back().count;
+  ++stratum.live;
+
+  const double p = std::min(
+      1.0, static_cast<double>(per_stratum_cap_) /
+               static_cast<double>(stratum.live));
+  if (rng_.next_bool(p)) {
+    stratum.items.push_back(Item{key, now, p});
+    thin(stratum);
+  }
+}
+
+std::size_t StratifiedReservoir::sample_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& stratum : strata_) {
+    total += stratum.items.size() - stratum.head;
+  }
+  return total;
+}
+
+std::uint64_t StratifiedReservoir::live_population() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& stratum : strata_) total += stratum.live;
+  return total;
+}
+
+SampleSummary StratifiedReservoir::summary() const {
+  // std::map keeps the aggregation order-independent of stratum layout and
+  // yields the ascending key order the wire format requires.
+  std::map<std::int64_t, KeyMass> masses;
+  for (const auto& stratum : strata_) {
+    for (std::size_t i = stratum.head; i < stratum.items.size(); ++i) {
+      const Item& item = stratum.items[i];
+      KeyMass& mass = masses[item.key];
+      mass.key = item.key;
+      const double inv = 1.0 / item.inclusion_p;
+      mass.weight += inv;
+      mass.variance += (1.0 - item.inclusion_p) * inv * inv;
+    }
+  }
+  SampleSummary out;
+  out.strata = options_.strata;
+  out.capacity = options_.capacity;
+  out.population = live_population();
+  out.keys.reserve(masses.size());
+  for (auto& [key, mass] : masses) out.keys.push_back(mass);
+  return out;
+}
+
+}  // namespace dsjoin::sampling

@@ -80,6 +80,21 @@ std::array<std::uint8_t, 8> f64_le_bytes(double value) {
   return out;
 }
 
+std::vector<std::uint8_t> reservoir_summary_payload() {
+  common::BufferWriter w;
+  sampling::SampleSummary summary;
+  summary.strata = 8;
+  summary.capacity = 64;
+  summary.population = 500;
+  summary.keys = {{-9, 4.0, 1.5}, {3, 7.5, 0.25}, {1200, 1.0, 0.0}};
+  summary_codec::encode_sample(w, stream::StreamSide::kR, summary);
+  SummaryPayload payload;
+  payload.stamp.emit_time = 77.75;
+  payload.stamp.seq = 31;
+  payload.block.bytes = std::move(w).take();
+  return payload.encode();
+}
+
 std::vector<std::uint8_t> sample_result_payload() {
   ResultPayload payload;
   payload.pairs = {{1, 2}, {3, 4}, {5, 6}};
@@ -145,6 +160,19 @@ TEST(FuzzDecode, QuantSummaryPayload) {
     ASSERT_TRUE(decode(clean));
     fuzz_decoder(clean, decode, 40 + bits);
   }
+}
+
+TEST(FuzzDecode, ReservoirSummaryPayload) {
+  // The SMPL sample sub-block under the same sweep as the quant frames:
+  // mutation, truncation and garbage all run through the codec layer.
+  const auto clean = reservoir_summary_payload();
+  const auto decode = [](const auto& b) {
+    auto payload = SummaryPayload::decode(b);
+    if (!payload.is_ok()) return false;
+    return summary_codec::decode_blocks(payload.value().block, {}).is_ok();
+  };
+  ASSERT_TRUE(decode(clean));
+  fuzz_decoder(clean, decode, 5);
 }
 
 TEST(FuzzDecode, ResultPayload) {
@@ -281,6 +309,60 @@ TEST(FuzzDecode, QuantSummaryHostileFieldsRejected) {
   // count field follows the scale.
   const std::uint8_t huge_count[] = {0xff, 0xff};
   EXPECT_FALSE(decode(patch_and_reseal(clean, kScaleAt + 8, huge_count)));
+}
+
+TEST(FuzzDecode, SampleSummaryHostileFieldsRejected) {
+  // Re-sealed sample frames with hostile geometry, masses and key order:
+  // the checksum passes, so the sample codec's validation is the only
+  // thing keeping these out of a peer's SampleStore.
+  const auto clean = reservoir_summary_payload();
+  const auto decode = [](const auto& b) {
+    auto payload = SummaryPayload::decode(b);
+    if (!payload.is_ok()) return false;
+    return summary_codec::decode_blocks(payload.value().block, {}).is_ok();
+  };
+  ASSERT_TRUE(decode(clean));
+  // Envelope: stamp(13) + block length(4); sample sub-block layout is
+  // tag(1) side(1) version(1) strata(4) capacity(4) population(8) count(2),
+  // then (key i64, weight f64, variance f64) entries.
+  constexpr std::size_t kBlockAt = 13 + 4;
+  constexpr std::size_t kVersionAt = kBlockAt + 2;
+  constexpr std::size_t kStrataAt = kBlockAt + 3;
+  constexpr std::size_t kCapacityAt = kBlockAt + 7;
+  constexpr std::size_t kPopulationAt = kBlockAt + 11;
+  constexpr std::size_t kCountAt = kBlockAt + 19;
+  constexpr std::size_t kEntriesAt = kBlockAt + 21;
+
+  const std::uint8_t bad_version[] = {2};
+  EXPECT_FALSE(decode(patch_and_reseal(clean, kVersionAt, bad_version)));
+  const std::uint8_t zero[] = {0};
+  EXPECT_FALSE(decode(patch_and_reseal(clean, kStrataAt, zero)));
+  EXPECT_FALSE(decode(patch_and_reseal(clean, kCapacityAt, zero)));
+  const std::uint8_t huge[] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_FALSE(decode(patch_and_reseal(clean, kStrataAt, huge)))
+      << "accepted strata > 4096";
+  EXPECT_FALSE(decode(patch_and_reseal(clean, kCapacityAt, huge)))
+      << "accepted capacity > 2^15";
+  const std::uint8_t deep[] = {0, 0, 0, 0, 0, 0, 0, 0xff};
+  EXPECT_FALSE(decode(patch_and_reseal(clean, kPopulationAt, deep)))
+      << "accepted population > 2^48";
+  // A count larger than the bytes behind it must be clean kDataLoss.
+  const std::uint8_t huge_count[] = {0xff, 0xff};
+  EXPECT_FALSE(decode(patch_and_reseal(clean, kCountAt, huge_count)));
+  // Demote the first key's sign byte: -9 becomes a huge positive value,
+  // breaking strict ascent against the second key.
+  const std::uint8_t positive_msb[] = {0x7f};
+  EXPECT_FALSE(decode(patch_and_reseal(clean, kEntriesAt + 7, positive_msb)))
+      << "accepted non-ascending keys";
+  for (double bad_mass : {std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity(), -2.0}) {
+    EXPECT_FALSE(decode(
+        patch_and_reseal(clean, kEntriesAt + 8, f64_le_bytes(bad_mass))))
+        << "accepted weight " << bad_mass;
+    EXPECT_FALSE(decode(
+        patch_and_reseal(clean, kEntriesAt + 16, f64_le_bytes(bad_mass))))
+        << "accepted variance " << bad_mass;
+  }
 }
 
 TEST(FuzzDecode, SummaryBlockCodecsNeverCrash) {

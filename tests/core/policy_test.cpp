@@ -90,7 +90,7 @@ TEST(AllocateFlowProbabilities, EmptyAndClamps) {
 TEST(PolicyFactory, CreatesEveryKind) {
   for (auto kind : {PolicyKind::kBase, PolicyKind::kRoundRobin, PolicyKind::kDft,
                     PolicyKind::kDftt, PolicyKind::kBloom, PolicyKind::kSketch,
-                    PolicyKind::kSpectrum}) {
+                    PolicyKind::kSpectrum, PolicyKind::kSample}) {
     const auto policy = RoutingPolicy::create(config_for(kind), 0);
     ASSERT_NE(policy, nullptr);
     EXPECT_STREQ(policy->name(), to_string(kind));
@@ -100,10 +100,24 @@ TEST(PolicyFactory, CreatesEveryKind) {
 TEST(PolicyNames, RoundTripThroughStrings) {
   for (auto kind : {PolicyKind::kBase, PolicyKind::kRoundRobin, PolicyKind::kDft,
                     PolicyKind::kDftt, PolicyKind::kBloom, PolicyKind::kSketch,
-                    PolicyKind::kSpectrum}) {
+                    PolicyKind::kSpectrum, PolicyKind::kSample}) {
     EXPECT_EQ(policy_from_string(to_string(kind)), kind);
   }
   EXPECT_THROW(policy_from_string("NOPE"), std::invalid_argument);
+}
+
+TEST(PolicyNames, RegistryCoversEveryKindOnce) {
+  const auto registry = policy_names();
+  EXPECT_EQ(registry.size(), 8u);
+  std::set<std::string> unique;
+  const auto csv = policy_names_csv();
+  for (const auto& entry : registry) {
+    unique.insert(entry.name);
+    EXPECT_STREQ(to_string(entry.kind), entry.name);
+    EXPECT_EQ(policy_from_string(entry.name), entry.kind);
+    EXPECT_NE(csv.find(entry.name), std::string::npos) << entry.name;
+  }
+  EXPECT_EQ(unique.size(), registry.size());
 }
 
 TEST(BasePolicy, BroadcastsToAllPeers) {
@@ -312,6 +326,77 @@ TEST(SketchPolicy, BroadcastsSketchesEveryEpoch) {
   }
   // 3 epochs x 3 peers.
   EXPECT_EQ(broadcasts, 9);
+}
+
+TEST(SamplePolicy, BroadcastsSamplesEveryEpoch) {
+  auto config = config_for(PolicyKind::kSample, 4);
+  config.summary_epoch_tuples = 10;
+  const auto policy = RoutingPolicy::create(config, 0);
+  double now = 0.0;
+  int broadcasts = 0;
+  for (int i = 0; i < 35; ++i) {
+    now += 0.1;
+    policy->observe_local(tuple_with(5, stream::StreamSide::kR, now));
+    for (auto& s : policy->maintenance(now)) {
+      ++broadcasts;
+      EXPECT_FALSE(s.block.empty());
+    }
+  }
+  // 3 epochs x 3 peers.
+  EXPECT_EQ(broadcasts, 9);
+}
+
+TEST(SamplePolicy, LearnsMatchingPeerFromSampleSummaries) {
+  auto config = config_for(PolicyKind::kSample, 3);
+  config.summary_epoch_tuples = 16;
+  config.sample_capacity = 256;  // exact samples at this scale
+  config.throttle = 0.5;         // budget sqrt(2) < n-1: ranking must show
+  const auto sender = RoutingPolicy::create(config, 1);
+  const auto receiver = RoutingPolicy::create(config, 0);
+  double now = 0.0;
+  int broadcasts = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += 0.1;
+    sender->observe_local(tuple_with(4200 + i % 4, stream::StreamSide::kS, now));
+    sender->observe_local(tuple_with(4200 + i % 4, stream::StreamSide::kR, now));
+    for (auto& s : sender->maintenance(now)) {
+      ++broadcasts;
+      if (s.peer == 0) receiver->on_summary(1, s.block);
+    }
+  }
+  EXPECT_GT(broadcasts, 10);
+  for (int i = 0; i < 100; ++i) {
+    now += 0.1;
+    receiver->observe_local(tuple_with(4201, stream::StreamSide::kR, now));
+  }
+  (void)receiver->route(tuple_with(4201, stream::StreamSide::kR, now));
+  const auto probs = receiver->flow_probabilities();
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_DOUBLE_EQ(probs[0], 0.0);  // self
+  EXPECT_GT(probs[1], probs[2]);    // sampled matching peer beats silent one
+}
+
+TEST(SamplePolicy, AccumulatesEpsilonBoundTerms) {
+  auto config = config_for(PolicyKind::kSample, 4);
+  config.summary_epoch_tuples = 16;
+  config.sample_capacity = 64;
+  config.throttle = 0.5;
+  const auto policy = RoutingPolicy::create(config, 0);
+  EXPECT_DOUBLE_EQ(policy->epsilon_bound_terms().total_mass, 0.0);
+  double now = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    now += 0.1;
+    policy->observe_local(tuple_with(7, stream::StreamSide::kS, now));
+    (void)policy->route(tuple_with(7, stream::StreamSide::kR, now));
+    (void)policy->maintenance(now);
+  }
+  const auto terms = policy->epsilon_bound_terms();
+  // Unseeded peers charge the bound at least one missed tuple per routed
+  // tuple at partial throttle, and the self-term seeds the denominator.
+  EXPECT_GT(terms.total_mass, 0.0);
+  EXPECT_GT(terms.missed_mass, 0.0);
+  EXPECT_TRUE(std::isfinite(terms.missed_mass));
+  EXPECT_TRUE(std::isfinite(terms.total_mass));
 }
 
 TEST(DftFamilyPolicy, FlowProbabilitiesExposeSelfAsZero) {

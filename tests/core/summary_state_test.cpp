@@ -218,6 +218,113 @@ TEST(SummaryCodec, EmptyBlockIsOk) {
   EXPECT_TRUE(summary_codec::decode_blocks(SummaryBlock{}, {}).is_ok());
 }
 
+sampling::SampleSummary sample_summary_fixture() {
+  sampling::SampleSummary summary;
+  summary.strata = 8;
+  summary.capacity = 128;
+  summary.population = 1000;
+  summary.keys = {{-40, 2.5, 0.75}, {7, 12.0, 0.0}, {900, 1.0, 4.0}};
+  return summary;
+}
+
+TEST(SummaryCodec, SampleRoundTrip) {
+  common::BufferWriter w;
+  const auto original = sample_summary_fixture();
+  summary_codec::encode_sample(w, StreamSide::kS, original);
+
+  bool visited = false;
+  summary_codec::Visitor visitor;
+  visitor.on_sample = [&](StreamSide side, sampling::SampleSummary decoded) {
+    visited = true;
+    EXPECT_EQ(side, StreamSide::kS);
+    EXPECT_EQ(decoded.strata, original.strata);
+    EXPECT_EQ(decoded.capacity, original.capacity);
+    EXPECT_EQ(decoded.population, original.population);
+    ASSERT_EQ(decoded.keys.size(), original.keys.size());
+    for (std::size_t i = 0; i < decoded.keys.size(); ++i) {
+      EXPECT_EQ(decoded.keys[i].key, original.keys[i].key);
+      EXPECT_DOUBLE_EQ(decoded.keys[i].weight, original.keys[i].weight);
+      EXPECT_DOUBLE_EQ(decoded.keys[i].variance, original.keys[i].variance);
+    }
+  };
+  SummaryBlock block{std::move(w).take()};
+  ASSERT_TRUE(summary_codec::decode_blocks(block, visitor));
+  EXPECT_TRUE(visited);
+}
+
+TEST(SummaryCodec, SampleRejectsHostileFields) {
+  common::BufferWriter w;
+  summary_codec::encode_sample(w, StreamSide::kR, sample_summary_fixture());
+  const auto clean = std::move(w).take();
+  ASSERT_TRUE(
+      summary_codec::decode_blocks(SummaryBlock{clean}, {}).is_ok());
+
+  // In-block layout: tag(1) side(1) version(1) strata(4) capacity(4)
+  // population(8) count(2), then (key i64, weight f64, variance f64) each.
+  constexpr std::size_t kVersionOff = 2;
+  constexpr std::size_t kStrataOff = 3;
+  constexpr std::size_t kCapacityOff = 7;
+  constexpr std::size_t kPopulationOff = 11;
+  constexpr std::size_t kEntriesOff = 21;
+
+  const auto expect_rejected = [&](std::size_t at, std::uint8_t with,
+                                   const char* what) {
+    auto bad = clean;
+    bad[at] = with;
+    EXPECT_FALSE(summary_codec::decode_blocks(SummaryBlock{bad}, {}).is_ok())
+        << what;
+  };
+  expect_rejected(kVersionOff, 9, "future version");
+  expect_rejected(kStrataOff + 2, 0xff, "strata out of range");
+  expect_rejected(kCapacityOff + 3, 0xff, "capacity out of range");
+  expect_rejected(kPopulationOff + 7, 0xff, "population out of range");
+  // Zero geometry: strata and capacity are single-byte little-endian here.
+  expect_rejected(kStrataOff, 0, "zero strata");
+  expect_rejected(kCapacityOff, 0, "zero capacity");
+  // Break key ordering: raise the first key above the second (-40 -> huge).
+  expect_rejected(kEntriesOff + 7, 0x7f, "keys not ascending");
+
+  // NaN / negative masses.
+  const auto expect_bad_mass = [&](std::size_t f64_at, double value) {
+    auto bad = clean;
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, &value, sizeof(raw));
+    for (std::size_t b = 0; b < 8; ++b) {
+      bad[f64_at + b] = static_cast<std::uint8_t>(raw >> (8 * b));
+    }
+    EXPECT_FALSE(summary_codec::decode_blocks(SummaryBlock{bad}, {}).is_ok())
+        << value;
+  };
+  constexpr std::size_t kFirstWeightOff = kEntriesOff + 8;
+  constexpr std::size_t kFirstVarianceOff = kEntriesOff + 16;
+  expect_bad_mass(kFirstWeightOff, std::nan(""));
+  expect_bad_mass(kFirstWeightOff, -1.0);
+  expect_bad_mass(kFirstVarianceOff,
+                  std::numeric_limits<double>::infinity());
+
+  // Every truncation must fail loudly, never decode a partial sample.
+  for (std::size_t cut = 1; cut < clean.size(); ++cut) {
+    auto truncated = clean;
+    truncated.resize(clean.size() - cut);
+    EXPECT_FALSE(
+        summary_codec::decode_blocks(SummaryBlock{truncated}, {}).is_ok())
+        << "cut " << cut;
+  }
+}
+
+TEST(SampleStore, UnseededThenHoldsLatest) {
+  SampleStore store;
+  EXPECT_FALSE(store.seeded());
+  EXPECT_EQ(store.summary(), nullptr);
+  store.update(sample_summary_fixture());
+  ASSERT_TRUE(store.seeded());
+  EXPECT_EQ(store.summary()->population, 1000u);
+  auto newer = sample_summary_fixture();
+  newer.population = 2000;
+  store.update(std::move(newer));
+  EXPECT_EQ(store.summary()->population, 2000u);
+}
+
 TEST(CoeffStore, StartsUnseeded) {
   CoeffStore store(64, 8);
   EXPECT_FALSE(store.seeded());

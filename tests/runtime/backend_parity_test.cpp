@@ -8,7 +8,7 @@
 // stamped (DESIGN.md §12), the contract covers EVERY policy — summary-driven
 // routing included — because a summary's application point is a pure
 // function of (stamp, config), not of transport latency. The matrix below
-// pins it: {BASE, DFT, DFTT, BLOOM, SKCH} × {sim, tcp-inprocess,
+// pins it: {BASE, DFT, DFTT, BLOOM, SKCH, SMPL} × {sim, tcp-inprocess,
 // multiprocess} × coalescing {off, on}, asserting identical pair sets,
 // epsilon and logical traffic counters everywhere.
 //
@@ -102,6 +102,7 @@ struct MatrixCase {
   std::uint32_t coalesce_frames;  ///< 1 = per-frame wire records, >1 = batched
   bool summary_driven;            ///< expects summary traffic on the wire
   std::uint32_t quant_bits = 0;   ///< summary_quant_bits (0 = f64 coefficients)
+  std::uint32_t sample_capacity = 0;  ///< SMPL reservoir capacity (0 = auto)
 };
 
 constexpr MatrixCase kMatrix[] = {
@@ -118,6 +119,9 @@ constexpr MatrixCase kMatrix[] = {
     {core::PolicyKind::kBloom, 32, true},
     {core::PolicyKind::kSketch, 1, true},
     {core::PolicyKind::kSketch, 32, true},
+    {core::PolicyKind::kSample, 1, true},
+    {core::PolicyKind::kSample, 32, true},
+    {core::PolicyKind::kSample, 32, true, 0, 128},
 };
 
 std::string matrix_case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
@@ -126,6 +130,9 @@ std::string matrix_case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
   if (info.param.quant_bits != 0) {
     name += "_Quant" + std::to_string(info.param.quant_bits);
   }
+  if (info.param.sample_capacity != 0) {
+    name += "_Cap" + std::to_string(info.param.sample_capacity);
+  }
   return name;
 }
 
@@ -133,6 +140,7 @@ core::SystemConfig matrix_config(const MatrixCase& matrix_case) {
   auto config = parity_config(matrix_case.policy);
   config.coalesce_frames = matrix_case.coalesce_frames;
   config.summary_quant_bits = matrix_case.quant_bits;
+  config.sample_capacity = matrix_case.sample_capacity;
   return config;
 }
 

@@ -1,0 +1,61 @@
+#include "dsjoin/sampling/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dsjoin::sampling {
+namespace {
+
+SampleSummary summary_with(std::vector<KeyMass> keys) {
+  SampleSummary s;
+  s.strata = 4;
+  s.capacity = 16;
+  s.population = 100;
+  s.keys = std::move(keys);
+  return s;
+}
+
+TEST(Estimator, KeyCountExactAndTolerance) {
+  const auto s =
+      summary_with({{10, 2.0, 1.0}, {12, 4.0, 3.0}, {20, 8.0, 0.5}});
+  auto e = estimate_key_count(s, 10, 0);
+  EXPECT_DOUBLE_EQ(e.mean, 2.0);
+  EXPECT_DOUBLE_EQ(e.variance, 1.0);
+  e = estimate_key_count(s, 11, 1);  // band [10, 12]
+  EXPECT_DOUBLE_EQ(e.mean, 6.0);
+  EXPECT_DOUBLE_EQ(e.variance, 4.0);
+  e = estimate_key_count(s, 15, 1);
+  EXPECT_DOUBLE_EQ(e.mean, 0.0);
+  EXPECT_DOUBLE_EQ(e.variance, 0.0);
+  // A negative tolerance behaves as zero.
+  e = estimate_key_count(s, 20, -5);
+  EXPECT_DOUBLE_EQ(e.mean, 8.0);
+}
+
+TEST(Estimator, JoinSizeMergesSharedKeysWithProductVariance) {
+  const auto r = summary_with({{1, 2.0, 0.5}, {5, 3.0, 1.0}});
+  const auto s = summary_with({{5, 4.0, 2.0}, {9, 7.0, 0.25}});
+  const auto e = estimate_join_size(r, s);
+  EXPECT_DOUBLE_EQ(e.mean, 12.0);  // only key 5 is shared: 3 * 4
+  // Var(XY) = m_x^2 v_y + m_y^2 v_x + v_x v_y = 9*2 + 16*1 + 1*2 = 36.
+  EXPECT_DOUBLE_EQ(e.variance, 36.0);
+}
+
+TEST(Estimator, JoinSizeOfDisjointSummariesIsZero) {
+  const auto r = summary_with({{1, 2.0, 0.5}});
+  const auto s = summary_with({{2, 4.0, 2.0}});
+  const auto e = estimate_join_size(r, s);
+  EXPECT_DOUBLE_EQ(e.mean, 0.0);
+  EXPECT_DOUBLE_EQ(e.variance, 0.0);
+}
+
+TEST(Estimator, UpperConfidenceIsMeanPlusZSd) {
+  EXPECT_DOUBLE_EQ(upper_confidence({10.0, 4.0}), 10.0 + kZ95 * 2.0);
+  EXPECT_DOUBLE_EQ(upper_confidence({10.0, 4.0}, 0.0), 10.0);
+  // Decode-time noise: negative variance clamps to the mean, never NaN.
+  EXPECT_DOUBLE_EQ(upper_confidence({5.0, -1.0}), 5.0);
+}
+
+}  // namespace
+}  // namespace dsjoin::sampling

@@ -1,0 +1,145 @@
+#include "dsjoin/sampling/reservoir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace dsjoin::sampling {
+namespace {
+
+ReservoirOptions options_with(std::uint32_t capacity, std::uint32_t strata,
+                              double window_s) {
+  ReservoirOptions options;
+  options.capacity = capacity;
+  options.strata = strata;
+  options.window_s = window_s;
+  return options;
+}
+
+TEST(StratifiedReservoir, KeepsEverythingBelowCapacity) {
+  StratifiedReservoir reservoir(options_with(1024, 1, 100.0), 1);
+  for (int i = 0; i < 200; ++i) {
+    reservoir.observe(i % 10, 0.1 * i);
+  }
+  // Population never exceeded the per-stratum cap, so p = 1 throughout.
+  EXPECT_EQ(reservoir.sample_size(), 200u);
+  const auto summary = reservoir.summary();
+  ASSERT_EQ(summary.keys.size(), 10u);
+  double total = 0.0;
+  for (const auto& mass : summary.keys) {
+    EXPECT_DOUBLE_EQ(mass.weight, 20.0);  // 1/p = 1 per item
+    EXPECT_DOUBLE_EQ(mass.variance, 0.0);
+    total += mass.weight;
+  }
+  EXPECT_DOUBLE_EQ(total, 200.0);
+}
+
+TEST(StratifiedReservoir, EvictsOutsideTheWindow) {
+  StratifiedReservoir reservoir(options_with(64, 4, 10.0), 2);
+  for (int i = 0; i < 100; ++i) {
+    reservoir.observe(i, 0.1 * i);  // all within the first 10 seconds
+  }
+  const auto before = reservoir.sample_size();
+  EXPECT_GT(before, 0u);
+  // One arrival a full window later: everything older is gone from its
+  // stratum; the other strata evict on their next observe.
+  reservoir.observe(1, 100.0);
+  for (int i = 0; i < 100; ++i) {
+    reservoir.observe(i, 100.0 + 0.001 * i);
+  }
+  EXPECT_LE(reservoir.live_population(), 101u + 100u);
+  const auto summary = reservoir.summary();
+  for (const auto& mass : summary.keys) {
+    EXPECT_GT(mass.weight, 0.0);
+  }
+  EXPECT_LT(reservoir.sample_size(), before + 101u);
+}
+
+TEST(StratifiedReservoir, BoundsSampleSizeUnderPressure) {
+  // 10x more live tuples than capacity: admission p shrinks and thinning
+  // keeps every stratum within 2x its cap.
+  const std::uint32_t capacity = 64;
+  StratifiedReservoir reservoir(options_with(capacity, 4, 1000.0), 3);
+  for (int i = 0; i < 10000; ++i) {
+    reservoir.observe(i, 0.01 * i);
+  }
+  EXPECT_LE(reservoir.sample_size(), 2u * capacity + 8u);
+  EXPECT_GT(reservoir.sample_size(), 0u);
+}
+
+TEST(StratifiedReservoir, SummaryKeysStrictlyAscending) {
+  StratifiedReservoir reservoir(options_with(128, 8, 100.0), 4);
+  for (int i = 0; i < 500; ++i) {
+    reservoir.observe((i * 37) % 97, 0.05 * i);
+  }
+  const auto summary = reservoir.summary();
+  for (std::size_t i = 1; i < summary.keys.size(); ++i) {
+    EXPECT_LT(summary.keys[i - 1].key, summary.keys[i].key);
+  }
+  EXPECT_EQ(summary.strata, 8u);
+  EXPECT_EQ(summary.capacity, 128u);
+}
+
+TEST(StratifiedReservoir, DeterministicAcrossInstances) {
+  // The parity requirement: same seed + same observe() sequence => the
+  // same sample, bit for bit, regardless of when summaries are drawn.
+  StratifiedReservoir a(options_with(32, 4, 50.0), 99);
+  StratifiedReservoir b(options_with(32, 4, 50.0), 99);
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t key = (i * 31) % 400;
+    const double now = 0.02 * i;
+    a.observe(key, now);
+    if (i == 1500) (void)b.summary();  // must not perturb the sample
+    b.observe(key, now);
+  }
+  const auto sa = a.summary();
+  const auto sb = b.summary();
+  EXPECT_EQ(sa.population, sb.population);
+  ASSERT_EQ(sa.keys.size(), sb.keys.size());
+  for (std::size_t i = 0; i < sa.keys.size(); ++i) {
+    EXPECT_EQ(sa.keys[i].key, sb.keys[i].key);
+    EXPECT_DOUBLE_EQ(sa.keys[i].weight, sb.keys[i].weight);
+    EXPECT_DOUBLE_EQ(sa.keys[i].variance, sb.keys[i].variance);
+  }
+}
+
+TEST(StratifiedReservoir, HorvitzThompsonIsUnbiasedUnderSubsampling) {
+  // 50 independent seeds, a window with 4000 arrivals over 40 distinct
+  // keys, capacity 256 (heavy subsampling). The mean HT estimate of one
+  // key's count must land near its true count of 100, and the mean HT
+  // total near 4000 — the unbiasedness contract that thinning (p_i * q)
+  // must preserve.
+  const int kKeys = 40, kPerKey = 100;
+  double key_sum = 0.0, total_sum = 0.0;
+  const int kSeeds = 50;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    StratifiedReservoir reservoir(options_with(256, 8, 1e6), seed);
+    for (int rep = 0; rep < kPerKey; ++rep) {
+      for (int key = 0; key < kKeys; ++key) {
+        reservoir.observe(key, 0.001 * (rep * kKeys + key));
+      }
+    }
+    const auto summary = reservoir.summary();
+    double total = 0.0;
+    for (const auto& mass : summary.keys) total += mass.weight;
+    total_sum += total;
+    key_sum += estimate_key_count(summary, 7, 0).mean;
+  }
+  const double mean_total = total_sum / kSeeds;
+  const double mean_key = key_sum / kSeeds;
+  EXPECT_NEAR(mean_total, kKeys * kPerKey, 0.08 * kKeys * kPerKey);
+  EXPECT_NEAR(mean_key, kPerKey, 0.2 * kPerKey);
+}
+
+TEST(StratifiedReservoir, DegenerateOptionsAreClamped) {
+  StratifiedReservoir reservoir(options_with(0, 0, -1.0), 5);
+  reservoir.observe(1, 0.0);
+  EXPECT_EQ(reservoir.options().strata, 1u);
+  EXPECT_EQ(reservoir.options().capacity, 1u);
+  EXPECT_GT(reservoir.options().window_s, 0.0);
+  EXPECT_EQ(reservoir.live_population(), 1u);
+}
+
+}  // namespace
+}  // namespace dsjoin::sampling

@@ -6,6 +6,7 @@
 // Exit code 0 means the protocol ran to completion — including degraded
 // runs where daemons died mid-stream; only setup failures exit nonzero.
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "dsjoin/common/cli.hpp"
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
   flags.add_int("port", 0, "control port (0 = ephemeral)")
       .add_string("port-file", "", "write the bound control port to this file")
       .add_int("nodes", 4, "number of daemons to admit")
-      .add_string("policy", "RR", "routing policy")
+      .add_string("policy", "RR", "routing policy: " + core::policy_names_csv())
       .add_string("workload", "ZIPF", "workload (UNI|ZIPF|FIN|NWRK)")
       .add_int("tuples", 250, "tuples per node per stream side")
       .add_double("rate", 50.0, "arrivals per node per side per second")
@@ -56,6 +57,10 @@ int main(int argc, char** argv) {
       .add_int("quant-bits", 0,
                "preferred mantissa width for coefficient summaries (0 = f64, "
                "8 or 16 = fixed-point with per-block scale)")
+      .add_int("sample-capacity", 0,
+               "SMPL reservoir capacity per (node, side); 0 derives it from "
+               "the summary byte budget (max 32768)")
+      .add_int("sample-strata", 8, "SMPL hash strata per reservoir (1..4096)")
       .add_bool("verify", true, "recompute the oracle for epsilon/false pairs")
       .add_bool("verbose", false, "log protocol progress");
   if (auto s = flags.parse(argc, argv); !s) {
@@ -72,7 +77,13 @@ int main(int argc, char** argv) {
   options.verify = flags.get_bool("verify");
   options.config.nodes = static_cast<std::uint32_t>(flags.get_int("nodes"));
   options.config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  options.config.policy = core::policy_from_string(flags.get_string("policy"));
+  try {
+    options.config.policy =
+        core::policy_from_string(flags.get_string("policy"));
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "error: %s\n", err.what());
+    return 1;
+  }
   options.config.workload = flags.get_string("workload");
   options.config.tuples_per_node =
       static_cast<std::uint64_t>(flags.get_int("tuples"));
@@ -111,6 +122,23 @@ int main(int argc, char** argv) {
     return 1;
   }
   options.config.summary_quant_bits = static_cast<std::uint32_t>(quant_bits);
+  const std::int64_t sample_capacity = flags.get_int("sample-capacity");
+  if (sample_capacity < 0 || sample_capacity > (1 << 15)) {
+    std::fprintf(stderr,
+                 "error: --sample-capacity must be in [0, %d], got %lld\n",
+                 1 << 15, static_cast<long long>(sample_capacity));
+    return 1;
+  }
+  const std::int64_t sample_strata = flags.get_int("sample-strata");
+  if (sample_strata < 1 || sample_strata > 4096) {
+    std::fprintf(stderr,
+                 "error: --sample-strata must be in [1, 4096], got %lld\n",
+                 static_cast<long long>(sample_strata));
+    return 1;
+  }
+  options.config.sample_capacity =
+      static_cast<std::uint32_t>(sample_capacity);
+  options.config.sample_strata = static_cast<std::uint32_t>(sample_strata);
 
   runtime::Coordinator coordinator(options);
   std::printf("coordinator: control port %u, waiting for %u daemons\n",
