@@ -68,6 +68,40 @@ inline core::SystemConfig figure_config(const std::string& workload,
   return config;
 }
 
+/// Funnels a fully assembled config through the one validity gate
+/// (core::validate_config) and exits with the violation message on
+/// failure — every bench calls this after applying its flags, so the
+/// accepted ranges live in exactly one place.
+inline void validate_or_die(const core::SystemConfig& config) {
+  const common::Status status = core::validate_config(config);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    std::exit(1);
+  }
+}
+
+/// Declares the shared `--queries` flag (multi-query serving).
+inline void add_queries_flag(common::CliFlags& flags) {
+  flags.add_string(
+      "queries", "",
+      "registered join queries, semicolon-separated POLICY[:throttle"
+      "[:half_width_s]] specs (e.g. \"DFTT:0.5:10;SMPL:0.7:4\"); omitted "
+      "fields inherit the base config; empty = single-query mode");
+}
+
+/// Applies `--queries`, rejecting syntax errors with the message from
+/// core::parse_queries. Call after the base scalars are applied so
+/// omitted per-query fields inherit the final values.
+inline void apply_queries_flag(const common::CliFlags& flags,
+                               core::SystemConfig& config) {
+  const auto parsed = core::parse_queries(flags.get_string("queries"), config);
+  if (!parsed) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().message().c_str());
+    std::exit(1);
+  }
+  config.queries = parsed.value();
+}
+
 /// Declares the shared `--workers` flag (parallel simulator driver).
 inline void add_workers_flag(common::CliFlags& flags) {
   flags.add_int("workers", 0,
@@ -81,8 +115,8 @@ inline void add_workers_flag(common::CliFlags& flags) {
 inline void apply_workers_flag(const common::CliFlags& flags,
                                core::SystemConfig& config) {
   const std::int64_t workers = flags.get_int("workers");
-  if (workers < 0) {
-    std::fprintf(stderr, "error: --workers must be >= 0, got %lld\n",
+  if (workers < 0 || workers > 4096) {
+    std::fprintf(stderr, "error: --workers must be in [0, 4096], got %lld\n",
                  static_cast<long long>(workers));
     std::exit(1);
   }
@@ -105,34 +139,17 @@ inline void add_coalesce_flags(common::CliFlags& flags) {
                    "(DESIGN.md section 12)");
 }
 
-/// Applies the batching knobs, rejecting out-of-range values the same way
-/// a negative `--workers` is rejected: print the valid range and exit 1.
+/// Applies the batching knobs. The accepted ranges live in
+/// core::validate_config — out-of-range values are rejected there with
+/// the same print-and-exit treatment a negative `--workers` gets.
 inline void apply_coalesce_flags(const common::CliFlags& flags,
                                  core::SystemConfig& config) {
-  const std::int64_t frames = flags.get_int("coalesce-frames");
-  if (frames < 1 || frames > 0xFFFF) {
-    std::fprintf(stderr,
-                 "error: --coalesce-frames must be in [1, 65535], got %lld\n",
-                 static_cast<long long>(frames));
-    std::exit(1);
-  }
-  const std::int64_t bytes = flags.get_int("coalesce-bytes");
-  if (bytes < 1 || bytes > (1 << 24)) {
-    std::fprintf(stderr,
-                 "error: --coalesce-bytes must be in [1, %d], got %lld\n",
-                 1 << 24, static_cast<long long>(bytes));
-    std::exit(1);
-  }
-  config.coalesce_frames = static_cast<std::uint32_t>(frames);
-  config.coalesce_bytes = static_cast<std::uint32_t>(bytes);
-  const double sync_epoch = flags.get_double("summary-sync-epoch");
-  if (!(sync_epoch > 0.0) || sync_epoch > 3600.0) {
-    std::fprintf(stderr,
-                 "error: --summary-sync-epoch must be in (0, 3600], got %g\n",
-                 sync_epoch);
-    std::exit(1);
-  }
-  config.summary_sync_epoch_s = sync_epoch;
+  config.coalesce_frames =
+      static_cast<std::uint32_t>(flags.get_int("coalesce-frames"));
+  config.coalesce_bytes =
+      static_cast<std::uint32_t>(flags.get_int("coalesce-bytes"));
+  config.summary_sync_epoch_s = flags.get_double("summary-sync-epoch");
+  validate_or_die(config);
 }
 
 /// Declares the shared `--quant-bits` flag (quantized coefficient wire
@@ -145,16 +162,13 @@ inline void add_quant_flag(common::CliFlags& flags) {
                 "reconstruction MSE would breach the Section 5.3 budget");
 }
 
-/// Applies `--quant-bits`, rejecting widths outside {0, 8, 16}.
+/// Applies `--quant-bits`; widths outside {0, 8, 16} are rejected by
+/// core::validate_config.
 inline void apply_quant_flag(const common::CliFlags& flags,
                              core::SystemConfig& config) {
-  const std::int64_t bits = flags.get_int("quant-bits");
-  if (bits != 0 && bits != 8 && bits != 16) {
-    std::fprintf(stderr, "error: --quant-bits must be 0, 8 or 16, got %lld\n",
-                 static_cast<long long>(bits));
-    std::exit(1);
-  }
-  config.summary_quant_bits = static_cast<std::uint32_t>(bits);
+  config.summary_quant_bits =
+      static_cast<std::uint32_t>(flags.get_int("quant-bits"));
+  validate_or_die(config);
 }
 
 /// Declares the shared sampling knobs (SMPL policy, DESIGN.md section 14).
@@ -166,26 +180,16 @@ inline void add_sample_flags(common::CliFlags& flags) {
                 "hash strata per reservoir for the SMPL policy (1..4096)");
 }
 
-/// Applies the sampling knobs with the same reject-and-exit treatment the
-/// other shared flags get; the ranges mirror deserialize_config.
+/// Applies the sampling knobs; the ranges are enforced once, in
+/// core::validate_config (shared with deserialize_config).
 inline void apply_sample_flags(const common::CliFlags& flags,
                                core::SystemConfig& config) {
   const std::int64_t capacity = flags.get_int("sample-capacity");
-  if (capacity < 0 || capacity > (1 << 15)) {
-    std::fprintf(stderr,
-                 "error: --sample-capacity must be in [0, %d], got %lld\n",
-                 1 << 15, static_cast<long long>(capacity));
-    std::exit(1);
-  }
   const std::int64_t strata = flags.get_int("sample-strata");
-  if (strata < 1 || strata > 4096) {
-    std::fprintf(stderr,
-                 "error: --sample-strata must be in [1, 4096], got %lld\n",
-                 static_cast<long long>(strata));
-    std::exit(1);
-  }
-  config.sample_capacity = static_cast<std::uint32_t>(capacity);
-  config.sample_strata = static_cast<std::uint32_t>(strata);
+  config.sample_capacity =
+      capacity < 0 ? ~0u : static_cast<std::uint32_t>(capacity);
+  config.sample_strata = strata < 0 ? 0 : static_cast<std::uint32_t>(strata);
+  validate_or_die(config);
 }
 
 /// Declares the shared `--backend` flag (experiment engine backplane).

@@ -31,7 +31,12 @@ int main(int argc, char** argv) {
       .add_int("workers", 0,
                "execution strands for the simulator (0 = serial driver; "
                "k >= 1 is bit-identical to serial unless backpressure "
-               "engages, see DESIGN.md section 6)");
+               "engages, see DESIGN.md section 6)")
+      .add_string("queries", "",
+                  "registered join queries served against one shared "
+                  "summary substrate, semicolon-separated "
+                  "POLICY[:throttle[:half_width_s]] specs (DESIGN.md "
+                  "section 15); empty = single-query mode");
   if (auto status = flags.parse(argc, argv); !status) {
     if (status.code() != common::ErrorCode::kFailedPrecondition) {
       std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
@@ -62,6 +67,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   config.worker_threads = static_cast<std::uint32_t>(workers);
+  const auto queries = core::parse_queries(flags.get_string("queries"), config);
+  if (!queries) {
+    std::fprintf(stderr, "error: %s\n", queries.status().message().c_str());
+    return 1;
+  }
+  config.queries = queries.value();
 
   std::printf("Running %s on %s with %u nodes (%llu tuples/node/side)...\n",
               core::to_string(config.policy), config.workload.c_str(),
@@ -96,6 +107,19 @@ int main(int argc, char** argv) {
             base.traffic.frames(net::FrameKind::kResult));
   table.add("makespan (virtual s)", approx.makespan_s, base.makespan_s);
   table.print();
+
+  if (approx.per_query.size() > 1) {
+    std::printf("\nPer-query breakdown (shared substrate, one ingest per "
+                "tuple — DESIGN.md section 15):\n");
+    for (std::size_t q = 0; q < approx.per_query.size(); ++q) {
+      const auto& query = approx.per_query[q];
+      std::printf(
+          "  query %u [%s]: %llu reported (exact %llu)  epsilon %.4f\n",
+          query.query_id, core::to_string(config.queries[q].policy),
+          static_cast<unsigned long long>(query.reported_pairs),
+          static_cast<unsigned long long>(query.exact_pairs), query.epsilon);
+    }
+  }
 
   std::printf(
       "\nReading the table: the approximate policy should report most of\n"

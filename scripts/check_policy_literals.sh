@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Policy names have exactly one home: the kPolicyNames registry in
+# src/core/policy.cpp, which to_string(), policy_from_string() and
+# policy_names_csv() all read. A quoted "DFTT" anywhere else in src/ is a
+# shadow spelling that silently diverges when a policy is renamed or
+# added — every past drift of this kind was a literal that predated the
+# registry. Benches and tests may still match names in *output checks*,
+# so only src/ is linted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if grep -rnE '"(BASE|RR|DFT|DFTT|BLOOM|SKCH|SPEC|SMPL)"' \
+    --include='*.cpp' --include='*.hpp' src \
+    | grep -v '^src/core/policy\.cpp:'; then
+  echo "error: policy-name string literal outside the kPolicyNames" >&2
+  echo "registry (src/core/policy.cpp). Use core::to_string(PolicyKind)" >&2
+  echo "or core::policy_from_string() instead." >&2
+  exit 1
+fi
+echo "OK: no policy-name literals outside src/core/policy.cpp."

@@ -1,6 +1,7 @@
 #include "dsjoin/core/experiment.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "dsjoin/core/config.hpp"
 #include "dsjoin/core/metrics.hpp"
@@ -49,17 +50,72 @@ void aggregate_node_reports(std::span<const NodeReport> reports,
       collector.record_pair(pair, report.node_id, 0.0);
     }
   }
-  result->reported_pairs = collector.distinct_pairs();
   result->pairs = collector.pairs();
+
+  // Per-query fold: every report lists its queries in the same canonical
+  // order, so entry i across reports is the same query. Each query's pair
+  // set deduplicates independently (queries are distinct joins).
+  std::vector<MetricsCollector> per_query;
+  for (const auto& report : reports) {
+    if (per_query.size() < report.queries.size()) {
+      per_query.resize(report.queries.size());
+      result->per_query.resize(report.queries.size());
+    }
+    for (std::size_t q = 0; q < report.queries.size(); ++q) {
+      const QueryNodeReport& slice = report.queries[q];
+      QueryResult& out = result->per_query[q];
+      out.query_id = slice.query_id;
+      out.received_tuples += slice.received_tuples;
+      out.forwarded_tuples += slice.forwarded_tuples;
+      out.result_frames += slice.result_frames;
+      out.summary_frames += slice.summary_frames;
+      out.predicted_missed_mass += slice.predicted_missed_mass;
+      out.predicted_total_mass += slice.predicted_total_mass;
+      for (const auto& pair : slice.pairs) {
+        per_query[q].record_pair(pair, report.node_id, 0.0);
+      }
+    }
+  }
+  std::uint64_t reported = 0;
+  for (std::size_t q = 0; q < per_query.size(); ++q) {
+    result->per_query[q].reported_pairs = per_query[q].distinct_pairs();
+    result->per_query[q].pairs = per_query[q].pairs();
+    reported += per_query[q].distinct_pairs();
+  }
+  // Aggregate count: sum over queries (each its own join). With no
+  // per-query sections (a pre-v6 report), fall back to the union.
+  result->reported_pairs =
+      per_query.empty() ? collector.distinct_pairs() : reported;
 }
 
 void verify_against_schedule(const SystemConfig& config,
                              std::span<const stream::ResultPair> pairs,
                              ExperimentResult* result) {
   const auto schedule = ArrivalSchedule::build(config);
-  result->exact_pairs = exact_pairs(schedule, config.join_half_width_s);
-  result->false_pairs =
-      count_false_pairs(schedule, config.join_half_width_s, pairs);
+  if (result->per_query.empty()) {
+    result->exact_pairs = exact_pairs(schedule, config.join_half_width_s);
+    result->false_pairs =
+        count_false_pairs(schedule, config.join_half_width_s, pairs);
+    return;
+  }
+  // Per-query verification: replay the one schedule against each query's
+  // own window. Caching by half-width keeps N identical-width queries at
+  // one oracle pass.
+  const auto specs = effective_queries(config);
+  std::map<double, std::uint64_t> exact_by_width;
+  result->exact_pairs = 0;
+  result->false_pairs = 0;
+  for (std::size_t q = 0; q < result->per_query.size(); ++q) {
+    QueryResult& query = result->per_query[q];
+    const double width = q < specs.size() ? specs[q].join_half_width_s
+                                          : config.join_half_width_s;
+    auto [it, fresh] = exact_by_width.try_emplace(width, 0);
+    if (fresh) it->second = exact_pairs(schedule, width);
+    query.exact_pairs = it->second;
+    query.false_pairs = count_false_pairs(schedule, width, query.pairs);
+    result->exact_pairs += query.exact_pairs;
+    result->false_pairs += query.false_pairs;
+  }
 }
 
 void finalize_derived_metrics(ExperimentResult* result) {
@@ -85,6 +141,17 @@ void finalize_derived_metrics(ExperimentResult* result) {
         static_cast<double>(result->total_arrivals) / result->makespan_s;
   }
   result->summary_byte_fraction = result->traffic.summary_byte_fraction();
+  for (QueryResult& query : result->per_query) {
+    query.epsilon = query.exact_pairs == 0
+                        ? 0.0
+                        : 1.0 - static_cast<double>(query.reported_pairs) /
+                                    static_cast<double>(query.exact_pairs);
+    query.predicted_epsilon_bound =
+        query.predicted_total_mass > 0.0
+            ? std::min(1.0, std::max(0.0, query.predicted_missed_mass /
+                                              query.predicted_total_mass))
+            : -1.0;
+  }
 }
 
 }  // namespace dsjoin::core

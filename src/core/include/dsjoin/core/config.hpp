@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "dsjoin/common/serialize.hpp"
 #include "dsjoin/net/sim_transport.hpp"
@@ -49,6 +50,38 @@ std::string policy_names_csv();
 
 const char* to_string(PolicyKind kind) noexcept;
 PolicyKind policy_from_string(const std::string& name);
+
+/// Summary-state family a policy consumes. Queries of the same family
+/// share one ingest-side engine in core::SummarySubstrate (multi-query
+/// serving, DESIGN.md §15); BASE and RR consume no summaries at all.
+enum class SummaryFamily : std::uint8_t {
+  kNone = 0,      ///< BASE / RR: pure routing, no summary state
+  kCoeff = 1,     ///< DFT / DFTT: sliding-DFT coefficient stores
+  kBloom = 2,     ///< BLOOM: counting-Bloom snapshots
+  kSketch = 3,    ///< SKCH: AGMS sketches
+  kSpectrum = 4,  ///< SPEC: histogram-DFT spectra
+  kSample = 5,    ///< SMPL: stratified reservoir samples
+};
+
+inline constexpr std::size_t kSummaryFamilies = 6;
+
+SummaryFamily family_of(PolicyKind kind) noexcept;
+
+/// One registered sliding-window join query (multi-query serving,
+/// DESIGN.md §15): its routing policy, forwarding aggressiveness and
+/// window half-width. Everything else — summary geometry, WAN profile,
+/// workload, batching — is base-config by construction, which is what
+/// makes the ingest-side summary substrate shareable across queries.
+struct QuerySpec {
+  std::uint32_t id = 0;        ///< unique within the run; travels on the wire
+  PolicyKind policy = PolicyKind::kDftt;
+  double throttle = 0.5;       ///< forwarding aggressiveness in [0, 1]
+  double join_half_width_s = 10.0;  ///< pair (r,s) joins iff |Δt| <= this
+};
+
+/// Hard cap on registered queries per run: the per-tuple wire mask is a
+/// u64 bitmap, and the cap keeps control-plane messages bounded.
+inline constexpr std::size_t kMaxQueries = 64;
 
 /// Full experiment description. Defaults give a small, fast, paper-shaped
 /// run; benches override what each figure sweeps.
@@ -121,6 +154,14 @@ struct SystemConfig {
   /// Forwarding aggressiveness in [0, 1]; the epsilon calibrator bisects
   /// this. Maps to a per-node budget T in [1, N-1] (policy-specific).
   double throttle = 0.5;
+
+  /// Registered join queries (multi-query serving, DESIGN.md §15). Empty
+  /// keeps the historical single-query mode: one implicit query derived
+  /// from `policy`, `throttle` and `join_half_width_s` above (see
+  /// effective_queries()). A one-entry list is equivalent to overriding
+  /// those three fields — the engine and wire formats stay byte-identical
+  /// to single-query mode whenever the effective query count is 1.
+  std::vector<QuerySpec> queries;
   /// Coefficient-of-variation threshold under which the flow filter
   /// declares the uniform worst case and falls back to round-robin
   /// (Section 5.2.2: "a very small variance in the filter probabilities
@@ -209,6 +250,40 @@ struct SystemConfig {
     return grid * (std::floor((emit_time + wan.latency_min_s) / grid) + 1.0);
   }
 };
+
+/// The query set an engine actually serves: `config.queries` when set,
+/// otherwise the one implicit query the legacy scalar fields describe.
+/// Never empty for a valid config.
+std::vector<QuerySpec> effective_queries(const SystemConfig& config);
+
+/// True when the effective query count exceeds one — the engine switches
+/// to per-query wire fields, per-query metrics and substrate sharing.
+bool multi_query_mode(const SystemConfig& config);
+
+/// Projects one query onto the base config: the returned config has the
+/// spec's policy/throttle/join_half_width_s in the legacy scalar fields
+/// and an empty query list. RoutingPolicy::create seeds from this view, so
+/// a query spec identical to the legacy fields routes bit-identically to
+/// the historical single-query engine.
+SystemConfig query_config(const SystemConfig& base, const QuerySpec& spec);
+
+/// Max effective window half-width across registered queries — the shared
+/// local windows retain to this horizon so every query can match.
+double max_join_half_width(const SystemConfig& config);
+
+/// The one validity gate for a SystemConfig, shared by every CLI site,
+/// the control-plane decoder and the engine entry points (previously the
+/// ranges were duplicated per flag in bench_util.hpp and dsjoin_coord).
+/// kInvalidArgument with a human-readable message on the first violation.
+common::Status validate_config(const SystemConfig& config);
+
+/// Parses a `--queries` CLI value: semicolon-separated query specs, each
+/// `POLICY[:throttle[:half_width_s]]` (e.g. "DFTT:0.5:10;SMPL:0.7:4").
+/// Omitted fields default to the base config's legacy scalars. IDs are
+/// assigned in order starting at 0. kInvalidArgument on syntax errors;
+/// an empty string yields an empty list (single-query mode).
+common::Result<std::vector<QuerySpec>> parse_queries(
+    const std::string& text, const SystemConfig& base);
 
 /// Wire encoding of a complete SystemConfig (every field, WAN profile
 /// included), so a coordinator can ship one config to remote node daemons.

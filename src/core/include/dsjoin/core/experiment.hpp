@@ -44,6 +44,20 @@ const char* to_string(Backend backend) noexcept;
 /// for anything else. Every CLI site funnels --backend through this.
 common::Result<Backend> backend_from_string(const std::string& name);
 
+/// One registered query's slice of a node's final accounting. Frame
+/// attribution is exclusive (see core::QueryCounters), so summing any
+/// counter over a node's queries reproduces the node aggregate exactly.
+struct QueryNodeReport {
+  std::uint32_t query_id = 0;
+  std::uint64_t received_tuples = 0;   ///< inbound tuple frames attributed
+  std::uint64_t forwarded_tuples = 0;  ///< outbound tuple frames attributed
+  std::uint64_t result_frames = 0;     ///< outbound result frames
+  std::uint64_t summary_frames = 0;    ///< outbound standalone summaries
+  double predicted_missed_mass = 0.0;
+  double predicted_total_mass = 0.0;
+  std::vector<stream::ResultPair> pairs;  ///< this node's, this query's
+};
+
 /// One node's final accounting — the per-node half of metrics assembly.
 /// NodeHost::report() produces it identically on every backplane; the
 /// multiprocess runtime ships it over the wire as METRICS_REPORT.
@@ -63,6 +77,31 @@ struct NodeReport {
   double predicted_total_mass = 0.0;
   net::TrafficCounters traffic;       ///< frames this node sent
   std::vector<stream::ResultPair> pairs;  ///< locally discovered, deduplicated
+  /// Per-query breakdown in canonical (effective_queries) order. One entry
+  /// even in single-query mode, where it restates the aggregates above.
+  std::vector<QueryNodeReport> queries;
+};
+
+/// One registered query's global outcome. Multi-query runs treat each query
+/// as its own join: pairs are deduplicated per query, epsilon is computed
+/// against that query's exact join (its own window half-width), and the
+/// attributed frame counters sum to the run aggregates.
+struct QueryResult {
+  std::uint32_t query_id = 0;
+  std::uint64_t exact_pairs = 0;     ///< 0 when verify/oracle is off
+  std::uint64_t reported_pairs = 0;  ///< globally deduplicated, this query
+  std::uint64_t false_pairs = 0;
+  std::uint64_t received_tuples = 0;
+  std::uint64_t forwarded_tuples = 0;
+  std::uint64_t result_frames = 0;
+  std::uint64_t summary_frames = 0;
+  double predicted_missed_mass = 0.0;
+  double predicted_total_mass = 0.0;
+  double epsilon = 0.0;
+  double predicted_epsilon_bound = -1.0;
+  /// The query's globally deduplicated pair set, sorted by (r_id, s_id) —
+  /// what the multi-query parity tests compare element-wise per query.
+  std::vector<stream::ResultPair> pairs;
 };
 
 /// Everything a figure needs from one run, whichever backend produced it.
@@ -109,6 +148,13 @@ struct ExperimentResult {
   double results_per_second = 0.0;    ///< |Psi-hat| / makespan
   double ingest_per_second = 0.0;     ///< arrivals / makespan
   double summary_byte_fraction = 0.0; ///< Figure 8's ratio
+
+  /// Per-query outcomes in canonical (effective_queries) order. In
+  /// multi-query mode the run aggregates above are sums over this list
+  /// (reported/exact pairs are summed per query, NOT the union — every
+  /// query is its own join); `pairs` keeps the cross-query union for the
+  /// single-query-compatible surface. One entry in single-query mode.
+  std::vector<QueryResult> per_query;
 };
 
 /// Folds per-node reports into `result`: sums arrivals and decode

@@ -30,10 +30,18 @@ class MetricsCollector {
 
   /// Opens an epoch with `slots` report buffers (one per deferred task).
   void begin_epoch(std::size_t slots);
-  /// Binds the calling thread to `slot` for the current epoch.
+  /// Binds the calling thread to `slot` for the current epoch — of this
+  /// collector and of every collector sharing its epoch group.
   void bind_epoch_slot(std::size_t slot);
   /// Applies all buffered reports in slot order.
   void end_epoch();
+
+  /// Joins an epoch group: collectors sharing a group tag buffer under one
+  /// thread binding, so a driver with several collectors (one per query)
+  /// opens their epochs together and binds slots through any one of them.
+  /// Default group: the collector itself (single-collector drivers change
+  /// nothing). Set before the first epoch.
+  void set_epoch_group(const void* group) noexcept { epoch_group_ = group; }
 
   /// Distinct pairs reported by the system — |Psi-hat| of Eq. 1.
   std::uint64_t distinct_pairs() const noexcept { return reported_.size(); }
@@ -70,6 +78,7 @@ class MetricsCollector {
   };
 
   std::unordered_set<stream::ResultPair, stream::ResultPairHash> reported_;
+  const void* epoch_group_ = this;
   std::vector<std::uint64_t> per_node_;
   std::uint64_t total_reports_ = 0;
   double last_report_time_ = 0.0;

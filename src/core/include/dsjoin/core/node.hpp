@@ -5,6 +5,13 @@
 // piggybacks/flushes summaries, and ships discovered result pairs back to
 // the forwarded tuple's origin ("matching tuples must still be transmitted
 // over the network in order to provide the complete result", Section 5.3).
+//
+// Multi-query serving (DESIGN.md §15): a node hosts every query of
+// effective_queries(config). The local stream windows and the summary
+// substrate are ingested once per tuple; each registered query keeps its
+// own routing policy, received-tuple stores, online controller and
+// MetricsCollector. With one query (the historical mode) every code path,
+// RNG draw and wire byte is identical to the single-query engine.
 #pragma once
 
 #include <array>
@@ -18,19 +25,42 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dsjoin/common/thread_pool.hpp"
 #include "dsjoin/core/config.hpp"
 #include "dsjoin/core/metrics.hpp"
 #include "dsjoin/core/policy.hpp"
+#include "dsjoin/core/substrate.hpp"
 #include "dsjoin/net/transport.hpp"
 #include "dsjoin/stream/tuple.hpp"
 #include "dsjoin/stream/window.hpp"
 
 namespace dsjoin::core {
 
+/// Per-query attribution counters a node exposes for reporting. Every sent
+/// or received frame is attributed to exactly one query (tuple frames to
+/// the lowest-index query in their mask, standalone summaries to the
+/// family's lowest subscriber), so per-query counts sum to the node
+/// aggregates by construction.
+struct QueryCounters {
+  std::uint32_t query_id = 0;
+  std::uint64_t received_tuples = 0;   ///< inbound tuple frames attributed
+  std::uint64_t forwarded_tuples = 0;  ///< outbound tuple frames attributed
+  std::uint64_t result_frames = 0;     ///< outbound result frames (owned)
+  std::uint64_t summary_frames = 0;    ///< outbound standalone summaries
+  double throttle = 0.0;
+  double eps_estimate = -1.0;
+};
+
 class Node {
  public:
-  /// The transport and metrics collector must outlive the node. The node
-  /// registers no handler itself; the owner wires on_frame to the transport.
+  /// Multi-query constructor: one MetricsCollector per registered query, in
+  /// effective_queries(config) order. The transport and every collector
+  /// must outlive the node. The node registers no handler itself; the owner
+  /// wires on_frame to the transport.
+  Node(const SystemConfig& config, net::NodeId self, net::Transport& transport,
+       std::span<MetricsCollector* const> query_metrics);
+
+  /// Single-collector convenience (single-query mode only).
   Node(const SystemConfig& config, net::NodeId self, net::Transport& transport,
        MetricsCollector& metrics);
 
@@ -72,6 +102,15 @@ class Node {
     external_summary_feed_ = enabled;
   }
 
+  /// Optional worker pool for multi-query evaluation: per-tuple query
+  /// evaluation (joins + routing) is sharded by summary family — queries
+  /// sharing an engine serialize in one shard, shards run concurrently,
+  /// and all cross-query effects (frames, inserts) are applied afterwards
+  /// in canonical query order. Results are bit-identical for every worker
+  /// count, including none. Ignored in single-query mode. The pool must
+  /// outlive the node.
+  void set_worker_pool(common::ThreadPool* pool) noexcept { pool_ = pool; }
+
   /// Buffers a stamped summary from `from` until its visibility boundary
   /// (SystemConfig::summary_visible_time). A summary whose boundary already
   /// passed locally is applied immediately and counted late — the flag that
@@ -79,8 +118,33 @@ class Node {
   void queue_summary(net::NodeId from, const SummaryStamp& stamp,
                      SummaryBlock block);
 
-  RoutingPolicy& policy() noexcept { return *policy_; }
-  const RoutingPolicy& policy() const noexcept { return *policy_; }
+  /// Query 0's policy — the whole story in single-query mode, diagnostics
+  /// only with several queries registered.
+  RoutingPolicy& policy() noexcept { return *queries_.front().policy; }
+  const RoutingPolicy& policy() const noexcept {
+    return *queries_.front().policy;
+  }
+
+  // Per-query surface.
+  std::size_t query_count() const noexcept { return queries_.size(); }
+  const QuerySpec& query_spec(std::size_t index) const noexcept {
+    return queries_[index].spec;
+  }
+  RoutingPolicy& query_policy(std::size_t index) noexcept {
+    return *queries_[index].policy;
+  }
+  const RoutingPolicy& query_policy(std::size_t index) const noexcept {
+    return *queries_[index].policy;
+  }
+  QueryCounters query_counters(std::size_t index) const noexcept;
+
+  /// True when any registered query consumes summaries. Drivers use this to
+  /// decide whether virtual-time summary synchronization (watermarks,
+  /// visibility buffering) is needed at all; all-BASE/RR runs pay zero.
+  bool uses_summaries() const noexcept { return substrate_.uses_summaries(); }
+
+  SummarySubstrate& substrate() noexcept { return substrate_; }
+  const SummarySubstrate& substrate() const noexcept { return substrate_; }
 
   /// Tuples this node ingested from its own source.
   std::uint64_t local_tuples() const noexcept { return local_tuples_; }
@@ -92,19 +156,80 @@ class Node {
   /// passed (should stay 0 when the driver's watermarks are working).
   std::uint64_t late_summaries() const noexcept { return late_summaries_; }
 
-  /// Online controller diagnostics (meaningful when online_target_eps >= 0).
-  double current_throttle() const noexcept { return throttle_; }
+  /// Online controller diagnostics for query 0 (meaningful when
+  /// online_target_eps >= 0); per-query values via query_counters().
+  double current_throttle() const noexcept {
+    return queries_.front().throttle;
+  }
   /// Smoothed online estimate of the missed remote-match fraction; negative
   /// until the first audit window completes.
-  double epsilon_estimate() const noexcept { return eps_estimate_; }
+  double epsilon_estimate() const noexcept {
+    return queries_.front().eps_estimate;
+  }
 
  private:
-  /// Joins `tuple` against the given opposite-side store; reports pairs and
-  /// returns the matches grouped for shipping.
+  /// Everything one registered query owns: its routing policy (summary
+  /// state shared via the substrate), the forwarded tuples routed to it,
+  /// its online-controller state and its attribution counters.
+  struct QueryRuntime {
+    QuerySpec spec;
+    SystemConfig config;  ///< base with the spec's fields overlaid
+    std::unique_ptr<RoutingPolicy> policy;
+    MetricsCollector* metrics = nullptr;
+    std::array<stream::TupleStore, 2> received;  // forwarded tuples, by side
+
+    // Online controller state (per query; identical cadence, own evidence).
+    common::Xoshiro256 audit_rng;
+    double throttle = 0.0;
+    double eps_estimate = -1.0;
+    std::unordered_map<std::uint64_t, bool> sent_class;  // id -> audited?
+    std::deque<std::uint64_t> sent_order;                // FIFO cap
+    std::uint64_t audit_sent = 0;
+    std::uint64_t regular_sent = 0;
+    double audit_matches = 0.0;
+    double regular_matches = 0.0;
+    /// Pairs already credited once — a pair covered via both directions
+    /// (our forward and the partner's) must not count twice, or the
+    /// estimate's numerator and denominator inflate asymmetrically.
+    std::unordered_set<std::uint64_t> credited_pairs;
+    std::deque<std::uint64_t> credited_order;
+
+    // Frame attribution (see QueryCounters).
+    std::uint64_t received_tuples = 0;
+    std::uint64_t forwarded_tuples = 0;
+    std::uint64_t result_frames = 0;
+    std::uint64_t summary_frames = 0;
+
+    QueryRuntime(const SystemConfig& base, const QuerySpec& spec,
+                 net::NodeId self, SummarySubstrate& substrate,
+                 MetricsCollector* metrics);
+  };
+
+  /// Per-tuple evaluation output of one query, produced (possibly on a
+  /// worker strand) before any cross-query effect is applied.
+  struct QueryEval {
+    bool audited = false;
+    std::vector<net::NodeId> destinations;
+    std::map<net::NodeId, std::vector<stream::ResultPair>> by_origin;
+  };
+
+  /// Joins `tuple` against the given opposite-side store under `query`'s
+  /// window; reports pairs into the query's collector and returns the
+  /// matches grouped for shipping.
   void join_and_report(
-      const stream::Tuple& tuple, const stream::TupleStore& store, double now,
+      QueryRuntime& query, const stream::Tuple& tuple,
+      const stream::TupleStore& store, double now,
       std::vector<stream::ResultPair>* shipped,
       std::map<net::NodeId, std::vector<stream::ResultPair>>* by_origin);
+  /// The audit draw plus routing decision for one query (thread-confined to
+  /// the query's shard: touches only per-query and per-family state).
+  void evaluate_routing(QueryRuntime& query, const stream::Tuple& tuple,
+                        QueryEval& eval);
+  /// Runs `task(q)` for every query, sharded by summary family when a pool
+  /// is set (multi-query only); otherwise serial in query order.
+  void for_each_query_sharded(const std::function<void(std::size_t)>& task);
+  void send_result_frame(QueryRuntime& query, net::NodeId origin,
+                         std::vector<stream::ResultPair> pairs);
   void evict(double now);
   void send_summary(net::NodeId peer, SummaryBlock block, double now);
   /// Applies every pending summary whose visibility boundary is <= now, in
@@ -112,19 +237,26 @@ class Node {
   /// summary frontier to `now` first.
   void apply_due_summaries(double now);
   /// Records a locally originated tuple's controller class (audit/regular).
-  void track_sent(std::uint64_t id, bool audited);
+  void track_sent(QueryRuntime& query, std::uint64_t id, bool audited);
   /// Attributes shipped result pairs to the controller classes.
-  void absorb_result_feedback(const std::vector<stream::ResultPair>& pairs);
+  void absorb_result_feedback(QueryRuntime& query,
+                              const std::vector<stream::ResultPair>& pairs);
   /// Periodic proportional throttle adjustment from the audit estimate.
-  void run_controller();
+  void run_controller(QueryRuntime& query);
 
   SystemConfig config_;
   net::NodeId self_;
   net::Transport& transport_;
-  MetricsCollector& metrics_;
-  std::unique_ptr<RoutingPolicy> policy_;
-  std::array<stream::TupleStore, 2> local_;     // own tuples, by side
-  std::array<stream::TupleStore, 2> received_;  // forwarded tuples, by side
+  SummarySubstrate substrate_;
+  std::vector<QueryRuntime> queries_;
+  bool multi_query_ = false;
+  double max_half_width_ = 0.0;  ///< retention horizon across queries
+  common::ThreadPool* pool_ = nullptr;
+  /// Query indices grouped by summary family: one shard per family (its
+  /// queries share an engine and must serialize); BASE/RR queries share no
+  /// state and get a shard each.
+  std::vector<std::vector<std::size_t>> shards_;
+  std::array<stream::TupleStore, 2> local_;  // own tuples, by side
   std::uint64_t local_tuples_ = 0;
   std::uint64_t received_tuples_ = 0;
   std::uint64_t decode_failures_ = 0;
@@ -145,21 +277,8 @@ class Node {
   std::vector<std::uint32_t> summary_seq_;
   bool external_summary_feed_ = false;
 
-  // Online controller state.
-  common::Xoshiro256 audit_rng_;
-  double throttle_ = 0.0;
-  double eps_estimate_ = -1.0;
-  std::unordered_map<std::uint64_t, bool> sent_class_;  // id -> audited?
-  std::deque<std::uint64_t> sent_order_;                // FIFO cap
-  std::uint64_t audit_sent_ = 0;
-  std::uint64_t regular_sent_ = 0;
-  double audit_matches_ = 0.0;
-  double regular_matches_ = 0.0;
-  /// Pairs already credited once — a pair covered via both directions
-  /// (our forward and the partner's) must not count twice, or the
-  /// estimate's numerator and denominator inflate asymmetrically.
-  std::unordered_set<std::uint64_t> credited_pairs_;
-  std::deque<std::uint64_t> credited_order_;
+  // Scratch for the per-tuple evaluation (avoids per-tuple allocation).
+  std::vector<QueryEval> eval_scratch_;
 };
 
 }  // namespace dsjoin::core

@@ -39,6 +39,7 @@
 #include <span>
 #include <vector>
 
+#include "dsjoin/common/thread_pool.hpp"
 #include "dsjoin/core/experiment.hpp"
 #include "dsjoin/core/metrics.hpp"
 #include "dsjoin/core/node.hpp"
@@ -47,12 +48,22 @@ namespace dsjoin::core {
 
 class NodeHost {
  public:
-  /// Socket backends: the host owns a private MetricsCollector (this
-  /// node's discoveries only; global dedup happens at aggregation).
+  /// Socket backends: the host owns one private MetricsCollector per
+  /// registered query (this node's discoveries only; global dedup happens
+  /// at aggregation). In multi-query mode with config.worker_threads >= 1
+  /// the host also owns a ThreadPool and wires it into the node, sharding
+  /// per-tuple query evaluation by summary family (results bit-identical
+  /// for every worker count).
   NodeHost(const SystemConfig& config, net::NodeId id, net::Transport& transport);
 
-  /// Simulator: all hosts share the system-wide collector, which performs
-  /// the global dedup and the epoch-buffered flush ordering in place.
+  /// Simulator: all hosts share the system-wide collectors — one per
+  /// registered query, in canonical order — which perform the global dedup
+  /// and the epoch-buffered flush ordering in place.
+  NodeHost(const SystemConfig& config, net::NodeId id, net::Transport& transport,
+           std::span<MetricsCollector* const> shared_query_metrics);
+
+  /// Single-collector convenience for the historical single-query
+  /// simulator call shape.
   NodeHost(const SystemConfig& config, net::NodeId id, net::Transport& transport,
            MetricsCollector& shared_metrics);
 
@@ -116,8 +127,15 @@ class NodeHost {
 
   std::uint64_t arrivals_ingested() const noexcept { return arrivals_ingested_; }
   double virtual_now() const noexcept { return virtual_now_; }
-  /// Distinct pairs in this host's collector (heartbeat progress counter).
-  std::uint64_t pairs_discovered() const { return metrics_->distinct_pairs(); }
+  /// Distinct pairs across this host's collectors (heartbeat progress
+  /// counter; queries are distinct joins, so the sum is the honest total).
+  std::uint64_t pairs_discovered() const {
+    std::uint64_t total = 0;
+    for (const MetricsCollector* collector : metrics_) {
+      total += collector->distinct_pairs();
+    }
+    return total;
+  }
 
   /// FIN wire format, exposed for tests: an 8-byte magic + phase byte in a
   /// FrameKind::kControl payload (core::Node ignores kControl, so even a
@@ -174,8 +192,9 @@ class NodeHost {
   net::NodeId id_;
   std::uint32_t nodes_;
   net::Transport* transport_;
-  std::unique_ptr<MetricsCollector> owned_metrics_;  // null when shared
-  MetricsCollector* metrics_;
+  std::vector<std::unique_ptr<MetricsCollector>> owned_metrics_;  // empty when shared
+  std::vector<MetricsCollector*> metrics_;  // one per query, canonical order
+  std::unique_ptr<common::ThreadPool> worker_pool_;  // multi-query sockets only
   std::unique_ptr<Node> node_;
 
   double virtual_now_ = 0.0;  // latest local arrival timestamp

@@ -33,10 +33,15 @@
 
 namespace dsjoin::core {
 
-/// A standalone summary destined for one peer.
+class SummarySubstrate;
+
+/// A standalone summary destined for one peer. `family` identifies the
+/// emitting engine so multi-query nodes can attribute the frame's traffic
+/// to the family's lowest-id subscriber.
 struct OutboundSummary {
   net::NodeId peer;
   SummaryBlock block;
+  SummaryFamily family = SummaryFamily::kNone;
 };
 
 /// Accumulated terms for a run-level predicted epsilon upper bound
@@ -50,35 +55,44 @@ struct EpsilonBoundTerms {
   double total_mass = 0.0;
 };
 
-/// Per-node routing policy instance.
+/// Per-query routing policy instance. Since the substrate refactor
+/// (DESIGN.md §15) a policy holds only *routing* state — its RNG stream,
+/// throttle, fallback flag and probability diagnostics. The summary state
+/// it consults (windows, coefficient stores, filters, sketches, samples)
+/// lives in a core::SummarySubstrate engine, either shared with other
+/// queries of the same family (the 3-arg factory) or privately owned (the
+/// 2-arg factory — the historical self-contained policy object).
 class RoutingPolicy {
  public:
-  virtual ~RoutingPolicy() = default;
+  virtual ~RoutingPolicy();
 
   RoutingPolicy(const RoutingPolicy&) = delete;
   RoutingPolicy& operator=(const RoutingPolicy&) = delete;
 
   virtual const char* name() const noexcept = 0;
 
-  /// Feeds a locally arriving tuple into the policy's summaries (sliding
-  /// DFTs / Bloom / sketch windows). Called before route().
-  virtual void observe_local(const stream::Tuple& tuple) = 0;
+  /// Feeds a locally arriving tuple into the substrate's summaries
+  /// (sliding DFTs / Bloom / sketch windows). Called before route().
+  /// Forwards to the substrate — a node hosting several queries calls the
+  /// substrate directly, once per tuple, instead.
+  void observe_local(const stream::Tuple& tuple);
 
   /// Destinations for the tuple (excluding self; possibly empty).
   virtual std::vector<net::NodeId> route(const stream::Tuple& tuple) = 0;
 
   /// Summary bytes to piggyback on a tuple frame to `peer` (may be empty).
-  /// Marks the drained state as synced to that peer.
-  virtual SummaryBlock piggyback_for(net::NodeId peer) = 0;
+  /// Marks the drained state as synced to that peer. Substrate-forwarded.
+  SummaryBlock piggyback_for(net::NodeId peer);
 
-  /// Ingests a summary block received from `peer`.
-  virtual void on_summary(net::NodeId peer, const SummaryBlock& block) = 0;
+  /// Ingests a summary block received from `peer`. Substrate-forwarded.
+  void on_summary(net::NodeId peer, const SummaryBlock& block);
 
   /// Called once per local arrival after routing: standalone summaries for
   /// peers that have not heard from this node for a summary epoch
   /// (Figure 7: "if a tuple message was not sent to some site for a long
   /// period, the batch of updates are transmitted on their own").
-  virtual std::vector<OutboundSummary> maintenance(double now) = 0;
+  /// Substrate-forwarded.
+  std::vector<OutboundSummary> maintenance(double now);
 
   /// Sets forwarding aggressiveness in [0, 1] (see header comment).
   virtual void set_throttle(double throttle) = 0;
@@ -87,10 +101,10 @@ class RoutingPolicy {
   virtual bool fallback_active() const noexcept { return false; }
 
   /// True when routing consults peer summary state (DFT/DFTT/BLOOM/SKCH/
-  /// SPEC). Drivers use this to decide whether virtual-time summary
+  /// SPEC/SMPL). Drivers use this to decide whether virtual-time summary
   /// synchronization (watermarks, visibility buffering) is needed at all;
   /// BASE/RR runs pay zero overhead.
-  virtual bool uses_summaries() const noexcept { return false; }
+  bool uses_summaries() const noexcept;
 
   /// Current p_{i,j} estimates indexed by peer id (self entry = 0), for
   /// diagnostics and tests. Empty if the policy has no such notion.
@@ -100,12 +114,29 @@ class RoutingPolicy {
   /// no error model — the engine reports "no bound" for those runs).
   virtual EpsilonBoundTerms epsilon_bound_terms() const noexcept { return {}; }
 
-  /// Factory. `self` is this node's id.
+  /// The substrate this policy's summaries live in.
+  SummarySubstrate& substrate() noexcept { return *substrate_; }
+
+  /// Standalone factory: the policy owns a private substrate — the
+  /// pre-refactor self-contained object tests and calibration use.
   static std::unique_ptr<RoutingPolicy> create(const SystemConfig& config,
                                                net::NodeId self);
 
+  /// Shared-substrate factory (multi-query serving): the policy registers
+  /// its summary family's engine in `substrate` and keeps only routing
+  /// state of its own. `substrate` must outlive the policy.
+  static std::unique_ptr<RoutingPolicy> create(const SystemConfig& config,
+                                               net::NodeId self,
+                                               SummarySubstrate& substrate);
+
  protected:
-  RoutingPolicy() = default;
+  explicit RoutingPolicy(SummarySubstrate& substrate);  // out-of-line:
+  // keeps SummarySubstrate an incomplete type for policy.hpp includers
+
+  SummarySubstrate* substrate_;
+
+ private:
+  std::unique_ptr<SummarySubstrate> owned_;  // set by the 2-arg factory
 };
 
 /// Water-fills probabilities p_j = min(1, floor + w * score_j) with

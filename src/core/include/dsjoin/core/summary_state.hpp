@@ -44,6 +44,10 @@ inline constexpr std::uint8_t kTagHistSpectrumQuant = 'h';
 // Stratified-sample summary (SMPL, wire format v5). Carries its own
 // version byte so the sample layout can evolve without a new tag.
 inline constexpr std::uint8_t kTagSample = 'S';
+// Query-scope wrapper (multi-query serving, wire format v6): the subscriber
+// query ids of the summary's family plus an opaque inner block. Single-query
+// runs never emit it, so their wire bytes are unchanged from v5.
+inline constexpr std::uint8_t kTagQueryScope = 'Q';
 
 /// Layout version inside a kTagSample sub-block.
 inline constexpr std::uint8_t kSampleSummaryVersion = 1;
@@ -90,6 +94,14 @@ void encode_hist_spectrum_quant(common::BufferWriter& out,
 void encode_sample(common::BufferWriter& out, stream::StreamSide side,
                    const sampling::SampleSummary& summary);
 
+/// Appends a query-scope wrapper around an already encoded block: the
+/// strictly ascending subscriber query ids (at most kMaxQueries) followed by
+/// the inner bytes. The inner block must itself be a valid sub-block
+/// sequence; wrappers do not nest.
+void encode_query_scope(common::BufferWriter& out,
+                        std::span<const std::uint32_t> query_ids,
+                        std::span<const std::uint8_t> inner);
+
 /// Callbacks invoked per decoded sub-block.
 struct Visitor {
   std::function<void(stream::StreamSide, std::uint32_t window,
@@ -102,6 +114,9 @@ struct Visitor {
                      std::vector<dsp::Complex>)>
       on_hist_spectrum;
   std::function<void(stream::StreamSide, sampling::SampleSummary)> on_sample;
+  std::function<void(const std::vector<std::uint32_t>& query_ids,
+                     SummaryBlock inner)>
+      on_query_scope;
 };
 
 /// Decodes every sub-block in `block`; unknown tags abort with kDataLoss.

@@ -45,11 +45,20 @@ class DspSystem {
   /// Number of restarts executed during the run.
   std::uint64_t restarts_executed() const noexcept { return restarts_executed_; }
 
-  /// Access for tests.
+  /// Access for tests. metrics()/oracle() are query 0's — the whole story
+  /// in single-query mode; per-query instances via query_metrics(i) /
+  /// query_oracle(i).
   Node& node(net::NodeId id) { return hosts_[id]->node(); }
   const net::SimTransport& transport() const { return *transport_; }
-  const MetricsCollector& metrics() const { return metrics_; }
-  const ExactJoinOracle& oracle() const { return oracle_; }
+  const MetricsCollector& metrics() const { return *query_metrics_.front(); }
+  const ExactJoinOracle& oracle() const { return oracles_.front(); }
+  std::size_t query_count() const noexcept { return query_metrics_.size(); }
+  const MetricsCollector& query_metrics(std::size_t q) const {
+    return *query_metrics_[q];
+  }
+  const ExactJoinOracle& query_oracle(std::size_t q) const {
+    return oracles_[q];
+  }
 
  private:
   void schedule_arrival(net::NodeId node, stream::StreamSide side, double at);
@@ -94,10 +103,15 @@ class DspSystem {
   };
 
   SystemConfig config_;
+  std::vector<QuerySpec> specs_;  ///< effective_queries(config), canonical
   net::EventQueue queue_;
   std::unique_ptr<net::SimTransport> transport_;
-  MetricsCollector metrics_;
-  ExactJoinOracle oracle_;
+  /// One collector and one oracle per registered query, canonical order.
+  /// All collectors share one epoch group (this), so the parallel driver
+  /// binds worker slots once per task and every query's reports buffer.
+  std::vector<std::unique_ptr<MetricsCollector>> query_metrics_;
+  std::vector<MetricsCollector*> metrics_ptrs_;  ///< span over query_metrics_
+  std::vector<ExactJoinOracle> oracles_;
   /// Streaming arrival truth: rng tree, key streams, quotas and the dense
   /// global tuple-id counter (ArrivalSchedule::build materializes the same
   /// generator for the socket backends).

@@ -57,14 +57,22 @@ struct SummaryStamp {
 };
 
 /// Tuple frame body.
+///
+/// In multi-query mode (encode/decode with `with_query_ids` true, control
+/// protocol v6) the frame additionally carries `query_mask`: bit k set means
+/// the query at canonical index k in the sender's registered-query list
+/// routed this tuple. Single-query traffic never pays the extra bytes and
+/// stays byte-identical to the historical layout.
 struct TuplePayload {
   stream::Tuple tuple;
   SummaryBlock piggyback;  ///< may be empty
   SummaryStamp stamp;      ///< on the wire only when piggyback is non-empty
+  std::uint64_t query_mask = 0;  ///< on the wire only in multi-query mode
 
-  std::vector<std::uint8_t> encode() const;
+  std::vector<std::uint8_t> encode() const { return encode(false); }
+  std::vector<std::uint8_t> encode(bool with_query_ids) const;
   static common::Result<TuplePayload> decode(
-      std::span<const std::uint8_t> bytes);
+      std::span<const std::uint8_t> bytes, bool with_query_ids = false);
 };
 
 /// Standalone summary frame body.
@@ -77,13 +85,17 @@ struct SummaryPayload {
       std::span<const std::uint8_t> bytes);
 };
 
-/// Result-shipment frame body.
+/// Result-shipment frame body. In multi-query mode each shipment belongs to
+/// exactly one query (`query_id`), so the origin credits its controller for
+/// that query only; single-query traffic omits the field.
 struct ResultPayload {
   std::vector<stream::ResultPair> pairs;
+  std::uint32_t query_id = 0;  ///< on the wire only in multi-query mode
 
-  std::vector<std::uint8_t> encode() const;
+  std::vector<std::uint8_t> encode() const { return encode(false); }
+  std::vector<std::uint8_t> encode(bool with_query_ids) const;
   static common::Result<ResultPayload> decode(
-      std::span<const std::uint8_t> bytes);
+      std::span<const std::uint8_t> bytes, bool with_query_ids = false);
 };
 
 /// 32-bit content checksum used by the payload codecs (exposed for tests).

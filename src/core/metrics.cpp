@@ -17,7 +17,7 @@ thread_local EpochBinding tls_epoch_binding;
 
 void MetricsCollector::record_pair(const stream::ResultPair& pair,
                                    net::NodeId discoverer, double now) {
-  if (epoch_open_ && tls_epoch_binding.collector == this) {
+  if (epoch_open_ && tls_epoch_binding.collector == epoch_group_) {
     epoch_reports_[tls_epoch_binding.slot].push_back(
         PendingReport{pair, discoverer, now});
     return;
@@ -46,7 +46,7 @@ void MetricsCollector::begin_epoch(std::size_t slots) {
 }
 
 void MetricsCollector::bind_epoch_slot(std::size_t slot) {
-  tls_epoch_binding = EpochBinding{this, slot};
+  tls_epoch_binding = EpochBinding{epoch_group_, slot};
 }
 
 void MetricsCollector::end_epoch() {

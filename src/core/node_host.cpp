@@ -1,6 +1,7 @@
 #include "dsjoin/core/node_host.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -22,12 +23,23 @@ NodeHost::NodeHost(const SystemConfig& config, net::NodeId id,
     : id_(id),
       nodes_(config.nodes),
       transport_(&transport),
-      owned_metrics_(std::make_unique<MetricsCollector>()),
-      metrics_(owned_metrics_.get()),
       wm_sync_epoch_s_(config.summary_sync_epoch_s),
       wm_sync_lead_s_(config.wan.latency_min_s) {
-  metrics_->set_node_count(nodes_);
-  node_ = std::make_unique<Node>(config, id_, *transport_, *metrics_);
+  const std::size_t query_count = effective_queries(config).size();
+  owned_metrics_.reserve(query_count);
+  metrics_.reserve(query_count);
+  for (std::size_t q = 0; q < query_count; ++q) {
+    owned_metrics_.push_back(std::make_unique<MetricsCollector>());
+    owned_metrics_.back()->set_node_count(nodes_);
+    metrics_.push_back(owned_metrics_.back().get());
+  }
+  node_ = std::make_unique<Node>(
+      config, id_, *transport_,
+      std::span<MetricsCollector* const>(metrics_.data(), metrics_.size()));
+  if (multi_query_mode(config) && config.worker_threads > 0) {
+    worker_pool_ = std::make_unique<common::ThreadPool>(config.worker_threads);
+    node_->set_worker_pool(worker_pool_.get());
+  }
   fin1_seen_.assign(nodes_, false);
   fin2_seen_.assign(nodes_, false);
   peer_dead_.assign(nodes_, false);
@@ -37,19 +49,28 @@ NodeHost::NodeHost(const SystemConfig& config, net::NodeId id,
 }
 
 NodeHost::NodeHost(const SystemConfig& config, net::NodeId id,
-                   net::Transport& transport, MetricsCollector& shared_metrics)
+                   net::Transport& transport,
+                   std::span<MetricsCollector* const> shared_query_metrics)
     : id_(id),
       nodes_(config.nodes),
       transport_(&transport),
-      metrics_(&shared_metrics),
+      metrics_(shared_query_metrics.begin(), shared_query_metrics.end()),
       wm_sync_epoch_s_(config.summary_sync_epoch_s),
       wm_sync_lead_s_(config.wan.latency_min_s) {
-  node_ = std::make_unique<Node>(config, id_, *transport_, *metrics_);
+  node_ = std::make_unique<Node>(
+      config, id_, *transport_,
+      std::span<MetricsCollector* const>(metrics_.data(), metrics_.size()));
   fin1_seen_.assign(nodes_, false);
   fin2_seen_.assign(nodes_, false);
   peer_dead_.assign(nodes_, false);
   wm_peer_.assign(nodes_, -wm_sync_lead_s_);
 }
+
+NodeHost::NodeHost(const SystemConfig& config, net::NodeId id,
+                   net::Transport& transport, MetricsCollector& shared_metrics)
+    : NodeHost(config, id, transport,
+               std::span<MetricsCollector* const>(
+                   std::array<MetricsCollector* const, 1>{&shared_metrics})) {}
 
 void NodeHost::ingest(const stream::Tuple& tuple, double now) {
   virtual_now_ = now;
@@ -124,11 +145,35 @@ NodeReport NodeHost::report(net::TrafficCounters traffic) const {
   report.received_tuples = node_->received_tuples();
   report.decode_failures = node_->decode_failures();
   report.late_summaries = node_->late_summaries();
-  const auto bound = node_->policy().epsilon_bound_terms();
-  report.predicted_missed_mass = bound.missed_mass;
-  report.predicted_total_mass = bound.total_mass;
   report.traffic = traffic;
-  report.pairs = metrics_->pairs();
+  report.queries.reserve(node_->query_count());
+  for (std::size_t q = 0; q < node_->query_count(); ++q) {
+    const QueryCounters counters = node_->query_counters(q);
+    const auto bound = node_->query_policy(q).epsilon_bound_terms();
+    QueryNodeReport& slice = report.queries.emplace_back();
+    slice.query_id = counters.query_id;
+    slice.received_tuples = counters.received_tuples;
+    slice.forwarded_tuples = counters.forwarded_tuples;
+    slice.result_frames = counters.result_frames;
+    slice.summary_frames = counters.summary_frames;
+    slice.predicted_missed_mass = bound.missed_mass;
+    slice.predicted_total_mass = bound.total_mass;
+    slice.pairs = metrics_[q]->pairs();
+    // Aggregate = sum of the exclusive per-query attributions.
+    report.predicted_missed_mass += bound.missed_mass;
+    report.predicted_total_mass += bound.total_mass;
+  }
+  // The node-level pair set stays the cross-query union (queries rarely
+  // overlap, but identical registered queries do — single-query reports are
+  // byte-identical to the historical shape).
+  MetricsCollector unioned;
+  unioned.set_node_count(nodes_);
+  for (const MetricsCollector* collector : metrics_) {
+    for (const auto& pair : collector->pairs()) {
+      unioned.record_pair(pair, id_, 0.0);
+    }
+  }
+  report.pairs = unioned.pairs();
   return report;
 }
 

@@ -5,9 +5,40 @@
 #include <cmath>
 #include <numeric>
 
+#include "dsjoin/core/substrate.hpp"
 #include "policy_impl.hpp"
 
 namespace dsjoin::core {
+
+RoutingPolicy::RoutingPolicy(SummarySubstrate& substrate)
+    : substrate_(&substrate) {}
+
+RoutingPolicy::~RoutingPolicy() = default;
+
+// The summary half of every policy lives in the substrate; the base class
+// forwards the ingest-path calls so a standalone policy (2-arg factory)
+// behaves exactly like the pre-substrate self-contained object. A node
+// hosting several queries bypasses these and drives its substrate directly,
+// once per tuple.
+void RoutingPolicy::observe_local(const stream::Tuple& tuple) {
+  substrate_->observe_local(tuple);
+}
+
+SummaryBlock RoutingPolicy::piggyback_for(net::NodeId peer) {
+  return substrate_->piggyback_for(peer);
+}
+
+void RoutingPolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
+  substrate_->on_summary(peer, block);
+}
+
+std::vector<OutboundSummary> RoutingPolicy::maintenance(double now) {
+  return substrate_->maintenance(now);
+}
+
+bool RoutingPolicy::uses_summaries() const noexcept {
+  return substrate_->uses_summaries();
+}
 
 double throttle_to_budget(double throttle, std::uint32_t nodes) noexcept {
   if (nodes < 2) return 0.0;
@@ -74,23 +105,34 @@ std::vector<double> allocate_flow_probabilities(std::span<const double> scores,
 
 std::unique_ptr<RoutingPolicy> RoutingPolicy::create(const SystemConfig& config,
                                                      net::NodeId self) {
+  auto substrate = std::make_unique<SummarySubstrate>(config, self);
+  auto policy = create(config, self, *substrate);
+  if (policy != nullptr) policy->owned_ = std::move(substrate);
+  return policy;
+}
+
+std::unique_ptr<RoutingPolicy> RoutingPolicy::create(const SystemConfig& config,
+                                                     net::NodeId self,
+                                                     SummarySubstrate& substrate) {
   switch (config.policy) {
     case PolicyKind::kBase:
-      return std::make_unique<BasePolicy>(config, self);
+      return std::make_unique<BasePolicy>(config, self, substrate);
     case PolicyKind::kRoundRobin:
-      return std::make_unique<RoundRobinPolicy>(config, self);
+      return std::make_unique<RoundRobinPolicy>(config, self, substrate);
     case PolicyKind::kDft:
-      return std::make_unique<DftFamilyPolicy>(config, self, /*reconstruct=*/false);
+      return std::make_unique<DftFamilyPolicy>(config, self, substrate,
+                                               /*reconstruct=*/false);
     case PolicyKind::kDftt:
-      return std::make_unique<DftFamilyPolicy>(config, self, /*reconstruct=*/true);
+      return std::make_unique<DftFamilyPolicy>(config, self, substrate,
+                                               /*reconstruct=*/true);
     case PolicyKind::kBloom:
-      return std::make_unique<BloomPolicy>(config, self);
+      return std::make_unique<BloomPolicy>(config, self, substrate);
     case PolicyKind::kSketch:
-      return std::make_unique<SketchPolicy>(config, self);
+      return std::make_unique<SketchPolicy>(config, self, substrate);
     case PolicyKind::kSpectrum:
-      return std::make_unique<SpectrumPolicy>(config, self);
+      return std::make_unique<SpectrumPolicy>(config, self, substrate);
     case PolicyKind::kSample:
-      return std::make_unique<SamplePolicy>(config, self);
+      return std::make_unique<SamplePolicy>(config, self, substrate);
   }
   assert(false && "unknown policy kind");
   return nullptr;
@@ -134,8 +176,9 @@ PolicyKind policy_from_string(const std::string& name) {
                               " (expected " + policy_names_csv() + ")");
 }
 
-BasePolicy::BasePolicy(const SystemConfig& config, net::NodeId self)
-    : self_(self), nodes_(config.nodes) {}
+BasePolicy::BasePolicy(const SystemConfig& config, net::NodeId self,
+                       SummarySubstrate& substrate)
+    : RoutingPolicy(substrate), self_(self), nodes_(config.nodes) {}
 
 std::vector<net::NodeId> BasePolicy::route(const stream::Tuple&) {
   std::vector<net::NodeId> out;
@@ -146,8 +189,10 @@ std::vector<net::NodeId> BasePolicy::route(const stream::Tuple&) {
   return out;
 }
 
-RoundRobinPolicy::RoundRobinPolicy(const SystemConfig& config, net::NodeId self)
-    : self_(self), nodes_(config.nodes), throttle_(config.throttle) {}
+RoundRobinPolicy::RoundRobinPolicy(const SystemConfig& config, net::NodeId self,
+                                   SummarySubstrate& substrate)
+    : RoutingPolicy(substrate), self_(self), nodes_(config.nodes),
+      throttle_(config.throttle) {}
 
 std::vector<net::NodeId> RoundRobinPolicy::route(const stream::Tuple&) {
   const auto budget = throttle_to_budget(throttle_, nodes_);

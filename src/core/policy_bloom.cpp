@@ -1,5 +1,5 @@
-// BLOOM routing: counting Bloom filters with periodic snapshot broadcasts
-// (the first competitor of Section 6).
+// BLOOM (the first competitor of Section 6): the shared BloomSummaryEngine
+// (counting filters, snapshot broadcasts) and membership routing on top.
 #include <cmath>
 
 #include "policy_impl.hpp"
@@ -17,8 +17,9 @@ std::size_t bloom_bits(const SystemConfig& config) {
 
 }  // namespace
 
-BloomPolicy::BloomPolicy(const SystemConfig& config, net::NodeId self)
-    : config_(config), self_(self), throttle_(config.throttle),
+BloomSummaryEngine::BloomSummaryEngine(const SystemConfig& config,
+                                       net::NodeId self)
+    : config_(config), self_(self),
       counting_{sketch::CountingBloomFilter(
                     bloom_bits(config),
                     sketch::optimal_hash_count(bloom_bits(config), config.dft_window),
@@ -29,11 +30,10 @@ BloomPolicy::BloomPolicy(const SystemConfig& config, net::NodeId self)
                     config.seed ^ 0xb100'0001ULL)},
       window_{stream::CountWindow(config.dft_window),
               stream::CountWindow(config.dft_window)},
-      peers_(config.nodes),
-      rng_(config.seed ^ (0xb100'beefULL + self)) {}
+      peers_(config.nodes) {}
 
-void BloomPolicy::observe_local(const stream::Tuple& tuple) {
-  // Deferred: route() consults peer snapshots only, so the local counting
+void BloomSummaryEngine::observe_local(const stream::Tuple& tuple) {
+  // Deferred: routing consults peer snapshots only, so the local counting
   // filter is not read until the next broadcast. The tuple joins the
   // pending batch; flush_pending applies it through the filter's two-pass
   // batch update at snapshot time.
@@ -41,7 +41,7 @@ void BloomPolicy::observe_local(const stream::Tuple& tuple) {
   ++local_tuples_;
 }
 
-void BloomPolicy::flush_pending(std::size_t side) {
+void BloomSummaryEngine::flush_pending(std::size_t side) {
   auto& pending = pending_[side];
   if (pending.empty()) return;
   auto& window = window_[side];
@@ -68,15 +68,12 @@ void BloomPolicy::flush_pending(std::size_t side) {
   pending.clear();
 }
 
-void BloomPolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
-  summary_codec::Visitor visitor;
-  visitor.on_bloom = [&](stream::StreamSide side, sketch::BloomFilter filter) {
-    peers_[peer].remote[static_cast<std::size_t>(side)].update(std::move(filter));
-  };
-  (void)summary_codec::decode_blocks(block, visitor);
+void BloomSummaryEngine::apply_snapshot(net::NodeId peer, stream::StreamSide side,
+                                        sketch::BloomFilter filter) {
+  peers_[peer].remote[static_cast<std::size_t>(side)].update(std::move(filter));
 }
 
-std::vector<OutboundSummary> BloomPolicy::maintenance(double /*now*/) {
+std::vector<OutboundSummary> BloomSummaryEngine::maintenance(double /*now*/) {
   if (local_tuples_ - last_broadcast_tuple_ < config_.summary_epoch_tuples) {
     return {};
   }
@@ -90,10 +87,16 @@ std::vector<OutboundSummary> BloomPolicy::maintenance(double /*now*/) {
   SummaryBlock block{std::move(writer).take()};
   std::vector<OutboundSummary> out;
   for (net::NodeId j = 0; j < config_.nodes; ++j) {
-    if (j != self_) out.push_back(OutboundSummary{j, block});
+    if (j != self_) out.push_back(OutboundSummary{j, block, SummaryFamily::kBloom});
   }
   return out;
 }
+
+BloomPolicy::BloomPolicy(const SystemConfig& config, net::NodeId self,
+                         SummarySubstrate& substrate)
+    : RoutingPolicy(substrate), config_(config), self_(self),
+      throttle_(config.throttle), engine_(&substrate.bloom()),
+      rng_(config.seed ^ (0xb100'beefULL + self)) {}
 
 std::vector<net::NodeId> BloomPolicy::route(const stream::Tuple& tuple) {
   const std::uint32_t n = config_.nodes;
@@ -106,13 +109,14 @@ std::vector<net::NodeId> BloomPolicy::route(const stream::Tuple& tuple) {
   for (net::NodeId j = 0; j < n; ++j) {
     if (j == self_) continue;
     peer_ids.push_back(j);
-    const auto& store = peers_[j].remote[opposite];
-    if (!store.seeded()) {
+    if (!engine_->remote_seeded(j, opposite)) {
       scores.push_back(1.0);  // bootstrap exploration
     } else {
       // Bloom filters hold the exact remote keys, so the membership query is
       // the exact join predicate (no reconstruction slack).
-      scores.push_back(store.contains(tuple.key, 0) ? 1.0 : 0.0);
+      scores.push_back(engine_->remote_contains(j, opposite, tuple.key, 0)
+                           ? 1.0
+                           : 0.0);
     }
   }
 

@@ -1,4 +1,6 @@
-// DFT and DFTT routing (Sections 5.2-5.3, Figure 7).
+// DFT and DFTT (Sections 5.2-5.3, Figure 7): the shared DftSummaryEngine
+// (coefficient maintenance, summary exchange, cached flow coefficients)
+// and the per-query routing layered on top of it.
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -14,13 +16,10 @@ std::size_t side_index(stream::StreamSide side) {
 }
 }  // namespace
 
-DftFamilyPolicy::DftFamilyPolicy(const SystemConfig& config, net::NodeId self,
-                                 bool reconstruct)
-    : config_(config), self_(self), reconstruct_(reconstruct),
-      throttle_(config.throttle),
+DftSummaryEngine::DftSummaryEngine(const SystemConfig& config, net::NodeId self)
+    : config_(config), self_(self),
       local_{dsp::SlidingDft(config.dft_window, config.dft_retained()),
-             dsp::SlidingDft(config.dft_window, config.dft_retained())},
-      rng_(config.seed ^ (0xd5f7'0000ULL + self)) {
+             dsp::SlidingDft(config.dft_window, config.dft_retained())} {
   // Control-vector style drift management: exact recompute every 4 windows.
   for (auto& dft : local_) {
     dft.set_renormalize_interval(static_cast<std::uint64_t>(config.dft_window) * 4);
@@ -38,7 +37,7 @@ DftFamilyPolicy::DftFamilyPolicy(const SystemConfig& config, net::NodeId self,
   published_[1].assign(k, dsp::Complex{});
 }
 
-void DftFamilyPolicy::refresh_clip_band(std::size_t side) {
+void DftSummaryEngine::refresh_clip_band(std::size_t side) {
   auto& sample = recent_raw_[side];
   if (sample.size() < 32) return;
   std::vector<double> sorted = sample;
@@ -51,7 +50,7 @@ void DftFamilyPolicy::refresh_clip_band(std::size_t side) {
   clip_[side] = ClipBand{med - half, med + half};
 }
 
-void DftFamilyPolicy::observe_local(const stream::Tuple& tuple) {
+void DftSummaryEngine::observe_local(const stream::Tuple& tuple) {
   const std::size_t side = side_index(tuple.side);
   // Robust summarization: background keys far outside the stream's typical
   // value band would dominate the spectral energy and wreck both the
@@ -68,7 +67,7 @@ void DftFamilyPolicy::observe_local(const stream::Tuple& tuple) {
   }
   if (clip_[side].lo == -1e300 && sample.size() >= 64) refresh_clip_band(side);
   // Clipping happens at observation time (the band in force for *this*
-  // tuple), but the DFT push is deferred: route() reads only cached rho
+  // tuple), but the DFT push is deferred: routing reads only cached rho
   // values and remote coefficient stores, so local_[side] is not consulted
   // until the next rho refresh or epoch republish. flush_pending then
   // drains the buffer through the vectorized push_batch — bit-identical to
@@ -77,16 +76,16 @@ void DftFamilyPolicy::observe_local(const stream::Tuple& tuple) {
   ++local_tuples_;
 }
 
-void DftFamilyPolicy::flush_pending(std::size_t side) {
+void DftSummaryEngine::flush_pending(std::size_t side) {
   auto& pending = pending_values_[side];
   if (pending.empty()) return;
   local_[side].push_batch(pending);
   pending.clear();
 }
 
-std::vector<dsp::CoeffDelta> DftFamilyPolicy::deltas_for(net::NodeId peer,
-                                                         std::size_t side,
-                                                         std::size_t max_entries) {
+std::vector<dsp::CoeffDelta> DftSummaryEngine::deltas_for(net::NodeId peer,
+                                                          std::size_t side,
+                                                          std::size_t max_entries) {
   auto& synced = peers_[peer].synced[side];
   const auto& published = published_[side];
   std::vector<dsp::CoeffDelta> out;
@@ -109,8 +108,8 @@ std::vector<dsp::CoeffDelta> DftFamilyPolicy::deltas_for(net::NodeId peer,
   return out;
 }
 
-SummaryBlock DftFamilyPolicy::block_for(net::NodeId peer,
-                                        std::size_t max_entries_per_side) {
+SummaryBlock DftSummaryEngine::block_for(net::NodeId peer,
+                                         std::size_t max_entries_per_side) {
   common::BufferWriter writer;
   for (std::size_t side = 0; side < 2; ++side) {
     const auto deltas = deltas_for(peer, side, max_entries_per_side);
@@ -145,29 +144,25 @@ SummaryBlock DftFamilyPolicy::block_for(net::NodeId peer,
   return SummaryBlock{std::move(writer).take()};
 }
 
-SummaryBlock DftFamilyPolicy::piggyback_for(net::NodeId peer) {
+SummaryBlock DftSummaryEngine::piggyback_for(net::NodeId peer) {
   peers_[peer].tuples_since_contact = 0;
   return block_for(peer, config_.piggyback_max_coeffs);
 }
 
-void DftFamilyPolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
-  summary_codec::Visitor visitor;
-  visitor.on_dft = [&](stream::StreamSide side, std::uint32_t window,
-                       std::uint32_t retained,
-                       const std::vector<dsp::CoeffDelta>& deltas) {
-    // Geometry must match the experiment's global configuration.
-    if (window != config_.dft_window ||
-        retained != static_cast<std::uint32_t>(config_.dft_retained())) {
-      return;
-    }
-    auto& state = peers_[peer];
-    state.remote[side_index(side)].apply(deltas);
-    state.rho_dirty[0] = state.rho_dirty[1] = true;
-  };
-  (void)summary_codec::decode_blocks(block, visitor);
+void DftSummaryEngine::apply_deltas(net::NodeId peer, stream::StreamSide side,
+                                    std::uint32_t window, std::uint32_t retained,
+                                    const std::vector<dsp::CoeffDelta>& deltas) {
+  // Geometry must match the experiment's global configuration.
+  if (window != config_.dft_window ||
+      retained != static_cast<std::uint32_t>(config_.dft_retained())) {
+    return;
+  }
+  auto& state = peers_[peer];
+  state.remote[side_index(side)].apply(deltas);
+  state.rho_dirty[0] = state.rho_dirty[1] = true;
 }
 
-std::vector<OutboundSummary> DftFamilyPolicy::maintenance(double /*now*/) {
+std::vector<OutboundSummary> DftSummaryEngine::maintenance(double /*now*/) {
   // Epoch boundary: re-publish the current coefficients (Figure 7 lines
   // 1-2: recalculate, extract changed coefficients).
   if (local_tuples_ % config_.summary_epoch_tuples == 0) {
@@ -189,7 +184,7 @@ std::vector<OutboundSummary> DftFamilyPolicy::maintenance(double /*now*/) {
             config_.stale_flush_epochs) {
       SummaryBlock block = block_for(j, 0);  // stale flush: ship everything
       if (!block.empty()) {
-        out.push_back(OutboundSummary{j, std::move(block)});
+        out.push_back(OutboundSummary{j, std::move(block), SummaryFamily::kCoeff});
       }
       state.tuples_since_contact = 0;
     }
@@ -197,7 +192,7 @@ std::vector<OutboundSummary> DftFamilyPolicy::maintenance(double /*now*/) {
   return out;
 }
 
-double DftFamilyPolicy::refreshed_rho(net::NodeId peer, std::size_t tuple_side) {
+double DftSummaryEngine::refreshed_rho(net::NodeId peer, std::size_t tuple_side) {
   auto& state = peers_[peer];
   const std::size_t opposite = 1 - tuple_side;
   if (state.rho_dirty[tuple_side]) {
@@ -243,6 +238,13 @@ double DftFamilyPolicy::refreshed_rho(net::NodeId peer, std::size_t tuple_side) 
   return state.rho[tuple_side];
 }
 
+DftFamilyPolicy::DftFamilyPolicy(const SystemConfig& config, net::NodeId self,
+                                 SummarySubstrate& substrate, bool reconstruct)
+    : RoutingPolicy(substrate), config_(config), self_(self),
+      reconstruct_(reconstruct), throttle_(config.throttle),
+      engine_(&substrate.coeff()),
+      rng_(config.seed ^ (0xd5f7'0000ULL + self)) {}
+
 std::vector<net::NodeId> DftFamilyPolicy::route(const stream::Tuple& tuple) {
   const std::uint32_t n = config_.nodes;
   const double budget = throttle_to_budget(throttle_, n);
@@ -259,18 +261,17 @@ std::vector<net::NodeId> DftFamilyPolicy::route(const stream::Tuple& tuple) {
   for (net::NodeId j = 0; j < n; ++j) {
     if (j == self_) continue;
     peer_ids.push_back(j);
-    auto& state = peers_[j];
-    if (!state.remote[opposite].seeded()) {
+    if (!engine_->remote_seeded(j, opposite)) {
       all_seeded = false;
       scores.push_back(1.0);  // bootstrap: explore unseeded peers
       rhos.push_back(0.0);
       continue;
     }
-    const double rho = refreshed_rho(j, side);
+    const double rho = engine_->refreshed_rho(j, side);
     rhos.push_back(rho);
     if (reconstruct_) {
-      const auto est = state.remote[opposite].estimate_count(
-          tuple.key, config_.membership_tolerance);
+      const auto est = engine_->estimate_count(j, opposite, tuple.key,
+                                               config_.membership_tolerance);
       scores.push_back(static_cast<double>(est));
     } else {
       scores.push_back(std::max(rho, 0.0));
@@ -281,7 +282,7 @@ std::vector<net::NodeId> DftFamilyPolicy::route(const stream::Tuple& tuple) {
   // flow coefficients means the filter carries no signal; fall back to
   // round-robin at the same budget.
   const bool warmed_up =
-      local_tuples_ > 3ull * config_.summary_epoch_tuples;
+      engine_->local_tuples() > 3ull * config_.summary_epoch_tuples;
   if (all_seeded && warmed_up && !peer_ids.empty()) {
     double mean = 0.0;
     for (double r : rhos) mean += r;

@@ -1,33 +1,30 @@
 // Concrete routing-policy classes (private to the core library; the public
 // surface is RoutingPolicy::create in policy.hpp).
+//
+// Post-substrate (DESIGN.md §15) these classes hold routing state only:
+// the per-query RNG stream, throttle, fallback bookkeeping and probability
+// diagnostics. The summary state each consults lives in the family engine
+// of the SummarySubstrate passed at construction, shared with every other
+// query of the same family on the node.
 #pragma once
 
-#include <array>
-#include <optional>
 #include <vector>
 
 #include "dsjoin/core/policy.hpp"
-#include "dsjoin/core/summary_state.hpp"
-#include "dsjoin/dsp/histogram_spectrum.hpp"
-#include "dsjoin/dsp/sliding_dft.hpp"
-#include "dsjoin/sampling/reservoir.hpp"
-#include "dsjoin/sketch/agms.hpp"
-#include "dsjoin/sketch/bloom.hpp"
-#include "dsjoin/stream/window.hpp"
+#include "dsjoin/core/substrate.hpp"
 
 namespace dsjoin::core {
 
 /// BASE: exact join, broadcast everything (Section 5.1).
 class BasePolicy final : public RoutingPolicy {
  public:
-  BasePolicy(const SystemConfig& config, net::NodeId self);
+  BasePolicy(const SystemConfig& config, net::NodeId self,
+             SummarySubstrate& substrate);
 
-  const char* name() const noexcept override { return "BASE"; }
-  void observe_local(const stream::Tuple&) override {}
+  const char* name() const noexcept override {
+    return to_string(PolicyKind::kBase);
+  }
   std::vector<net::NodeId> route(const stream::Tuple&) override;
-  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
-  void on_summary(net::NodeId, const SummaryBlock&) override {}
-  std::vector<OutboundSummary> maintenance(double) override { return {}; }
   void set_throttle(double) override {}
 
  private:
@@ -39,14 +36,13 @@ class BasePolicy final : public RoutingPolicy {
 /// for the detected uniform worst case, also usable standalone.
 class RoundRobinPolicy final : public RoutingPolicy {
  public:
-  RoundRobinPolicy(const SystemConfig& config, net::NodeId self);
+  RoundRobinPolicy(const SystemConfig& config, net::NodeId self,
+                   SummarySubstrate& substrate);
 
-  const char* name() const noexcept override { return "RR"; }
-  void observe_local(const stream::Tuple&) override {}
+  const char* name() const noexcept override {
+    return to_string(PolicyKind::kRoundRobin);
+  }
   std::vector<net::NodeId> route(const stream::Tuple&) override;
-  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
-  void on_summary(net::NodeId, const SummaryBlock&) override {}
-  std::vector<OutboundSummary> maintenance(double) override { return {}; }
   void set_throttle(double throttle) override { throttle_ = throttle; }
 
  private:
@@ -56,252 +52,124 @@ class RoundRobinPolicy final : public RoutingPolicy {
   net::NodeId cursor_ = 0;
 };
 
-/// Shared implementation of DFT and DFTT (Sections 5.2-5.3). Maintains a
-/// per-side sliding DFT of the local joining attributes, ships coefficient
-/// deltas (piggybacked or standalone), tracks peers' coefficients, and
-/// derives the flow filter from them.
+/// Shared routing logic of DFT and DFTT (Sections 5.2-5.3): derives the
+/// flow filter from the shared DftSummaryEngine's coefficients.
 class DftFamilyPolicy : public RoutingPolicy {
  public:
-  DftFamilyPolicy(const SystemConfig& config, net::NodeId self, bool reconstruct);
+  DftFamilyPolicy(const SystemConfig& config, net::NodeId self,
+                  SummarySubstrate& substrate, bool reconstruct);
 
-  const char* name() const noexcept override { return reconstruct_ ? "DFTT" : "DFT"; }
-  void observe_local(const stream::Tuple& tuple) override;
+  const char* name() const noexcept override {
+    return to_string(reconstruct_ ? PolicyKind::kDftt : PolicyKind::kDft);
+  }
   std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
-  SummaryBlock piggyback_for(net::NodeId peer) override;
-  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
-  std::vector<OutboundSummary> maintenance(double now) override;
   void set_throttle(double throttle) override { throttle_ = throttle; }
   bool fallback_active() const noexcept override { return fallback_; }
-  bool uses_summaries() const noexcept override { return true; }
   std::vector<double> flow_probabilities() const override { return last_probs_; }
 
  private:
-  struct PeerState {
-    std::array<CoeffStore, 2> remote;           // by remote side
-    std::array<std::vector<dsp::Complex>, 2> synced;  // last coeffs sent, by local side
-    std::array<double, 2> rho{0.0, 0.0};        // corr(local side s, remote opp(s))
-    std::array<bool, 2> rho_dirty{true, true};
-    std::uint64_t tuples_since_contact = 0;
-  };
-
-  /// Deltas (vs what `peer` has been sent) for one local side; at most
-  /// `max_entries` (0 = unlimited), largest changes first.
-  std::vector<dsp::CoeffDelta> deltas_for(net::NodeId peer, std::size_t side,
-                                          std::size_t max_entries);
-  /// Encodes both sides' pending deltas for a peer into one block.
-  SummaryBlock block_for(net::NodeId peer, std::size_t max_entries_per_side);
-  double refreshed_rho(net::NodeId peer, std::size_t tuple_side);
-  double delta_threshold(std::size_t side) const;
-
-  /// Robust value band for outlier clipping (median +/- 10 MAD, refreshed
-  /// each epoch from a sample of recent raw keys).
-  struct ClipBand {
-    double lo = -1e300;
-    double hi = 1e300;
-  };
-  void refresh_clip_band(std::size_t side);
-
-  /// Pushes the side's buffered (already clipped) values into the DFT as
-  /// one batch. Called before any read of local_[side]; see observe_local.
-  void flush_pending(std::size_t side);
-
   SystemConfig config_;
   net::NodeId self_;
   bool reconstruct_;
   double throttle_;
-  std::array<dsp::SlidingDft, 2> local_;
-  /// Clipped values observed since the last read of local_[side]. route()
-  /// and piggyback_for() never read the local DFTs, so between summary
-  /// refreshes the per-tuple pushes accumulate here and enter the DFT
-  /// through the vectorized push_batch — with results identical to pushing
-  /// each value at observation time, because nothing reads the coefficients
-  /// in between.
-  std::array<std::vector<double>, 2> pending_values_;
-  std::array<ClipBand, 2> clip_;
-  std::array<std::vector<double>, 2> recent_raw_;  // bounded sample buffer
-  /// Epoch snapshot of the local coefficients — what peers are synced to.
-  std::array<std::vector<dsp::Complex>, 2> published_;
-  std::vector<PeerState> peers_;  // indexed by node id (self entry unused)
+  DftSummaryEngine* engine_;
   common::Xoshiro256 rng_;
-  std::uint64_t local_tuples_ = 0;
   bool fallback_ = false;
   net::NodeId rr_cursor_ = 0;
   std::vector<double> last_probs_;
 };
 
-/// BLOOM: counting Bloom filters over the per-side summary windows;
-/// periodic bit-vector snapshots broadcast to peers; routing on membership.
+/// BLOOM: routing on membership in peers' counting-Bloom snapshots.
 class BloomPolicy final : public RoutingPolicy {
  public:
-  BloomPolicy(const SystemConfig& config, net::NodeId self);
+  BloomPolicy(const SystemConfig& config, net::NodeId self,
+              SummarySubstrate& substrate);
 
-  const char* name() const noexcept override { return "BLOOM"; }
-  void observe_local(const stream::Tuple& tuple) override;
+  const char* name() const noexcept override {
+    return to_string(PolicyKind::kBloom);
+  }
   std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
-  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
-  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
-  std::vector<OutboundSummary> maintenance(double now) override;
   void set_throttle(double throttle) override { throttle_ = throttle; }
-  bool uses_summaries() const noexcept override { return true; }
   std::vector<double> flow_probabilities() const override { return last_probs_; }
 
  private:
-  struct PeerState {
-    std::array<BloomStore, 2> remote;  // by remote side
-  };
-
-  /// Applies the side's buffered tuples to the window and counting filter
-  /// as one batch. Called before any read of counting_[side] (which only
-  /// happens at snapshot time; route() reads peer snapshots exclusively).
-  void flush_pending(std::size_t side);
-
   SystemConfig config_;
   net::NodeId self_;
   double throttle_;
-  std::array<sketch::CountingBloomFilter, 2> counting_;
-  std::array<stream::CountWindow, 2> window_;
-  /// Tuples observed since the last snapshot of counting_[side].
-  std::array<std::vector<stream::Tuple>, 2> pending_;
-  std::vector<stream::Tuple> evicted_scratch_;
-  std::vector<std::uint64_t> key_scratch_;
-  std::vector<std::int32_t> delta_scratch_;
-  std::vector<PeerState> peers_;
+  BloomSummaryEngine* engine_;
   common::Xoshiro256 rng_;
-  std::uint64_t local_tuples_ = 0;
-  std::uint64_t last_broadcast_tuple_ = 0;
   std::vector<double> last_probs_;
 };
 
-/// SKCH: AGMS sketches over the per-side summary windows; periodic sketch
-/// broadcasts; flow weights from pairwise join-size estimates.
+/// SKCH: flow weights from pairwise AGMS join-size estimates.
 class SketchPolicy final : public RoutingPolicy {
  public:
-  SketchPolicy(const SystemConfig& config, net::NodeId self);
+  SketchPolicy(const SystemConfig& config, net::NodeId self,
+               SummarySubstrate& substrate);
 
-  const char* name() const noexcept override { return "SKCH"; }
-  void observe_local(const stream::Tuple& tuple) override;
+  const char* name() const noexcept override {
+    return to_string(PolicyKind::kSketch);
+  }
   std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
-  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
-  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
-  std::vector<OutboundSummary> maintenance(double now) override;
   void set_throttle(double throttle) override { throttle_ = throttle; }
-  bool uses_summaries() const noexcept override { return true; }
   std::vector<double> flow_probabilities() const override { return last_probs_; }
 
  private:
-  struct PeerState {
-    std::array<SketchStore, 2> remote;
-    std::array<double, 2> est{0.0, 0.0};  // join-size estimate by tuple side
-    std::array<bool, 2> est_dirty{true, true};
-  };
-
-  double refreshed_estimate(net::NodeId peer, std::size_t tuple_side);
-
-  /// Applies the side's buffered tuples to the window and sketch as one
-  /// batch (AGMS updates commute, so insert/evict interleaving is free to
-  /// reorder). Called before any read of local_[side]: the cached pairwise
-  /// estimates only go stale at epoch boundaries, so between refreshes the
-  /// per-tuple updates accumulate here.
-  void flush_pending(std::size_t side);
-
   SystemConfig config_;
   net::NodeId self_;
   double throttle_;
-  std::array<sketch::AgmsSketch, 2> local_;
-  std::array<stream::CountWindow, 2> window_;
-  /// Tuples observed since the last read of local_[side].
-  std::array<std::vector<stream::Tuple>, 2> pending_;
-  std::vector<stream::Tuple> evicted_scratch_;
-  std::vector<std::uint64_t> key_scratch_;
-  std::vector<PeerState> peers_;
+  SketchSummaryEngine* engine_;
   common::Xoshiro256 rng_;
-  std::uint64_t local_tuples_ = 0;
-  std::uint64_t last_broadcast_tuple_ = 0;
   std::vector<double> last_probs_;
 };
 
-/// SPEC (ablation A3, ours): histogram-DFT spectra over the per-side
-/// summary windows; periodic broadcasts; flow weights from the truncated
-/// Parseval join-size estimate. The deterministic counterpart of SKCH.
+/// SPEC (ablation A3, ours): flow weights from the truncated Parseval
+/// join-size estimate — the deterministic counterpart of SKCH.
 class SpectrumPolicy final : public RoutingPolicy {
  public:
-  SpectrumPolicy(const SystemConfig& config, net::NodeId self);
+  SpectrumPolicy(const SystemConfig& config, net::NodeId self,
+                 SummarySubstrate& substrate);
 
-  const char* name() const noexcept override { return "SPEC"; }
-  void observe_local(const stream::Tuple& tuple) override;
+  const char* name() const noexcept override {
+    return to_string(PolicyKind::kSpectrum);
+  }
   std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
-  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
-  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
-  std::vector<OutboundSummary> maintenance(double now) override;
   void set_throttle(double throttle) override { throttle_ = throttle; }
-  bool uses_summaries() const noexcept override { return true; }
   std::vector<double> flow_probabilities() const override { return last_probs_; }
 
  private:
-  struct PeerState {
-    std::array<std::vector<dsp::Complex>, 2> remote;  // by remote side
-    std::array<bool, 2> seeded{false, false};
-    std::array<double, 2> est{0.0, 0.0};
-    std::array<bool, 2> est_dirty{true, true};
-  };
-
-  double refreshed_estimate(net::NodeId peer, std::size_t tuple_side);
-
   SystemConfig config_;
   net::NodeId self_;
   double throttle_;
-  std::uint32_t buckets_;
-  std::array<dsp::HistogramSpectrum, 2> local_;
-  std::array<stream::CountWindow, 2> window_;
-  std::vector<PeerState> peers_;
+  SpectrumSummaryEngine* engine_;
   common::Xoshiro256 rng_;
-  std::uint64_t local_tuples_ = 0;
-  std::uint64_t last_broadcast_tuple_ = 0;
   std::vector<double> last_probs_;
 };
 
-/// SMPL (ours): stratified sliding-window reservoir samples per side;
-/// periodic sample-summary broadcasts; per-key flow weights from
-/// Horvitz–Thompson match estimates against peers' opposite-side samples,
-/// plus an accumulated predicted-epsilon upper bound from the estimator's
-/// variance (DESIGN.md §14).
+/// SMPL (ours): per-key flow weights from Horvitz–Thompson match estimates
+/// against peers' opposite-side samples, plus an accumulated predicted-
+/// epsilon upper bound from the estimator's variance (DESIGN.md §14).
 class SamplePolicy final : public RoutingPolicy {
  public:
-  SamplePolicy(const SystemConfig& config, net::NodeId self);
+  SamplePolicy(const SystemConfig& config, net::NodeId self,
+               SummarySubstrate& substrate);
 
-  const char* name() const noexcept override { return "SMPL"; }
-  void observe_local(const stream::Tuple& tuple) override;
+  const char* name() const noexcept override {
+    return to_string(PolicyKind::kSample);
+  }
   std::vector<net::NodeId> route(const stream::Tuple& tuple) override;
-  SummaryBlock piggyback_for(net::NodeId) override { return {}; }
-  void on_summary(net::NodeId peer, const SummaryBlock& block) override;
-  std::vector<OutboundSummary> maintenance(double now) override;
   void set_throttle(double throttle) override { throttle_ = throttle; }
-  bool uses_summaries() const noexcept override { return true; }
   std::vector<double> flow_probabilities() const override { return last_probs_; }
   EpsilonBoundTerms epsilon_bound_terms() const noexcept override {
     return bound_;
   }
 
  private:
-  struct PeerState {
-    std::array<SampleStore, 2> remote;  // by remote side
-  };
-
-  /// Own sample aggregated for estimation, refreshed lazily per epoch
-  /// (route() consults the own opposite-side summary for the bound's
-  /// locally-found term).
-  const sampling::SampleSummary& own_summary(std::size_t side);
-
   SystemConfig config_;
   net::NodeId self_;
   double throttle_;
-  std::array<sampling::StratifiedReservoir, 2> reservoir_;
-  std::array<sampling::SampleSummary, 2> own_;
-  std::array<bool, 2> own_dirty_{true, true};
-  std::vector<PeerState> peers_;
+  SampleSummaryEngine* engine_;
   common::Xoshiro256 rng_;
-  std::uint64_t local_tuples_ = 0;
-  std::uint64_t last_broadcast_tuple_ = 0;
   std::vector<double> last_probs_;
   EpsilonBoundTerms bound_;
 };

@@ -1,6 +1,7 @@
-// SMPL routing: Horvitz–Thompson match estimates over stratified reservoir
-// samples as per-key flow weights (the StreamApprox-style competitor), plus
-// the accumulated predicted-epsilon upper bound (DESIGN.md §14).
+// SMPL (ours): the shared SampleSummaryEngine (stratified sliding-window
+// reservoirs, lazily refreshed own-sample aggregates, remote samples) and
+// the Horvitz–Thompson match-estimate routing on top, plus the accumulated
+// predicted-epsilon upper bound (DESIGN.md §14).
 #include <algorithm>
 #include <cmath>
 
@@ -43,22 +44,22 @@ double unseen_upper(const sampling::SampleSummary& summary) {
 
 }  // namespace
 
-SamplePolicy::SamplePolicy(const SystemConfig& config, net::NodeId self)
-    : config_(config), self_(self), throttle_(config.throttle),
+SampleSummaryEngine::SampleSummaryEngine(const SystemConfig& config,
+                                         net::NodeId self)
+    : config_(config), self_(self),
       reservoir_{sampling::StratifiedReservoir(reservoir_options(config),
                                                reservoir_seed(config, self, 0)),
                  sampling::StratifiedReservoir(reservoir_options(config),
                                                reservoir_seed(config, self, 1))},
-      peers_(config.nodes),
-      rng_(config.seed ^ (0x5a3f'beefULL + self)) {}
+      peers_(config.nodes) {}
 
-void SamplePolicy::observe_local(const stream::Tuple& tuple) {
+void SampleSummaryEngine::observe_local(const stream::Tuple& tuple) {
   reservoir_[static_cast<std::size_t>(tuple.side)].observe(tuple.key,
                                                            tuple.timestamp);
   ++local_tuples_;
 }
 
-const sampling::SampleSummary& SamplePolicy::own_summary(std::size_t side) {
+const sampling::SampleSummary& SampleSummaryEngine::own_summary(std::size_t side) {
   if (own_dirty_[side]) {
     own_[side] = reservoir_[side].summary();
     own_dirty_[side] = false;
@@ -66,17 +67,12 @@ const sampling::SampleSummary& SamplePolicy::own_summary(std::size_t side) {
   return own_[side];
 }
 
-void SamplePolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
-  summary_codec::Visitor visitor;
-  visitor.on_sample = [&](stream::StreamSide side,
-                          sampling::SampleSummary summary) {
-    peers_[peer].remote[static_cast<std::size_t>(side)].update(
-        std::move(summary));
-  };
-  (void)summary_codec::decode_blocks(block, visitor);
+void SampleSummaryEngine::apply_sample(net::NodeId peer, stream::StreamSide side,
+                                       sampling::SampleSummary summary) {
+  peers_[peer].remote[static_cast<std::size_t>(side)].update(std::move(summary));
 }
 
-std::vector<OutboundSummary> SamplePolicy::maintenance(double /*now*/) {
+std::vector<OutboundSummary> SampleSummaryEngine::maintenance(double /*now*/) {
   // The sample drifts every tuple; refresh the cached own aggregates once
   // per epoch so route()'s self-term tracks the window without paying an
   // aggregation per tuple.
@@ -96,10 +92,16 @@ std::vector<OutboundSummary> SamplePolicy::maintenance(double /*now*/) {
   SummaryBlock block{std::move(writer).take()};
   std::vector<OutboundSummary> out;
   for (net::NodeId j = 0; j < config_.nodes; ++j) {
-    if (j != self_) out.push_back(OutboundSummary{j, block});
+    if (j != self_) out.push_back(OutboundSummary{j, block, SummaryFamily::kSample});
   }
   return out;
 }
+
+SamplePolicy::SamplePolicy(const SystemConfig& config, net::NodeId self,
+                           SummarySubstrate& substrate)
+    : RoutingPolicy(substrate), config_(config), self_(self),
+      throttle_(config.throttle), engine_(&substrate.sample()),
+      rng_(config.seed ^ (0x5a3f'beefULL + self)) {}
 
 std::vector<net::NodeId> SamplePolicy::route(const stream::Tuple& tuple) {
   const std::uint32_t n = config_.nodes;
@@ -110,8 +112,8 @@ std::vector<net::NodeId> SamplePolicy::route(const stream::Tuple& tuple) {
 
   // Matches this tuple finds locally regardless of routing — the bound's
   // denominator includes them, its numerator never does.
-  const auto self_est =
-      sampling::estimate_key_count(own_summary(opposite), tuple.key, tolerance);
+  const auto self_est = sampling::estimate_key_count(
+      engine_->own_summary(opposite), tuple.key, tolerance);
 
   std::vector<net::NodeId> peer_ids;
   std::vector<double> scores;   // routing weight per peer
@@ -121,7 +123,7 @@ std::vector<net::NodeId> SamplePolicy::route(const stream::Tuple& tuple) {
   for (net::NodeId j = 0; j < n; ++j) {
     if (j == self_) continue;
     peer_ids.push_back(j);
-    const auto* remote = peers_[j].remote[opposite].summary();
+    const auto* remote = engine_->remote(j, opposite);
     if (remote == nullptr) {
       // Bootstrap: no sample from this peer yet. Explore with full weight,
       // credit the peer no found mass, and charge the bound as if it held

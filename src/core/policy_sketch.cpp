@@ -1,5 +1,6 @@
-// SKCH routing: AGMS join-size estimates as flow weights (the second
-// competitor of Section 6).
+// SKCH (the second competitor of Section 6): the shared SketchSummaryEngine
+// (AGMS sketches, periodic broadcasts, cached pairwise estimates) and the
+// join-size-weighted routing on top.
 #include <algorithm>
 #include <cmath>
 
@@ -23,16 +24,16 @@ sketch::AgmsShape sketch_shape(const SystemConfig& config) {
 
 }  // namespace
 
-SketchPolicy::SketchPolicy(const SystemConfig& config, net::NodeId self)
-    : config_(config), self_(self), throttle_(config.throttle),
+SketchSummaryEngine::SketchSummaryEngine(const SystemConfig& config,
+                                         net::NodeId self)
+    : config_(config), self_(self),
       local_{sketch::AgmsSketch(sketch_shape(config), shared_sketch_seed(config)),
              sketch::AgmsSketch(sketch_shape(config), shared_sketch_seed(config))},
       window_{stream::CountWindow(config.dft_window),
               stream::CountWindow(config.dft_window)},
-      peers_(config.nodes),
-      rng_(config.seed ^ (0x5ce7'beefULL + self)) {}
+      peers_(config.nodes) {}
 
-void SketchPolicy::observe_local(const stream::Tuple& tuple) {
+void SketchSummaryEngine::observe_local(const stream::Tuple& tuple) {
   // Deferred: nothing reads local_[side] until the next estimate refresh or
   // broadcast, so the tuple only joins the pending batch here. flush_pending
   // runs the sketch's vectorized two-pass update at the first read.
@@ -40,7 +41,7 @@ void SketchPolicy::observe_local(const stream::Tuple& tuple) {
   ++local_tuples_;
 }
 
-void SketchPolicy::flush_pending(std::size_t side) {
+void SketchSummaryEngine::flush_pending(std::size_t side) {
   auto& pending = pending_[side];
   if (pending.empty()) return;
   evicted_scratch_.clear();
@@ -59,17 +60,14 @@ void SketchPolicy::flush_pending(std::size_t side) {
   pending.clear();
 }
 
-void SketchPolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
-  summary_codec::Visitor visitor;
-  visitor.on_sketch = [&](stream::StreamSide side, sketch::AgmsSketch sketch) {
-    auto& state = peers_[peer];
-    state.remote[static_cast<std::size_t>(side)].update(std::move(sketch));
-    state.est_dirty = {true, true};
-  };
-  (void)summary_codec::decode_blocks(block, visitor);
+void SketchSummaryEngine::apply_sketch(net::NodeId peer, stream::StreamSide side,
+                                       sketch::AgmsSketch sketch) {
+  auto& state = peers_[peer];
+  state.remote[static_cast<std::size_t>(side)].update(std::move(sketch));
+  state.est_dirty = {true, true};
 }
 
-std::vector<OutboundSummary> SketchPolicy::maintenance(double /*now*/) {
+std::vector<OutboundSummary> SketchSummaryEngine::maintenance(double /*now*/) {
   // Local windows drift every tuple; refresh the cached pairwise estimates
   // once per epoch even without new remote snapshots.
   if (local_tuples_ % config_.summary_epoch_tuples == 0) {
@@ -88,12 +86,13 @@ std::vector<OutboundSummary> SketchPolicy::maintenance(double /*now*/) {
   SummaryBlock block{std::move(writer).take()};
   std::vector<OutboundSummary> out;
   for (net::NodeId j = 0; j < config_.nodes; ++j) {
-    if (j != self_) out.push_back(OutboundSummary{j, block});
+    if (j != self_) out.push_back(OutboundSummary{j, block, SummaryFamily::kSketch});
   }
   return out;
 }
 
-double SketchPolicy::refreshed_estimate(net::NodeId peer, std::size_t tuple_side) {
+double SketchSummaryEngine::refreshed_estimate(net::NodeId peer,
+                                               std::size_t tuple_side) {
   auto& state = peers_[peer];
   if (state.est_dirty[tuple_side]) {
     flush_pending(tuple_side);
@@ -109,6 +108,12 @@ double SketchPolicy::refreshed_estimate(net::NodeId peer, std::size_t tuple_side
   return state.est[tuple_side];
 }
 
+SketchPolicy::SketchPolicy(const SystemConfig& config, net::NodeId self,
+                           SummarySubstrate& substrate)
+    : RoutingPolicy(substrate), config_(config), self_(self),
+      throttle_(config.throttle), engine_(&substrate.sketch()),
+      rng_(config.seed ^ (0x5ce7'beefULL + self)) {}
+
 std::vector<net::NodeId> SketchPolicy::route(const stream::Tuple& tuple) {
   const std::uint32_t n = config_.nodes;
   const double budget = throttle_to_budget(throttle_, n);
@@ -121,10 +126,10 @@ std::vector<net::NodeId> SketchPolicy::route(const stream::Tuple& tuple) {
   for (net::NodeId j = 0; j < n; ++j) {
     if (j == self_) continue;
     peer_ids.push_back(j);
-    if (!peers_[j].remote[opposite].seeded()) {
+    if (!engine_->remote_seeded(j, opposite)) {
       scores.push_back(1.0);  // bootstrap exploration
     } else {
-      scores.push_back(refreshed_estimate(j, side));
+      scores.push_back(engine_->refreshed_estimate(j, side));
     }
   }
 

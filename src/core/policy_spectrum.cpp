@@ -1,6 +1,7 @@
-// SPEC routing (ablation A3, ours): histogram-DFT join-size estimates as
-// flow weights — what SKCH becomes when its randomized sketches are
-// replaced by the deterministic truncated histogram spectrum.
+// SPEC (ablation A3, ours): the shared SpectrumSummaryEngine (histogram-DFT
+// spectra, periodic broadcasts, cached Parseval estimates) and the
+// join-size-weighted routing on top — what SKCH becomes when its randomized
+// sketches are replaced by the deterministic truncated histogram spectrum.
 #include <algorithm>
 #include <cmath>
 
@@ -26,8 +27,9 @@ std::size_t spectrum_retained(const SystemConfig& config) {
 
 }  // namespace
 
-SpectrumPolicy::SpectrumPolicy(const SystemConfig& config, net::NodeId self)
-    : config_(config), self_(self), throttle_(config.throttle),
+SpectrumSummaryEngine::SpectrumSummaryEngine(const SystemConfig& config,
+                                             net::NodeId self)
+    : config_(config), self_(self),
       buckets_(spectrum_buckets(config)),
       local_{dsp::HistogramSpectrum(config.domain, spectrum_buckets(config),
                                     spectrum_retained(config)),
@@ -35,10 +37,9 @@ SpectrumPolicy::SpectrumPolicy(const SystemConfig& config, net::NodeId self)
                                     spectrum_retained(config))},
       window_{stream::CountWindow(config.dft_window),
               stream::CountWindow(config.dft_window)},
-      peers_(config.nodes),
-      rng_(config.seed ^ (0x4e57'beefULL + self)) {}
+      peers_(config.nodes) {}
 
-void SpectrumPolicy::observe_local(const stream::Tuple& tuple) {
+void SpectrumSummaryEngine::observe_local(const stream::Tuple& tuple) {
   const auto side = static_cast<std::size_t>(tuple.side);
   const auto evicted = window_[side].insert(tuple);
   local_[side].add(tuple.key, +1);
@@ -48,21 +49,19 @@ void SpectrumPolicy::observe_local(const stream::Tuple& tuple) {
   ++local_tuples_;
 }
 
-void SpectrumPolicy::on_summary(net::NodeId peer, const SummaryBlock& block) {
-  summary_codec::Visitor visitor;
-  visitor.on_hist_spectrum = [&](stream::StreamSide side, std::uint32_t buckets,
-                                 std::vector<dsp::Complex> coeffs) {
-    if (buckets != buckets_) return;  // geometry must match the experiment
-    auto& state = peers_[peer];
-    const auto s = static_cast<std::size_t>(side);
-    state.remote[s] = std::move(coeffs);
-    state.seeded[s] = true;
-    state.est_dirty = {true, true};
-  };
-  (void)summary_codec::decode_blocks(block, visitor);
+void SpectrumSummaryEngine::apply_spectrum(net::NodeId peer,
+                                           stream::StreamSide side,
+                                           std::uint32_t buckets,
+                                           std::vector<dsp::Complex> coeffs) {
+  if (buckets != buckets_) return;  // geometry must match the experiment
+  auto& state = peers_[peer];
+  const auto s = static_cast<std::size_t>(side);
+  state.remote[s] = std::move(coeffs);
+  state.seeded[s] = true;
+  state.est_dirty = {true, true};
 }
 
-std::vector<OutboundSummary> SpectrumPolicy::maintenance(double /*now*/) {
+std::vector<OutboundSummary> SpectrumSummaryEngine::maintenance(double /*now*/) {
   if (local_tuples_ % config_.summary_epoch_tuples == 0) {
     for (auto& peer : peers_) peer.est_dirty = {true, true};
   }
@@ -94,13 +93,15 @@ std::vector<OutboundSummary> SpectrumPolicy::maintenance(double /*now*/) {
   SummaryBlock block{std::move(writer).take()};
   std::vector<OutboundSummary> out;
   for (net::NodeId j = 0; j < config_.nodes; ++j) {
-    if (j != self_) out.push_back(OutboundSummary{j, block});
+    if (j != self_) {
+      out.push_back(OutboundSummary{j, block, SummaryFamily::kSpectrum});
+    }
   }
   return out;
 }
 
-double SpectrumPolicy::refreshed_estimate(net::NodeId peer,
-                                          std::size_t tuple_side) {
+double SpectrumSummaryEngine::refreshed_estimate(net::NodeId peer,
+                                                 std::size_t tuple_side) {
   auto& state = peers_[peer];
   if (state.est_dirty[tuple_side]) {
     const std::size_t opposite = 1 - tuple_side;
@@ -116,6 +117,12 @@ double SpectrumPolicy::refreshed_estimate(net::NodeId peer,
   return state.est[tuple_side];
 }
 
+SpectrumPolicy::SpectrumPolicy(const SystemConfig& config, net::NodeId self,
+                               SummarySubstrate& substrate)
+    : RoutingPolicy(substrate), config_(config), self_(self),
+      throttle_(config.throttle), engine_(&substrate.spectrum()),
+      rng_(config.seed ^ (0x4e57'beefULL + self)) {}
+
 std::vector<net::NodeId> SpectrumPolicy::route(const stream::Tuple& tuple) {
   const std::uint32_t n = config_.nodes;
   const double budget = throttle_to_budget(throttle_, n);
@@ -128,10 +135,10 @@ std::vector<net::NodeId> SpectrumPolicy::route(const stream::Tuple& tuple) {
   for (net::NodeId j = 0; j < n; ++j) {
     if (j == self_) continue;
     peer_ids.push_back(j);
-    if (!peers_[j].seeded[opposite]) {
+    if (!engine_->remote_seeded(j, opposite)) {
       scores.push_back(1.0);  // bootstrap exploration
     } else {
-      scores.push_back(refreshed_estimate(j, side));
+      scores.push_back(engine_->refreshed_estimate(j, side));
     }
   }
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "dsjoin/core/config.hpp"
+
 namespace dsjoin::core {
 
 namespace summary_codec {
@@ -105,6 +107,16 @@ void encode_hist_spectrum_quant(common::BufferWriter& out,
   }
 }
 
+void encode_query_scope(common::BufferWriter& out,
+                        std::span<const std::uint32_t> query_ids,
+                        std::span<const std::uint8_t> inner) {
+  assert(!query_ids.empty() && query_ids.size() <= kMaxQueries);
+  out.write_u8(kTagQueryScope);
+  out.write_u8(static_cast<std::uint8_t>(query_ids.size()));
+  for (std::uint32_t id : query_ids) out.write_u32(id);
+  out.write_bytes(inner);
+}
+
 void encode_sample(common::BufferWriter& out, stream::StreamSide side,
                    const sampling::SampleSummary& summary) {
   assert(summary.keys.size() <= 0xffff);
@@ -176,6 +188,36 @@ common::Status decode_blocks(const SummaryBlock& block, const Visitor& visitor) 
   while (!in.exhausted()) {
     auto tag = in.read_u8();
     if (!tag) return tag.status();
+    if (tag.value() == kTagQueryScope) {
+      // Wrapper sub-block: no side byte; the inner block is opaque here and
+      // handed to the visitor whole (it decodes it with its own visitor —
+      // wrappers do not nest).
+      auto count = in.read_u8();
+      if (!count) return count.status();
+      if (count.value() == 0 || count.value() > kMaxQueries) {
+        return common::Status(common::ErrorCode::kDataLoss,
+                              "bad query-scope id count");
+      }
+      std::vector<std::uint32_t> ids;
+      ids.reserve(count.value());
+      for (std::uint8_t i = 0; i < count.value(); ++i) {
+        auto id = in.read_u32();
+        if (!id) return id.status();
+        // Canonical form: strictly ascending, so subscriber sets have one
+        // wire representation.
+        if (!ids.empty() && id.value() <= ids.back()) {
+          return common::Status(common::ErrorCode::kDataLoss,
+                                "query-scope ids not strictly ascending");
+        }
+        ids.push_back(id.value());
+      }
+      auto inner = in.read_bytes();
+      if (!inner) return inner.status();
+      if (visitor.on_query_scope) {
+        visitor.on_query_scope(ids, SummaryBlock{std::move(inner).value()});
+      }
+      continue;
+    }
     auto side_raw = in.read_u8();
     if (!side_raw) return side_raw.status();
     if (side_raw.value() > 1) {

@@ -8,7 +8,7 @@
 namespace dsjoin::core {
 
 DspSystem::DspSystem(const SystemConfig& config)
-    : config_(config), oracle_(config.join_half_width_s), source_(config) {
+    : config_(config), specs_(effective_queries(config)), source_(config) {
   if (config.nodes < 2) {
     throw std::invalid_argument("a distributed join needs at least 2 nodes");
   }
@@ -17,7 +17,16 @@ DspSystem::DspSystem(const SystemConfig& config)
   transport_->set_summary_sink(
       [this](const net::Frame& frame) { tee_summary(frame); });
 
-  metrics_.set_node_count(config.nodes);
+  query_metrics_.reserve(specs_.size());
+  metrics_ptrs_.reserve(specs_.size());
+  oracles_.reserve(specs_.size());
+  for (const QuerySpec& spec : specs_) {
+    query_metrics_.push_back(std::make_unique<MetricsCollector>());
+    query_metrics_.back()->set_node_count(config.nodes);
+    query_metrics_.back()->set_epoch_group(this);
+    metrics_ptrs_.push_back(query_metrics_.back().get());
+    oracles_.emplace_back(spec.join_half_width_s);
+  }
   hosts_.resize(config.nodes);
   arrival_scratch_.resize(config.nodes);
   for (net::NodeId id = 0; id < config.nodes; ++id) {
@@ -28,7 +37,10 @@ DspSystem::DspSystem(const SystemConfig& config)
 DspSystem::~DspSystem() = default;
 
 void DspSystem::install_node(net::NodeId id) {
-  hosts_[id] = std::make_unique<NodeHost>(config_, id, *transport_, metrics_);
+  hosts_[id] = std::make_unique<NodeHost>(
+      config_, id, *transport_,
+      std::span<MetricsCollector* const>(metrics_ptrs_.data(),
+                                         metrics_ptrs_.size()));
   // Summary content reaches the node through the transport's summary sink
   // (virtual-time plane); the arrival-time frame path must not apply it a
   // second time.
@@ -54,7 +66,8 @@ void DspSystem::tee_summary(const net::Frame& frame) {
     hosts_[frame.to]->node().queue_summary(frame.from, payload.value().stamp,
                                            std::move(payload.value().block));
   } else if (frame.kind == net::FrameKind::kTuple) {
-    auto payload = TuplePayload::decode(frame.payload);
+    auto payload =
+        TuplePayload::decode(frame.payload, multi_query_mode(config_));
     if (!payload || payload.value().piggyback.empty()) return;
     hosts_[frame.to]->node().queue_summary(
         frame.from, payload.value().stamp,
@@ -109,7 +122,9 @@ void DspSystem::schedule_arrival(net::NodeId node, stream::StreamSide side,
     // in nondecreasing timestamp order. The oracle is global state and
     // therefore stays on the (serial) dispatch path; the node's per-tuple
     // work is what the parallel driver fans out.
-    if (config_.oracle_enabled) oracle_.observe(tuple);
+    if (config_.oracle_enabled) {
+      for (ExactJoinOracle& oracle : oracles_) oracle.observe(tuple);
+    }
     defer_arrival(node, now, tuple);
 
     schedule_arrival(node, side, now + source_.next_gap(node, side));
@@ -149,20 +164,44 @@ ExperimentResult DspSystem::run() {
   result.clean = true;
   result.backend = Backend::kSim;
   result.nodes_admitted = config_.nodes;
-  result.exact_pairs = oracle_.total_pairs();
-  result.reported_pairs = metrics_.distinct_pairs();
-  result.pairs = metrics_.pairs();
   result.total_arrivals = source_.total_emitted();
   result.makespan_s = queue_.now();
   result.traffic = transport_->stats();
   for (const auto& host : hosts_) {
-    result.fallback_engaged |= host->node().policy().fallback_active();
     result.decode_failures += host->node().decode_failures();
     result.late_summaries += host->node().late_summaries();
-    const auto bound = host->node().policy().epsilon_bound_terms();
-    result.predicted_missed_mass += bound.missed_mass;
-    result.predicted_total_mass += bound.total_mass;
   }
+
+  // Per-query outcomes; the run aggregates are their sums (each query is
+  // its own join), with result.pairs keeping the cross-query union.
+  result.per_query.resize(specs_.size());
+  MetricsCollector unioned;
+  unioned.set_node_count(config_.nodes);
+  for (std::size_t q = 0; q < specs_.size(); ++q) {
+    QueryResult& query = result.per_query[q];
+    query.query_id = specs_[q].id;
+    query.exact_pairs = oracles_[q].total_pairs();
+    query.reported_pairs = query_metrics_[q]->distinct_pairs();
+    query.pairs = query_metrics_[q]->pairs();
+    for (const auto& pair : query.pairs) unioned.record_pair(pair, 0, 0.0);
+    for (const auto& host : hosts_) {
+      const QueryCounters counters = host->node().query_counters(q);
+      query.received_tuples += counters.received_tuples;
+      query.forwarded_tuples += counters.forwarded_tuples;
+      query.result_frames += counters.result_frames;
+      query.summary_frames += counters.summary_frames;
+      result.fallback_engaged |=
+          host->node().query_policy(q).fallback_active();
+      const auto bound = host->node().query_policy(q).epsilon_bound_terms();
+      query.predicted_missed_mass += bound.missed_mass;
+      query.predicted_total_mass += bound.total_mass;
+    }
+    result.exact_pairs += query.exact_pairs;
+    result.reported_pairs += query.reported_pairs;
+    result.predicted_missed_mass += query.predicted_missed_mass;
+    result.predicted_total_mass += query.predicted_total_mass;
+  }
+  result.pairs = unioned.pairs();
   finalize_derived_metrics(&result);
   return result;
 }
@@ -211,7 +250,9 @@ void DspSystem::execute_epoch(common::ThreadPool& pool,
                               std::vector<std::vector<std::size_t>>& by_node) {
   if (epoch_tasks_.empty()) return;
   transport_->begin_epoch(epoch_tasks_.size());
-  metrics_.begin_epoch(epoch_tasks_.size());
+  for (auto& collector : query_metrics_) {
+    collector->begin_epoch(epoch_tasks_.size());
+  }
   // One strand per node: tasks for the same node run sequentially in
   // dispatch order on one thread (nodes are stateful), tasks for distinct
   // nodes run concurrently (nodes are shared-nothing).
@@ -231,7 +272,9 @@ void DspSystem::execute_epoch(common::ThreadPool& pool,
         EpochTask& task = epoch_tasks_[index];
         if (!task.is_arrival) {
           transport_->bind_epoch_slot(index, task.when);
-          metrics_.bind_epoch_slot(index);
+          // One bind covers every collector: they share this system's
+          // epoch group, so the tls tag matches all of them.
+          query_metrics_.front()->bind_epoch_slot(index);
           task.fn();
           ++li;
           continue;
@@ -250,7 +293,7 @@ void DspSystem::execute_epoch(common::ThreadPool& pool,
             scratch, [this, &list, li](std::size_t j) {
               const std::size_t idx = list[li + j];
               transport_->bind_epoch_slot(idx, epoch_tasks_[idx].when);
-              metrics_.bind_epoch_slot(idx);
+              query_metrics_.front()->bind_epoch_slot(idx);
             });
         li = run_end;
       }
@@ -260,7 +303,7 @@ void DspSystem::execute_epoch(common::ThreadPool& pool,
   // Barrier: flush buffered sends and reports in slot (= dispatch) order,
   // reproducing the serial event-queue sequence exactly.
   transport_->end_epoch();
-  metrics_.end_epoch();
+  for (auto& collector : query_metrics_) collector->end_epoch();
   epoch_tasks_.clear();
 }
 

@@ -77,9 +77,10 @@ Result<SummaryStamp> read_stamp(BufferReader& in) {
 
 }  // namespace
 
-std::vector<std::uint8_t> TuplePayload::encode() const {
+std::vector<std::uint8_t> TuplePayload::encode(bool with_query_ids) const {
   BufferWriter out(64 + piggyback.size());
   tuple.serialize(out);
+  if (with_query_ids) out.write_u64(query_mask);
   out.write_u32(static_cast<std::uint32_t>(piggyback.bytes.size()));
   // The stamp rides only alongside a piggybacked summary: tuple frames
   // without one carry zero stamp bytes (the bench acceptance bar).
@@ -90,15 +91,21 @@ std::vector<std::uint8_t> TuplePayload::encode() const {
   return seal(std::move(out));
 }
 
-Result<TuplePayload> TuplePayload::decode(std::span<const std::uint8_t> bytes) {
+Result<TuplePayload> TuplePayload::decode(std::span<const std::uint8_t> bytes,
+                                          bool with_query_ids) {
   auto body = unseal(bytes);
   if (!body) return body.status();
   BufferReader in(body.value());
   auto tuple = stream::Tuple::deserialize(in);
   if (!tuple) return tuple.status();
+  TuplePayload out;
+  if (with_query_ids) {
+    auto mask = in.read_u64();
+    if (!mask) return mask.status();
+    out.query_mask = mask.value();
+  }
   auto piggy_len = in.read_u32();
   if (!piggy_len) return piggy_len.status();
-  TuplePayload out;
   out.tuple = tuple.value();
   if (piggy_len.value() > 0) {
     auto stamp = read_stamp(in);
@@ -143,8 +150,9 @@ Result<SummaryPayload> SummaryPayload::decode(std::span<const std::uint8_t> byte
   return out;
 }
 
-std::vector<std::uint8_t> ResultPayload::encode() const {
+std::vector<std::uint8_t> ResultPayload::encode(bool with_query_ids) const {
   BufferWriter out(8 + pairs.size() * 16);
+  if (with_query_ids) out.write_u32(query_id);
   out.write_u32(static_cast<std::uint32_t>(pairs.size()));
   for (const auto& p : pairs) {
     out.write_u64(p.r_id);
@@ -153,16 +161,22 @@ std::vector<std::uint8_t> ResultPayload::encode() const {
   return seal(std::move(out));
 }
 
-Result<ResultPayload> ResultPayload::decode(std::span<const std::uint8_t> bytes) {
+Result<ResultPayload> ResultPayload::decode(std::span<const std::uint8_t> bytes,
+                                            bool with_query_ids) {
   auto body = unseal(bytes);
   if (!body) return body.status();
   BufferReader in(body.value());
+  ResultPayload out;
+  if (with_query_ids) {
+    auto id = in.read_u32();
+    if (!id) return id.status();
+    out.query_id = id.value();
+  }
   auto count = in.read_u32();
   if (!count) return count.status();
   if (in.remaining() < static_cast<std::size_t>(count.value()) * 16) {
     return Status(ErrorCode::kDataLoss, "truncated result payload");
   }
-  ResultPayload out;
   out.pairs.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     const auto r = in.read_u64().value();

@@ -183,6 +183,7 @@ MetricsReportMsg MetricsReportMsg::from_node_report(core::NodeReport report) {
   msg.predicted_missed_mass = report.predicted_missed_mass;
   msg.predicted_total_mass = report.predicted_total_mass;
   msg.traffic = report.traffic;
+  msg.queries = std::move(report.queries);
   msg.pairs = std::move(report.pairs);
   return msg;
 }
@@ -197,6 +198,7 @@ core::NodeReport MetricsReportMsg::to_node_report() const {
   report.predicted_missed_mass = predicted_missed_mass;
   report.predicted_total_mass = predicted_total_mass;
   report.traffic = traffic;
+  report.queries = queries;
   report.pairs = pairs;
   return report;
 }
@@ -211,6 +213,23 @@ std::vector<std::uint8_t> MetricsReportMsg::encode() const {
   out.write_f64(predicted_missed_mass);
   out.write_f64(predicted_total_mass);
   serialize_traffic(traffic, out);
+  // Per-query sections (v6) precede the pair list so the trailing
+  // count-vs-remaining check on the pairs stays exact.
+  out.write_u32(static_cast<std::uint32_t>(queries.size()));
+  for (const auto& query : queries) {
+    out.write_u32(query.query_id);
+    out.write_u64(query.received_tuples);
+    out.write_u64(query.forwarded_tuples);
+    out.write_u64(query.result_frames);
+    out.write_u64(query.summary_frames);
+    out.write_f64(query.predicted_missed_mass);
+    out.write_f64(query.predicted_total_mass);
+    out.write_u64(query.pairs.size());
+    for (const auto& pair : query.pairs) {
+      out.write_u64(pair.r_id);
+      out.write_u64(pair.s_id);
+    }
+  }
   out.write_u64(pairs.size());
   for (const auto& pair : pairs) {
     out.write_u64(pair.r_id);
@@ -247,6 +266,52 @@ common::Result<MetricsReportMsg> MetricsReportMsg::decode(
   auto traffic = deserialize_traffic(in);
   if (!traffic) return traffic.status();
   msg.traffic = traffic.value();
+  auto query_count = in.read_u32();
+  if (!query_count) return query_count.status();
+  if (query_count.value() > 64) {
+    return common::Status(common::ErrorCode::kDataLoss,
+                          "implausible query section count");
+  }
+  msg.queries.reserve(query_count.value());
+  for (std::uint32_t q = 0; q < query_count.value(); ++q) {
+    core::QueryNodeReport slice;
+    auto query_id = in.read_u32();
+    if (!query_id) return query_id.status();
+    slice.query_id = query_id.value();
+    auto q_received = in.read_u64();
+    if (!q_received) return q_received.status();
+    slice.received_tuples = q_received.value();
+    auto q_forwarded = in.read_u64();
+    if (!q_forwarded) return q_forwarded.status();
+    slice.forwarded_tuples = q_forwarded.value();
+    auto q_results = in.read_u64();
+    if (!q_results) return q_results.status();
+    slice.result_frames = q_results.value();
+    auto q_summaries = in.read_u64();
+    if (!q_summaries) return q_summaries.status();
+    slice.summary_frames = q_summaries.value();
+    auto q_missed = in.read_f64();
+    if (!q_missed) return q_missed.status();
+    slice.predicted_missed_mass = q_missed.value();
+    auto q_total = in.read_f64();
+    if (!q_total) return q_total.status();
+    slice.predicted_total_mass = q_total.value();
+    auto pair_count = in.read_u64();
+    if (!pair_count) return pair_count.status();
+    if (pair_count.value() * 16 > in.remaining()) {
+      return common::Status(common::ErrorCode::kDataLoss,
+                            "query pair count exceeds payload size");
+    }
+    slice.pairs.reserve(pair_count.value());
+    for (std::uint64_t i = 0; i < pair_count.value(); ++i) {
+      auto r_id = in.read_u64();
+      if (!r_id) return r_id.status();
+      auto s_id = in.read_u64();
+      if (!s_id) return s_id.status();
+      slice.pairs.push_back({r_id.value(), s_id.value()});
+    }
+    msg.queries.push_back(std::move(slice));
+  }
   auto count = in.read_u64();
   if (!count) return count.status();
   if (count.value() * 16 != in.remaining()) {

@@ -75,7 +75,7 @@ common::Status NodeDaemon::run() {
   host_ = std::make_unique<core::NodeHost>(config_, node_id_, *mesh_);
   host_->set_peer_death_hook(
       [this](net::NodeId peer) { mesh_->mark_peer_dead(peer); });
-  if (host_->node().policy().uses_summaries()) {
+  if (host_->node().uses_summaries()) {
     host_->enable_summary_watermarks();
   }
 
@@ -245,7 +245,7 @@ void NodeDaemon::arrival_loop() {
   // announce the own arrival clock before waiting on anyone (announce-
   // before-wait keeps the mesh deadlock-free), wait for peer cover before
   // each chunk, and never let a chunk span a visibility epoch boundary.
-  const bool sync = host_->node().policy().uses_summaries();
+  const bool sync = host_->node().uses_summaries();
   const double sync_epoch = config_.summary_sync_epoch_s;
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const auto cancelled = [this] { return stop_.load(); };

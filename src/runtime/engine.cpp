@@ -74,6 +74,14 @@ core::ExperimentResult run_multiprocess(const core::SystemConfig& config,
 
 core::ExperimentResult run_experiment(const core::SystemConfig& config,
                                       const EngineOptions& options) {
+  // Every backplane funnels through the one validity gate, so a config a
+  // CLI forgot to vet fails identically here and in the CONFIG decoder.
+  if (auto valid = core::validate_config(config); !valid.is_ok()) {
+    core::ExperimentResult result;
+    result.backend = options.backend;
+    result.error = valid.message();
+    return result;
+  }
   switch (options.backend) {
     case core::Backend::kSim:
       return core::run_experiment(config);

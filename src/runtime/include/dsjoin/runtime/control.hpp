@@ -39,7 +39,11 @@ namespace dsjoin::runtime {
 // v5: SystemConfig grew sample_capacity/sample_strata, summary blocks may
 // carry stratified-sample sub-blocks (tag 'S'), and METRICS_REPORT carries
 // the predicted-epsilon bound masses.
-inline constexpr std::uint32_t kProtocolVersion = 5;
+// v6: SystemConfig grew the registered query list, tuple payloads may carry
+// a query mask and result payloads a query id, summary blocks may carry
+// query-scope wrappers (tag 'Q'), and METRICS_REPORT carries per-query
+// sections.
+inline constexpr std::uint32_t kProtocolVersion = 6;
 
 enum class ControlType : std::uint8_t {
   kHello = 1,
@@ -113,6 +117,9 @@ struct MetricsReportMsg {
   double predicted_missed_mass = 0.0;
   double predicted_total_mass = 0.0;
   net::TrafficCounters traffic;  ///< frames this daemon sent, by kind
+  /// Per-query sections in canonical (effective_queries) order — the wire
+  /// form of NodeReport::queries (v6).
+  std::vector<core::QueryNodeReport> queries;
   std::vector<stream::ResultPair> pairs;
 
   static MetricsReportMsg from_node_report(core::NodeReport report);

@@ -97,7 +97,7 @@ RunReport run_inprocess_tcp(const core::SystemConfig& config) {
   // peers' announcements cover its visibility epoch — after which no
   // summary that must apply before the chunk's end can still be in flight.
   // BASE/RR runs skip all of it (no watermark frames, no waits).
-  const bool sync = hosts[0]->node().policy().uses_summaries();
+  const bool sync = hosts[0]->node().uses_summaries();
   const double sync_epoch = config.summary_sync_epoch_s;
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<std::vector<double>> arrival_times(config.nodes);

@@ -61,6 +61,10 @@ int main(int argc, char** argv) {
                "SMPL reservoir capacity per (node, side); 0 derives it from "
                "the summary byte budget (max 32768)")
       .add_int("sample-strata", 8, "SMPL hash strata per reservoir (1..4096)")
+      .add_string("queries", "",
+                  "registered join queries, semicolon-separated "
+                  "POLICY[:throttle[:half_width_s]] specs; empty = "
+                  "single-query mode")
       .add_bool("verify", true, "recompute the oracle for epsilon/false pairs")
       .add_bool("verbose", false, "log protocol progress");
   if (auto s = flags.parse(argc, argv); !s) {
@@ -90,55 +94,32 @@ int main(int argc, char** argv) {
   options.config.arrivals_per_second = flags.get_double("rate");
   options.config.join_half_width_s = flags.get_double("half-width");
   options.config.throttle = flags.get_double("throttle");
-  const std::int64_t coalesce_frames = flags.get_int("coalesce-frames");
-  if (coalesce_frames < 1 || coalesce_frames > 0xFFFF) {
-    std::fprintf(stderr,
-                 "error: --coalesce-frames must be in [1, 65535], got %lld\n",
-                 static_cast<long long>(coalesce_frames));
-    return 1;
-  }
-  const std::int64_t coalesce_bytes = flags.get_int("coalesce-bytes");
-  if (coalesce_bytes < 1 || coalesce_bytes > (1 << 24)) {
-    std::fprintf(stderr,
-                 "error: --coalesce-bytes must be in [1, %d], got %lld\n",
-                 1 << 24, static_cast<long long>(coalesce_bytes));
-    return 1;
-  }
   options.config.coalesce_frames =
-      static_cast<std::uint32_t>(coalesce_frames);
-  options.config.coalesce_bytes = static_cast<std::uint32_t>(coalesce_bytes);
-  const double sync_epoch = flags.get_double("summary-sync-epoch");
-  if (!(sync_epoch > 0.0) || sync_epoch > 3600.0) {
-    std::fprintf(stderr,
-                 "error: --summary-sync-epoch must be in (0, 3600], got %g\n",
-                 sync_epoch);
-    return 1;
-  }
-  options.config.summary_sync_epoch_s = sync_epoch;
-  const std::int64_t quant_bits = flags.get_int("quant-bits");
-  if (quant_bits != 0 && quant_bits != 8 && quant_bits != 16) {
-    std::fprintf(stderr, "error: --quant-bits must be 0, 8 or 16, got %lld\n",
-                 static_cast<long long>(quant_bits));
-    return 1;
-  }
-  options.config.summary_quant_bits = static_cast<std::uint32_t>(quant_bits);
+      static_cast<std::uint32_t>(flags.get_int("coalesce-frames"));
+  options.config.coalesce_bytes =
+      static_cast<std::uint32_t>(flags.get_int("coalesce-bytes"));
+  options.config.summary_sync_epoch_s = flags.get_double("summary-sync-epoch");
+  options.config.summary_quant_bits =
+      static_cast<std::uint32_t>(flags.get_int("quant-bits"));
   const std::int64_t sample_capacity = flags.get_int("sample-capacity");
-  if (sample_capacity < 0 || sample_capacity > (1 << 15)) {
-    std::fprintf(stderr,
-                 "error: --sample-capacity must be in [0, %d], got %lld\n",
-                 1 << 15, static_cast<long long>(sample_capacity));
-    return 1;
-  }
-  const std::int64_t sample_strata = flags.get_int("sample-strata");
-  if (sample_strata < 1 || sample_strata > 4096) {
-    std::fprintf(stderr,
-                 "error: --sample-strata must be in [1, 4096], got %lld\n",
-                 static_cast<long long>(sample_strata));
-    return 1;
-  }
   options.config.sample_capacity =
-      static_cast<std::uint32_t>(sample_capacity);
-  options.config.sample_strata = static_cast<std::uint32_t>(sample_strata);
+      sample_capacity < 0 ? ~0u : static_cast<std::uint32_t>(sample_capacity);
+  const std::int64_t sample_strata = flags.get_int("sample-strata");
+  options.config.sample_strata =
+      sample_strata < 0 ? 0 : static_cast<std::uint32_t>(sample_strata);
+  const auto queries =
+      core::parse_queries(flags.get_string("queries"), options.config);
+  if (!queries) {
+    std::fprintf(stderr, "error: %s\n", queries.status().message().c_str());
+    return 1;
+  }
+  options.config.queries = queries.value();
+  // The one validity gate every CLI site funnels through: ranges live in
+  // core::validate_config, not per flag.
+  if (auto valid = core::validate_config(options.config); !valid.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.message().c_str());
+    return 1;
+  }
 
   runtime::Coordinator coordinator(options);
   std::printf("coordinator: control port %u, waiting for %u daemons\n",
@@ -169,6 +150,16 @@ int main(int argc, char** argv) {
   std::printf("traffic: %llu frames, %llu bytes\n",
               static_cast<unsigned long long>(report.traffic.total_frames()),
               static_cast<unsigned long long>(report.traffic.total_bytes()));
+  if (report.per_query.size() > 1) {
+    for (const auto& query : report.per_query) {
+      std::printf(
+          "query %u: %llu reported (exact %llu, false %llu)  epsilon %.4f\n",
+          query.query_id,
+          static_cast<unsigned long long>(query.reported_pairs),
+          static_cast<unsigned long long>(query.exact_pairs),
+          static_cast<unsigned long long>(query.false_pairs), query.epsilon);
+    }
+  }
   std::printf(
       "REPORT clean=1 nodes=%u failed=%u arrivals=%llu exact=%llu "
       "reported=%llu false=%llu epsilon=%.6f frames=%llu bytes=%llu\n",
