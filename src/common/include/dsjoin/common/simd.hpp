@@ -122,6 +122,28 @@ void fast_agms_update_row(const std::uint64_t* bucket_coeff,
                           std::uint64_t buckets, std::int64_t weight,
                           std::int64_t* row) noexcept;
 
+// --- Window match-scan kernels (partitioned TupleStore probes) -------------
+//
+// Linear scans over a store partition's SoA columns: entry j matches when
+// keys[j] == key and lo <= ts[j] <= hi (both bounds inclusive, IEEE-754
+// ordered compares; timestamps are never NaN). Equality and ordered
+// comparison have exactly one answer per lane, so every vector level is
+// bit-identical to the scalar reference by construction. `keys` and `ts`
+// must not alias.
+
+/// Number of entries matching (key, [lo, hi]).
+std::uint64_t match_count_scan(const std::int64_t* keys, const double* ts,
+                               std::size_t n, std::int64_t key, double lo,
+                               double hi) noexcept;
+
+/// Writes the ascending indices of matching entries to `out` (which must
+/// have room for n values) and returns how many matched. Index order is
+/// what makes the store's for_each_match iteration order independent of
+/// the dispatch level.
+std::size_t match_collect_scan(const std::int64_t* keys, const double* ts,
+                               std::size_t n, std::int64_t key, double lo,
+                               double hi, std::uint32_t* out) noexcept;
+
 // --- Double-hashing kernels (Bloom probes) ---------------------------------
 
 /// SplitMix64-based double-hash preparation, identical to

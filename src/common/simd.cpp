@@ -188,6 +188,28 @@ void dft_rotate_scalar(double* pr, double* pi, const double* ur,
   }
 }
 
+std::uint64_t match_count_scalar(const std::int64_t* keys, const double* ts,
+                                 std::size_t n, std::int64_t key, double lo,
+                                 double hi) noexcept {
+  std::uint64_t count = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (keys[j] == key && ts[j] >= lo && ts[j] <= hi) ++count;
+  }
+  return count;
+}
+
+std::size_t match_collect_scalar(const std::int64_t* keys, const double* ts,
+                                 std::size_t n, std::int64_t key, double lo,
+                                 double hi, std::uint32_t* out) noexcept {
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (keys[j] == key && ts[j] >= lo && ts[j] <= hi) {
+      out[count++] = static_cast<std::uint32_t>(j);
+    }
+  }
+  return count;
+}
+
 // ---------------------------------------------------------------------------
 // AVX2 kernels. Compiled with per-function target attributes so the
 // translation unit builds at the portable baseline; dispatch guarantees
@@ -533,6 +555,64 @@ DSJOIN_AVX2 void dft_rotate_avx2(double* pr, double* pi, const double* ur,
   dft_rotate_scalar(pr + k, pi + k, ur + k, ui + k, n - k);
 }
 
+// Four-lane match scan: i64 key equality and double range compares produce
+// a 4-bit lane mask (movemask over the double-compare domain); counting is
+// a popcount, collection walks the set bits in ascending lane order.
+DSJOIN_AVX2 std::uint64_t match_count_avx2(const std::int64_t* keys,
+                                           const double* ts, std::size_t n,
+                                           std::int64_t key, double lo,
+                                           double hi) noexcept {
+  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  std::uint64_t count = 0;
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + j));
+    const __m256d t = _mm256_loadu_pd(ts + j);
+    const __m256d keq = _mm256_castsi256_pd(_mm256_cmpeq_epi64(k, vkey));
+    const __m256d ge = _mm256_cmp_pd(t, vlo, _CMP_GE_OQ);
+    const __m256d le = _mm256_cmp_pd(t, vhi, _CMP_LE_OQ);
+    const int m = _mm256_movemask_pd(_mm256_and_pd(keq, _mm256_and_pd(ge, le)));
+    count += static_cast<std::uint64_t>(__builtin_popcount(static_cast<unsigned>(m)));
+  }
+  return count + match_count_scalar(keys + j, ts + j, n - j, key, lo, hi);
+}
+
+DSJOIN_AVX2 std::size_t match_collect_avx2(const std::int64_t* keys,
+                                           const double* ts, std::size_t n,
+                                           std::int64_t key, double lo,
+                                           double hi,
+                                           std::uint32_t* out) noexcept {
+  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
+  const __m256d vlo = _mm256_set1_pd(lo);
+  const __m256d vhi = _mm256_set1_pd(hi);
+  std::size_t count = 0;
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + j));
+    const __m256d t = _mm256_loadu_pd(ts + j);
+    const __m256d keq = _mm256_castsi256_pd(_mm256_cmpeq_epi64(k, vkey));
+    const __m256d ge = _mm256_cmp_pd(t, vlo, _CMP_GE_OQ);
+    const __m256d le = _mm256_cmp_pd(t, vhi, _CMP_LE_OQ);
+    unsigned m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_and_pd(keq, _mm256_and_pd(ge, le))));
+    while (m != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(m));
+      out[count++] = static_cast<std::uint32_t>(j + lane);
+      m &= m - 1;
+    }
+  }
+  for (; j < n; ++j) {
+    if (keys[j] == key && ts[j] >= lo && ts[j] <= hi) {
+      out[count++] = static_cast<std::uint32_t>(j);
+    }
+  }
+  return count;
+}
+
 // ---------------------------------------------------------------------------
 // AVX-512 kernels: the same arithmetic at 8 lanes, with mask registers
 // replacing the compare/and/sub canonicalization sequence.
@@ -835,6 +915,61 @@ DSJOIN_AVX512 void dft_rotate_avx512(double* pr, double* pi, const double* ur,
   dft_rotate_scalar(pr + k, pi + k, ur + k, ui + k, n - k);
 }
 
+// Eight-lane match scan: compare results land directly in __mmask8
+// registers (no movemask detour); counting is a popcount over the mask,
+// collection walks the set bits in ascending lane order.
+DSJOIN_AVX512 std::uint64_t match_count_avx512(const std::int64_t* keys,
+                                               const double* ts, std::size_t n,
+                                               std::int64_t key, double lo,
+                                               double hi) noexcept {
+  const __m512i vkey = _mm512_set1_epi64(static_cast<long long>(key));
+  const __m512d vlo = _mm512_set1_pd(lo);
+  const __m512d vhi = _mm512_set1_pd(hi);
+  std::uint64_t count = 0;
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i k = _mm512_loadu_si512(keys + j);
+    const __m512d t = _mm512_loadu_pd(ts + j);
+    const __mmask8 keq = _mm512_cmpeq_epi64_mask(k, vkey);
+    const __mmask8 ge = _mm512_cmp_pd_mask(t, vlo, _CMP_GE_OQ);
+    const __mmask8 le = _mm512_cmp_pd_mask(t, vhi, _CMP_LE_OQ);
+    const unsigned m = static_cast<unsigned>(keq & ge & le);
+    count += static_cast<std::uint64_t>(__builtin_popcount(m));
+  }
+  return count + match_count_scalar(keys + j, ts + j, n - j, key, lo, hi);
+}
+
+DSJOIN_AVX512 std::size_t match_collect_avx512(const std::int64_t* keys,
+                                               const double* ts, std::size_t n,
+                                               std::int64_t key, double lo,
+                                               double hi,
+                                               std::uint32_t* out) noexcept {
+  const __m512i vkey = _mm512_set1_epi64(static_cast<long long>(key));
+  const __m512d vlo = _mm512_set1_pd(lo);
+  const __m512d vhi = _mm512_set1_pd(hi);
+  std::size_t count = 0;
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i k = _mm512_loadu_si512(keys + j);
+    const __m512d t = _mm512_loadu_pd(ts + j);
+    const __mmask8 keq = _mm512_cmpeq_epi64_mask(k, vkey);
+    const __mmask8 ge = _mm512_cmp_pd_mask(t, vlo, _CMP_GE_OQ);
+    const __mmask8 le = _mm512_cmp_pd_mask(t, vhi, _CMP_LE_OQ);
+    unsigned m = static_cast<unsigned>(keq & ge & le);
+    while (m != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(m));
+      out[count++] = static_cast<std::uint32_t>(j + lane);
+      m &= m - 1;
+    }
+  }
+  for (; j < n; ++j) {
+    if (keys[j] == key && ts[j] >= lo && ts[j] <= hi) {
+      out[count++] = static_cast<std::uint32_t>(j);
+    }
+  }
+  return count;
+}
+
 #endif  // DSJOIN_SIMD_X86
 
 // ---------------------------------------------------------------------------
@@ -885,6 +1020,56 @@ void dft_rotate_neon(double* pr, double* pi, const double* ur, const double* ui,
     vst1q_f64(pi + k, vaddq_f64(vmulq_f64(prv, uiv), vmulq_f64(piv, urv)));
   }
   dft_rotate_scalar(pr + k, pi + k, ur + k, ui + k, n - k);
+}
+
+// Two-lane match scan. NEON has no movemask, so the combined predicate is
+// read back per lane; at two lanes that is still cheaper than the branchy
+// scalar loop on mostly-miss partitions.
+std::uint64_t match_count_neon(const std::int64_t* keys, const double* ts,
+                               std::size_t n, std::int64_t key, double lo,
+                               double hi) noexcept {
+  const int64x2_t vkey = vdupq_n_s64(key);
+  const float64x2_t vlo = vdupq_n_f64(lo);
+  const float64x2_t vhi = vdupq_n_f64(hi);
+  std::uint64_t count = 0;
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const uint64x2_t keq = vceqq_s64(vld1q_s64(keys + j), vkey);
+    const float64x2_t t = vld1q_f64(ts + j);
+    const uint64x2_t ge = vcgeq_f64(t, vlo);
+    const uint64x2_t le = vcleq_f64(t, vhi);
+    const uint64x2_t m = vandq_u64(keq, vandq_u64(ge, le));
+    count += vgetq_lane_u64(m, 0) & 1u;
+    count += vgetq_lane_u64(m, 1) & 1u;
+  }
+  return count + match_count_scalar(keys + j, ts + j, n - j, key, lo, hi);
+}
+
+std::size_t match_collect_neon(const std::int64_t* keys, const double* ts,
+                               std::size_t n, std::int64_t key, double lo,
+                               double hi, std::uint32_t* out) noexcept {
+  const int64x2_t vkey = vdupq_n_s64(key);
+  const float64x2_t vlo = vdupq_n_f64(lo);
+  const float64x2_t vhi = vdupq_n_f64(hi);
+  std::size_t count = 0;
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const uint64x2_t keq = vceqq_s64(vld1q_s64(keys + j), vkey);
+    const float64x2_t t = vld1q_f64(ts + j);
+    const uint64x2_t ge = vcgeq_f64(t, vlo);
+    const uint64x2_t le = vcleq_f64(t, vhi);
+    const uint64x2_t m = vandq_u64(keq, vandq_u64(ge, le));
+    if (vgetq_lane_u64(m, 0) != 0) out[count++] = static_cast<std::uint32_t>(j);
+    if (vgetq_lane_u64(m, 1) != 0) {
+      out[count++] = static_cast<std::uint32_t>(j + 1);
+    }
+  }
+  for (; j < n; ++j) {
+    if (keys[j] == key && ts[j] >= lo && ts[j] <= hi) {
+      out[count++] = static_cast<std::uint32_t>(j);
+    }
+  }
+  return count;
 }
 
 #endif  // DSJOIN_SIMD_NEON
@@ -1103,6 +1288,39 @@ bool double_hash_indices(const std::uint64_t* h1, const std::uint64_t* h2,
   }
   indices_scalar(h1, h2, n, probes, range, out);
   return true;
+}
+
+std::uint64_t match_count_scan(const std::int64_t* keys, const double* ts,
+                               std::size_t n, std::int64_t key, double lo,
+                               double hi) noexcept {
+  switch (active_level()) {
+#if DSJOIN_SIMD_X86
+    case Level::kAvx512: return match_count_avx512(keys, ts, n, key, lo, hi);
+    case Level::kAvx2: return match_count_avx2(keys, ts, n, key, lo, hi);
+#endif
+#if DSJOIN_SIMD_NEON
+    case Level::kNeon: return match_count_neon(keys, ts, n, key, lo, hi);
+#endif
+    default: break;
+  }
+  return match_count_scalar(keys, ts, n, key, lo, hi);
+}
+
+std::size_t match_collect_scan(const std::int64_t* keys, const double* ts,
+                               std::size_t n, std::int64_t key, double lo,
+                               double hi, std::uint32_t* out) noexcept {
+  switch (active_level()) {
+#if DSJOIN_SIMD_X86
+    case Level::kAvx512:
+      return match_collect_avx512(keys, ts, n, key, lo, hi, out);
+    case Level::kAvx2: return match_collect_avx2(keys, ts, n, key, lo, hi, out);
+#endif
+#if DSJOIN_SIMD_NEON
+    case Level::kNeon: return match_collect_neon(keys, ts, n, key, lo, hi, out);
+#endif
+    default: break;
+  }
+  return match_collect_scalar(keys, ts, n, key, lo, hi, out);
 }
 
 }  // namespace dsjoin::common::simd

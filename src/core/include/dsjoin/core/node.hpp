@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -206,21 +205,20 @@ class Node {
   };
 
   /// Per-tuple evaluation output of one query, produced (possibly on a
-  /// worker strand) before any cross-query effect is applied.
+  /// worker strand) before any cross-query effect is applied. All vectors
+  /// are cleared per tuple and keep their capacity — the result path is
+  /// allocation-free in steady state.
   struct QueryEval {
     bool audited = false;
     std::vector<net::NodeId> destinations;
-    std::map<net::NodeId, std::vector<stream::ResultPair>> by_origin;
+    /// Discovered pairs by the origin they ship to, indexed by NodeId
+    /// (replaces the per-tuple std::map). Frames are emitted by scanning
+    /// NodeIds in ascending order — the order the map iterated in.
+    std::vector<std::vector<stream::ResultPair>> origin_pairs;
+    /// Received-store probe scratch.
+    std::vector<stream::StoredTuple> matches;
   };
 
-  /// Joins `tuple` against the given opposite-side store under `query`'s
-  /// window; reports pairs into the query's collector and returns the
-  /// matches grouped for shipping.
-  void join_and_report(
-      QueryRuntime& query, const stream::Tuple& tuple,
-      const stream::TupleStore& store, double now,
-      std::vector<stream::ResultPair>* shipped,
-      std::map<net::NodeId, std::vector<stream::ResultPair>>* by_origin);
   /// The audit draw plus routing decision for one query (thread-confined to
   /// the query's shard: touches only per-query and per-family state).
   void evaluate_routing(QueryRuntime& query, const stream::Tuple& tuple,
@@ -229,7 +227,20 @@ class Node {
   /// is set (multi-query only); otherwise serial in query order.
   void for_each_query_sharded(const std::function<void(std::size_t)>& task);
   void send_result_frame(QueryRuntime& query, net::NodeId origin,
-                         std::vector<stream::ResultPair> pairs);
+                         std::span<const stream::ResultPair> pairs);
+  /// The full per-arrival pipeline behind on_local_tuple / on_local_batch.
+  /// With `batch` empty the local windows are probed directly; otherwise
+  /// arrival `batch_index`'s pre-collected matches (prepare_batch_probes)
+  /// are replayed and corrected for in-batch predecessors.
+  void local_tuple_impl(const stream::Tuple& tuple, double now,
+                        std::span<const LocalArrival> batch,
+                        std::size_t batch_index);
+  /// Pre-collects every arrival's local-window matches per probe group with
+  /// the store's batched scan. Returns false — leaving the scratch untouched
+  /// — when the batch is not eligible (event time decoupled from tuple time,
+  /// or timestamps going backwards), in which case the caller must fall back
+  /// to the serial per-tuple path.
+  bool prepare_batch_probes(std::span<const LocalArrival> arrivals);
   void evict(double now);
   void send_summary(net::NodeId peer, SummaryBlock block, double now);
   /// Applies every pending summary whose visibility boundary is <= now, in
@@ -240,7 +251,7 @@ class Node {
   void track_sent(QueryRuntime& query, std::uint64_t id, bool audited);
   /// Attributes shipped result pairs to the controller classes.
   void absorb_result_feedback(QueryRuntime& query,
-                              const std::vector<stream::ResultPair>& pairs);
+                              std::span<const stream::ResultPair> pairs);
   /// Periodic proportional throttle adjustment from the audit estimate.
   void run_controller(QueryRuntime& query);
 
@@ -279,6 +290,41 @@ class Node {
 
   // Scratch for the per-tuple evaluation (avoids per-tuple allocation).
   std::vector<QueryEval> eval_scratch_;
+
+  // Cross-query probe sharing (DESIGN.md §16): the shared local windows are
+  // scanned once per distinct join half-width, and every query of that
+  // half-width consumes the one match list. Received stores stay per-query
+  // (their contents already differ per query).
+  struct ProbeGroup {
+    double half_width;
+    std::vector<std::size_t> queries;
+  };
+  std::vector<ProbeGroup> probe_groups_;
+  std::vector<std::size_t> group_of_query_;
+  /// Per-group local-window matches for the tuple in flight; built serially
+  /// before the sharded phase, read-only inside it.
+  std::vector<std::vector<stream::StoredTuple>> group_matches_;
+  /// Lazy per-frame collect flags (on_frame probes a group's window only
+  /// when a masked query actually needs it).
+  std::vector<bool> group_collected_;
+  /// on_frame result-shipping scratch (one list per masked query in turn).
+  std::vector<stream::ResultPair> frame_pairs_;
+
+  // Batched-probe scratch (on_local_batch): per group, every arrival's
+  // pre-batch local-window matches pooled with [begin, end) slices.
+  struct BatchGroupMatches {
+    std::vector<stream::StoredTuple> pool;
+    std::vector<std::uint32_t> begin;
+    std::vector<std::uint32_t> end;
+  };
+  std::vector<BatchGroupMatches> batch_groups_;
+  /// Arrivals split by stream side (a tuple probes the opposite window), as
+  /// the probe spans handed to TupleStore::for_each_match_batch, plus each
+  /// probe's position in the arrival slice.
+  std::array<std::vector<stream::Tuple>, 2> side_probes_;
+  std::array<std::vector<std::uint32_t>, 2> side_arrival_;
+  /// Tuple-span ingest adapter (when == tuple.timestamp for every arrival).
+  std::vector<LocalArrival> arrivals_scratch_;
 };
 
 }  // namespace dsjoin::core

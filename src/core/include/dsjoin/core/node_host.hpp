@@ -80,7 +80,9 @@ class NodeHost {
   /// Feeds a run of local arrivals in order with one call, each at its own
   /// timestamp — equivalent to ingest(t, t.timestamp) per tuple. The
   /// socket drivers use this to hand consecutive same-node slices of the
-  /// materialized ArrivalSchedule to Node::on_local_batch.
+  /// materialized ArrivalSchedule to Node::on_local_batch, which probes
+  /// the whole run against the partitioned window store in one batched
+  /// pass (DESIGN.md §16.2) — bit-identical to per-tuple ingest.
   void ingest_batch(std::span<const stream::Tuple> tuples);
 
   /// Dispatches one incoming frame: FIN markers advance the drain state

@@ -5,7 +5,6 @@
 #include <bit>
 #include <cassert>
 #include <limits>
-#include <map>
 
 #include "dsjoin/core/wire.hpp"
 
@@ -72,29 +71,29 @@ Node::Node(const SystemConfig& config, net::NodeId self,
     shards_[static_cast<std::size_t>(slot)].push_back(i);
   }
   eval_scratch_.resize(queries_.size());
+  for (auto& eval : eval_scratch_) eval.origin_pairs.resize(config_.nodes);
+
+  // Probe groups: queries with the same half-width scan the shared local
+  // windows once per tuple (exact double equality — query_config overlays
+  // the same literal, so equal specs compare equal).
+  group_of_query_.resize(queries_.size());
+  for (std::size_t i = 0; i < queries_.size(); ++i) {
+    const double hw = queries_[i].config.join_half_width_s;
+    std::size_t g = 0;
+    while (g < probe_groups_.size() && probe_groups_[g].half_width != hw) ++g;
+    if (g == probe_groups_.size()) probe_groups_.push_back(ProbeGroup{hw, {}});
+    probe_groups_[g].queries.push_back(i);
+    group_of_query_[i] = g;
+  }
+  group_matches_.resize(probe_groups_.size());
+  group_collected_.resize(probe_groups_.size(), false);
+  batch_groups_.resize(probe_groups_.size());
 }
 
 Node::Node(const SystemConfig& config, net::NodeId self,
            net::Transport& transport, MetricsCollector& metrics)
     : Node(config, self, transport,
            std::array<MetricsCollector* const, 1>{&metrics}) {}
-
-void Node::join_and_report(QueryRuntime& query, const stream::Tuple& tuple,
-                           const stream::TupleStore& store, double now,
-                           std::vector<stream::ResultPair>* shipped,
-                           std::map<net::NodeId, std::vector<stream::ResultPair>>*
-                               by_origin) {
-  store.for_each_match(
-      tuple.key, tuple.timestamp, query.config.join_half_width_s,
-      [&](const stream::StoredTuple& match) {
-        const auto pair = make_pair(tuple, match);
-        query.metrics->record_pair(pair, self_, now);
-        if (shipped != nullptr) shipped->push_back(pair);
-        if (by_origin != nullptr && match.origin != self_) {
-          (*by_origin)[match.origin].push_back(pair);
-        }
-      });
-}
 
 void Node::evaluate_routing(QueryRuntime& query, const stream::Tuple& tuple,
                             QueryEval& eval) {
@@ -136,9 +135,12 @@ void Node::for_each_query_sharded(
 }
 
 void Node::send_result_frame(QueryRuntime& query, net::NodeId origin,
-                             std::vector<stream::ResultPair> pairs) {
+                             std::span<const stream::ResultPair> pairs) {
   ResultPayload results;
-  results.pairs = std::move(pairs);
+  // The copy into the payload is the result path's one unavoidable
+  // allocation (the frame owns its bytes); the callers' scratch keeps its
+  // capacity.
+  results.pairs.assign(pairs.begin(), pairs.end());
   results.query_id = query.spec.id;
   net::Frame out;
   out.from = self_;
@@ -150,6 +152,12 @@ void Node::send_result_frame(QueryRuntime& query, net::NodeId origin,
 }
 
 void Node::on_local_tuple(const stream::Tuple& tuple, double now) {
+  local_tuple_impl(tuple, now, {}, 0);
+}
+
+void Node::local_tuple_impl(const stream::Tuple& tuple, double now,
+                            std::span<const LocalArrival> batch,
+                            std::size_t batch_index) {
   // Summary state advances on the local virtual clock, never on frame
   // arrival: everything visible by `now` must inform this tuple's routing.
   apply_due_summaries(now);
@@ -161,6 +169,39 @@ void Node::on_local_tuple(const stream::Tuple& tuple, double now) {
   // how many queries are registered. (Engines are never read by the joins
   // below, so feeding them before the joins is unobservable.)
   substrate_.observe_local(tuple);
+
+  // Shared local-window probe: one scan per distinct half-width, consumed
+  // by every query of that group (probe sharing, DESIGN.md §16). Built
+  // serially here, read-only inside the shards, so results are identical
+  // for every worker count. In batch mode the store scan already ran
+  // against the pre-batch windows (prepare_batch_probes); the in-batch
+  // predecessors that landed in the opposite window are appended in
+  // insertion order — together exactly what a direct probe at this point
+  // in the serial schedule returns.
+  for (std::size_t g = 0; g < probe_groups_.size(); ++g) {
+    auto& matches = group_matches_[g];
+    matches.clear();
+    const double half_width = probe_groups_[g].half_width;
+    if (batch.empty()) {
+      local_[opposite].collect_matches(tuple.key, tuple.timestamp, half_width,
+                                       matches);
+    } else {
+      const auto& pre = batch_groups_[g];
+      matches.insert(matches.end(), pre.pool.begin() + pre.begin[batch_index],
+                     pre.pool.begin() + pre.end[batch_index]);
+      const double lo = tuple.timestamp - half_width;
+      std::size_t j = batch_index;
+      while (j > 0 && batch[j - 1].tuple.timestamp >= lo) --j;
+      for (; j < batch_index; ++j) {
+        const stream::Tuple& prior = batch[j].tuple;
+        if (static_cast<std::size_t>(prior.side) == opposite &&
+            prior.key == tuple.key) {
+          matches.push_back(
+              stream::StoredTuple{prior.id, prior.timestamp, prior.origin});
+        }
+      }
+    }
+  }
 
   // Per-query evaluation: the local joins under the query's window and the
   // query's routing decision. Thread-confined per shard; all cross-query
@@ -176,19 +217,30 @@ void Node::on_local_tuple(const stream::Tuple& tuple, double now) {
     QueryEval& eval = eval_scratch_[i];
     eval.audited = false;
     eval.destinations.clear();
-    eval.by_origin.clear();
-    join_and_report(query, tuple, local_[opposite], now, nullptr, nullptr);
-    join_and_report(query, tuple, query.received[opposite], now, nullptr,
-                    &eval.by_origin);
+    for (auto& pairs : eval.origin_pairs) pairs.clear();
+    for (const auto& match : group_matches_[group_of_query_[i]]) {
+      query.metrics->record_pair(make_pair(tuple, match), self_, now);
+    }
+    eval.matches.clear();
+    query.received[opposite].collect_matches(tuple.key, tuple.timestamp,
+                                             query.config.join_half_width_s,
+                                             eval.matches);
+    for (const auto& match : eval.matches) {
+      const auto pair = make_pair(tuple, match);
+      query.metrics->record_pair(pair, self_, now);
+      if (match.origin != self_) eval.origin_pairs[match.origin].push_back(pair);
+    }
     evaluate_routing(query, tuple, eval);
   });
 
   local_[side].insert(tuple);
 
   for (auto& query : queries_) {
-    auto& by_origin = eval_scratch_[&query - queries_.data()].by_origin;
-    for (auto& [origin, pairs] : by_origin) {
-      send_result_frame(query, origin, std::move(pairs));
+    auto& origin_pairs = eval_scratch_[&query - queries_.data()].origin_pairs;
+    for (net::NodeId origin = 0; origin < config_.nodes; ++origin) {
+      if (!origin_pairs[origin].empty()) {
+        send_result_frame(query, origin, origin_pairs[origin]);
+      }
     }
   }
 
@@ -249,8 +301,75 @@ void Node::on_local_tuple(const stream::Tuple& tuple, double now) {
   if (local_tuples_ % 128 == 0) evict(now);
 }
 
+bool Node::prepare_batch_probes(std::span<const LocalArrival> arrivals) {
+  if (arrivals.size() < 2) return false;
+  // Eligibility: probes are pre-collected against the pre-batch windows.
+  // That equals the serial schedule only when event time is tuple time and
+  // never goes backwards — then for every m <= i the eviction horizon at
+  // step m stays below arrival i's probe window (horizon_m = ts_m -
+  // 2*hw_max - margin <= ts_i - hw for every registered hw), so the tuples
+  // a mid-batch evict drops could not have matched any later in-batch
+  // probe, and the in-batch contribution is exactly the predecessor
+  // correction local_tuple_impl appends.
+  double prev = -std::numeric_limits<double>::infinity();
+  for (const LocalArrival& arrival : arrivals) {
+    if (arrival.when != arrival.tuple.timestamp ||
+        arrival.tuple.timestamp < prev) {
+      return false;
+    }
+    prev = arrival.tuple.timestamp;
+  }
+
+  for (auto& probes : side_probes_) probes.clear();
+  for (auto& indices : side_arrival_) indices.clear();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto side = static_cast<std::size_t>(arrivals[i].tuple.side);
+    side_probes_[side].push_back(arrivals[i].tuple);
+    side_arrival_[side].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  for (std::size_t g = 0; g < probe_groups_.size(); ++g) {
+    BatchGroupMatches& pre = batch_groups_[g];
+    pre.pool.clear();
+    pre.begin.assign(arrivals.size(), 0);
+    pre.end.assign(arrivals.size(), 0);
+    for (std::size_t side = 0; side < 2; ++side) {
+      const auto& indices = side_arrival_[side];
+      if (indices.empty()) continue;
+      // A tuple probes the opposite side's window. Matches arrive grouped
+      // by probe in probe order, so slice boundaries fall out of one pass.
+      std::size_t next = 0;  // probes [0, next) have an open slice
+      local_[1 - side].for_each_match_batch(
+          side_probes_[side], probe_groups_[g].half_width,
+          [&](std::size_t probe, const stream::StoredTuple& match) {
+            while (next <= probe) {
+              pre.begin[indices[next]] = pre.end[indices[next]] =
+                  static_cast<std::uint32_t>(pre.pool.size());
+              ++next;
+            }
+            pre.pool.push_back(match);
+            pre.end[indices[probe]] =
+                static_cast<std::uint32_t>(pre.pool.size());
+          });
+      while (next < indices.size()) {
+        pre.begin[indices[next]] = pre.end[indices[next]] =
+            static_cast<std::uint32_t>(pre.pool.size());
+        ++next;
+      }
+    }
+  }
+  return true;
+}
+
 void Node::on_local_batch(std::span<const LocalArrival> arrivals,
                           const std::function<void(std::size_t)>& bind_slot) {
+  if (prepare_batch_probes(arrivals)) {
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      if (bind_slot) bind_slot(i);
+      local_tuple_impl(arrivals[i].tuple, arrivals[i].when, arrivals, i);
+    }
+    return;
+  }
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     if (bind_slot) bind_slot(i);
     on_local_tuple(arrivals[i].tuple, arrivals[i].when);
@@ -258,9 +377,12 @@ void Node::on_local_batch(std::span<const LocalArrival> arrivals,
 }
 
 void Node::on_local_batch(std::span<const stream::Tuple> tuples) {
+  arrivals_scratch_.clear();
+  arrivals_scratch_.reserve(tuples.size());
   for (const stream::Tuple& tuple : tuples) {
-    on_local_tuple(tuple, tuple.timestamp);
+    arrivals_scratch_.push_back(LocalArrival{tuple, tuple.timestamp});
   }
+  on_local_batch(arrivals_scratch_, {});
 }
 
 void Node::on_frame(net::Frame&& frame, double now) {
@@ -288,7 +410,11 @@ void Node::on_frame(net::Frame&& frame, double now) {
 
       // Forwarded tuples join against this node's *local* segment only
       // (the R_i x S_j decomposition of Section 2); discovered pairs are
-      // shipped back to the tuple's origin, per query.
+      // shipped back to the tuple's origin, per query. The local windows
+      // are scanned lazily, once per probe group the mask touches — masked
+      // queries of one half-width share the match list (nothing inserts
+      // into local_ during a frame).
+      std::fill(group_collected_.begin(), group_collected_.end(), false);
       for (std::size_t i = 0; i < queries_.size(); ++i) {
         if ((mask & (std::uint64_t{1} << i)) == 0) continue;
         QueryRuntime& query = queries_[i];
@@ -296,20 +422,32 @@ void Node::on_frame(net::Frame&& frame, double now) {
           ++query.received_tuples;  // frame charged to its lowest query
           attributed = true;
         }
-        std::vector<stream::ResultPair> shipped;
-        join_and_report(query, tuple, local_[opposite], now, &shipped, nullptr);
+        const std::size_t g = group_of_query_[i];
+        if (!group_collected_[g]) {
+          group_matches_[g].clear();
+          local_[opposite].collect_matches(tuple.key, tuple.timestamp,
+                                           probe_groups_[g].half_width,
+                                           group_matches_[g]);
+          group_collected_[g] = true;
+        }
+        frame_pairs_.clear();
+        for (const auto& match : group_matches_[g]) {
+          const auto pair = make_pair(tuple, match);
+          query.metrics->record_pair(pair, self_, now);
+          frame_pairs_.push_back(pair);
+        }
         query.received[side].insert(tuple);
 
         // Controller feedback, reverse path: our local tuples covered
         // because the *partner* was forwarded here. Without this credit the
         // online epsilon estimate would ignore half of the coverage and
         // overshoot.
-        if (config_.online_target_eps >= 0.0 && !shipped.empty()) {
-          absorb_result_feedback(query, shipped);
+        if (config_.online_target_eps >= 0.0 && !frame_pairs_.empty()) {
+          absorb_result_feedback(query, frame_pairs_);
         }
 
-        if (!shipped.empty() && tuple.origin != self_) {
-          send_result_frame(query, tuple.origin, std::move(shipped));
+        if (!frame_pairs_.empty() && tuple.origin != self_) {
+          send_result_frame(query, tuple.origin, frame_pairs_);
         }
       }
       break;
@@ -388,7 +526,7 @@ void Node::track_sent(QueryRuntime& query, std::uint64_t id, bool audited) {
 }
 
 void Node::absorb_result_feedback(QueryRuntime& query,
-                                  const std::vector<stream::ResultPair>& pairs) {
+                                  std::span<const stream::ResultPair> pairs) {
   for (const auto& pair : pairs) {
     // One of the two ids is ours; the discovering node keyed the shipment
     // to the tuple it processed, and the reverse-path credit passes pairs

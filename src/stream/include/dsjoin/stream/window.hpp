@@ -11,10 +11,12 @@
 //  * LandmarkWindow  — everything since the most recent landmark.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -30,16 +32,30 @@ struct StoredTuple {
   net::NodeId origin;
 };
 
-/// Key-indexed multiset of tuples with timestamp-based eviction. Inserts may
-/// arrive slightly out of timestamp order (network delays); eviction is
-/// driven by a timestamp heap, so correctness does not depend on ordering.
+/// Hash-partitioned, columnar multiset of tuples with timestamp-based
+/// eviction (DESIGN.md section 16). Keys hash to one of kPartitions
+/// partitions; each partition is a list of SoA chunks (parallel key /
+/// timestamp / id / origin columns, appended in arrival order). Probes scan
+/// a partition's chunk columns linearly with the common::simd match-scan
+/// kernels; eviction advances a dead-prefix cursor on time-sorted chunks
+/// (the common case) and compacts a chunk in place — order-preserving —
+/// only when a late arrival broke its sort.
+///
+/// Observable semantics are identical to the PR 1 per-key bucket store:
+/// inserts may arrive out of timestamp order, evict_before(t) drops exactly
+/// the tuples with timestamp < t present at the call, and for_each_match
+/// visits matches in per-key insertion order.
 class TupleStore {
  public:
+  TupleStore() = default;
+  TupleStore(TupleStore&&) = default;
+  TupleStore& operator=(TupleStore&&) = default;
+
   void insert(const Tuple& tuple);
 
   /// Inserts every tuple in order; state after the call is identical to
-  /// calling insert() per tuple. The eviction heap is rebuilt once from the
-  /// combined sequence instead of sift-up per element.
+  /// calling insert() per tuple (appends are the only mutation, so this is
+  /// literally that loop).
   void insert_batch(std::span<const Tuple> tuples);
 
   /// Drops every tuple with timestamp < min_timestamp.
@@ -51,37 +67,69 @@ class TupleStore {
                               double half_width) const;
 
   /// Invokes fn(StoredTuple) for every match (same predicate as
-  /// count_matches).
+  /// count_matches), in per-key insertion order.
   void for_each_match(std::int64_t key, double center, double half_width,
                       const std::function<void(const StoredTuple&)>& fn) const;
+
+  /// Appends every match to `out` — same predicate and order as
+  /// for_each_match, without the per-match indirect call.
+  void collect_matches(std::int64_t key, double center, double half_width,
+                       std::vector<StoredTuple>& out) const;
+
+  /// counts[i] = count_matches(probes[i].key, probes[i].timestamp,
+  /// half_width) for every probe, in one pass over the store API.
+  void count_matches_batch(std::span<const Tuple> probes, double half_width,
+                           std::uint64_t* counts) const;
+
+  /// Invokes fn(i, match) for every match of probe i, probes in index
+  /// order, matches per probe in for_each_match order. One std::function
+  /// dispatch per match, none per probe.
+  void for_each_match_batch(
+      std::span<const Tuple> probes, double half_width,
+      const std::function<void(std::size_t, const StoredTuple&)>& fn) const;
 
   std::size_t size() const noexcept { return size_; }
 
  private:
-  struct HeapEntry {
-    double timestamp;
-    std::int64_t key;
-    std::uint64_t id;
-    bool operator>(const HeapEntry& o) const noexcept {
-      return timestamp > o.timestamp;
-    }
+  static constexpr std::size_t kPartitions = 64;
+  static constexpr std::size_t kChunkCap = 256;
+
+  // One partition segment: parallel columns over at most kChunkCap tuples
+  // in arrival order. Columns grow naturally (no up-front reserve — nodes
+  // hold many stores and most stay small). `live_begin` is the evicted
+  // prefix length while the chunk is sorted; `live_min` / `max_ts` bound
+  // the live timestamps for probe pruning (`max_ts` may go stale-high
+  // after prefix eviction — conservative, never wrong); `sorted` records
+  // whether appends stayed non-decreasing.
+  struct Chunk {
+    std::vector<std::int64_t> keys;
+    std::vector<double> ts;
+    std::vector<std::uint64_t> ids;
+    std::vector<net::NodeId> origins;
+    std::size_t live_begin = 0;
+    double live_min = std::numeric_limits<double>::infinity();
+    double max_ts = -std::numeric_limits<double>::infinity();
+    bool sorted = true;
+
+    std::size_t n() const noexcept { return keys.size(); }
+    std::size_t live() const noexcept { return keys.size() - live_begin; }
   };
 
-  // Min-heap on timestamp, maintained with the <algorithm> heap primitives
-  // directly (rather than std::priority_queue) so insert_batch can append
-  // the whole batch and re-heapify once.
-  //
-  // Buckets are vectors, not deques: a libstdc++ deque allocates a 512-byte
-  // chunk up front, and under Zipf keys most buckets hold a handful of
-  // tuples — the per-key allocation churn dominated this store's profile.
-  // Eviction erases near the front; buckets are short enough that the shift
-  // is cheaper than the deque's memory traffic.
-  std::unordered_map<std::int64_t, std::vector<StoredTuple>> by_key_;
-  std::vector<HeapEntry> eviction_;
-  // Largest timestamp ever inserted. An arriving element at or above this
-  // can be appended to the heap as a leaf with no sift (see insert_batch).
-  // Eviction never lowers it — stale-high is conservative, never wrong.
-  double max_timestamp_ = -std::numeric_limits<double>::infinity();
+  // Chunks in creation order. Appends go to the back chunk; a probe scans
+  // the chunk list front to back, which restricted to one key is exactly
+  // that key's insertion order (the order the old per-key buckets exposed).
+  struct Partition {
+    std::vector<std::unique_ptr<Chunk>> chunks;
+  };
+
+  // Fibonacci multiplicative hash; top bits select the partition so nearby
+  // keys spread instead of clustering in one chunk list.
+  static std::size_t part_of(std::int64_t key) noexcept {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> 58);
+  }
+
+  std::array<Partition, kPartitions> parts_;
   std::size_t size_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "dsjoin/common/simd.hpp"
+
 namespace dsjoin::stream {
 
 namespace {
@@ -17,80 +19,100 @@ void bucket_push(std::vector<StoredTuple>& bucket, const Tuple& tuple) {
 }  // namespace
 
 void TupleStore::insert(const Tuple& tuple) {
-  bucket_push(by_key_[tuple.key], tuple);
-  eviction_.push_back(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
-  std::push_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
-  if (tuple.timestamp > max_timestamp_) max_timestamp_ = tuple.timestamp;
+  Partition& part = parts_[part_of(tuple.key)];
+  if (part.chunks.empty() || part.chunks.back()->n() == kChunkCap) {
+    part.chunks.push_back(std::make_unique<Chunk>());
+  }
+  Chunk& c = *part.chunks.back();
+  if (!c.ts.empty() && tuple.timestamp < c.ts.back()) c.sorted = false;
+  c.keys.push_back(tuple.key);
+  c.ts.push_back(tuple.timestamp);
+  c.ids.push_back(tuple.id);
+  c.origins.push_back(tuple.origin);
+  if (tuple.timestamp < c.live_min) c.live_min = tuple.timestamp;
+  if (tuple.timestamp > c.max_ts) c.max_ts = tuple.timestamp;
   ++size_;
 }
 
 void TupleStore::insert_batch(std::span<const Tuple> tuples) {
-  if (tuples.empty()) return;
-  eviction_.reserve(eviction_.size() + tuples.size());
-  // Arrivals are usually in (nearly) timestamp order. An element at or
-  // above every timestamp already in the heap can be appended as a leaf
-  // with no sift at all — its parent is necessarily <= it. Fall back to
-  // per-element sift-ups on the first out-of-order element (the appended
-  // prefix is a valid heap, so push_heap continues correctly), or to one
-  // O(m) heapify when the disordered remainder rivals the heap in size.
-  // Either way the heap's internal layout is unobservable: eviction
-  // removes tuples by unique id, and bucket contents do not depend on the
-  // order equal-timestamp entries pop.
-  std::size_t i = 0;
-  for (; i < tuples.size() && tuples[i].timestamp >= max_timestamp_; ++i) {
-    const Tuple& tuple = tuples[i];
-    bucket_push(by_key_[tuple.key], tuple);
-    eviction_.push_back(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
-    max_timestamp_ = tuple.timestamp;
-  }
-  if (i < tuples.size()) {
-    const bool bulk = tuples.size() - i >= eviction_.size() / 4;
-    for (; i < tuples.size(); ++i) {
-      const Tuple& tuple = tuples[i];
-      bucket_push(by_key_[tuple.key], tuple);
-      eviction_.push_back(HeapEntry{tuple.timestamp, tuple.key, tuple.id});
-      if (!bulk) {
-        std::push_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
-      }
-      if (tuple.timestamp > max_timestamp_) max_timestamp_ = tuple.timestamp;
-    }
-    if (bulk) std::make_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
-  }
-  size_ += tuples.size();
+  for (const Tuple& tuple : tuples) insert(tuple);
 }
 
 void TupleStore::evict_before(double min_timestamp) {
-  while (!eviction_.empty() && eviction_.front().timestamp < min_timestamp) {
-    const HeapEntry entry = eviction_.front();
-    std::pop_heap(eviction_.begin(), eviction_.end(), std::greater<>{});
-    eviction_.pop_back();
-    auto it = by_key_.find(entry.key);
-    assert(it != by_key_.end());
-    auto& bucket = it->second;
-    // The heap pops in global timestamp order, so the matching element is at
-    // (or very near, under out-of-order inserts) the front of its bucket.
-    // The erase shifts the tail down one slot, preserving timestamp order
-    // (match iteration order is observable through for_each_match).
-    for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
-      if (bit->id == entry.id) {
-        bucket.erase(bit);
-        break;
+  for (Partition& part : parts_) {
+    bool any_empty = false;
+    for (auto& chunk : part.chunks) {
+      Chunk& c = *chunk;
+      // live_min is exact over the live region, so a chunk whose oldest
+      // live tuple already meets the horizon is skipped without touching
+      // its columns — the steady-state cost of eviction is one double
+      // compare per chunk, not per tuple.
+      if (c.live() == 0 || c.live_min >= min_timestamp) {
+        any_empty |= c.live() == 0;
+        continue;
       }
+      if (c.sorted) {
+        // Dead tuples form a prefix: advance the cursor, never move data.
+        std::size_t b = c.live_begin;
+        const std::size_t n = c.n();
+        while (b < n && c.ts[b] < min_timestamp) ++b;
+        size_ -= b - c.live_begin;
+        c.live_begin = b;
+        c.live_min =
+            b < n ? c.ts[b] : std::numeric_limits<double>::infinity();
+      } else {
+        // A late arrival broke the sort: compact the live region in place,
+        // preserving arrival order (observable via for_each_match), and
+        // recompute the exact bounds while the data streams through.
+        std::size_t w = 0;
+        double live_min = std::numeric_limits<double>::infinity();
+        double max_ts = -std::numeric_limits<double>::infinity();
+        double prev = -std::numeric_limits<double>::infinity();
+        bool sorted = true;
+        for (std::size_t r = c.live_begin; r < c.n(); ++r) {
+          if (c.ts[r] < min_timestamp) continue;
+          c.keys[w] = c.keys[r];
+          c.ts[w] = c.ts[r];
+          c.ids[w] = c.ids[r];
+          c.origins[w] = c.origins[r];
+          if (c.ts[w] < live_min) live_min = c.ts[w];
+          if (c.ts[w] > max_ts) max_ts = c.ts[w];
+          if (c.ts[w] < prev) sorted = false;
+          prev = c.ts[w];
+          ++w;
+        }
+        size_ -= c.live() - w;
+        c.keys.resize(w);
+        c.ts.resize(w);
+        c.ids.resize(w);
+        c.origins.resize(w);
+        c.live_begin = 0;
+        c.live_min = live_min;
+        c.max_ts = max_ts;
+        c.sorted = sorted;
+      }
+      any_empty |= c.live() == 0;
     }
-    if (bucket.empty()) by_key_.erase(it);
-    --size_;
+    if (any_empty) {
+      std::erase_if(part.chunks, [](const std::unique_ptr<Chunk>& c) {
+        return c->live() == 0;
+      });
+    }
   }
 }
 
 std::uint64_t TupleStore::count_matches(std::int64_t key, double center,
                                         double half_width) const {
-  const auto it = by_key_.find(key);
-  if (it == by_key_.end()) return 0;
+  const double lo = center - half_width;
+  const double hi = center + half_width;
+  const Partition& part = parts_[part_of(key)];
   std::uint64_t n = 0;
-  for (const auto& st : it->second) {
-    if (st.timestamp >= center - half_width && st.timestamp <= center + half_width) {
-      ++n;
-    }
+  for (const auto& chunk : part.chunks) {
+    const Chunk& c = *chunk;
+    if (c.live() == 0 || c.max_ts < lo || c.live_min > hi) continue;
+    n += common::simd::match_count_scan(c.keys.data() + c.live_begin,
+                                        c.ts.data() + c.live_begin, c.live(),
+                                        key, lo, hi);
   }
   return n;
 }
@@ -98,11 +120,69 @@ std::uint64_t TupleStore::count_matches(std::int64_t key, double center,
 void TupleStore::for_each_match(
     std::int64_t key, double center, double half_width,
     const std::function<void(const StoredTuple&)>& fn) const {
-  const auto it = by_key_.find(key);
-  if (it == by_key_.end()) return;
-  for (const auto& st : it->second) {
-    if (st.timestamp >= center - half_width && st.timestamp <= center + half_width) {
-      fn(st);
+  const double lo = center - half_width;
+  const double hi = center + half_width;
+  const Partition& part = parts_[part_of(key)];
+  std::uint32_t idx[kChunkCap];
+  for (const auto& chunk : part.chunks) {
+    const Chunk& c = *chunk;
+    if (c.live() == 0 || c.max_ts < lo || c.live_min > hi) continue;
+    const std::size_t m = common::simd::match_collect_scan(
+        c.keys.data() + c.live_begin, c.ts.data() + c.live_begin, c.live(),
+        key, lo, hi, idx);
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t j = c.live_begin + idx[k];
+      fn(StoredTuple{c.ids[j], c.ts[j], c.origins[j]});
+    }
+  }
+}
+
+void TupleStore::collect_matches(std::int64_t key, double center,
+                                 double half_width,
+                                 std::vector<StoredTuple>& out) const {
+  const double lo = center - half_width;
+  const double hi = center + half_width;
+  const Partition& part = parts_[part_of(key)];
+  std::uint32_t idx[kChunkCap];
+  for (const auto& chunk : part.chunks) {
+    const Chunk& c = *chunk;
+    if (c.live() == 0 || c.max_ts < lo || c.live_min > hi) continue;
+    const std::size_t m = common::simd::match_collect_scan(
+        c.keys.data() + c.live_begin, c.ts.data() + c.live_begin, c.live(),
+        key, lo, hi, idx);
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t j = c.live_begin + idx[k];
+      out.push_back(StoredTuple{c.ids[j], c.ts[j], c.origins[j]});
+    }
+  }
+}
+
+void TupleStore::count_matches_batch(std::span<const Tuple> probes,
+                                     double half_width,
+                                     std::uint64_t* counts) const {
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    counts[i] = count_matches(probes[i].key, probes[i].timestamp, half_width);
+  }
+}
+
+void TupleStore::for_each_match_batch(
+    std::span<const Tuple> probes, double half_width,
+    const std::function<void(std::size_t, const StoredTuple&)>& fn) const {
+  std::uint32_t idx[kChunkCap];
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const double lo = probes[i].timestamp - half_width;
+    const double hi = probes[i].timestamp + half_width;
+    const Partition& part = parts_[part_of(probes[i].key)];
+    for (const auto& chunk : part.chunks) {
+      const Chunk& c = *chunk;
+      if (c.live() == 0 || c.max_ts < lo || c.live_min > hi) continue;
+      const std::size_t m = common::simd::match_collect_scan(
+          c.keys.data() + c.live_begin, c.ts.data() + c.live_begin, c.live(),
+          probes[i].key, lo, hi, idx);
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t j = c.live_begin + idx[k];
+        fn(i, StoredTuple{c.ids[j], c.ts[j], c.origins[j]});
+      }
     }
   }
 }

@@ -552,6 +552,71 @@ TEST(SimdIdentity, DoubleHashKernelsMatchScalarAtEveryLevel) {
   }
 }
 
+TEST(SimdIdentity, MatchScanKernelsMatchScalarAtEveryLevel) {
+  common::Xoshiro256 rng(kSeeds[1]);
+  const std::size_t n = 1033;  // odd: vector body plus every tail shape
+  std::vector<std::int64_t> keys(n);
+  std::vector<double> ts(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Few distinct keys (hits), negative keys included; gridded timestamps
+    // so duplicates and boundary-exact bounds occur.
+    keys[j] = static_cast<std::int64_t>(rng.next() % 7) - 3;
+    ts[j] = 0.25 * static_cast<double>(rng.next() % 64);
+  }
+
+  struct Probe {
+    std::int64_t key;
+    double lo, hi;
+  };
+  std::vector<Probe> probes;
+  for (std::int64_t key = -3; key <= 3; ++key) {
+    probes.push_back({key, 2.0, 10.0});     // boundary-exact grid bounds
+    probes.push_back({key, 0.0, 16.0});     // wide: most timestamps match
+    probes.push_back({key, 5.125, 5.125});  // empty range between grid points
+    probes.push_back({key, 9.0, 3.0});      // inverted: nothing matches
+  }
+  probes.push_back({99, 0.0, 16.0});  // absent key
+
+  for (const Probe& probe : probes) {
+    // Every tail length in [0, 17], plus lengths straddling all vector
+    // widths, plus the full odd-sized batch.
+    for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                            std::size_t{3}, std::size_t{4}, std::size_t{7},
+                            std::size_t{8}, std::size_t{9}, std::size_t{15},
+                            std::size_t{16}, std::size_t{17}, n}) {
+      std::uint64_t want_count = 0;
+      std::vector<std::uint32_t> want_idx(len);
+      std::size_t want_m = 0;
+      {
+        ForcedLevel scalar(simd::Level::kScalar);
+        want_count = simd::match_count_scan(keys.data(), ts.data(), len,
+                                            probe.key, probe.lo, probe.hi);
+        want_m = simd::match_collect_scan(keys.data(), ts.data(), len,
+                                          probe.key, probe.lo, probe.hi,
+                                          want_idx.data());
+      }
+      ASSERT_EQ(want_count, want_m);
+      for (const simd::Level level : supported_levels()) {
+        ForcedLevel forced(level);
+        EXPECT_EQ(want_count,
+                  simd::match_count_scan(keys.data(), ts.data(), len, probe.key,
+                                         probe.lo, probe.hi))
+            << simd::level_name(level) << " len=" << len << " key=" << probe.key;
+        std::vector<std::uint32_t> idx(len);
+        const std::size_t m =
+            simd::match_collect_scan(keys.data(), ts.data(), len, probe.key,
+                                     probe.lo, probe.hi, idx.data());
+        ASSERT_EQ(want_m, m)
+            << simd::level_name(level) << " len=" << len << " key=" << probe.key;
+        for (std::size_t k = 0; k < m; ++k) {
+          ASSERT_EQ(want_idx[k], idx[k])
+              << simd::level_name(level) << " len=" << len << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
 TEST(SimdIdentity, OperatorsMatchSerialAtEveryLevel) {
   for (const simd::Level level : supported_levels()) {
     ForcedLevel forced(level);
